@@ -1,0 +1,33 @@
+module P = Romulus.Logged
+module Bt = Pds.Bptree.Make (P)
+
+let run_ops ops =
+  let r = Pmem.Region.create ~size:(1 lsl 20) () in
+  let p = P.open_region r in
+  let b = Bt.create p ~root:0 in
+  List.iter (fun (op, k) ->
+    match op with
+    | 0 -> ignore (Bt.put b k (k * 3))
+    | 1 -> ignore (Bt.remove b k)
+    | _ -> ignore (Bt.get b k)) ops;
+  match Bt.check b with Ok () -> true | Error e -> (Printf.printf "ERR: %s\n" e; false)
+
+let () =
+  Random.self_init ();
+  for trial = 1 to 2000 do
+    let n = Random.int 60 in
+    let ops = List.init n (fun _ -> (Random.int 3, Random.int 120)) in
+    (* watchdog via alarm *)
+    ignore (Unix.alarm 5);
+    Sys.set_signal Sys.sigalrm (Sys.Signal_handle (fun _ ->
+      Printf.printf "HANG at trial %d: [%s]\n%!" trial
+        (String.concat "; " (List.map (fun (o,k) -> Printf.sprintf "(%d,%d)" o k) ops));
+      exit 2));
+    if not (run_ops ops) then begin
+      Printf.printf "CHECK FAIL trial %d: [%s]\n%!" trial
+        (String.concat "; " (List.map (fun (o,k) -> Printf.sprintf "(%d,%d)" o k) ops));
+      exit 3
+    end;
+    ignore (Unix.alarm 0)
+  done;
+  print_endline "no hang in 2000 trials"
