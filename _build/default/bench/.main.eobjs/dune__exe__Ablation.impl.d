@@ -1,0 +1,1 @@
+bench/ablation.ml: Common Ds_bench Gc List Pds Pmem Printf Romulus Workload

@@ -1,0 +1,1 @@
+bench/common.ml: Baselines Float List Printf Romulus

@@ -1,0 +1,1 @@
+bench/ds_bench.ml: Common Float Gc Pds Pmem Simsched Workload

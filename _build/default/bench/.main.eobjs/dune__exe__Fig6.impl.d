@@ -1,0 +1,1 @@
+bench/fig6.ml: Common Ds_bench List Pmem Printf Simsched

@@ -1,0 +1,1 @@
+bench/fig7.ml: Common Ds_bench List Pmem Simsched

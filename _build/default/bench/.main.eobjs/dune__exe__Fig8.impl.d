@@ -1,0 +1,1 @@
+bench/fig8.ml: Common Float Gc Kv List Pmem Printf Simsched Workload

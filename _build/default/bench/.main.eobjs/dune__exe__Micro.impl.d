@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Common Hashtbl Instance List Measure Palloc Pmem Printf Romulus Staged Test Time Toolkit

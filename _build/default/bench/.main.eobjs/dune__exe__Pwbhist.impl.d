@@ -1,0 +1,1 @@
+bench/pwbhist.ml: Common Hashtbl List Option Pds Pmem Printf Romulus String Workload

@@ -1,0 +1,1 @@
+bench/recovery.ml: Common List Pds Pmem Printf Romulus Workload

@@ -1,0 +1,1 @@
+bench/table1.ml: Common List Pmem Printf Romulus

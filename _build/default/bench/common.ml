@@ -1,0 +1,64 @@
+(* Shared benchmark infrastructure: the PTM roster, run parameters
+   (quick vs full/paper-scale), and table formatting. *)
+
+module type PTM = Romulus.Ptm_intf.S
+
+let all_ptms : (string * (module PTM)) list =
+  [ ("rom", (module Romulus.Basic));
+    ("romL", (module Romulus.Logged));
+    ("romLR", (module Romulus.Lr));
+    ("mne", (module Baselines.Redolog));
+    ("pmdk", (module Baselines.Undolog)) ]
+
+let ptm_named name =
+  match List.assoc_opt name all_ptms with
+  | Some m -> m
+  | None -> failwith ("unknown PTM " ^ name)
+
+type scale = Quick | Full
+
+let threads_axis = function
+  | Quick -> [ 1; 2; 4; 8; 16; 32; 64 ]
+  | Full -> [ 1; 2; 4; 8; 16; 24; 32; 48; 64 ]
+
+(* measurement effort *)
+let measure_ops = function Quick -> 2_000 | Full -> 20_000
+let measure_runs = function Quick -> 3 | Full -> 5
+
+let sim_duration_ns = function Quick -> 2e7 | Full -> 2e8
+
+(* ---- output ---- *)
+
+let section title = Printf.printf "\n== %s ==\n%!" title
+
+let subsection title = Printf.printf "\n-- %s --\n%!" title
+
+(* print a table: a header cell + one column per [cols]; rows are
+   (label, value list); values rendered with [fmt] *)
+let table ~header ~cols ~rows fmt =
+  Printf.printf "%-14s" header;
+  List.iter (fun c -> Printf.printf "%12s" c) cols;
+  print_newline ();
+  List.iter
+    (fun (label, values) ->
+      Printf.printf "%-14s" label;
+      List.iter (fun v -> Printf.printf "%12s" (fmt v)) values;
+      print_newline ())
+    rows;
+  flush stdout
+
+let si v =
+  if Float.is_nan v then "-"
+  else if v >= 1e9 then Printf.sprintf "%.2fG" (v /. 1e9)
+  else if v >= 1e6 then Printf.sprintf "%.2fM" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+  else Printf.sprintf "%.1f" v
+
+let ns v =
+  if Float.is_nan v then "-"
+  else if v >= 1e6 then Printf.sprintf "%.2fms" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.2fus" (v /. 1e3)
+  else Printf.sprintf "%.0fns" v
+
+(* per-thread think time between operations in the simulator *)
+let think_ns = 25.

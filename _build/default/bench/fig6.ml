@@ -1,0 +1,65 @@
+(* Figure 6: update-only throughput on the resizable hash map with 10K,
+   100K (and, with --full, 1M) keys.  The point of the figure: every
+   log-based PTM is insensitive to the structure size, while basic
+   Romulus collapses — its commit replicates the whole used span, which
+   grows with the data set.
+
+   Mnemosyne is omitted as in the paper (footnote 2: its public
+   implementation cannot allocate large enough data sets; for us, its
+   bounded persistent log has the same effect on the populate phase). *)
+
+let ptms = [ "rom"; "romL"; "romLR"; "pmdk" ]
+let conflict = (1.0, 0.02)
+let fence = Pmem.Fence.stt
+
+let sizes = function
+  | Common.Quick -> [ 10_000; 100_000 ]
+  | Common.Full -> [ 10_000; 100_000; 1_000_000 ]
+
+let region_size_for keys = (keys * 128) + (1 lsl 23)
+
+let updates_per_sec ~scale ~ptm ~costs n =
+  let conflict_p, read_conflict_p = conflict in
+  let model = Ds_bench.model_for ~ptm ~conflict_p ~read_conflict_p ~costs in
+  let c = Ds_bench.sim_costs costs ~for_model:(Ds_bench.kind_for ptm) in
+  let r =
+    Simsched.Sync_model.run
+      { Simsched.Sync_model.model; costs = c; readers = 0; writers = n;
+        duration_ns = Common.sim_duration_ns scale; seed = 13 }
+  in
+  2. *. Simsched.Sync_model.updates_per_sec r
+
+let run scale =
+  Common.section
+    "Figure 6: resizable hash map, update-only, growing key counts (TX/s)";
+  let threads = Common.threads_axis scale in
+  List.iter
+    (fun keys ->
+      Common.subsection (Printf.sprintf "%d keys" keys);
+      let calibrated =
+        List.map
+          (fun ptm ->
+            let b =
+              Ds_bench.make_hash_map (Common.ptm_named ptm) ~fence ~keys
+                ~resizable:true ~initial_buckets:64 ~value_bytes:8
+                ~region_size:(region_size_for keys) ()
+            in
+            (* the span copy makes basic Romulus expensive: scale the
+               measurement effort down with the structure size *)
+            let ops = max 60 (Common.measure_ops scale * 1_000 / keys) in
+            (ptm, Ds_bench.calibrate ~ops b))
+          ptms
+      in
+      Common.table ~header:"threads" ~cols:ptms
+        ~rows:
+          (List.map
+             (fun n ->
+               ( string_of_int n,
+                 List.map
+                   (fun ptm ->
+                     updates_per_sec ~scale ~ptm
+                       ~costs:(List.assoc ptm calibrated) n)
+                   ptms ))
+             threads)
+        Common.si)
+    (sizes scale)

@@ -1,0 +1,56 @@
+(* Figure 7: read-dominated workloads on the 1,000-key hash map.
+   Left: 2 concurrent writers and a growing number of reader threads
+   (both read and write TX/s are reported) — only RomulusLR keeps scaling
+   its readers, and PMDK's reader-preference lock starves its writers
+   once ~16 readers are running.  Right: read-only, no writer. *)
+
+let keys = 1_000
+let conflict = (1.0, 0.02)
+let fence = Pmem.Fence.stt
+
+let rates ~scale ~ptm ~costs ~readers ~writers =
+  let conflict_p, read_conflict_p = conflict in
+  let model = Ds_bench.model_for ~ptm ~conflict_p ~read_conflict_p ~costs in
+  let c = Ds_bench.sim_costs costs ~for_model:(Ds_bench.kind_for ptm) in
+  let r =
+    Simsched.Sync_model.run
+      { Simsched.Sync_model.model; costs = c; readers; writers;
+        duration_ns = Common.sim_duration_ns scale; seed = 17 }
+  in
+  ( 2. *. Simsched.Sync_model.reads_per_sec r,
+    2. *. Simsched.Sync_model.updates_per_sec r )
+
+let run scale =
+  Common.section "Figure 7: read-dominated workloads, 1,000-key hash map";
+  let threads = Common.threads_axis scale in
+  let ops = Common.measure_ops scale in
+  let calibrated =
+    List.map
+      (fun (name, m) ->
+        let b =
+          Ds_bench.make_hash_map m ~fence ~keys ~resizable:true
+            ~initial_buckets:64 ~value_bytes:8 ~region_size:(1 lsl 20) ()
+        in
+        (name, Ds_bench.calibrate ~ops b))
+      Common.all_ptms
+  in
+  let names = List.map fst calibrated in
+  let table pick ~writers title =
+    Common.subsection title;
+    Common.table ~header:"readers" ~cols:names
+      ~rows:
+        (List.map
+           (fun n ->
+             ( string_of_int n,
+               List.map
+                 (fun ptm ->
+                   pick
+                     (rates ~scale ~ptm ~costs:(List.assoc ptm calibrated)
+                        ~readers:n ~writers))
+                 names ))
+           threads)
+      Common.si
+  in
+  table fst ~writers:2 "read TX/s with 2 concurrent writers";
+  table snd ~writers:2 "write TX/s with 2 concurrent writers";
+  table fst ~writers:0 "read TX/s with no writer"

@@ -1,0 +1,259 @@
+(* Figure 8: RomulusDB vs LevelDB on the LevelDB benchmark suite (§6.4):
+   fillseq / fillsync / fillrandom / overwrite (µs/op), readseq /
+   readreverse (µs/op), and fill-100k (ms/op, 100 kB values).
+
+   Keys are 16 bytes, values 100 bytes, as in LevelDB's db_bench.
+   Single-thread latencies are measured from the real stores; the thread
+   axis uses the flat-combining model for RomulusDB writes (scaling
+   readers), while LevelDB writes serialize on its internal mutex, so
+   per-operation latency grows linearly with the thread count. *)
+
+module Db = Kv.Romulus_db.Default
+
+type params = {
+  n_fill : int;
+  n_sync : int;
+  n_100k : int;
+  fill_region : int;
+  blob_region : int;
+}
+
+let params = function
+  | Common.Quick ->
+    { n_fill = 10_000; n_sync = 1_000; n_100k = 128;
+      fill_region = 1 lsl 25; blob_region = 1 lsl 26 }
+  | Common.Full ->
+    { n_fill = 1_000_000; n_sync = 1_000; n_100k = 1_000;
+      fill_region = 700_000_000; blob_region = 300_000_000 }
+
+let value_bytes = 100
+let threads = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+(* measured per-op latencies in ns, as (romdb, leveldb, batch-amortized
+   romdb work for the FC model) *)
+type measured = { rom_ns : float; lvl_ns : float; rom_work_ns : float }
+
+let fc_latency_us ~scale m n =
+  (* per-thread op latency under flat combining = n / aggregate rate *)
+  let costs =
+    { Simsched.Sync_model.read_ns = m.rom_ns;
+      update_work_ns = m.rom_work_ns;
+      batch_fixed_ns = Float.max 0. (m.rom_ns -. m.rom_work_ns);
+      think_ns = Common.think_ns }
+  in
+  let r =
+    Simsched.Sync_model.run
+      { Simsched.Sync_model.model = Simsched.Sync_model.Fc_crwwp; costs;
+        readers = 0; writers = n;
+        duration_ns = Common.sim_duration_ns scale; seed = 23 }
+  in
+  let rate = Simsched.Sync_model.updates_per_sec r in
+  float_of_int n /. rate *. 1e6
+
+let print_fill_table ~scale name m =
+  Common.subsection (Printf.sprintf "%s (us/operation)" name);
+  Common.table ~header:"threads" ~cols:[ "RomDB"; "LevelDB" ]
+    ~rows:
+      (List.map
+         (fun n ->
+           ( string_of_int n,
+             [ fc_latency_us ~scale m n;
+               (* LevelDB writes serialize on the db mutex *)
+               float_of_int n *. m.lvl_ns /. 1e3 ] ))
+         threads)
+    (fun v -> Printf.sprintf "%.2f" v)
+
+let print_read_table name ~rom_ns ~lvl_ns =
+  Common.subsection (Printf.sprintf "%s (us/operation, scales with threads)" name);
+  Common.table ~header:"threads" ~cols:[ "RomDB"; "LevelDB" ]
+    ~rows:
+      (List.map
+         (fun n ->
+           (* concurrent scans do not contend in either system *)
+           (string_of_int n, [ rom_ns /. 1e3; lvl_ns /. 1e3 ]))
+         threads)
+    (fun v -> Printf.sprintf "%.3f" v)
+
+let measure_rom_fill ~region_size ~n ~value ~keyfn ~batch () =
+  let r = Pmem.Region.create ~size:region_size () in
+  let db = Db.open_db r in
+  let i = ref 0 in
+  let one () =
+    Db.put db (keyfn !i) value;
+    incr i
+  in
+  Gc.full_major ();
+  let t1 =
+    Workload.Bench_clock.ns_per_op ~region:r ~ops:n (fun () -> one ())
+  in
+  let work =
+    if not batch then t1
+    else begin
+      (* amortized in-batch work, calibrated with real write batches *)
+      let b16 =
+        Workload.Bench_clock.ns_per_op ~region:r ~ops:(max 4 (n / 64))
+          (fun () ->
+            Db.write_batch db (fun db ->
+                for _ = 1 to 16 do
+                  Db.put db (keyfn !i) value;
+                  incr i
+                done))
+      in
+      Float.min t1 (b16 /. 16.)
+    end
+  in
+  (t1, work, db, r)
+
+let run scale =
+  Common.section "Figure 8: RomulusDB vs LevelDB (LevelDB benchmark suite)";
+  let p = params scale in
+  let rng = Workload.Keygen.create ~seed:77 () in
+  let value = Workload.Keygen.value rng value_bytes in
+  let seq_key i = Workload.Keygen.level_key i in
+  let rnd_key_space = 2 * p.n_fill in
+  let rnd_key _ = Workload.Keygen.level_key (Workload.Keygen.int rng rnd_key_space) in
+
+  (* ---- fillseq ---- *)
+  let rom1, romw, seq_db, _seq_r =
+    measure_rom_fill ~region_size:p.fill_region ~n:p.n_fill ~value
+      ~keyfn:seq_key ~batch:true ()
+  in
+  let lvl = Kv.Level_db.create () in
+  let lvl_ns =
+    let d = Kv.Level_db.disk lvl in
+    Gc.full_major ();
+    Kv.Disk_sim.reset_vtime d;
+    let i = ref 0 in
+    let wall =
+      Workload.Bench_clock.ns_per_op ~ops:p.n_fill (fun () ->
+          Kv.Level_db.put lvl (seq_key !i) value;
+          incr i)
+    in
+    wall +. (float_of_int (Kv.Disk_sim.vtime_ns d) /. float_of_int p.n_fill)
+  in
+  print_fill_table ~scale "fillseq"
+    { rom_ns = rom1; lvl_ns; rom_work_ns = romw };
+
+  (* ---- fillsync: durable on both sides ---- *)
+  let roms1, romsw, _, _ =
+    measure_rom_fill ~region_size:(1 lsl 23) ~n:p.n_sync ~value
+      ~keyfn:seq_key ~batch:false ()
+  in
+  let lvl_sync = Kv.Level_db.create () in
+  let lvl_sync_ns =
+    let d = Kv.Level_db.disk lvl_sync in
+    Gc.full_major ();
+    Kv.Disk_sim.reset_vtime d;
+    let i = ref 0 in
+    let wall =
+      Workload.Bench_clock.ns_per_op ~ops:p.n_sync (fun () ->
+          Kv.Level_db.put ~sync:true lvl_sync (seq_key !i) value;
+          incr i)
+    in
+    wall +. (float_of_int (Kv.Disk_sim.vtime_ns d) /. float_of_int p.n_sync)
+  in
+  print_fill_table ~scale "fillsync (WriteOptions.sync = true)"
+    { rom_ns = roms1; lvl_ns = lvl_sync_ns; rom_work_ns = romsw };
+
+  (* ---- fillrandom ---- *)
+  let romr1, romrw, rnd_db, rnd_r =
+    measure_rom_fill ~region_size:p.fill_region ~n:p.n_fill ~value
+      ~keyfn:rnd_key ~batch:true ()
+  in
+  let lvl_rnd = Kv.Level_db.create () in
+  let lvl_rnd_ns =
+    let d = Kv.Level_db.disk lvl_rnd in
+    Gc.full_major ();
+    Kv.Disk_sim.reset_vtime d;
+    let wall =
+      Workload.Bench_clock.ns_per_op ~ops:p.n_fill (fun () ->
+          Kv.Level_db.put lvl_rnd (rnd_key 0) value)
+    in
+    wall +. (float_of_int (Kv.Disk_sim.vtime_ns d) /. float_of_int p.n_fill)
+  in
+  print_fill_table ~scale "fillrandom"
+    { rom_ns = romr1; lvl_ns = lvl_rnd_ns; rom_work_ns = romrw };
+
+  (* ---- overwrite (pre-populated database) ---- *)
+  let romo =
+    (match Db.check rnd_db with
+     | Ok () -> ()
+     | Error e -> failwith ("fig8: fillrandom left a broken db: " ^ e));
+    Gc.full_major ();
+    Workload.Bench_clock.ns_per_op ~region:rnd_r ~ops:(p.n_fill / 2)
+      (fun () -> Db.put rnd_db (rnd_key 0) value)
+  in
+  let lvl_ovw_ns =
+    let d = Kv.Level_db.disk lvl_rnd in
+    Gc.full_major ();
+    Kv.Disk_sim.reset_vtime d;
+    let wall =
+      Workload.Bench_clock.ns_per_op ~ops:(p.n_fill / 2) (fun () ->
+          Kv.Level_db.put lvl_rnd (rnd_key 0) value)
+    in
+    wall
+    +. (float_of_int (Kv.Disk_sim.vtime_ns d) /. float_of_int (p.n_fill / 2))
+  in
+  print_fill_table ~scale "overwrite"
+    { rom_ns = romo; lvl_ns = lvl_ovw_ns; rom_work_ns = romo };
+
+  (* ---- readseq / readreverse: full scans over the fillseq database ---- *)
+  let scan ~reverse db n =
+    let count = ref 0 in
+    let total =
+      Workload.Bench_clock.time_ns (fun () ->
+          if reverse then Db.iter_reverse db (fun _ _ -> incr count)
+          else Db.iter db (fun _ _ -> incr count))
+    in
+    ignore n;
+    total /. float_of_int (max 1 !count)
+  in
+  let lscan ~reverse db =
+    let d = Kv.Level_db.disk db in
+    Kv.Disk_sim.reset_vtime d;
+    let count = ref 0 in
+    let total =
+      Workload.Bench_clock.time_ns (fun () ->
+          if reverse then Kv.Level_db.iter_reverse db (fun _ _ -> incr count)
+          else Kv.Level_db.iter db (fun _ _ -> incr count))
+    in
+    (total +. float_of_int (Kv.Disk_sim.vtime_ns d))
+    /. float_of_int (max 1 !count)
+  in
+  print_read_table "readseq" ~rom_ns:(scan ~reverse:false seq_db p.n_fill)
+    ~lvl_ns:(lscan ~reverse:false lvl);
+  print_read_table "readreverse" ~rom_ns:(scan ~reverse:true seq_db p.n_fill)
+    ~lvl_ns:(lscan ~reverse:true lvl);
+
+  (* ---- fill-100k: 100 kB values ---- *)
+  let big = Workload.Keygen.fixed_value 100_000 in
+  let romb1, rombw, _, _ =
+    measure_rom_fill ~region_size:p.blob_region ~n:p.n_100k ~value:big
+      ~keyfn:seq_key ~batch:false ()
+  in
+  let lvl_big = Kv.Level_db.create () in
+  let lvl_big_ns =
+    let d = Kv.Level_db.disk lvl_big in
+    Gc.full_major ();
+    Kv.Disk_sim.reset_vtime d;
+    let i = ref 0 in
+    let wall =
+      Workload.Bench_clock.ns_per_op ~ops:p.n_100k (fun () ->
+          Kv.Level_db.put lvl_big (seq_key !i) big;
+          incr i)
+    in
+    wall +. (float_of_int (Kv.Disk_sim.vtime_ns d) /. float_of_int p.n_100k)
+  in
+  Common.subsection "fill-100k (ms/operation, 100 kB values)";
+  Common.table ~header:"threads" ~cols:[ "RomDB"; "LevelDB" ]
+    ~rows:
+      (List.map
+         (fun n ->
+           ( string_of_int n,
+             [ fc_latency_us ~scale
+                 { rom_ns = romb1; lvl_ns = lvl_big_ns; rom_work_ns = rombw }
+                 n
+               /. 1e3;
+               float_of_int n *. lvl_big_ns /. 1e6 ] ))
+         [ 2; 8; 16; 32; 64 ])
+    (fun v -> Printf.sprintf "%.2f" v)

@@ -1,0 +1,210 @@
+(* crashtest — a configurable crash-injection campaign.
+
+   Runs a workload (data structure or key-value store) on a chosen PTM,
+   systematically or randomly crashing at instruction boundaries under
+   adversarial cache-line policies, recovering, and checking structural
+   invariants plus operation-level atomicity.  This is the repository's
+   verification tool in CLI form:
+
+     crashtest --ptm romLR --workload tree --rounds 500 --seed 7
+     crashtest --ptm all --workload all --rounds 100 *)
+
+open Cmdliner
+
+module type PTM = sig
+  include Romulus.Ptm_intf.S
+
+  val recover : t -> unit
+end
+
+let ptms : (string * (module PTM)) list =
+  [ ("rom", (module Romulus.Basic));
+    ("romL", (module Romulus.Logged));
+    ("romLR", (module Romulus.Lr));
+    ("mne", (module Baselines.Redolog));
+    ("pmdk", (module Baselines.Undolog)) ]
+
+type outcome = { rounds : int; crashes : int; failures : string list }
+
+(* One workload campaign: run [rounds] batches of random operations with a
+   random crash trap armed; after each crash, recover by re-opening the
+   region and check invariants + a shadow model. *)
+let run_campaign (module P : PTM) ~workload ~rounds ~seed ~verbose =
+  let rng = Workload.Keygen.create ~seed () in
+  let region = Pmem.Region.create ~size:(1 lsl 20) () in
+  let p = P.open_region region in
+  let failures = ref [] in
+  let crashes = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* the workload exposes: apply one op (given a shadow model), and a
+     checker run after each recovery *)
+  let module M = struct
+    module L = Pds.Linked_list.Make (P)
+    module T = Pds.Rb_tree.Make (P)
+    module H = Pds.Hash_map.Make (P)
+  end in
+  let shadow : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* create the structures before any trap is armed: a crash during lazy
+     creation would poison the thunk *)
+  let list_ = M.L.create p ~root:0 in
+  let tree = M.T.create p ~root:1 in
+  let map = M.H.create ~initial_buckets:8 p ~root:2 in
+  let key () = Workload.Keygen.int rng 200 in
+  let apply_op () =
+    let k = key () in
+    match workload with
+    | `List ->
+      if Workload.Keygen.bool rng then (
+        ignore (M.L.add list_ k);
+        Hashtbl.replace shadow k k)
+      else (
+        ignore (M.L.remove list_ k);
+        Hashtbl.remove shadow k)
+    | `Tree ->
+      if Workload.Keygen.bool rng then (
+        ignore (M.T.put tree k (k * 3));
+        Hashtbl.replace shadow k (k * 3))
+      else (
+        ignore (M.T.remove tree k);
+        Hashtbl.remove shadow k)
+    | `Map ->
+      if Workload.Keygen.bool rng then (
+        ignore (M.H.put map k (k * 5));
+        Hashtbl.replace shadow k (k * 5))
+      else (
+        ignore (M.H.remove map k);
+        Hashtbl.remove shadow k)
+  in
+  let check round =
+    let structural =
+      match workload with
+      | `List -> M.L.check list_
+      | `Tree -> M.T.check tree
+      | `Map -> M.H.check map
+    in
+    (match structural with
+     | Ok () -> ()
+     | Error e -> fail "round %d: structural: %s" round e);
+    (* the persistent contents must be the shadow model, except for the
+       single operation in flight at the crash (atomic either way) *)
+    let mine =
+      match workload with
+      | `List ->
+        M.L.fold list_ (fun acc k -> (k, k) :: acc) []
+      | `Tree -> M.T.fold tree (fun acc k v -> (k, v) :: acc) []
+      | `Map -> M.H.fold map (fun acc k v -> (k, v) :: acc) []
+    in
+    let theirs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) shadow [] in
+    let diff =
+      List.length
+        (List.filter (fun kv -> not (List.mem kv theirs)) mine)
+      + List.length
+          (List.filter (fun kv -> not (List.mem kv mine)) theirs)
+    in
+    if diff > 1 then fail "round %d: %d divergences from the model" round diff
+  in
+  for round = 1 to rounds do
+    Pmem.Region.set_trap region (Workload.Keygen.int rng 400);
+    (try
+       for _ = 1 to 4 do
+         apply_op ()
+       done;
+       Pmem.Region.clear_trap region
+     with Pmem.Region.Crash_point ->
+       incr crashes;
+       let policy =
+         match Workload.Keygen.int rng 3 with
+         | 0 -> Pmem.Region.Drop_all
+         | 1 -> Pmem.Region.Keep_all
+         | _ -> Pmem.Region.Random_subset (seed + round)
+       in
+       Pmem.Region.crash region policy;
+       P.recover p;
+       (* the in-flight operation may or may not have committed: resync
+          the shadow for the key it touched by trusting the structure *)
+       let resync k =
+         let v =
+           match workload with
+           | `List ->
+             if M.L.contains list_ k then Some k else None
+           | `Tree -> M.T.get tree k
+           | `Map -> M.H.get map k
+         in
+         match v with
+         | Some v -> Hashtbl.replace shadow k v
+         | None -> Hashtbl.remove shadow k
+       in
+       for k = 0 to 199 do
+         resync k
+       done);
+    check round;
+    if verbose && round mod 100 = 0 then
+      Printf.printf "  ... %d/%d rounds, %d crashes\n%!" round rounds !crashes
+  done;
+  { rounds; crashes = !crashes; failures = !failures }
+
+(* ---- command line ---- *)
+
+let ptm_arg =
+  let doc = "PTM to test: rom, romL, romLR, mne, pmdk, or all." in
+  Arg.(value & opt string "all" & info [ "ptm" ] ~docv:"PTM" ~doc)
+
+let workload_arg =
+  let doc = "Workload: list, tree, map, or all." in
+  Arg.(value & opt string "all" & info [ "workload" ] ~docv:"W" ~doc)
+
+let rounds_arg =
+  let doc = "Rounds per campaign (each round runs 4 ops with a crash trap)." in
+  Arg.(value & opt int 200 & info [ "rounds" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let verbose_arg =
+  let doc = "Progress output." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let main ptm workload rounds seed verbose =
+  let selected_ptms =
+    if ptm = "all" then ptms
+    else
+      match List.assoc_opt ptm ptms with
+      | Some m -> [ (ptm, m) ]
+      | None -> failwith ("unknown PTM " ^ ptm)
+  in
+  let workloads =
+    match workload with
+    | "all" -> [ ("list", `List); ("tree", `Tree); ("map", `Map) ]
+    | "list" -> [ ("list", `List) ]
+    | "tree" -> [ ("tree", `Tree) ]
+    | "map" -> [ ("map", `Map) ]
+    | w -> failwith ("unknown workload " ^ w)
+  in
+  let failed = ref false in
+  List.iter
+    (fun (pname, m) ->
+      List.iter
+        (fun (wname, w) ->
+          Printf.printf "%-6s x %-5s: %!" pname wname;
+          let o = run_campaign m ~workload:w ~rounds ~seed ~verbose in
+          if o.failures = [] then
+            Printf.printf "OK (%d rounds, %d crash-recoveries)\n%!" o.rounds
+              o.crashes
+          else begin
+            failed := true;
+            Printf.printf "FAILED (%d issues)\n" (List.length o.failures);
+            List.iter (fun f -> Printf.printf "    %s\n" f) o.failures
+          end)
+        workloads)
+    selected_ptms;
+  if !failed then exit 1
+
+let cmd =
+  let doc = "crash-injection campaigns against the Romulus PTMs" in
+  let info = Cmd.info "crashtest" ~doc in
+  Cmd.v info
+    Term.(const main $ ptm_arg $ workload_arg $ rounds_arg $ seed_arg
+          $ verbose_arg)
+
+let () = exit (Cmd.eval cmd)

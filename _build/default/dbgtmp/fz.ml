@@ -1,0 +1,22 @@
+module P = Romulus.Logged
+module Q = Pds.Pqueue.Make (P)
+
+let trial n seed =
+  Random.init seed;
+  let ops = List.init n (fun _ -> if Random.int 3 > 0 then Some (Random.int 100) else None) in
+  ignore (Unix.alarm 8);
+  Sys.set_signal Sys.sigalrm (Sys.Signal_handle (fun _ ->
+    Printf.printf "HANG n=%d seed=%d\n%!" n seed; exit 2));
+  let r = Pmem.Region.create ~size:(1 lsl 18) () in
+  let p = P.open_region r in
+  let q = Q.create p ~root:0 in
+  (try
+    List.iter (fun op -> match op with
+      | Some v -> Q.enqueue q v
+      | None -> ignore (Q.dequeue q)) ops
+  with e -> Printf.printf "n=%d seed=%d raised %s\n%!" n seed (Printexc.to_string e));
+  ignore (Unix.alarm 0)
+
+let () =
+  List.iter (fun n -> List.iter (fun s -> trial n s) [1;2;3;4;5]) [1000; 3000; 5000; 8000];
+  print_endline "long-queue trials done"

@@ -1,0 +1,1 @@
+examples/bank.ml: Pmem Printf Romulus Workload

@@ -1,0 +1,1 @@
+examples/concurrent_readers.ml: Atomic Domain List Pmem Printf Romulus Sync_prims

@@ -1,0 +1,1 @@
+examples/kvstore.ml: Filename Kv List Pmem Printf Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Pds Pmem Printf Romulus String

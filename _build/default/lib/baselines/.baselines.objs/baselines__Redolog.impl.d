@@ -1,0 +1,1 @@
+lib/baselines/redolog.ml: Array Bytes Domain Fun Hashtbl Int64 List Palloc Pmem Romulus Spinlock String Sync_prims Tid Tinystm

@@ -1,0 +1,1 @@
+lib/baselines/tinystm.ml: Array Atomic

@@ -1,0 +1,1 @@
+lib/baselines/undolog.ml: Domain Fun Hashtbl Palloc Pmem Romulus Rwlock_rp String Sync_prims

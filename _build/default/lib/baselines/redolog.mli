@@ -1,0 +1,23 @@
+(** Mnemosyne-like PTM: TinySTM/TL2-style optimistic concurrency with a
+    persistent redo log written at commit (4 fences per update
+    transaction, 64-byte log records, load interposition through the
+    write set).  Conflicting transactions abort and re-execute their
+    closure, so closures must be re-executable. *)
+
+include Romulus.Ptm_intf.S
+
+(** Raised when a transaction overflows the persistent redo log. *)
+exception Log_full
+
+(** Raised after an implausible number of consecutive aborts. *)
+exception Too_many_aborts
+
+(** Re-run crash recovery (replay a committed log, reset volatile STM
+    state). *)
+val recover : t -> unit
+
+(** Structural check of the persistent allocator. *)
+val allocator_check : t -> (unit, string) result
+
+(** Aborts observed so far (indicative; racy under domains). *)
+val aborts : t -> int

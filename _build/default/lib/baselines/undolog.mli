@@ -1,0 +1,17 @@
+(** Undo-log PTM in the style of PMDK's libpmemobj: old values are
+    persisted to a write-ahead undo log before each first in-place store
+    (2 fences per logged store), transactions retire the log at commit,
+    and recovery applies the log backwards.  Concurrency: a global
+    reader-preference reader-writer lock, as in the paper's evaluation
+    setup for PMDK (§6.1). *)
+
+include Romulus.Ptm_intf.S
+
+(** Raised when a transaction overflows the persistent undo log. *)
+exception Log_full
+
+(** Re-run crash recovery (roll back any active log). *)
+val recover : t -> unit
+
+(** Structural check of the persistent allocator. *)
+val allocator_check : t -> (unit, string) result

@@ -1,0 +1,1 @@
+lib/core/basic.ml: Crwwp_front Engine

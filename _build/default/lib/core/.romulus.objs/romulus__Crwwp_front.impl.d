@@ -1,0 +1,1 @@
+lib/core/crwwp_front.ml: Crwwp Domain Engine Flat_combining Fun Sync_prims Tid

@@ -1,0 +1,1 @@
+lib/core/crwwp_front.mli: Engine Ptm_intf

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Palloc Pmem Printf Ptm_intf Redo_log String

@@ -1,0 +1,1 @@
+lib/core/logged.ml: Crwwp_front Engine

@@ -1,0 +1,1 @@
+lib/core/logged.mli: Engine Ptm_intf

@@ -1,0 +1,1 @@
+lib/core/lr.ml: Domain Engine Flat_combining Fun Left_right Sync_prims Tid

@@ -1,0 +1,1 @@
+lib/core/lr.mli: Engine Ptm_intf

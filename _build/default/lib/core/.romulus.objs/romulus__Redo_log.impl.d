@@ -1,0 +1,1 @@
+lib/core/redo_log.ml: Array Hashtbl

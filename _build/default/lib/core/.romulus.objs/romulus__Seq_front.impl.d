@@ -1,0 +1,1 @@
+lib/core/seq_front.ml: Engine Fun Pmem

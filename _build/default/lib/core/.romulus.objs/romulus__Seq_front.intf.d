@@ -1,0 +1,1 @@
+lib/core/seq_front.mli: Engine Ptm_intf

@@ -1,0 +1,8 @@
+(** Romulus (basic): twin-copy engine with whole-span replication at
+    commit, flat combining + C-RW-WP concurrency — the paper's "Rom". *)
+
+include Ptm_intf.S
+
+val engine : t -> Engine.t
+val recover : t -> unit
+val allocator_check : t -> (unit, string) result

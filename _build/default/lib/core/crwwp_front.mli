@@ -1,0 +1,21 @@
+(** Flat-combining + C-RW-WP concurrency front-end over the twin-copy
+    engine (§5.2); instantiated as {!Basic} (whole-span replication) and
+    {!Logged} (volatile redo log). *)
+
+module type CONFIG = sig
+  val mode : Engine.mode
+  val name : string
+end
+
+module Make (_ : CONFIG) : sig
+  include Ptm_intf.S
+
+  (** The underlying twin-copy engine (tests/benchmarks). *)
+  val engine : t -> Engine.t
+
+  (** Re-run crash recovery after a simulated power failure. *)
+  val recover : t -> unit
+
+  (** Structural check of the persistent allocator. *)
+  val allocator_check : t -> (unit, string) result
+end

@@ -1,0 +1,271 @@
+(* The twin-copy persistence engine: Algorithm 1 of the paper, plus the
+   volatile-redo-log optimization of §4.7, decomposed so the Left-Right
+   front-end can interleave reader toggles with the commit steps.
+
+   Region layout (Figure 2):
+
+     0      magic
+     8      state: IDL | MUT | CPY
+     64     main region: [ roots | allocator arena (metadata + heap) ]
+     64+S   back region: byte-per-byte replica of main
+
+   [state] tells recovery which copy is consistent: IDL = both, MUT = back,
+   CPY = main.  The back region is never addressed by user code: it holds
+   pointer values that refer into main ("synthetic pointers" are produced
+   by adding [main_size] to every address a back-reader dereferences).
+
+   Store interposition (the persist<T> of §3.2): every store inside a
+   transaction appends its range to the volatile log (in Logged mode) and
+   issues a pwb for the modified line.  The allocator runs over the same
+   interposed memory, so its metadata rolls back with the transaction
+   (§4.4). *)
+
+type mode = Full_copy | Logged
+
+exception Store_outside_transaction
+
+let magic_value = 0x524F4D554C5553 (* "ROMULUS" *)
+
+let o_magic = 0
+let o_state = 8
+let header_bytes = 64
+
+let st_idl = 0
+let st_mut = 1
+let st_cpy = 2
+
+module Mem = struct
+  type t = { r : Pmem.Region.t; mutable log : Redo_log.t option }
+
+  let load m off = Pmem.Region.load m.r off
+
+  let store m off v =
+    (match m.log with
+     | Some l -> Redo_log.add l ~off ~len:8
+     | None -> ());
+    Pmem.Region.store m.r off v;
+    Pmem.Region.pwb m.r off
+end
+
+module A = Palloc.Make (Mem)
+
+type t = {
+  r : Pmem.Region.t;
+  mem : Mem.t;
+  arena : A.t;
+  mode : mode;
+  log : Redo_log.t;
+  main_start : int;
+  main_size : int;
+  arena_base : int;
+  mutable in_tx : bool;
+}
+
+let main_start = header_bytes
+let roots_bytes = 8 * Ptm_intf.root_slots
+
+let layout r =
+  let size = Pmem.Region.size r in
+  let line = Pmem.Region.line_size r in
+  let main_size = (size - main_start) / 2 land lnot (line - 1) in
+  let arena_base = main_start + roots_bytes in
+  if main_size < roots_bytes + Palloc.meta_bytes + 4096 then
+    invalid_arg "Engine: region too small for twin copies";
+  (main_size, arena_base)
+
+let region t = t.r
+let main_size t = t.main_size
+let mode t = t.mode
+
+(* Bytes of main that are meaningful: header-relative span from the start
+   of main to the allocator frontier. *)
+let used_span t = t.arena_base + A.used_bytes t.arena - t.main_start
+
+(* ---- raw recovery (Algorithm 1, recover()) ----
+   Runs before the allocator is attached, using only region primitives. *)
+
+let recover_raw r ~main_size ~arena_base =
+  let top_addr copy_base = arena_base + copy_base + Palloc.top_offset in
+  let finish () =
+    Pmem.Region.pfence r;
+    Pmem.Region.store r o_state st_idl;
+    Pmem.Region.pwb r o_state;
+    Pmem.Region.pfence r
+  in
+  match Pmem.Region.load r o_state with
+  | s when s = st_idl -> ()
+  | s when s = st_cpy ->
+    (* main is consistent: bring back up to date *)
+    let top = Pmem.Region.load r (top_addr 0) in
+    let span = top - main_start in
+    Pmem.Region.copy r ~src:main_start ~dst:(main_start + main_size)
+      ~len:span;
+    Pmem.Region.pwb_range r (main_start + main_size) span;
+    finish ()
+  | s when s = st_mut ->
+    (* the transaction did not commit: revert main from back *)
+    let top = Pmem.Region.load r (top_addr main_size) in
+    let span = top - main_start in
+    Pmem.Region.copy r ~src:(main_start + main_size) ~dst:main_start
+      ~len:span;
+    Pmem.Region.pwb_range r main_start span;
+    finish ()
+  | s -> invalid_arg (Printf.sprintf "Engine.recover: bad state %d" s)
+
+(* ---- creation ---- *)
+
+let create ~mode r =
+  let main_size, arena_base = layout r in
+  let mem = { Mem.r; log = None } in
+  if Pmem.Region.load r o_magic = magic_value then begin
+    recover_raw r ~main_size ~arena_base;
+    let arena = A.attach mem ~base:arena_base in
+    { r; mem; arena; mode; log = Redo_log.create ();
+      main_start; main_size; arena_base; in_tx = false }
+  end
+  else begin
+    (* format: initialize main, replicate to back, then publish the magic
+       last so that a crash mid-format reformats from scratch *)
+    let arena_size = main_start + main_size - arena_base in
+    let arena = A.init mem ~base:arena_base ~size:arena_size in
+    let t =
+      { r; mem; arena; mode; log = Redo_log.create ();
+        main_start; main_size; arena_base; in_tx = false }
+    in
+    Pmem.Region.store r o_state st_idl;
+    let span = used_span t in
+    Pmem.Region.copy r ~src:main_start ~dst:(main_start + main_size)
+      ~len:span;
+    Pmem.Region.pwb_range r main_start (main_size + span);
+    Pmem.Region.pwb r o_state;
+    Pmem.Region.pfence r;
+    Pmem.Region.store r o_magic magic_value;
+    Pmem.Region.pwb r o_magic;
+    Pmem.Region.pfence r;
+    t
+  end
+
+(* Re-run recovery on an engine (used by tests after a simulated crash;
+   equivalent to re-opening the region). *)
+let recover t =
+  recover_raw t.r ~main_size:t.main_size ~arena_base:t.arena_base;
+  t.in_tx <- false;
+  t.mem.log <- None;
+  Redo_log.clear t.log
+
+(* ---- transaction protocol (Algorithm 1) ---- *)
+
+let begin_tx t =
+  (* a dead machine reports the crash, not API misuse: another thread may
+     have died inside its transaction, leaving [in_tx] set *)
+  if Pmem.Region.is_dead t.r then raise Pmem.Region.Crash_point;
+  if t.in_tx then invalid_arg "Engine.begin_tx: transactions do not nest";
+  if t.mode = Logged then begin
+    Redo_log.clear t.log;
+    t.mem.log <- Some t.log
+  end;
+  t.in_tx <- true;
+  Pmem.Region.store t.r o_state st_mut;
+  Pmem.Region.pwb t.r o_state;
+  Pmem.Region.pfence t.r
+
+(* Make every in-place modification of main durable and mark the
+   transaction committed.  After this returns, the effects are ACID-durable
+   (recovery will roll forward, not back). *)
+let commit_main t =
+  Pmem.Region.pfence t.r;
+  Pmem.Region.store t.r o_state st_cpy;
+  Pmem.Region.pwb t.r o_state;
+  Pmem.Region.psync t.r;
+  t.mem.log <- None
+
+(* Propagate the transaction's modifications from main to back. *)
+let replicate t =
+  (match t.mode with
+   | Full_copy ->
+     let span = used_span t in
+     Pmem.Region.copy t.r ~src:t.main_start
+       ~dst:(t.main_start + t.main_size) ~len:span;
+     Pmem.Region.pwb_range t.r (t.main_start + t.main_size) span
+   | Logged ->
+     Redo_log.iter t.log (fun ~off ~len ->
+         Pmem.Region.copy t.r ~src:off ~dst:(off + t.main_size) ~len;
+         Pmem.Region.pwb_range t.r (off + t.main_size) len));
+  Pmem.Region.pfence t.r
+
+let finish_tx t =
+  Pmem.Region.store t.r o_state st_idl;
+  t.in_tx <- false;
+  Redo_log.clear t.log
+
+let end_tx t =
+  if not t.in_tx then invalid_arg "Engine.end_tx: no transaction";
+  commit_main t;
+  replicate t;
+  finish_tx t
+
+(* ---- interposed accesses ---- *)
+
+let check_main t off len what =
+  if off < t.main_start || off + len > t.main_start + t.main_size then
+    invalid_arg
+      (Printf.sprintf "Engine.%s: offset %d outside main region" what off)
+
+let load t off = Pmem.Region.load t.r off
+
+(* Load through a synthetic pointer: [delta] is 0 for main readers and
+   [main_size] for back readers (RomulusLR, §5.3). *)
+let load_off t delta off = Pmem.Region.load t.r (off + delta)
+
+let load_bytes_off t delta off len =
+  Pmem.Region.load_bytes t.r (off + delta) len
+
+let store t off v =
+  if not t.in_tx then raise Store_outside_transaction;
+  check_main t off 8 "store";
+  Mem.store t.mem off v;
+  let s = Pmem.Region.stats t.r in
+  s.Pmem.Stats.user_bytes <- s.Pmem.Stats.user_bytes + 8
+
+let load_bytes t off len = Pmem.Region.load_bytes t.r off len
+
+let store_bytes t off str =
+  if not t.in_tx then raise Store_outside_transaction;
+  let len = String.length str in
+  check_main t off len "store_bytes";
+  (match t.mem.log with
+   | Some l -> Redo_log.add l ~off ~len
+   | None -> ());
+  Pmem.Region.store_bytes t.r off str;
+  Pmem.Region.pwb_range t.r off len;
+  let s = Pmem.Region.stats t.r in
+  s.Pmem.Stats.user_bytes <- s.Pmem.Stats.user_bytes + len
+
+let alloc t n =
+  if not t.in_tx then raise Store_outside_transaction;
+  A.alloc t.arena n
+
+let free t p =
+  if not t.in_tx then raise Store_outside_transaction;
+  A.free t.arena p
+
+(* ---- roots ---- *)
+
+let root_addr t i =
+  if i < 0 || i >= Ptm_intf.root_slots then
+    invalid_arg "Engine: root index out of range";
+  t.main_start + (8 * i)
+
+let get_root t i = Pmem.Region.load t.r (root_addr t i)
+
+let get_root_off t delta i = Pmem.Region.load t.r (root_addr t i + delta)
+
+let set_root t i v =
+  if not t.in_tx then raise Store_outside_transaction;
+  Mem.store t.mem (root_addr t i) v
+
+(* ---- introspection for tests ---- *)
+
+let allocator_check t = A.check t.arena
+let log_entries t = Redo_log.entries t.log
+let in_tx t = t.in_tx

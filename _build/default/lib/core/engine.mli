@@ -1,0 +1,71 @@
+(** Twin-copy persistence engine (Algorithm 1 + the volatile-log
+    optimization of §4.7), single-writer.  The concurrency front-ends
+    ({!Basic}, {!Logged}, {!Lr}) compose this with C-RW-WP/flat-combining
+    or Left-Right. *)
+
+type mode =
+  | Full_copy  (** basic Romulus: replicate the whole used span at commit *)
+  | Logged     (** RomulusLog: replicate only the logged ranges *)
+
+exception Store_outside_transaction
+
+type t
+
+(** Format a fresh region, or recover an existing one (recognized by its
+    magic number). *)
+val create : mode:mode -> Pmem.Region.t -> t
+
+(** Re-run crash recovery (equivalent to re-opening the region after a
+    simulated crash). *)
+val recover : t -> unit
+
+val region : t -> Pmem.Region.t
+val main_size : t -> int
+val mode : t -> mode
+
+(** Bytes of main in use (what a Full_copy commit replicates). *)
+val used_span : t -> int
+
+(** state <- MUT; pwb; pfence.  Does not nest. *)
+val begin_tx : t -> unit
+
+(** pfence; state <- CPY; pwb; psync.  After this the transaction is
+    ACID-durable on main. *)
+val commit_main : t -> unit
+
+(** Copy the modified span/ranges from main to back; pwb per line;
+    pfence. *)
+val replicate : t -> unit
+
+(** state <- IDL; leave the transaction. *)
+val finish_tx : t -> unit
+
+(** [commit_main] + [replicate] + [finish_tx] — at most 4 persistence
+    fences per transaction including the one in [begin_tx]. *)
+val end_tx : t -> unit
+
+val load : t -> int -> int
+
+(** [load_off t delta off] loads through a synthetic pointer: [delta] is 0
+    for main readers, [main_size t] for back readers (RomulusLR). *)
+val load_off : t -> int -> int -> int
+
+val load_bytes : t -> int -> int -> string
+val load_bytes_off : t -> int -> int -> int -> string
+
+(** Interposed store: log (in [Logged] mode) + in-place store + pwb.
+    Raises {!Store_outside_transaction} outside [begin_tx]/[end_tx]. *)
+val store : t -> int -> int -> unit
+
+val store_bytes : t -> int -> string -> unit
+val alloc : t -> int -> int
+val free : t -> int -> unit
+val get_root : t -> int -> int
+val get_root_off : t -> int -> int -> int
+val set_root : t -> int -> int -> unit
+
+(** Allocator structural check (tests). *)
+val allocator_check : t -> (unit, string) result
+
+val log_entries : t -> int
+val in_tx : t -> bool

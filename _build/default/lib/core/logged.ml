@@ -1,0 +1,8 @@
+(* RomulusLog: twin-copy engine with the volatile redo log of §4.7 — only
+   the ranges modified by the transaction are replicated to back — with
+   flat combining + C-RW-WP (the paper's "RomL"). *)
+
+include Crwwp_front.Make (struct
+  let mode = Engine.Logged
+  let name = "romL"
+end)

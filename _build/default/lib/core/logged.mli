@@ -1,0 +1,9 @@
+(** RomulusLog: twin-copy engine with the volatile redo log of §4.7 (only
+    modified ranges are replicated), flat combining + C-RW-WP — the
+    paper's "RomL" and its recommended default. *)
+
+include Ptm_intf.S
+
+val engine : t -> Engine.t
+val recover : t -> unit
+val allocator_check : t -> (unit, string) result

@@ -1,0 +1,60 @@
+(* The volatile redo log of §4.7: the addresses and ranges modified by the
+   current transaction — never the data itself, and never persisted.  At
+   commit, only these ranges are copied from main to back.
+
+   Word-sized entries (the common case) are deduplicated with a hash table
+   so that a loop storing to the same field logs one range, not thousands;
+   ranges from blob stores are appended as-is. *)
+
+type t = {
+  mutable offs : int array;
+  mutable lens : int array;
+  mutable n : int;
+  words : (int, unit) Hashtbl.t;
+}
+
+let create () =
+  { offs = Array.make 64 0; lens = Array.make 64 0; n = 0;
+    words = Hashtbl.create 64 }
+
+let clear t =
+  t.n <- 0;
+  Hashtbl.reset t.words
+
+let append t off len =
+  if t.n = Array.length t.offs then begin
+    let cap = 2 * t.n in
+    let offs = Array.make cap 0 and lens = Array.make cap 0 in
+    Array.blit t.offs 0 offs 0 t.n;
+    Array.blit t.lens 0 lens 0 t.n;
+    t.offs <- offs;
+    t.lens <- lens
+  end;
+  t.offs.(t.n) <- off;
+  t.lens.(t.n) <- len;
+  t.n <- t.n + 1
+
+let add t ~off ~len =
+  if len = 8 then begin
+    if not (Hashtbl.mem t.words off) then begin
+      Hashtbl.replace t.words off ();
+      append t off len
+    end
+  end
+  else if len > 0 then append t off len
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    f ~off:t.offs.(i) ~len:t.lens.(i)
+  done
+
+let entries t = t.n
+
+let is_empty t = t.n = 0
+
+let bytes t =
+  let total = ref 0 in
+  for i = 0 to t.n - 1 do
+    total := !total + t.lens.(i)
+  done;
+  !total

@@ -1,0 +1,18 @@
+(** Volatile redo log: modified (offset, length) ranges of the current
+    transaction (§4.7).  Stored in DRAM, unbounded, never persisted. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+(** Record a modified range; 8-byte entries are deduplicated. *)
+val add : t -> off:int -> len:int -> unit
+
+val iter : t -> (off:int -> len:int -> unit) -> unit
+val entries : t -> int
+val is_empty : t -> bool
+
+(** Total bytes covered by the logged ranges (duplicates from blob stores
+    counted as appended). *)
+val bytes : t -> int

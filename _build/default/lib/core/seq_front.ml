@@ -1,0 +1,63 @@
+(* The single-threaded API of §5.1: durable transactions with no
+   synchronization at all — no flat combining, no reader-writer lock, no
+   read indicators.  "Support for concurrency in such settings can be as
+   simple as using mutual exclusion locks"; here the application promises
+   there is exactly one thread, and in exchange pays zero synchronization
+   overhead (the paper's argument against an STM that taxes even
+   single-threaded applications).
+
+   NOT thread-safe: concurrent use is a bug in the caller. *)
+
+type t = { e : Engine.t; mutable depth : int }
+
+let name = "romSeq"
+
+let open_region r =
+  { e = Engine.create ~mode:Engine.Logged r; depth = 0 }
+
+let region t = Engine.region t.e
+
+let update_tx t f =
+  if t.depth > 0 then f ()
+  else begin
+    t.depth <- 1;
+    Fun.protect
+      ~finally:(fun () -> t.depth <- 0)
+      (fun () ->
+        Engine.begin_tx t.e;
+        match f () with
+        | v ->
+          Engine.end_tx t.e;
+          v
+        | exception e ->
+          (* Romulus transactions are irrevocable: the partial effects
+             commit and the exception propagates (unless the machine is
+             dead, in which case nothing more can execute) *)
+          (match e with
+           | Pmem.Region.Crash_point -> ()
+           | _ -> Engine.end_tx t.e);
+          raise e)
+  end
+
+(* single-threaded read transactions are plain code *)
+let read_tx t f =
+  ignore t;
+  f ()
+
+let load t off = Engine.load t.e off
+let store t off v = Engine.store t.e off v
+let load_bytes t off len = Engine.load_bytes t.e off len
+let store_bytes t off s = Engine.store_bytes t.e off s
+let alloc t n = Engine.alloc t.e n
+let free t p = Engine.free t.e p
+let get_root t i = Engine.get_root t.e i
+let set_root t i v = Engine.set_root t.e i v
+
+(* test hooks *)
+let engine t = t.e
+
+let recover t =
+  Engine.recover t.e;
+  t.depth <- 0
+
+let allocator_check t = Engine.allocator_check t.e

@@ -1,0 +1,9 @@
+(** The single-threaded API of §5.1: the durable twin-copy engine with no
+    synchronization whatsoever.  Cheapest transactions; NOT thread-safe —
+    use {!Basic}/{!Logged}/{!Lr} for concurrent applications. *)
+
+include Ptm_intf.S
+
+val engine : t -> Engine.t
+val recover : t -> unit
+val allocator_check : t -> (unit, string) result

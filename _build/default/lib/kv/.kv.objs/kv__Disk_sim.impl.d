@@ -1,0 +1,1 @@
+lib/kv/disk_sim.ml:

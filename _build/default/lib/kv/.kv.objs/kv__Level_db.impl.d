@@ -1,0 +1,1 @@
+lib/kv/level_db.ml: Buffer Disk_sim Int32 List Map String

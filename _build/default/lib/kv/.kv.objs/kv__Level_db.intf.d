@@ -1,0 +1,1 @@
+lib/kv/level_db.mli: Disk_sim

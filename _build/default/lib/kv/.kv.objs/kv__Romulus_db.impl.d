@@ -1,0 +1,1 @@
+lib/kv/romulus_db.ml: Romulus Str_hash_map

@@ -1,0 +1,1 @@
+lib/kv/romulus_db.mli: Pmem Romulus

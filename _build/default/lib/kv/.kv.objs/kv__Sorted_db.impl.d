@@ -1,0 +1,1 @@
+lib/kv/sorted_db.ml: Romulus Str_bptree

@@ -1,0 +1,1 @@
+lib/kv/sorted_db.mli: Pmem Romulus

@@ -1,0 +1,1 @@
+lib/kv/str_bptree.mli: Romulus

@@ -1,0 +1,1 @@
+lib/kv/str_hash_map.ml: Char Hashtbl Printf Romulus String

@@ -1,0 +1,59 @@
+(* A simulated block device with an OS page cache, for the LevelDB-like
+   baseline: appended bytes sit in the page cache until an [fdatasync],
+   which makes them durable at a fixed (large) cost.  All costs are
+   virtual time, accounted in nanoseconds, so benchmark runs are
+   deterministic.
+
+   The cost constants are calibrated to the paper's setup (§6.1: a
+   memory-mapped file in /dev/shm, so "disk" writes are cheap but the
+   fdatasync system call is not). *)
+
+type t = {
+  mutable appended : int;   (* bytes written (page cache) *)
+  mutable synced : int;     (* durable prefix of [appended] *)
+  mutable vtime_ns : int;   (* accumulated virtual cost *)
+  mutable syncs : int;      (* fdatasync calls *)
+  write_ns_base : int;      (* per-write syscall overhead *)
+  write_ns_per_byte : int;  (* ns per 16 bytes: journal append + memtable flush + first compaction pass *)
+  fdatasync_ns : int;
+}
+
+let create ?(write_ns_base = 150) ?(write_ns_per_16bytes = 12)
+    ?(fdatasync_ns = 400_000) () =
+  { appended = 0; synced = 0; vtime_ns = 0; syncs = 0;
+    write_ns_base; write_ns_per_byte = write_ns_per_16bytes; fdatasync_ns }
+
+(* Append [n] bytes; returns the end offset of the write. *)
+let write t n =
+  t.appended <- t.appended + n;
+  t.vtime_ns <- t.vtime_ns + t.write_ns_base + (n / 16 * t.write_ns_per_byte);
+  t.appended
+
+let fdatasync t =
+  if t.synced < t.appended then begin
+    t.synced <- t.appended;
+    t.vtime_ns <- t.vtime_ns + t.fdatasync_ns;
+    t.syncs <- t.syncs + 1
+  end
+  else begin
+    (* LevelDB still pays the syscall *)
+    t.vtime_ns <- t.vtime_ns + t.fdatasync_ns;
+    t.syncs <- t.syncs + 1
+  end
+
+(* Simulated power failure: everything beyond the synced prefix is lost.
+   Returns the durable byte count the journal can be replayed up to. *)
+let crash t =
+  t.appended <- t.synced;
+  t.synced
+
+(* Charge an arbitrary virtual cost (e.g. the LevelDB read path: block
+   cache, index lookups, decompression). *)
+let charge t ns = t.vtime_ns <- t.vtime_ns + ns
+
+let appended t = t.appended
+let synced t = t.synced
+let vtime_ns t = t.vtime_ns
+let syncs t = t.syncs
+
+let reset_vtime t = t.vtime_ns <- 0

@@ -1,0 +1,31 @@
+(** Simulated block device with an OS page cache for the LevelDB-like
+    baseline: appends accumulate in the cache until an [fdatasync] makes
+    them durable.  All costs are virtual nanoseconds, so benchmark runs
+    are deterministic. *)
+
+type t
+
+val create :
+  ?write_ns_base:int ->
+  ?write_ns_per_16bytes:int ->
+  ?fdatasync_ns:int ->
+  unit ->
+  t
+
+(** Append [n] bytes; returns the end offset. *)
+val write : t -> int -> int
+
+val fdatasync : t -> unit
+
+(** Charge an arbitrary virtual cost (modelled read paths). *)
+val charge : t -> int -> unit
+
+(** Simulated power failure: drop everything beyond the synced prefix;
+    returns the durable byte count. *)
+val crash : t -> int
+
+val appended : t -> int
+val synced : t -> int
+val vtime_ns : t -> int
+val syncs : t -> int
+val reset_vtime : t -> unit

@@ -1,0 +1,131 @@
+(* LevelDB-like baseline for the RomulusDB comparison (§6.4): a sorted
+   in-memory table plus a write-ahead journal on a simulated block device.
+
+   Durability model, as the paper describes it:
+   - by default, writes are buffered: the journal is fdatasync'ed only
+     after roughly [sync_every_bytes] (~1000 kB) of appends — a crash
+     loses every write after the last sync ("buffered durability");
+   - with [~sync:true] (WriteOptions.sync), every write pays a full
+     fdatasync — the only mode actually comparable to RomulusDB's
+     per-transaction durability (the fillsync benchmark). *)
+
+module Smap = Map.Make (String)
+
+type t = {
+  mutable memtable : string Smap.t;
+  journal : Buffer.t;
+  disk : Disk_sim.t;
+  sync_every_bytes : int;
+  mutable unsynced_bytes : int;
+  get_ns : int;         (* table/block-cache cost of a point read *)
+  scan_entry_ns : int;  (* per-entry cost of a table scan *)
+  put_ns : int;         (* memtable-skiplist insert + CRC of the record *)
+}
+
+let create ?(sync_every_bytes = 1_000_000) ?(get_ns = 600)
+    ?(scan_entry_ns = 400) ?(put_ns = 700) ?disk () =
+  let disk = match disk with Some d -> d | None -> Disk_sim.create () in
+  { memtable = Smap.empty;
+    journal = Buffer.create 4096;
+    disk;
+    sync_every_bytes;
+    unsynced_bytes = 0;
+    get_ns;
+    scan_entry_ns;
+    put_ns }
+
+let disk t = t.disk
+
+(* ---- journal records: op(1) klen(4) vlen(4) key value ---- *)
+
+let append_record t op k v =
+  let b = t.journal in
+  Buffer.add_char b op;
+  Buffer.add_int32_le b (Int32.of_int (String.length k));
+  Buffer.add_int32_le b (Int32.of_int (String.length v));
+  Buffer.add_string b k;
+  Buffer.add_string b v;
+  let n = 9 + String.length k + String.length v in
+  ignore (Disk_sim.write t.disk n);
+  Disk_sim.charge t.disk t.put_ns;
+  n
+
+let maybe_sync t ~sync n =
+  if sync then begin
+    Disk_sim.fdatasync t.disk;
+    t.unsynced_bytes <- 0
+  end
+  else begin
+    t.unsynced_bytes <- t.unsynced_bytes + n;
+    if t.unsynced_bytes >= t.sync_every_bytes then begin
+      Disk_sim.fdatasync t.disk;
+      t.unsynced_bytes <- 0
+    end
+  end
+
+let put ?(sync = false) t k v =
+  let n = append_record t 'P' k v in
+  t.memtable <- Smap.add k v t.memtable;
+  maybe_sync t ~sync n
+
+let delete ?(sync = false) t k =
+  let n = append_record t 'D' k "" in
+  t.memtable <- Smap.remove k t.memtable;
+  maybe_sync t ~sync n
+
+(* Reads pay the modelled table/block-cache costs: our baseline keeps
+   everything in one sorted table, whereas real LevelDB reads go through
+   SSTables, the block cache and decompression. *)
+let get t k =
+  Disk_sim.charge t.disk t.get_ns;
+  Smap.find_opt k t.memtable
+
+let count t = Smap.cardinal t.memtable
+
+let iter t f =
+  Smap.iter
+    (fun k v ->
+      Disk_sim.charge t.disk t.scan_entry_ns;
+      f k v)
+    t.memtable
+
+let iter_reverse t f =
+  (* stdlib maps fold ascending; build the reverse traversal explicitly *)
+  let keys = Smap.fold (fun k v acc -> (k, v) :: acc) t.memtable [] in
+  List.iter
+    (fun (k, v) ->
+      Disk_sim.charge t.disk t.scan_entry_ns;
+      f k v)
+    keys
+
+(* ---- crash and recovery: replay the synced journal prefix ---- *)
+
+let replay contents upto =
+  let mem = ref Smap.empty in
+  let pos = ref 0 in
+  (try
+     while !pos + 9 <= upto do
+       let op = contents.[!pos] in
+       let klen = Int32.to_int (String.get_int32_le contents (!pos + 1)) in
+       let vlen = Int32.to_int (String.get_int32_le contents (!pos + 5)) in
+       let total = 9 + klen + vlen in
+       if !pos + total > upto then raise Exit;
+       let k = String.sub contents (!pos + 9) klen in
+       let v = String.sub contents (!pos + 9 + klen) vlen in
+       (match op with
+        | 'P' -> mem := Smap.add k v !mem
+        | 'D' -> mem := Smap.remove k !mem
+        | _ -> raise Exit);
+       pos := !pos + total
+     done
+   with Exit -> ());
+  !mem
+
+let crash t =
+  let durable = Disk_sim.crash t.disk in
+  let contents = Buffer.contents t.journal in
+  let upto = min durable (String.length contents) in
+  Buffer.clear t.journal;
+  Buffer.add_string t.journal (String.sub contents 0 upto);
+  t.memtable <- replay contents upto;
+  t.unsynced_bytes <- 0

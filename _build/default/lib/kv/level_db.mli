@@ -1,0 +1,33 @@
+(** LevelDB-like baseline (§6.4): a sorted in-memory table plus a
+    write-ahead journal on a simulated block device.
+
+    Durability model: by default writes are buffered and the journal is
+    fdatasync'ed roughly every [sync_every_bytes] (~1000 kB) — a crash
+    loses every write since the last sync.  With [~sync:true]
+    (WriteOptions.sync) every write pays a full fdatasync. *)
+
+type t
+
+val create :
+  ?sync_every_bytes:int ->
+  ?get_ns:int ->
+  ?scan_entry_ns:int ->
+  ?put_ns:int ->
+  ?disk:Disk_sim.t ->
+  unit ->
+  t
+
+val disk : t -> Disk_sim.t
+val put : ?sync:bool -> t -> string -> string -> unit
+val delete : ?sync:bool -> t -> string -> unit
+val get : t -> string -> string option
+val count : t -> int
+
+(** Ascending-key iteration. *)
+val iter : t -> (string -> string -> unit) -> unit
+
+val iter_reverse : t -> (string -> string -> unit) -> unit
+
+(** Simulated power failure: rebuild the memtable by replaying the synced
+    journal prefix. *)
+val crash : t -> unit

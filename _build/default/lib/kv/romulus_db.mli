@@ -1,0 +1,29 @@
+(** RomulusDB (§6.4): a persistent key-value store with the LevelDB
+    interface.  Every write is a durable transaction; write batches are
+    real all-or-nothing transactions. *)
+
+module Make (P : Romulus.Ptm_intf.S) : sig
+  type t
+
+  (** Open (or create) the database stored in the region. *)
+  val open_db : ?initial_buckets:int -> Pmem.Region.t -> t
+
+  val put : t -> string -> string -> unit
+  val get : t -> string -> string option
+  val delete : t -> string -> bool
+  val count : t -> int
+
+  (** LevelDB's write batch, upgraded to a transaction: all or nothing,
+      one set of persistence fences for the whole batch. *)
+  val write_batch : t -> (t -> unit) -> unit
+
+  (** Full scans; forward and reverse cost the same on a hash-ordered
+      store. *)
+  val iter : t -> (string -> string -> unit) -> unit
+
+  val iter_reverse : t -> (string -> string -> unit) -> unit
+  val check : t -> (unit, string) result
+end
+
+(** The paper's RomulusDB: RomulusLog underneath. *)
+module Default : module type of Make (Romulus.Logged)

@@ -1,0 +1,27 @@
+(** Persistent hash map with string keys and values — RomulusDB's backing
+    structure.  Keys and values are length-prefixed blobs; values are
+    reallocated on overwrite; the bucket array doubles under load. *)
+
+module Make (P : Romulus.Ptm_intf.S) : sig
+  type t
+
+  val create : ?initial_buckets:int -> P.t -> root:int -> t
+  val attach : P.t -> root:int -> t
+  val open_or_create : ?initial_buckets:int -> P.t -> root:int -> t
+
+  (** Insert or overwrite; true when the key was new. *)
+  val put : t -> string -> string -> bool
+
+  val get : t -> string -> string option
+  val mem : t -> string -> bool
+  val remove : t -> string -> bool
+
+  (** Fold in bucket order; [reverse] walks the buckets backwards. *)
+  val fold : ?reverse:bool -> t -> ('a -> string -> string -> 'a) -> 'a -> 'a
+
+  val iter : ?reverse:bool -> t -> (string -> string -> unit) -> unit
+  val length : t -> int
+
+  (** Structural invariant check. *)
+  val check : t -> (unit, string) result
+end

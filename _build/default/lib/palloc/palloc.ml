@@ -1,0 +1,352 @@
+(* Sequential persistent-memory allocator, in the style of Doug Lea's
+   malloc (boundary tags + segregated free lists), §4.4 of the paper.
+
+   The allocator is a functor over an abstract word memory [MEM].  Every
+   metadata access goes through [MEM.load]/[MEM.store]; when instantiated
+   with a PTM's interposed store (log + pwb), the allocator metadata becomes
+   part of the transaction and is rolled back on a crash exactly like user
+   data — the property that lets Romulus use *any* sequential allocator.
+
+   Heap layout (all offsets are absolute byte offsets into the region):
+
+     base+0   magic
+     base+8   top          first never-allocated byte (bump frontier)
+     base+16  limit        end of the arena
+     base+24  frontier_prev_inuse   in-use bit of the chunk just below top
+     base+32  bins[NBINS]  heads of segregated free lists (0 = empty)
+     ...      data chunks, 16-byte aligned
+
+   Chunk layout: a chunk of [size] bytes (size includes the 8-byte header,
+   and is a multiple of 16) starts at [c - 8] where [c] is the payload
+   offset handed to the user.
+
+     c-8   header: size lor (inuse << 0) lor (prev_inuse << 1)
+     c     payload ... (free chunks: fd at c, bk-address at c+8,
+                        footer (= size) at c-8+size-8)
+
+   [bk] stores the *address of the predecessor's fd field* (the classic
+   pseudo-chunk trick), so unlinking from the head of a bin and from the
+   middle of a list is the same code path.
+
+   Invariants (checked by [check]):
+   - chunks tile [data_start, top) exactly;
+   - no two adjacent free chunks (always coalesced), and no free chunk
+     adjacent to top (merged into top);
+   - next chunk's prev_inuse bit mirrors this chunk's inuse bit;
+   - the free chunks found by walking the heap are exactly the members of
+     the bins, each in the bin its size maps to. *)
+
+module type MEM = sig
+  type t
+
+  val load : t -> int -> int
+  val store : t -> int -> int -> unit
+end
+
+exception Out_of_space of { requested : int; available : int }
+
+exception Corrupt of string
+
+let magic_value = 0x50414C4C (* "PALL" *)
+
+let nbins = 64
+let min_chunk = 32
+let small_max = 512
+
+(* metadata field offsets relative to [base] *)
+let o_magic = 0
+let o_top = 8
+let o_limit = 16
+let o_frontier_prev = 24
+let o_bins = 32
+
+let meta_bytes = o_bins + (8 * nbins)
+
+let top_offset = o_top
+
+let round16 n = (n + 15) land lnot 15
+
+let bin_index size =
+  if size <= small_max then (size - min_chunk) / 16
+  else begin
+    (* large bins: one per power of two above [small_max] *)
+    let small_bins = (small_max - min_chunk) / 16 in
+    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+    let j = log2 (size - 1) 0 - 8 in
+    min (nbins - 1) (small_bins + j)
+  end
+
+module Make (M : MEM) = struct
+  type t = { mem : M.t; base : int }
+
+  (* ---- field helpers ---- *)
+
+  let top t = M.load t.mem (t.base + o_top)
+  let set_top t v = M.store t.mem (t.base + o_top) v
+  let limit t = M.load t.mem (t.base + o_limit)
+  let frontier_prev t = M.load t.mem (t.base + o_frontier_prev)
+  let set_frontier_prev t v = M.store t.mem (t.base + o_frontier_prev) v
+  let bin_addr t i = t.base + o_bins + (8 * i)
+
+  let header c = c - 8
+  let hdr_size h = h land lnot 15
+  let hdr_inuse h = h land 1 <> 0
+  let hdr_prev_inuse h = h land 2 <> 0
+
+  let read_header t c = M.load t.mem (header c)
+
+  let write_header t c ~size ~inuse ~prev_inuse =
+    let h =
+      size lor (if inuse then 1 else 0) lor (if prev_inuse then 2 else 0)
+    in
+    M.store t.mem (header c) h
+
+  let write_footer t c ~size = M.store t.mem (header c + size - 8) size
+
+  (* next chunk's payload offset, or None when this chunk touches top *)
+  let next_chunk t c ~size =
+    let n = header c + size + 8 in
+    if n - 8 >= top t then None else Some n
+
+  let set_prev_inuse t c v =
+    let h = read_header t c in
+    let h = if v then h lor 2 else h land lnot 2 in
+    M.store t.mem (header c) h
+
+  (* ---- free-list linking ---- *)
+
+  let insert_into_bin t c ~size =
+    let slot = bin_addr t (bin_index size) in
+    let old = M.load t.mem slot in
+    M.store t.mem c old;           (* fd *)
+    M.store t.mem (c + 8) slot;    (* bk = address of predecessor's fd *)
+    M.store t.mem slot c;
+    if old <> 0 then M.store t.mem (old + 8) c
+
+  let unlink t c =
+    let fd = M.load t.mem c in
+    let bk = M.load t.mem (c + 8) in
+    M.store t.mem bk fd;
+    if fd <> 0 then M.store t.mem (fd + 8) bk
+
+  (* ---- initialization ---- *)
+
+  (* payload offset of the first chunk; its header sits 8 bytes below, at
+     the initial bump frontier *)
+  let data_start_of ~base = round16 (base + meta_bytes) + 8
+
+  let init mem ~base ~size =
+    if base <= 0 then invalid_arg "Palloc.init: base must be positive";
+    let t = { mem; base } in
+    let start = data_start_of ~base in
+    if start + min_chunk > base + size then
+      invalid_arg "Palloc.init: arena too small";
+    M.store mem (base + o_magic) magic_value;
+    set_top t (start - 8);
+    M.store mem (base + o_limit) (base + size);
+    set_frontier_prev t 1;
+    for i = 0 to nbins - 1 do
+      M.store mem (bin_addr t i) 0
+    done;
+    t
+
+  let attach mem ~base =
+    let t = { mem; base } in
+    if M.load mem (base + o_magic) <> magic_value then
+      raise (Corrupt "Palloc.attach: bad magic");
+    t
+
+  (* ---- allocation ---- *)
+
+  let chunk_size_for nbytes = max min_chunk (round16 (nbytes + 8))
+
+  (* Split [c] (free, unlinked, of [size] bytes) so that only [need] bytes
+     remain allocated; the remainder goes back to a bin. *)
+  let split t c ~size ~need ~prev_inuse =
+    if size - need >= min_chunk then begin
+      let rest = header c + need + 8 in
+      let rest_size = size - need in
+      write_header t rest ~size:rest_size ~inuse:false ~prev_inuse:true;
+      write_footer t rest ~size:rest_size;
+      insert_into_bin t rest ~size:rest_size;
+      write_header t c ~size:need ~inuse:true ~prev_inuse;
+      need
+    end
+    else begin
+      (* allocate the whole chunk: the next chunk's prev becomes in-use *)
+      write_header t c ~size ~inuse:true ~prev_inuse;
+      (match next_chunk t c ~size with
+       | Some n -> set_prev_inuse t n true
+       | None ->
+         (* a free chunk is never adjacent to top, so this cannot happen *)
+         raise (Corrupt "Palloc: free chunk adjacent to top"));
+      size
+    end
+
+  (* First fit within a bin; exact-size bins fit on the first element. *)
+  let take_from_bin t i ~need =
+    let rec scan c =
+      if c = 0 then None
+      else
+        let size = hdr_size (read_header t c) in
+        if size >= need then Some (c, size)
+        else scan (M.load t.mem c)
+    in
+    match scan (M.load t.mem (bin_addr t i)) with
+    | None -> None
+    | Some (c, size) ->
+      unlink t c;
+      let prev_inuse = hdr_prev_inuse (read_header t c) in
+      let _ = split t c ~size ~need ~prev_inuse in
+      Some c
+
+  let alloc_from_top t ~need =
+    let tp = top t in
+    if tp + need > limit t then
+      raise (Out_of_space { requested = need; available = limit t - tp });
+    let c = tp + 8 in
+    write_header t c ~size:need ~inuse:true
+      ~prev_inuse:(frontier_prev t <> 0);
+    set_top t (tp + need);
+    set_frontier_prev t 1;
+    c
+
+  let alloc t nbytes =
+    if nbytes < 0 then invalid_arg "Palloc.alloc: negative size";
+    let need = chunk_size_for nbytes in
+    let rec try_bins i =
+      if i >= nbins then alloc_from_top t ~need
+      else
+        match take_from_bin t i ~need with
+        | Some c -> c
+        | None -> try_bins (i + 1)
+    in
+    try_bins (bin_index need)
+
+  (* ---- free ---- *)
+
+  let free t c =
+    if header c < data_start_of ~base:t.base - 8 || header c >= top t then
+      raise
+        (Corrupt (Printf.sprintf "Palloc.free: %d is not a live chunk" c));
+    let h = read_header t c in
+    if not (hdr_inuse h) then
+      raise (Corrupt (Printf.sprintf "Palloc.free: double free at %d" c));
+    let size = hdr_size h in
+    let c, size, prev_inuse =
+      (* backward coalescing via the previous chunk's footer *)
+      if hdr_prev_inuse h then (c, size, true)
+      else begin
+        let prev_size = M.load t.mem (header c - 8) in
+        let p = c - prev_size in
+        unlink t p;
+        let ph = read_header t p in
+        (p, size + prev_size, hdr_prev_inuse ph)
+      end
+    in
+    let c, size =
+      (* forward coalescing *)
+      match next_chunk t c ~size with
+      | Some n when not (hdr_inuse (read_header t n)) ->
+        let nsize = hdr_size (read_header t n) in
+        unlink t n;
+        (c, size + nsize)
+      | Some _ | None -> (c, size)
+    in
+    if header c + size = top t then begin
+      (* give the space back to the bump frontier *)
+      set_top t (header c);
+      set_frontier_prev t (if prev_inuse then 1 else 0)
+    end
+    else begin
+      write_header t c ~size ~inuse:false ~prev_inuse;
+      write_footer t c ~size;
+      (match next_chunk t c ~size with
+       | Some n -> set_prev_inuse t n false
+       | None -> ());
+      insert_into_bin t c ~size
+    end
+
+  (* ---- accounting & checking ---- *)
+
+  let used_bytes t = top t - t.base
+
+  let data_start t = data_start_of ~base:t.base
+
+  let usable_size t c = hdr_size (read_header t c) - 8
+
+  let check t =
+    let errors = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+    let free_by_walk = Hashtbl.create 16 in
+    (* 1. walk the heap *)
+    let tp = top t in
+    let rec walk c prev_inuse_expected =
+      if c - 8 < tp then begin
+        let h = read_header t c in
+        let size = hdr_size h in
+        if size < min_chunk || size mod 16 <> 0 then
+          err "chunk %d has bad size %d" c size
+        else begin
+          if hdr_prev_inuse h <> prev_inuse_expected then
+            err "chunk %d prev_inuse=%b, expected %b" c (hdr_prev_inuse h)
+              prev_inuse_expected;
+          if not (hdr_inuse h) then begin
+            Hashtbl.replace free_by_walk c size;
+            if M.load t.mem (header c + size - 8) <> size then
+              err "free chunk %d footer mismatch" c
+          end;
+          if c - 8 + size > tp then err "chunk %d overruns top" c
+          else walk (c + size) (hdr_inuse h)
+        end
+      end
+      else if c - 8 <> tp then err "heap does not tile exactly to top"
+    in
+    walk (data_start t) true;
+    (* frontier flag must match the last chunk *)
+    let rec last_inuse c acc =
+      if c - 8 < tp then begin
+        let h = read_header t c in
+        let size = hdr_size h in
+        if size < min_chunk then acc (* corrupt: already reported by walk *)
+        else last_inuse (c + size) (hdr_inuse h)
+      end
+      else acc
+    in
+    let last = last_inuse (data_start t) true in
+    if (frontier_prev t <> 0) <> last then
+      err "frontier_prev=%d but last chunk inuse=%b" (frontier_prev t) last;
+    (* 2. walk the bins *)
+    let free_by_bins = Hashtbl.create 16 in
+    for i = 0 to nbins - 1 do
+      let rec follow c prev_fd_addr =
+        if c <> 0 then begin
+          if Hashtbl.mem free_by_bins c then err "chunk %d in two bins" c
+          else begin
+            let h = read_header t c in
+            if hdr_inuse h then err "in-use chunk %d in bin %d" c i;
+            let size = hdr_size h in
+            if bin_index size <> i then
+              err "chunk %d (size %d) in wrong bin %d" c size i;
+            if M.load t.mem (c + 8) <> prev_fd_addr then
+              err "chunk %d bad back-link" c;
+            Hashtbl.replace free_by_bins c size;
+            follow (M.load t.mem c) c
+          end
+        end
+      in
+      follow (M.load t.mem (bin_addr t i)) (bin_addr t i)
+    done;
+    (* 3. the two views agree *)
+    Hashtbl.iter
+      (fun c _ ->
+        if not (Hashtbl.mem free_by_bins c) then
+          err "free chunk %d not in any bin" c)
+      free_by_walk;
+    Hashtbl.iter
+      (fun c _ ->
+        if not (Hashtbl.mem free_by_walk c) then
+          err "bin member %d not free in heap walk" c)
+      free_by_bins;
+    match !errors with [] -> Ok () | es -> Error (String.concat "; " es)
+end

@@ -1,0 +1,73 @@
+(** Sequential persistent-memory allocator (Doug Lea style): boundary tags,
+    segregated free lists, coalescing.
+
+    The allocator is a functor over a word memory; instantiated with a
+    PTM's interposed store, its metadata updates become part of the
+    enclosing transaction and roll back on crashes like any user data
+    (§4.4 of the paper). *)
+
+module type MEM = sig
+  type t
+
+  (** Load the 8-byte word at a byte offset. *)
+  val load : t -> int -> int
+
+  (** Store the 8-byte word at a byte offset (interposed by the PTM). *)
+  val store : t -> int -> int -> unit
+end
+
+(** Raised when the arena cannot satisfy a request. *)
+exception Out_of_space of { requested : int; available : int }
+
+(** Raised on metadata corruption (bad magic, double free). *)
+exception Corrupt of string
+
+(** Number of segregated free lists. *)
+val nbins : int
+
+(** Bytes of allocator metadata at the start of the arena. *)
+val meta_bytes : int
+
+(** Offset, relative to the arena base, of the word holding the allocation
+    frontier (an absolute region offset).  A twin-copy engine reads the
+    consistent copy's frontier during recovery to size the raw copy. *)
+val top_offset : int
+
+(** The free-list index for a chunk of the given size (exposed for
+    tests). *)
+val bin_index : int -> int
+
+module Make (M : MEM) : sig
+  type t
+
+  (** [init mem ~base ~size] formats a fresh arena occupying
+      [base, base+size) and returns a handle. *)
+  val init : M.t -> base:int -> size:int -> t
+
+  (** [attach mem ~base] re-opens a previously formatted arena (after a
+      restart); raises [Corrupt] if the magic does not match. *)
+  val attach : M.t -> base:int -> t
+
+  (** [alloc t n] returns the byte offset of an [n]-byte payload.  The
+      payload is NOT zeroed.  Raises {!Out_of_space} when the arena is
+      exhausted. *)
+  val alloc : t -> int -> int
+
+  (** Raises [Corrupt] on double free. *)
+  val free : t -> int -> unit
+
+  (** Bytes between the arena base and the allocation frontier — the upper
+      bound a twin-copy commit needs to replicate. *)
+  val used_bytes : t -> int
+
+  (** Offset of the first chunk payload minus 8 (start of the chunk
+      area). *)
+  val data_start : t -> int
+
+  (** Usable payload bytes of an allocated chunk (>= the requested size). *)
+  val usable_size : t -> int -> int
+
+  (** Full structural invariant check (heap walk + bin walk); returns all
+      violations found. *)
+  val check : t -> (unit, string) result
+end

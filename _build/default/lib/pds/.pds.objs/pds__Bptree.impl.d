@@ -1,0 +1,1 @@
+lib/pds/bptree.ml: List Printf Romulus String

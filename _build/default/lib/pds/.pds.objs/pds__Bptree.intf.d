@@ -1,0 +1,1 @@
+lib/pds/bptree.mli: Romulus

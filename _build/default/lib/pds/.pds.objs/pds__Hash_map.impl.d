@@ -1,0 +1,1 @@
+lib/pds/hash_map.ml: Hashtbl Printf Romulus String

@@ -1,0 +1,1 @@
+lib/pds/hash_map.mli: Romulus

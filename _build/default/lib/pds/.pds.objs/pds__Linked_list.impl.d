@@ -1,0 +1,1 @@
+lib/pds/linked_list.ml: List Printf Romulus

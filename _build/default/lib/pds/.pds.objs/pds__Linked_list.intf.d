@@ -1,0 +1,1 @@
+lib/pds/linked_list.mli: Romulus

@@ -1,0 +1,1 @@
+lib/pds/pbox.ml: List Printf Romulus String

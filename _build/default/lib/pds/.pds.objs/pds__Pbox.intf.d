@@ -1,0 +1,1 @@
+lib/pds/pbox.mli: Romulus

@@ -1,0 +1,1 @@
+lib/pds/pqueue.ml: List Printf Romulus

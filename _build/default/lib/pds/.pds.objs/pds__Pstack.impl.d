@@ -1,0 +1,1 @@
+lib/pds/pstack.ml: List Printf Romulus

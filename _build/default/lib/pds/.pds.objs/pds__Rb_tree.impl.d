@@ -1,0 +1,1 @@
+lib/pds/rb_tree.ml: List Printf Romulus String

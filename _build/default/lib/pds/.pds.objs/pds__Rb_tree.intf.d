@@ -1,0 +1,1 @@
+lib/pds/rb_tree.mli: Romulus

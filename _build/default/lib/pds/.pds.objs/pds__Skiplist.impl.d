@@ -1,0 +1,1 @@
+lib/pds/skiplist.ml: Array List Printf Romulus String

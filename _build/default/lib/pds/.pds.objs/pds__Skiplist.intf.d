@@ -1,0 +1,1 @@
+lib/pds/skiplist.mli: Romulus

@@ -1,0 +1,30 @@
+(** Persistent B+tree map: integer keys to word values, values in chained
+    leaves (ordered scans and range queries), proactive splits on insert,
+    lazy deletion (only an empty root collapses). *)
+
+module Make (P : Romulus.Ptm_intf.S) : sig
+  type t
+
+  val create : P.t -> root:int -> t
+  val attach : P.t -> root:int -> t
+
+  (** Insert or overwrite; true when the key was new. *)
+  val put : t -> int -> int -> bool
+
+  val get : t -> int -> int option
+  val mem : t -> int -> bool
+  val remove : t -> int -> bool
+  val length : t -> int
+
+  (** Ascending fold over all bindings (leaf chain). *)
+  val fold : t -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+  val to_list : t -> (int * int) list
+
+  (** Ascending fold over bindings with [lo <= key <= hi]. *)
+  val fold_range : t -> lo:int -> hi:int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+  (** Structural check: key ordering, separator ranges, leaf chain
+      consistency, count. *)
+  val check : t -> (unit, string) result
+end

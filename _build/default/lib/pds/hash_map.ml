@@ -1,0 +1,193 @@
+(* Persistent hash map with chaining: integer keys and word values.
+
+   Two flavours behind one implementation, as in the paper's evaluation:
+   - resizable (§6.2): a shared element counter drives resizing — the
+     counter is exactly the contention point that makes fine-grained STMs
+     abort (Figure 5's discussion);
+   - fixed-size (2,048 buckets, no counter updates on the hot path),
+     the statically-dimensioned variant built to reproduce Mnemosyne's
+     original scalability results (Figure 5).
+
+   Layout:
+
+     map object:  [0] buckets (ptr to array)  [8] nbuckets  [16] count
+     node:        [0] key  [8] value  [16] next *)
+
+module Make (P : Romulus.Ptm_intf.S) = struct
+  type t = {
+    p : P.t;
+    map : int;
+    resizable : bool;
+  }
+
+  let o_buckets = 0
+  let o_nbuckets = 8
+  let o_count = 16
+  let map_bytes = 24
+
+  let n_key = 0
+  let n_value = 8
+  let n_next = 16
+  let node_bytes = 24
+
+  let hash_key k = (k * 0x2545F4914F6CDD1D) land max_int
+
+  let buckets t = P.load t.p (t.map + o_buckets)
+  let nbuckets t = P.load t.p (t.map + o_nbuckets)
+  let count t = P.load t.p (t.map + o_count)
+
+  let bucket_addr _t ~buckets ~nbuckets k =
+    buckets + (8 * (hash_key k mod nbuckets))
+
+  let create ?(resizable = true) ?(initial_buckets = 16) p ~root =
+    P.update_tx p (fun () ->
+        let buckets = P.alloc p (8 * initial_buckets) in
+        for i = 0 to initial_buckets - 1 do
+          P.store p (buckets + (8 * i)) 0
+        done;
+        let map = P.alloc p map_bytes in
+        P.store p (map + o_buckets) buckets;
+        P.store p (map + o_nbuckets) initial_buckets;
+        P.store p (map + o_count) 0;
+        P.set_root p root map;
+        { p; map; resizable })
+
+  let attach ?(resizable = true) p ~root =
+    match P.read_tx p (fun () -> P.get_root p root) with
+    | 0 -> invalid_arg "Hash_map.attach: empty root"
+    | map -> { p; map; resizable }
+
+  (* find the node with [k] in its bucket; returns (pred, node) where node
+     is 0 when absent and pred is the address of the pointer to update *)
+  let find_in_bucket t slot_addr k =
+    let rec walk pred node =
+      if node = 0 then (pred, 0)
+      else if P.load t.p (node + n_key) = k then (pred, node)
+      else walk (node + n_next) (P.load t.p (node + n_next))
+    in
+    walk slot_addr (P.load t.p slot_addr)
+
+  let get t k =
+    P.read_tx t.p (fun () ->
+        let slot = bucket_addr t ~buckets:(buckets t) ~nbuckets:(nbuckets t) k in
+        let _, node = find_in_bucket t slot k in
+        if node = 0 then None else Some (P.load t.p (node + n_value)))
+
+  let mem t k = get t k <> None
+
+  (* double the bucket array and rehash (one big transaction) *)
+  let resize t =
+    let old_buckets = buckets t in
+    let old_n = nbuckets t in
+    let new_n = 2 * old_n in
+    let new_buckets = P.alloc t.p (8 * new_n) in
+    for i = 0 to new_n - 1 do
+      P.store t.p (new_buckets + (8 * i)) 0
+    done;
+    for i = 0 to old_n - 1 do
+      let rec move node =
+        if node <> 0 then begin
+          let succ = P.load t.p (node + n_next) in
+          let k = P.load t.p (node + n_key) in
+          let slot =
+            bucket_addr t ~buckets:new_buckets ~nbuckets:new_n k
+          in
+          P.store t.p (node + n_next) (P.load t.p slot);
+          P.store t.p slot node;
+          move succ
+        end
+      in
+      move (P.load t.p (old_buckets + (8 * i)))
+    done;
+    P.store t.p (t.map + o_buckets) new_buckets;
+    P.store t.p (t.map + o_nbuckets) new_n;
+    P.free t.p old_buckets
+
+  (* insert or overwrite; returns true when the key was new *)
+  let put t k v =
+    P.update_tx t.p (fun () ->
+        let slot = bucket_addr t ~buckets:(buckets t) ~nbuckets:(nbuckets t) k in
+        let _, node = find_in_bucket t slot k in
+        if node <> 0 then begin
+          P.store t.p (node + n_value) v;
+          false
+        end
+        else begin
+          let n = P.alloc t.p node_bytes in
+          P.store t.p (n + n_key) k;
+          P.store t.p (n + n_value) v;
+          P.store t.p (n + n_next) (P.load t.p slot);
+          P.store t.p slot n;
+          if t.resizable then begin
+            let c = count t + 1 in
+            P.store t.p (t.map + o_count) c;
+            if c > 2 * nbuckets t then resize t
+          end;
+          true
+        end)
+
+  let remove t k =
+    P.update_tx t.p (fun () ->
+        let slot = bucket_addr t ~buckets:(buckets t) ~nbuckets:(nbuckets t) k in
+        let pred, node = find_in_bucket t slot k in
+        if node = 0 then false
+        else begin
+          P.store t.p pred (P.load t.p (node + n_next));
+          P.free t.p node;
+          if t.resizable then
+            P.store t.p (t.map + o_count) (count t - 1);
+          true
+        end)
+
+  (* fold over all (key, value) bindings, bucket by bucket *)
+  let fold t f init =
+    P.read_tx t.p (fun () ->
+        let buckets = buckets t and n = nbuckets t in
+        let acc = ref init in
+        for i = 0 to n - 1 do
+          let rec walk node =
+            if node <> 0 then begin
+              acc :=
+                f !acc (P.load t.p (node + n_key)) (P.load t.p (node + n_value));
+              walk (P.load t.p (node + n_next))
+            end
+          in
+          walk (P.load t.p (buckets + (8 * i)))
+        done;
+        !acc)
+
+  let length t =
+    if t.resizable then P.read_tx t.p (fun () -> count t)
+    else fold t (fun acc _ _ -> acc + 1) 0
+
+  (* structural check: every node hashes to the bucket that holds it, no
+     duplicate keys, counter consistent when maintained *)
+  let check t =
+    P.read_tx t.p (fun () ->
+        let buckets = buckets t and n = nbuckets t in
+        let seen = Hashtbl.create 64 in
+        let errors = ref [] in
+        for i = 0 to n - 1 do
+          let rec walk node =
+            if node <> 0 then begin
+              let k = P.load t.p (node + n_key) in
+              if hash_key k mod n <> i then
+                errors :=
+                  Printf.sprintf "key %d in wrong bucket %d" k i :: !errors;
+              if Hashtbl.mem seen k then
+                errors := Printf.sprintf "duplicate key %d" k :: !errors;
+              Hashtbl.replace seen k ();
+              walk (P.load t.p (node + n_next))
+            end
+          in
+          walk (P.load t.p (buckets + (8 * i)))
+        done;
+        if t.resizable && count t <> Hashtbl.length seen then
+          errors :=
+            Printf.sprintf "count %d but %d nodes" (count t)
+              (Hashtbl.length seen)
+            :: !errors;
+        match !errors with
+        | [] -> Ok ()
+        | es -> Error (String.concat "; " es))
+end

@@ -1,0 +1,28 @@
+(** Persistent hash map with chaining, integer keys and word values.
+    The resizable flavour maintains a shared element counter that drives
+    bucket doubling (the contention point of §6.2); the fixed flavour is
+    the statically-dimensioned variant of Figure 5. *)
+
+module Make (P : Romulus.Ptm_intf.S) : sig
+  type t
+
+  val create :
+    ?resizable:bool -> ?initial_buckets:int -> P.t -> root:int -> t
+
+  val attach : ?resizable:bool -> P.t -> root:int -> t
+
+  (** Insert or overwrite; true when the key was new. *)
+  val put : t -> int -> int -> bool
+
+  val get : t -> int -> int option
+  val mem : t -> int -> bool
+  val remove : t -> int -> bool
+  val fold : t -> ('a -> int -> int -> 'a) -> 'a -> 'a
+  val length : t -> int
+
+  (** Current bucket count (tests). *)
+  val nbuckets : t -> int
+
+  (** Structural invariant check. *)
+  val check : t -> (unit, string) result
+end

@@ -1,0 +1,114 @@
+(* Persistent sorted linked-list set (Algorithm 2 of the paper): integer
+   keys, ascending order, head/tail sentinels.  A functor over the PTM
+   signature: the same sequential code runs on every PTM in the
+   repository.
+
+   Layout (byte offsets within an allocation):
+
+     set object:  [0] head   [8] tail
+     node:        [0] key    [8] next
+
+   Each public operation runs in its own transaction; operations compose
+   into larger transactions through nested-transaction flattening.
+   Closures only write locals they first initialize, so they are safe to
+   re-execute under the aborting (STM) baseline. *)
+
+module Make (P : Romulus.Ptm_intf.S) = struct
+  type t = { p : P.t; set : int (* offset of the set object *) }
+
+  let o_head = 0
+  let o_tail = 8
+  let n_key = 0
+  let n_next = 8
+  let node_bytes = 16
+
+  let head t = P.load t.p (t.set + o_head)
+  let tail t = P.load t.p (t.set + o_tail)
+  let key t n = P.load t.p (n + n_key)
+  let next t n = P.load t.p (n + n_next)
+  let set_next t n v = P.store t.p (n + n_next) v
+
+  let create p ~root =
+    P.update_tx p (fun () ->
+        let tail = P.alloc p node_bytes in
+        P.store p (tail + n_key) max_int;
+        P.store p (tail + n_next) 0;
+        let head = P.alloc p node_bytes in
+        P.store p (head + n_key) min_int;
+        P.store p (head + n_next) tail;
+        let set = P.alloc p 16 in
+        P.store p (set + o_head) head;
+        P.store p (set + o_tail) tail;
+        P.set_root p root set;
+        { p; set })
+
+  let attach p ~root =
+    match P.read_tx p (fun () -> P.get_root p root) with
+    | 0 -> invalid_arg "Linked_list.attach: empty root"
+    | set -> { p; set }
+
+  (* walk to the first node with key >= [k]; returns (prev, node) *)
+  let find t k =
+    let tail = tail t in
+    let rec walk prev node =
+      if node = tail || key t node >= k then (prev, node)
+      else walk node (next t node)
+    in
+    let head = head t in
+    walk head (next t head)
+
+  let contains t k =
+    P.read_tx t.p (fun () ->
+        let _, node = find t k in
+        node <> tail t && key t node = k)
+
+  let add t k =
+    P.update_tx t.p (fun () ->
+        let prev, node = find t k in
+        if node <> tail t && key t node = k then false
+        else begin
+          let n = P.alloc t.p node_bytes in
+          P.store t.p (n + n_key) k;
+          P.store t.p (n + n_next) node;
+          set_next t prev n;
+          true
+        end)
+
+  let remove t k =
+    P.update_tx t.p (fun () ->
+        let prev, node = find t k in
+        if node = tail t || key t node <> k then false
+        else begin
+          set_next t prev (next t node);
+          P.free t.p node;
+          true
+        end)
+
+  (* ascending fold over the keys *)
+  let fold t f init =
+    P.read_tx t.p (fun () ->
+        let tail = tail t in
+        let rec walk node acc =
+          if node = tail then acc else walk (next t node) (f acc (key t node))
+        in
+        walk (next t (head t)) init)
+
+  let to_list t = List.rev (fold t (fun acc k -> k :: acc) [])
+
+  let length t = fold t (fun acc _ -> acc + 1) 0
+
+  (* structural check: strictly ascending keys, proper sentinels *)
+  let check t =
+    P.read_tx t.p (fun () ->
+        let tail = tail t in
+        let rec walk prev_key node =
+          if node = 0 then Error "null node before tail"
+          else if node = tail then Ok ()
+          else
+            let k = key t node in
+            if k <= prev_key then
+              Error (Printf.sprintf "keys not ascending: %d after %d" k prev_key)
+            else walk k (next t node)
+        in
+        walk min_int (next t (head t)))
+end

@@ -1,0 +1,30 @@
+(** Persistent sorted linked-list set (Algorithm 2 of the paper): integer
+    keys, head/tail sentinels.  The same sequential code runs on every
+    PTM in the repository. *)
+
+module Make (P : Romulus.Ptm_intf.S) : sig
+  type t
+
+  (** Allocate an empty set and store it in the given root slot. *)
+  val create : P.t -> root:int -> t
+
+  (** Re-attach to a set created earlier (after a restart). *)
+  val attach : P.t -> root:int -> t
+
+  (** Insert; false when the key was already present. *)
+  val add : t -> int -> bool
+
+  (** Delete; false when the key was absent. *)
+  val remove : t -> int -> bool
+
+  val contains : t -> int -> bool
+
+  (** Ascending fold over the keys. *)
+  val fold : t -> ('a -> int -> 'a) -> 'a -> 'a
+
+  val to_list : t -> int list
+  val length : t -> int
+
+  (** Structural check: strictly ascending keys, proper sentinels. *)
+  val check : t -> (unit, string) result
+end

@@ -1,0 +1,126 @@
+(* Small persistent containers: a single typed cell, a fixed array and a
+   length-prefixed string box.  These are the ergonomic building blocks a
+   user reaches for before writing a full data structure — each one is a
+   thin, crash-atomic veneer over the PTM's word/blob accesses. *)
+
+module Make (P : Romulus.Ptm_intf.S) = struct
+  (* ---- a single persistent word ---- *)
+  module Cell = struct
+    type t = { p : P.t; addr : int }
+
+    let create p ~root v =
+      P.update_tx p (fun () ->
+          let addr = P.alloc p 8 in
+          P.store p addr v;
+          P.set_root p root addr;
+          { p; addr })
+
+    let attach p ~root =
+      match P.read_tx p (fun () -> P.get_root p root) with
+      | 0 -> invalid_arg "Pbox.Cell.attach: empty root"
+      | addr -> { p; addr }
+
+    let get t = P.read_tx t.p (fun () -> P.load t.p t.addr)
+
+    let set t v = P.update_tx t.p (fun () -> P.store t.p t.addr v)
+
+    (* atomic read-modify-write *)
+    let update t f =
+      P.update_tx t.p (fun () ->
+          let v = f (P.load t.p t.addr) in
+          P.store t.p t.addr v;
+          v)
+
+    let incr t = update t (fun v -> v + 1)
+  end
+
+  (* ---- a fixed-size persistent word array ---- *)
+  module Array_ = struct
+    type t = { p : P.t; base : int; length : int }
+
+    let header_bytes = 8 (* the length, for attach *)
+
+    let create p ~root n =
+      if n < 0 then invalid_arg "Pbox.Array_.create: negative length";
+      P.update_tx p (fun () ->
+          let base = P.alloc p (header_bytes + (8 * n)) in
+          P.store p base n;
+          for i = 0 to n - 1 do
+            P.store p (base + header_bytes + (8 * i)) 0
+          done;
+          P.set_root p root base;
+          { p; base; length = n })
+
+    let attach p ~root =
+      match P.read_tx p (fun () -> P.get_root p root) with
+      | 0 -> invalid_arg "Pbox.Array_.attach: empty root"
+      | base ->
+        let length = P.read_tx p (fun () -> P.load p base) in
+        { p; base; length }
+
+    let length t = t.length
+
+    let addr t i =
+      if i < 0 || i >= t.length then
+        invalid_arg
+          (Printf.sprintf "Pbox.Array_: index %d out of bounds [0, %d)" i
+             t.length);
+      t.base + header_bytes + (8 * i)
+
+    let get t i = P.read_tx t.p (fun () -> P.load t.p (addr t i))
+
+    let set t i v = P.update_tx t.p (fun () -> P.store t.p (addr t i) v)
+
+    (* atomically swap two slots (the SPS kernel) *)
+    let swap t i j =
+      P.update_tx t.p (fun () ->
+          let a = P.load t.p (addr t i) and b = P.load t.p (addr t j) in
+          P.store t.p (addr t i) b;
+          P.store t.p (addr t j) a)
+
+    let to_list t =
+      P.read_tx t.p (fun () ->
+          List.init t.length (fun i -> P.load t.p (addr t i)))
+
+    let fill t v =
+      P.update_tx t.p (fun () ->
+          for i = 0 to t.length - 1 do
+            P.store t.p (addr t i) v
+          done)
+  end
+
+  (* ---- a persistent string box (replaced wholesale on set) ---- *)
+  module Str = struct
+    type t = { p : P.t; slot : int (* holds a pointer to the blob *) }
+
+    let blob_of p s =
+      let b = P.alloc p (8 + String.length s) in
+      P.store p b (String.length s);
+      if String.length s > 0 then P.store_bytes p (b + 8) s;
+      b
+
+    let create p ~root s =
+      P.update_tx p (fun () ->
+          let slot = P.alloc p 8 in
+          P.store p slot (blob_of p s);
+          P.set_root p root slot;
+          { p; slot })
+
+    let attach p ~root =
+      match P.read_tx p (fun () -> P.get_root p root) with
+      | 0 -> invalid_arg "Pbox.Str.attach: empty root"
+      | slot -> { p; slot }
+
+    let get t =
+      P.read_tx t.p (fun () ->
+          let b = P.load t.p t.slot in
+          let len = P.load t.p b in
+          if len = 0 then "" else P.load_bytes t.p (b + 8) len)
+
+    let set t s =
+      P.update_tx t.p (fun () ->
+          let old = P.load t.p t.slot in
+          P.store t.p t.slot (blob_of t.p s);
+          P.free t.p old)
+  end
+end

@@ -1,0 +1,46 @@
+(** Small persistent containers: a single word cell, a fixed word array,
+    and a string box — crash-atomic veneers over the PTM accesses. *)
+
+module Make (P : Romulus.Ptm_intf.S) : sig
+  (** A single persistent word. *)
+  module Cell : sig
+    type t
+
+    val create : P.t -> root:int -> int -> t
+    val attach : P.t -> root:int -> t
+    val get : t -> int
+    val set : t -> int -> unit
+
+    (** Atomic read-modify-write; returns the new value. *)
+    val update : t -> (int -> int) -> int
+
+    val incr : t -> int
+  end
+
+  (** A fixed-size persistent word array (bounds-checked). *)
+  module Array_ : sig
+    type t
+
+    val create : P.t -> root:int -> int -> t
+    val attach : P.t -> root:int -> t
+    val length : t -> int
+    val get : t -> int -> int
+    val set : t -> int -> int -> unit
+
+    (** Atomically exchange two slots. *)
+    val swap : t -> int -> int -> unit
+
+    val to_list : t -> int list
+    val fill : t -> int -> unit
+  end
+
+  (** A persistent string, replaced wholesale on set. *)
+  module Str : sig
+    type t
+
+    val create : P.t -> root:int -> string -> t
+    val attach : P.t -> root:int -> t
+    val get : t -> string
+    val set : t -> string -> unit
+  end
+end

@@ -1,0 +1,94 @@
+(* Persistent FIFO queue: a singly-linked list with head and tail
+   pointers.  Enqueue links at the tail, dequeue unlinks at the head;
+   both are single crash-atomic transactions. *)
+
+module Make (P : Romulus.Ptm_intf.S) = struct
+  type t = { p : P.t; obj : int }
+
+  let o_head = 0
+  let o_tail = 8
+  let o_length = 16
+  let obj_bytes = 24
+
+  let n_value = 0
+  let n_next = 8
+  let node_bytes = 16
+
+  let create p ~root =
+    P.update_tx p (fun () ->
+        let obj = P.alloc p obj_bytes in
+        P.store p (obj + o_head) 0;
+        P.store p (obj + o_tail) 0;
+        P.store p (obj + o_length) 0;
+        P.set_root p root obj;
+        { p; obj })
+
+  let attach p ~root =
+    match P.read_tx p (fun () -> P.get_root p root) with
+    | 0 -> invalid_arg "Pqueue.attach: empty root"
+    | obj -> { p; obj }
+
+  let length t = P.read_tx t.p (fun () -> P.load t.p (t.obj + o_length))
+
+  let is_empty t = length t = 0
+
+  let enqueue t v =
+    P.update_tx t.p (fun () ->
+        let n = P.alloc t.p node_bytes in
+        P.store t.p (n + n_value) v;
+        P.store t.p (n + n_next) 0;
+        (match P.load t.p (t.obj + o_tail) with
+         | 0 -> P.store t.p (t.obj + o_head) n
+         | tail -> P.store t.p (tail + n_next) n);
+        P.store t.p (t.obj + o_tail) n;
+        P.store t.p (t.obj + o_length) (P.load t.p (t.obj + o_length) + 1))
+
+  let dequeue t =
+    P.update_tx t.p (fun () ->
+        match P.load t.p (t.obj + o_head) with
+        | 0 -> None
+        | n ->
+          let v = P.load t.p (n + n_value) in
+          let next = P.load t.p (n + n_next) in
+          P.store t.p (t.obj + o_head) next;
+          if next = 0 then P.store t.p (t.obj + o_tail) 0;
+          P.store t.p (t.obj + o_length) (P.load t.p (t.obj + o_length) - 1);
+          P.free t.p n;
+          Some v)
+
+  let peek t =
+    P.read_tx t.p (fun () ->
+        match P.load t.p (t.obj + o_head) with
+        | 0 -> None
+        | n -> Some (P.load t.p (n + n_value)))
+
+  (* head-first (dequeue order) *)
+  let to_list t =
+    P.read_tx t.p (fun () ->
+        let rec walk n acc =
+          if n = 0 then List.rev acc
+          else walk (P.load t.p (n + n_next)) (P.load t.p (n + n_value) :: acc)
+        in
+        walk (P.load t.p (t.obj + o_head)) [])
+
+  let check t =
+    P.read_tx t.p (fun () ->
+        let head = P.load t.p (t.obj + o_head) in
+        let tail = P.load t.p (t.obj + o_tail) in
+        let rec walk n last acc =
+          if n = 0 then Ok (last, acc)
+          else if acc > 1_000_000 then Error "cycle in queue"
+          else walk (P.load t.p (n + n_next)) n (acc + 1)
+        in
+        match walk head 0 0 with
+        | Error e -> Error e
+        | Ok (last, count) ->
+          if count <> P.load t.p (t.obj + o_length) then
+            Error
+              (Printf.sprintf "length %d but %d nodes"
+                 (P.load t.p (t.obj + o_length))
+                 count)
+          else if last <> tail then Error "tail pointer does not match walk"
+          else if (head = 0) <> (tail = 0) then Error "head/tail null mismatch"
+          else Ok ())
+end

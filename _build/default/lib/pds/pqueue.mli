@@ -1,0 +1,19 @@
+(** Persistent FIFO queue; enqueue/dequeue are single crash-atomic
+    transactions. *)
+
+module Make (P : Romulus.Ptm_intf.S) : sig
+  type t
+
+  val create : P.t -> root:int -> t
+  val attach : P.t -> root:int -> t
+  val enqueue : t -> int -> unit
+  val dequeue : t -> int option
+  val peek : t -> int option
+  val length : t -> int
+  val is_empty : t -> bool
+
+  (** Dequeue-order contents. *)
+  val to_list : t -> int list
+
+  val check : t -> (unit, string) result
+end

@@ -1,0 +1,76 @@
+(* Persistent LIFO stack: a singly-linked list of [value; next] nodes with
+   the top pointer in a fixed cell.  Push and pop are single transactions;
+   a crash leaves the stack exactly before or after the operation. *)
+
+module Make (P : Romulus.Ptm_intf.S) = struct
+  type t = { p : P.t; top_slot : int (* cell holding the top pointer *) }
+
+  let n_value = 0
+  let n_next = 8
+  let node_bytes = 16
+
+  let create p ~root =
+    P.update_tx p (fun () ->
+        let slot = P.alloc p 16 in
+        P.store p slot 0; (* top *)
+        P.store p (slot + 8) 0; (* length *)
+        P.set_root p root slot;
+        { p; top_slot = slot })
+
+  let attach p ~root =
+    match P.read_tx p (fun () -> P.get_root p root) with
+    | 0 -> invalid_arg "Pstack.attach: empty root"
+    | slot -> { p; top_slot = slot }
+
+  let length t = P.read_tx t.p (fun () -> P.load t.p (t.top_slot + 8))
+
+  let is_empty t = length t = 0
+
+  let push t v =
+    P.update_tx t.p (fun () ->
+        let n = P.alloc t.p node_bytes in
+        P.store t.p (n + n_value) v;
+        P.store t.p (n + n_next) (P.load t.p t.top_slot);
+        P.store t.p t.top_slot n;
+        P.store t.p (t.top_slot + 8) (P.load t.p (t.top_slot + 8) + 1))
+
+  let pop t =
+    P.update_tx t.p (fun () ->
+        match P.load t.p t.top_slot with
+        | 0 -> None
+        | n ->
+          let v = P.load t.p (n + n_value) in
+          P.store t.p t.top_slot (P.load t.p (n + n_next));
+          P.store t.p (t.top_slot + 8) (P.load t.p (t.top_slot + 8) - 1);
+          P.free t.p n;
+          Some v)
+
+  let peek t =
+    P.read_tx t.p (fun () ->
+        match P.load t.p t.top_slot with
+        | 0 -> None
+        | n -> Some (P.load t.p (n + n_value)))
+
+  (* top-first *)
+  let to_list t =
+    P.read_tx t.p (fun () ->
+        let rec walk n acc =
+          if n = 0 then List.rev acc
+          else walk (P.load t.p (n + n_next)) (P.load t.p (n + n_value) :: acc)
+        in
+        walk (P.load t.p t.top_slot) [])
+
+  let check t =
+    P.read_tx t.p (fun () ->
+        let rec count n acc =
+          if n = 0 then acc
+          else if acc > 1_000_000 then -1 (* cycle guard *)
+          else count (P.load t.p (n + n_next)) (acc + 1)
+        in
+        let walked = count (P.load t.p t.top_slot) 0 in
+        let recorded = P.load t.p (t.top_slot + 8) in
+        if walked = -1 then Error "cycle in stack"
+        else if walked <> recorded then
+          Error (Printf.sprintf "length %d but %d nodes" recorded walked)
+        else Ok ())
+end

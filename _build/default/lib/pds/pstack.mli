@@ -1,0 +1,19 @@
+(** Persistent LIFO stack; push/pop are single crash-atomic
+    transactions. *)
+
+module Make (P : Romulus.Ptm_intf.S) : sig
+  type t
+
+  val create : P.t -> root:int -> t
+  val attach : P.t -> root:int -> t
+  val push : t -> int -> unit
+  val pop : t -> int option
+  val peek : t -> int option
+  val length : t -> int
+  val is_empty : t -> bool
+
+  (** Top-first contents. *)
+  val to_list : t -> int list
+
+  val check : t -> (unit, string) result
+end

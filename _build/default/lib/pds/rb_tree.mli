@@ -1,0 +1,34 @@
+(** Persistent red-black tree map (CLRS-style with parent pointers and an
+    allocated nil sentinel), integer keys to word values — the paper's
+    "many stores per transaction" structure. *)
+
+module Make (P : Romulus.Ptm_intf.S) : sig
+  type t
+
+  val create : P.t -> root:int -> t
+  val attach : P.t -> root:int -> t
+
+  (** Insert or overwrite; true when the key was new. *)
+  val put : t -> int -> int -> bool
+
+  val get : t -> int -> int option
+  val mem : t -> int -> bool
+  val remove : t -> int -> bool
+
+  (** Ascending fold over the bindings. *)
+  val fold : t -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+  (** Ascending fold over the bindings with [lo <= key <= hi]; visits only
+      the relevant subtrees. *)
+  val fold_range : t -> lo:int -> hi:int -> ('a -> int -> int -> 'a) -> 'a -> 'a
+
+  (** Smallest binding with key >= the argument. *)
+  val find_first : t -> int -> (int * int) option
+
+  val to_list : t -> (int * int) list
+  val length : t -> int
+
+  (** Full red-black invariant check: BST order, black root, no red-red
+      edges, equal black heights, parent consistency, count. *)
+  val check : t -> (unit, string) result
+end

@@ -1,0 +1,174 @@
+(* Persistent skiplist set: integer keys in ascending order, towers of
+   forward pointers.  Levels are derived deterministically from a hash of
+   the key (the number of trailing zero bits, capped), which keeps the
+   structure identical across re-executions — important because the
+   aborting STM baseline may run an insert closure more than once.
+
+   Layout:
+
+     set object:  [0] head (tower of max_level pointers)  [8] count
+     node:        [0] key  [8] level  [16..16+8*level) forward pointers
+
+   The head tower's pointers are the roots of each level; level 0 links
+   every node, exactly like the sorted linked list. *)
+
+module Make (P : Romulus.Ptm_intf.S) = struct
+  type t = { p : P.t; obj : int; head : int }
+
+  let max_level = 16
+
+  let o_head = 0
+  let o_count = 8
+  let obj_bytes = 16
+
+  let n_key = 0
+  let n_level = 8
+  let n_fwd = 16
+
+  let node_bytes level = n_fwd + (8 * level)
+
+  (* deterministic tower height in [1, max_level] *)
+  let level_for key =
+    let h = (key * 0x2545F4914F6CDD1D) land max_int in
+    let rec count l h =
+      if l >= max_level || h land 1 = 1 then l else count (l + 1) (h lsr 1)
+    in
+    count 1 h
+
+  let fwd t n i = P.load t.p (n + n_fwd + (8 * i))
+  let set_fwd t n i v = P.store t.p (n + n_fwd + (8 * i)) v
+  let key t n = P.load t.p (n + n_key)
+
+  let create p ~root =
+    P.update_tx p (fun () ->
+        let head = P.alloc p (node_bytes max_level) in
+        P.store p (head + n_key) min_int;
+        P.store p (head + n_level) max_level;
+        for i = 0 to max_level - 1 do
+          P.store p (head + n_fwd + (8 * i)) 0
+        done;
+        let obj = P.alloc p obj_bytes in
+        P.store p (obj + o_head) head;
+        P.store p (obj + o_count) 0;
+        P.set_root p root obj;
+        { p; obj; head })
+
+  let attach p ~root =
+    match P.read_tx p (fun () -> P.get_root p root) with
+    | 0 -> invalid_arg "Skiplist.attach: empty root"
+    | obj ->
+      let head = P.read_tx p (fun () -> P.load p (obj + o_head)) in
+      { p; obj; head }
+
+  (* the update array: at each level, the rightmost node < k *)
+  let find_predecessors t k =
+    let preds = Array.make max_level t.head in
+    let node = ref t.head in
+    for i = max_level - 1 downto 0 do
+      let rec advance () =
+        let next = fwd t !node i in
+        if next <> 0 && key t next < k then begin
+          node := next;
+          advance ()
+        end
+      in
+      advance ();
+      preds.(i) <- !node
+    done;
+    preds
+
+  let contains t k =
+    P.read_tx t.p (fun () ->
+        let preds = find_predecessors t k in
+        let candidate = fwd t preds.(0) 0 in
+        candidate <> 0 && key t candidate = k)
+
+  let add t k =
+    P.update_tx t.p (fun () ->
+        let preds = find_predecessors t k in
+        let candidate = fwd t preds.(0) 0 in
+        if candidate <> 0 && key t candidate = k then false
+        else begin
+          let level = level_for k in
+          let n = P.alloc t.p (node_bytes level) in
+          P.store t.p (n + n_key) k;
+          P.store t.p (n + n_level) level;
+          for i = 0 to level - 1 do
+            set_fwd t n i (fwd t preds.(i) i);
+            set_fwd t preds.(i) i n
+          done;
+          P.store t.p (t.obj + o_count) (P.load t.p (t.obj + o_count) + 1);
+          true
+        end)
+
+  let remove t k =
+    P.update_tx t.p (fun () ->
+        let preds = find_predecessors t k in
+        let victim = fwd t preds.(0) 0 in
+        if victim = 0 || key t victim <> k then false
+        else begin
+          let level = P.load t.p (victim + n_level) in
+          for i = 0 to level - 1 do
+            if fwd t preds.(i) i = victim then
+              set_fwd t preds.(i) i (fwd t victim i)
+          done;
+          P.free t.p victim;
+          P.store t.p (t.obj + o_count) (P.load t.p (t.obj + o_count) - 1);
+          true
+        end)
+
+  let length t = P.read_tx t.p (fun () -> P.load t.p (t.obj + o_count))
+
+  (* ascending fold over the keys (level-0 walk) *)
+  let fold t f init =
+    P.read_tx t.p (fun () ->
+        let rec walk n acc =
+          if n = 0 then acc else walk (fwd t n 0) (f acc (key t n))
+        in
+        walk (fwd t t.head 0) init)
+
+  let to_list t = List.rev (fold t (fun acc k -> k :: acc) [])
+
+  (* invariants: each level is a sorted sublist of the level below, node
+     levels match their tower heights, and the count is right *)
+  let check t =
+    P.read_tx t.p (fun () ->
+        let errors = ref [] in
+        let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+        (* level 0: sorted, count *)
+        let level0 = ref [] in
+        let rec walk0 n prev count =
+          if n = 0 then count
+          else begin
+            let k = key t n in
+            if k <= prev then err "level 0 not ascending at %d" k;
+            level0 := k :: !level0;
+            if count > 1_000_000 then (
+              err "cycle at level 0";
+              count)
+            else walk0 (fwd t n 0) k (count + 1)
+          end
+        in
+        let n0 = walk0 (fwd t t.head 0) min_int 0 in
+        if n0 <> P.load t.p (t.obj + o_count) then
+          err "count %d but %d nodes" (P.load t.p (t.obj + o_count)) n0;
+        let keys0 = !level0 in
+        (* upper levels: sorted sublists of level 0, towers tall enough *)
+        for i = 1 to max_level - 1 do
+          let rec walk n prev =
+            if n <> 0 then begin
+              let k = key t n in
+              if k <= prev then err "level %d not ascending at %d" i k;
+              if P.load t.p (n + n_level) <= i then
+                err "node %d linked above its level" k;
+              if not (List.mem k keys0) then
+                err "key %d at level %d missing from level 0" k i;
+              walk (fwd t n i) k
+            end
+          in
+          walk (fwd t t.head i) min_int
+        done;
+        match !errors with
+        | [] -> Ok ()
+        | es -> Error (String.concat "; " es))
+end

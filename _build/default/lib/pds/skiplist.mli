@@ -1,0 +1,27 @@
+(** Persistent skiplist set: integer keys in ascending order.  Tower
+    heights derive deterministically from a key hash, so the structure is
+    identical across transaction re-executions (safe on the aborting STM
+    baseline). *)
+
+module Make (P : Romulus.Ptm_intf.S) : sig
+  type t
+
+  val create : P.t -> root:int -> t
+  val attach : P.t -> root:int -> t
+
+  (** Insert; false when the key was already present. *)
+  val add : t -> int -> bool
+
+  val remove : t -> int -> bool
+  val contains : t -> int -> bool
+  val length : t -> int
+
+  (** Ascending fold over the keys. *)
+  val fold : t -> ('a -> int -> 'a) -> 'a -> 'a
+
+  val to_list : t -> int list
+
+  (** Invariants: every level is a sorted sublist of level 0, tower
+      heights honoured, count consistent. *)
+  val check : t -> (unit, string) result
+end

@@ -1,0 +1,1 @@
+lib/pmem/region.ml: Bytes Fence Fun Int64 Line_set Printf Stats String

@@ -1,0 +1,49 @@
+(* Fence profiles model the cost and ordering semantics of the persistence
+   primitives on different hardware (§4.1 and §6.6 of the paper).
+
+   [ordered_pwb = true] models CLFLUSH: write-backs are totally ordered with
+   respect to each other, so pfence/psync degenerate to no-ops (the paper's
+   Broadwell testbed).  With [ordered_pwb = false] (CLWB/CLFLUSHOPT and the
+   emulated STT-RAM/PCM media) a pwb only becomes durable at the next
+   pfence/psync, which is what makes crash-injection interesting. *)
+
+type profile = {
+  name : string;
+  pwb_ns : int;
+  pfence_ns : int;
+  psync_ns : int;
+  ordered_pwb : bool;
+}
+
+let dram =
+  { name = "dram"; pwb_ns = 0; pfence_ns = 0; psync_ns = 0;
+    ordered_pwb = false }
+
+let clwb =
+  { name = "clwb"; pwb_ns = 10; pfence_ns = 15; psync_ns = 15;
+    ordered_pwb = false }
+
+let clflushopt =
+  { name = "clflushopt"; pwb_ns = 30; pfence_ns = 15; psync_ns = 15;
+    ordered_pwb = false }
+
+let clflush =
+  { name = "clflush"; pwb_ns = 60; pfence_ns = 0; psync_ns = 0;
+    ordered_pwb = true }
+
+(* Injected delays for emulated media, taken from NVMOVE (Chauhan et al.),
+   the same constants the paper uses in §6.1. *)
+let stt =
+  { name = "stt"; pwb_ns = 140; pfence_ns = 200; psync_ns = 200;
+    ordered_pwb = false }
+
+let pcm =
+  { name = "pcm"; pwb_ns = 340; pfence_ns = 500; psync_ns = 500;
+    ordered_pwb = false }
+
+let all = [ dram; clwb; clflushopt; clflush; stt; pcm ]
+
+let by_name name =
+  match List.find_opt (fun p -> p.name = name) all with
+  | Some p -> p
+  | None -> invalid_arg ("Fence.by_name: unknown profile " ^ name)

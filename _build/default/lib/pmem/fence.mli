@@ -1,0 +1,34 @@
+(** Cost/ordering models for the persistence primitives (pwb/pfence/psync). *)
+
+type profile = {
+  name : string;
+  pwb_ns : int;      (** virtual latency of one persist write-back *)
+  pfence_ns : int;   (** virtual latency of one persist fence *)
+  psync_ns : int;    (** virtual latency of one persist sync *)
+  ordered_pwb : bool;
+  (** CLFLUSH semantics: pwbs persist immediately and in order, and
+      pfence/psync are no-ops. *)
+}
+
+(** Supercap-backed DRAM, zero added latency. *)
+val dram : profile
+
+(** CLWB + SFENCE. *)
+val clwb : profile
+
+(** CLFLUSHOPT + SFENCE. *)
+val clflushopt : profile
+
+(** CLFLUSH; fences are no-ops (the paper's testbed). *)
+val clflush : profile
+
+(** Emulated STT-RAM: 140/200/200 ns. *)
+val stt : profile
+
+(** Emulated PCM: 340/500/500 ns. *)
+val pcm : profile
+
+val all : profile list
+
+(** Look up a profile by name; raises [Invalid_argument] if unknown. *)
+val by_name : string -> profile

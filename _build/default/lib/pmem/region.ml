@@ -1,0 +1,266 @@
+(* Simulated byte-addressable persistent memory.
+
+   Two images back the region:
+   - [vol]: the volatile image — CPU caches plus memory as the running
+     program sees them.  All loads and stores operate here.
+   - [per]: the persistent image — what would survive a power failure.
+
+   A store dirties the cache line(s) it touches.  [pwb] marks a dirty line
+   pending; [pfence]/[psync] copy all pending lines from [vol] to [per]
+   (a conservative rendition of the PCSO ordering contract of §4.1: a fence
+   is a point after which every preceding pwb is durable).  With an
+   [ordered_pwb] profile (CLFLUSH) the pwb itself persists the line.
+
+   Crashes: [crash t policy] decides, per non-clean line, whether the line
+   made it to the medium.  Pending lines model pwb-issued-but-not-fenced
+   write-backs; dirty lines model arbitrary cache evictions — real caches
+   may write back *any* dirty line at any time, so an adversarial policy
+   may persist them too.  After the policy is applied the volatile image is
+   replaced by the persistent one, as a restart would see it.
+
+   Crash points: [set_trap t k] makes the k-th subsequent persistence-
+   relevant primitive (store/pwb/fence) raise [Crash_point] *before*
+   executing, letting tests systematically crash a transaction at every
+   instruction boundary. *)
+
+type policy =
+  | Drop_all
+  | Keep_all
+  | Random_subset of int
+
+exception Crash_point
+
+type t = {
+  vol : Bytes.t;
+  per : Bytes.t;
+  line : int;
+  line_shift : int;
+  lines : Line_set.t;
+  stats : Stats.t;
+  mutable fence : Fence.profile;
+  mutable trap : int; (* -1 = disabled *)
+  mutable dead : bool;
+}
+
+let create ?(line_size = 64) ?(fence = Fence.dram) ~size () =
+  if size <= 0 then invalid_arg "Region.create: size must be positive";
+  if line_size land (line_size - 1) <> 0 || line_size < 8 then
+    invalid_arg "Region.create: line_size must be a power of two >= 8";
+  let size = (size + line_size - 1) land lnot (line_size - 1) in
+  let shift =
+    let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+    log2 line_size 0
+  in
+  { vol = Bytes.make size '\000';
+    per = Bytes.make size '\000';
+    line = line_size;
+    line_shift = shift;
+    lines = Line_set.create ~lines:(size lsr shift);
+    stats = Stats.create ();
+    fence;
+    trap = -1;
+    dead = false }
+
+let size t = Bytes.length t.vol
+let line_size t = t.line
+let stats t = t.stats
+let fence_profile t = t.fence
+let set_fence_profile t p = t.fence <- p
+
+let set_trap t k = t.trap <- k
+let clear_trap t = t.trap <- -1
+
+(* Once the trap fires, the region is "dead": every subsequent primitive
+   raises until {!crash} resolves the failure.  This models a powered-off
+   machine — in particular, code that (transitively) catches [Crash_point]
+   cannot keep executing and commit a torn transaction. *)
+let step t =
+  if t.dead then raise Crash_point;
+  if t.trap >= 0 then begin
+    if t.trap = 0 then begin
+      t.trap <- -1;
+      t.dead <- true;
+      raise Crash_point
+    end;
+    t.trap <- t.trap - 1
+  end
+
+let check_alive t = if t.dead then raise Crash_point
+
+let is_dead t = t.dead
+
+let check_range t off len what =
+  if off < 0 || len < 0 || off + len > Bytes.length t.vol then
+    invalid_arg
+      (Printf.sprintf "Region.%s: range [%d, %d) outside region of %d bytes"
+         what off (off + len) (Bytes.length t.vol))
+
+(* ---- loads ---- *)
+
+let load t off =
+  check_alive t;
+  check_range t off 8 "load";
+  t.stats.loads <- t.stats.loads + 1;
+  Int64.to_int (Bytes.get_int64_le t.vol off)
+
+let load_bytes t off len =
+  check_alive t;
+  check_range t off len "load_bytes";
+  t.stats.loads <- t.stats.loads + 1;
+  Bytes.sub_string t.vol off len
+
+(* ---- stores ---- *)
+
+let dirty_range t off len =
+  let first = off lsr t.line_shift in
+  let last = (off + len - 1) lsr t.line_shift in
+  for line = first to last do
+    Line_set.set_dirty t.lines line
+  done
+
+let store t off v =
+  check_range t off 8 "store";
+  step t;
+  Bytes.set_int64_le t.vol off (Int64.of_int v);
+  Line_set.set_dirty t.lines (off lsr t.line_shift);
+  t.stats.stores <- t.stats.stores + 1;
+  t.stats.nvm_bytes <- t.stats.nvm_bytes + 8
+
+let store_bytes t off s =
+  let len = String.length s in
+  check_range t off len "store_bytes";
+  step t;
+  Bytes.blit_string s 0 t.vol off len;
+  dirty_range t off len;
+  t.stats.stores <- t.stats.stores + 1;
+  t.stats.nvm_bytes <- t.stats.nvm_bytes + len
+
+(* Region-internal copy (e.g. main -> back).  A plain volatile memory copy:
+   the destination lines become dirty and must be pwb'ed by the caller. *)
+let copy t ~src ~dst ~len =
+  check_range t src len "copy(src)";
+  check_range t dst len "copy(dst)";
+  step t;
+  Bytes.blit t.vol src t.vol dst len;
+  dirty_range t dst len;
+  t.stats.stores <- t.stats.stores + 1;
+  t.stats.nvm_bytes <- t.stats.nvm_bytes + len
+
+(* ---- persistence primitives ---- *)
+
+let persist_line t line =
+  let off = line lsl t.line_shift in
+  Bytes.blit t.vol off t.per off t.line
+
+let pwb_line t line =
+  step t;
+  t.stats.pwbs <- t.stats.pwbs + 1;
+  t.stats.delay_ns <- t.stats.delay_ns + t.fence.Fence.pwb_ns;
+  if t.fence.Fence.ordered_pwb then begin
+    persist_line t line;
+    (* the line is persisted in place: forget its dirty/pending mark so
+       fences and crashes do not keep revisiting it *)
+    Line_set.set_clean t.lines line
+  end
+  else Line_set.set_pending t.lines line
+
+let pwb t off =
+  check_range t off 1 "pwb";
+  pwb_line t (off lsr t.line_shift)
+
+let pwb_range t off len =
+  if len > 0 then begin
+    check_range t off len "pwb_range";
+    let first = off lsr t.line_shift in
+    let last = (off + len - 1) lsr t.line_shift in
+    for line = first to last do
+      pwb_line t line
+    done
+  end
+
+let pfence t =
+  step t;
+  t.stats.pfences <- t.stats.pfences + 1;
+  t.stats.delay_ns <- t.stats.delay_ns + t.fence.Fence.pfence_ns;
+  Line_set.flush_pending t.lines (persist_line t)
+
+let psync t =
+  step t;
+  t.stats.psyncs <- t.stats.psyncs + 1;
+  t.stats.delay_ns <- t.stats.delay_ns + t.fence.Fence.psync_ns;
+  Line_set.flush_pending t.lines (persist_line t)
+
+(* ---- crash simulation ---- *)
+
+(* Deterministic per-line coin: a 63-bit mix of the seed and line index. *)
+let line_coin seed line =
+  let x = ref (seed * 0x1e3779b97f4a7c15 + line * 0x3f58476d1ce4e5b9) in
+  x := !x lxor (!x lsr 30);
+  x := !x * 0x3f58476d1ce4e5b9;
+  x := !x lxor (!x lsr 27);
+  !x land 1 = 0
+
+let crash t policy =
+  let decide line was_pending =
+    let persists =
+      match policy with
+      | Drop_all -> false
+      | Keep_all -> true
+      | Random_subset seed ->
+        (* pending lines persist a bit more often than merely-dirty ones,
+           but both are candidates: caches evict whatever they like. *)
+        line_coin seed line || (was_pending && line_coin (seed + 1) line)
+    in
+    if persists then persist_line t line
+  in
+  Line_set.drain_all t.lines decide;
+  Bytes.blit t.per 0 t.vol 0 (Bytes.length t.per);
+  t.stats.crashes <- t.stats.crashes + 1;
+  t.trap <- -1;
+  t.dead <- false
+
+let unpersisted_lines t = Line_set.cardinal t.lines
+
+(* Test-only peek at the persistent image. *)
+let persistent_load t off =
+  check_range t off 8 "persistent_load";
+  Int64.to_int (Bytes.get_int64_le t.per off)
+
+(* ---- file persistence ----
+
+   The persistent image can be written to / restored from a file, which
+   is what makes the simulated NVM survive an actual process restart
+   (the paper's regions live in an mmap'd file).  Only the persistent
+   image travels: saving is equivalent to a clean shutdown followed by a
+   restart on load. *)
+
+let file_magic = "ROMULUS-PMEM-1\n"
+
+let save_to_file t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc file_magic;
+      output_binary_int oc (Bytes.length t.per);
+      output_binary_int oc t.line;
+      output_bytes oc t.per)
+
+let load_from_file ?fence path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      match
+        let magic = really_input_string ic (String.length file_magic) in
+        if magic <> file_magic then raise Exit;
+        let size = input_binary_int ic in
+        let line_size = input_binary_int ic in
+        let t = create ~line_size ?fence ~size () in
+        really_input ic t.per 0 size;
+        Bytes.blit t.per 0 t.vol 0 size;
+        t
+      with
+      | t -> t
+      | exception (Exit | End_of_file) ->
+        invalid_arg "Region.load_from_file: not a region file")

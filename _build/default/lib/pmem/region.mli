@@ -1,0 +1,86 @@
+(** Simulated byte-addressable persistent memory with a cache-line model.
+
+    The region keeps a volatile image (what the running program reads and
+    writes) and a persistent image (what survives a crash).  Stores dirty
+    cache lines; {!pwb} marks a line for write-back; {!pfence}/{!psync}
+    make all pending write-backs durable.  {!crash} resolves the fate of
+    every non-persisted line under an adversarial policy and restarts from
+    the persistent image. *)
+
+type policy =
+  | Drop_all                (** no un-fenced line reaches the medium *)
+  | Keep_all                (** every dirty/pending line reaches the medium *)
+  | Random_subset of int    (** each line persists or not, per-seed
+                                deterministic; dirty lines model arbitrary
+                                cache evictions *)
+
+(** Raised by the primitive armed with {!set_trap}, before it executes. *)
+exception Crash_point
+
+type t
+
+(** [create ~size ()] allocates a region of at least [size] bytes (rounded
+    up to a whole number of cache lines), zero-filled and fully
+    persistent. *)
+val create : ?line_size:int -> ?fence:Fence.profile -> size:int -> unit -> t
+
+val size : t -> int
+val line_size : t -> int
+val stats : t -> Stats.t
+val fence_profile : t -> Fence.profile
+val set_fence_profile : t -> Fence.profile -> unit
+
+(** Arm the crash trap: the [k]-th subsequent persistence-relevant
+    primitive (store / pwb / pfence / psync / copy) raises {!Crash_point}
+    before executing.  [k = 0] fires on the next primitive.  Once the trap
+    fires the region is dead: every further primitive (including loads)
+    keeps raising {!Crash_point} until {!crash} resolves the failure, so
+    code that swallows the exception cannot keep running. *)
+val set_trap : t -> int -> unit
+
+val clear_trap : t -> unit
+
+(** True between the trap firing and {!crash}: the machine is off. *)
+val is_dead : t -> bool
+
+(** 8-byte word load/store at a byte offset (offsets need not be aligned,
+    but all library code uses 8-byte alignment). *)
+val load : t -> int -> int
+
+val store : t -> int -> int -> unit
+
+val load_bytes : t -> int -> int -> string
+val store_bytes : t -> int -> string -> unit
+
+(** Region-internal volatile copy; destination lines become dirty and must
+    be pwb'ed by the caller (this is how the twin-copy replication is
+    built). *)
+val copy : t -> src:int -> dst:int -> len:int -> unit
+
+(** Initiate write-back of the line containing the given byte offset. *)
+val pwb : t -> int -> unit
+
+(** [pwb_range t off len] issues one pwb per line overlapping the range. *)
+val pwb_range : t -> int -> int -> unit
+
+val pfence : t -> unit
+val psync : t -> unit
+
+(** Simulate a power failure under the given policy and restart: the
+    volatile image is replaced by the persistent image. *)
+val crash : t -> policy -> unit
+
+(** Number of lines whose volatile and persistent copies may differ. *)
+val unpersisted_lines : t -> int
+
+(** Test-only: read a word from the persistent image. *)
+val persistent_load : t -> int -> int
+
+(** Write the persistent image to a file: equivalent to a clean shutdown.
+    Unfenced volatile state is (correctly) not included. *)
+val save_to_file : t -> string -> unit
+
+(** Restore a region from a file written by {!save_to_file} — a restart:
+    the volatile image starts as a copy of the persistent one.  The PTM's
+    [open_region] then runs recovery as usual. *)
+val load_from_file : ?fence:Fence.profile -> string -> t

@@ -1,0 +1,57 @@
+(* Instrumentation counters for a persistent-memory region.
+
+   [nvm_bytes] counts every byte stored into the region (user data, logs,
+   allocator metadata, twin-copy replication), while [user_bytes] is
+   credited explicitly by a PTM for the payload the user asked to store.
+   Write amplification is [nvm_bytes / user_bytes].
+
+   [delay_ns] accumulates the virtual latency injected by the active fence
+   profile; benchmark harnesses add it to wall-clock time so that emulated
+   STT-RAM / PCM latencies are deterministic rather than spin-waited. *)
+
+type t = {
+  mutable pwbs : int;
+  mutable pfences : int;
+  mutable psyncs : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable nvm_bytes : int;
+  mutable user_bytes : int;
+  mutable delay_ns : int;
+  mutable crashes : int;
+}
+
+let create () =
+  { pwbs = 0; pfences = 0; psyncs = 0; loads = 0; stores = 0;
+    nvm_bytes = 0; user_bytes = 0; delay_ns = 0; crashes = 0 }
+
+let reset t =
+  t.pwbs <- 0; t.pfences <- 0; t.psyncs <- 0; t.loads <- 0; t.stores <- 0;
+  t.nvm_bytes <- 0; t.user_bytes <- 0; t.delay_ns <- 0; t.crashes <- 0
+
+let snapshot t = { t with pwbs = t.pwbs }
+
+(* Counters accumulated between [past] and [now]. *)
+let since ~now ~past =
+  { pwbs = now.pwbs - past.pwbs;
+    pfences = now.pfences - past.pfences;
+    psyncs = now.psyncs - past.psyncs;
+    loads = now.loads - past.loads;
+    stores = now.stores - past.stores;
+    nvm_bytes = now.nvm_bytes - past.nvm_bytes;
+    user_bytes = now.user_bytes - past.user_bytes;
+    delay_ns = now.delay_ns - past.delay_ns;
+    crashes = now.crashes - past.crashes }
+
+let fences t = t.pfences + t.psyncs
+
+let write_amplification t =
+  if t.user_bytes = 0 then nan
+  else float_of_int t.nvm_bytes /. float_of_int t.user_bytes
+
+let pp ppf t =
+  Format.fprintf ppf
+    "pwb=%d pfence=%d psync=%d loads=%d stores=%d nvm=%dB user=%dB amp=%.2f \
+     delay=%dns crashes=%d"
+    t.pwbs t.pfences t.psyncs t.loads t.stores t.nvm_bytes t.user_bytes
+    (write_amplification t) t.delay_ns t.crashes

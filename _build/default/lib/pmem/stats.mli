@@ -1,0 +1,30 @@
+(** Instrumentation counters for a persistent-memory region. *)
+
+type t = {
+  mutable pwbs : int;        (** persist write-backs issued *)
+  mutable pfences : int;     (** persist fences issued *)
+  mutable psyncs : int;      (** persist syncs issued *)
+  mutable loads : int;       (** word loads from the region *)
+  mutable stores : int;      (** word stores to the region *)
+  mutable nvm_bytes : int;   (** every byte stored into the region *)
+  mutable user_bytes : int;  (** payload bytes credited by the PTM *)
+  mutable delay_ns : int;    (** virtual latency injected by the fence profile *)
+  mutable crashes : int;     (** simulated crashes *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Independent copy of the current counter values. *)
+val snapshot : t -> t
+
+(** Counters accumulated between [past] and [now]. *)
+val since : now:t -> past:t -> t
+
+(** [pfences + psyncs] — the persistence-fence count the paper reports. *)
+val fences : t -> int
+
+(** [nvm_bytes / user_bytes]; [nan] when no user bytes were credited. *)
+val write_amplification : t -> float
+
+val pp : Format.formatter -> t -> unit

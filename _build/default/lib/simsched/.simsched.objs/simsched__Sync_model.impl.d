@@ -1,0 +1,1 @@
+lib/simsched/sync_model.ml: Des Queue

@@ -1,0 +1,315 @@
+(* Synchronization models for the throughput extrapolation (DESIGN.md):
+   virtual threads execute a closed loop of operations whose costs were
+   measured from the real single-threaded code; each model reproduces the
+   blocking/aggregation/abort semantics of one PTM family.
+
+   - Fc_crwwp: flat combining + C-RW-WP writer-preference lock
+     (Romulus, RomulusLog).  One combiner executes the whole queue of
+     pending updates in a single durable transaction: batch cost =
+     batch_fixed + B * update_work.  Readers step aside for writers.
+   - Fc_left_right: same single combiner, but readers never block; the
+     writer pays up to one read duration per toggle (twice per batch) to
+     drain readers (RomulusLR).
+   - Rw_reader_pref: a plain reader-preference RW lock, one transaction
+     per lock acquisition (the paper's PMDK setup).  Writers wait for a
+     moment with zero active readers, which becomes rarer as readers are
+     added — the Figure 7 starvation.
+   - Stm: optimistic fine-grained concurrency (Mnemosyne/TinySTM):
+     no global lock; an update transaction aborts and retries with
+     probability 1 - (1-conflict_p)^k where k is the number of commits
+     that overlapped it (the shared-counter hash map has conflict_p = 1,
+     which is Figure 5's collapse).
+
+   Threads have a small think time between operations; without it a
+   closed loop of readers would occupy a reader-preference lock
+   permanently, when in reality writers slip in during the gaps. *)
+
+type costs = {
+  read_ns : float;         (* one read-only transaction *)
+  update_work_ns : float;  (* in-transaction cost of one update *)
+  batch_fixed_ns : float;  (* per-transaction fixed cost (fences, sync) *)
+  think_ns : float;        (* gap between operations of a thread *)
+}
+
+type model =
+  | Fc_crwwp
+  | Fc_left_right
+  | Rw_reader_pref of { atomic_ns : float }
+    (** [atomic_ns]: serialized cost of one RMW on the lock's shared
+        reader counter — the cache line bounces between cores, so total
+        read throughput saturates near [1 / (2 * atomic_ns)] regardless
+        of the thread count (every read does arrive + depart). *)
+  | Stm of {
+      conflict_p : float;
+      read_conflict_p : float;
+      commit_serial_ns : float;
+      (** durable-commit section (log persist + write-back + fences),
+          serialized over the shared persistent log *)
+    }
+
+type config = {
+  model : model;
+  costs : costs;
+  readers : int;
+  writers : int;
+  duration_ns : float;
+  seed : int;
+}
+
+type result = {
+  reads_done : int;
+  updates_done : int;
+  elapsed_ns : float;
+}
+
+(* Uniform jitter in [0.5, 1.5) x base, mean-preserving: without it the
+   identical per-op costs phase-lock every thread onto the same event
+   instants, and e.g. a reader-preference lock spuriously admits writers
+   at the synchronized all-readers-departed tick. *)
+let jitter sim base = base *. (0.5 +. Des.random sim)
+
+let reads_per_sec r = float_of_int r.reads_done /. (r.elapsed_ns *. 1e-9)
+let updates_per_sec r = float_of_int r.updates_done /. (r.elapsed_ns *. 1e-9)
+let ops_per_sec r =
+  float_of_int (r.reads_done + r.updates_done) /. (r.elapsed_ns *. 1e-9)
+
+(* ---- Flat combining + C-RW-WP / Left-Right ---- *)
+
+let run_fc ~left_right cfg =
+  let sim = Des.create ~seed:cfg.seed () in
+  let c = cfg.costs in
+  let reads_done = ref 0 and updates_done = ref 0 in
+  (* lock state *)
+  let combiner_active = ref false in
+  let writer_pending = ref false in
+  let readers_active = ref 0 in
+  let pending_updates = Queue.create () in (* completion callbacks *)
+  let waiting_readers = Queue.create () in
+  let rec try_start_batch () =
+    if (not !combiner_active) && not (Queue.is_empty pending_updates) then begin
+      if left_right then start_batch ()
+      else begin
+        (* C-RW-WP: the writer first drains the readers *)
+        writer_pending := true;
+        if !readers_active = 0 then start_batch ()
+        (* else: the last departing reader calls [reader_departed] *)
+      end
+    end
+  and start_batch () =
+    combiner_active := true;
+    writer_pending := false;
+    let batch = Queue.create () in
+    Queue.transfer pending_updates batch;
+    let b = float_of_int (Queue.length batch) in
+    let drain =
+      (* LR waits out the readers on each of its two toggles; readers all
+         run for read_ns, so a full drain costs at most one read *)
+      if left_right && !readers_active > 0 then 2. *. c.read_ns else 0.
+    in
+    let cost = c.batch_fixed_ns +. (b *. c.update_work_ns) +. drain in
+    Des.schedule sim cost (fun () ->
+        Queue.iter
+          (fun finish ->
+            incr updates_done;
+            finish ())
+          batch;
+        combiner_active := false;
+        (* release blocked readers *)
+        Queue.iter (fun resume -> resume ()) waiting_readers;
+        Queue.clear waiting_readers;
+        try_start_batch ())
+  and reader_departed () =
+    readers_active := !readers_active - 1;
+    if !readers_active = 0 && !writer_pending && not !combiner_active then
+      start_batch ()
+  in
+  let rec reader_loop () =
+    Des.schedule sim (jitter sim c.think_ns) (fun () ->
+        if left_right then begin
+          (* wait-free: never blocks *)
+          readers_active := !readers_active + 1;
+          Des.schedule sim c.read_ns (fun () ->
+              incr reads_done;
+              readers_active := !readers_active - 1;
+              reader_loop ())
+        end
+        else if !combiner_active || !writer_pending then
+          (* writer preference: stand aside until the writer releases *)
+          Queue.add
+            (fun () ->
+              readers_active := !readers_active + 1;
+              Des.schedule sim c.read_ns (fun () ->
+                  incr reads_done;
+                  reader_departed ();
+                  reader_loop ()))
+            waiting_readers
+        else begin
+          readers_active := !readers_active + 1;
+          Des.schedule sim c.read_ns (fun () ->
+              incr reads_done;
+              reader_departed ();
+              reader_loop ())
+        end)
+  in
+  let rec writer_loop () =
+    Des.schedule sim (jitter sim c.think_ns) (fun () ->
+        Queue.add (fun () -> writer_loop ()) pending_updates;
+        try_start_batch ())
+  in
+  for _ = 1 to cfg.readers do
+    reader_loop ()
+  done;
+  for _ = 1 to cfg.writers do
+    writer_loop ()
+  done;
+  Des.run sim ~until:cfg.duration_ns;
+  { reads_done = !reads_done; updates_done = !updates_done;
+    elapsed_ns = cfg.duration_ns }
+
+(* ---- reader-preference RW lock (PMDK setup) ---- *)
+
+let run_rw_reader_pref ~atomic_ns cfg =
+  let sim = Des.create ~seed:cfg.seed () in
+  let c = cfg.costs in
+  let reads_done = ref 0 and updates_done = ref 0 in
+  let writer_holding = ref false in
+  let readers_active = ref 0 in
+  let waiting_writers = Queue.create () in
+  let waiting_readers = Queue.create () in
+  let update_cost = c.batch_fixed_ns +. c.update_work_ns in
+  (* the shared reader counter: RMWs on its cache line serialize *)
+  let counter_free = ref 0. in
+  let counter_hop () =
+    let start = max (Des.now sim) !counter_free in
+    let finish = start +. atomic_ns in
+    counter_free := finish;
+    finish -. Des.now sim
+  in
+  let rec maybe_admit_writer () =
+    (* a writer may proceed only at an instant with no active readers and
+       no writer holding; merely-waiting writers do not block readers *)
+    if (not !writer_holding) && !readers_active = 0
+       && not (Queue.is_empty waiting_writers)
+    then begin
+      writer_holding := true;
+      let finish = Queue.take waiting_writers in
+      Des.schedule sim update_cost (fun () ->
+          incr updates_done;
+          writer_holding := false;
+          (* release: admit everyone who queued behind the writer *)
+          let rs = Queue.copy waiting_readers in
+          Queue.clear waiting_readers;
+          Queue.iter (fun resume -> resume ()) rs;
+          maybe_admit_writer ();
+          finish ())
+    end
+  in
+  let rec reader_loop () =
+    Des.schedule sim (jitter sim c.think_ns) (fun () ->
+        if !writer_holding then
+          Queue.add (fun () -> start_read ()) waiting_readers
+        else start_read ())
+  and start_read () =
+    (* reader preference: the reader counts as arrived immediately (so a
+       pack of readers released together blocks the next writer), then
+       pays the serialized arrive RMW, the read, and the depart RMW *)
+    readers_active := !readers_active + 1;
+    Des.schedule sim (counter_hop ()) (fun () ->
+        Des.schedule sim c.read_ns (fun () ->
+            Des.schedule sim (counter_hop ()) (fun () ->
+                incr reads_done;
+                readers_active := !readers_active - 1;
+                maybe_admit_writer ();
+                reader_loop ())))
+  in
+  let rec writer_loop () =
+    Des.schedule sim (jitter sim c.think_ns) (fun () ->
+        Queue.add (fun () -> writer_loop ()) waiting_writers;
+        maybe_admit_writer ())
+  in
+  for _ = 1 to cfg.readers do
+    reader_loop ()
+  done;
+  for _ = 1 to cfg.writers do
+    writer_loop ()
+  done;
+  Des.run sim ~until:cfg.duration_ns;
+  { reads_done = !reads_done; updates_done = !updates_done;
+    elapsed_ns = cfg.duration_ns }
+
+(* ---- optimistic STM (Mnemosyne setup) ---- *)
+
+let run_stm ~conflict_p ~read_conflict_p ~commit_serial_ns cfg =
+  let sim = Des.create ~seed:cfg.seed () in
+  let c = cfg.costs in
+  let reads_done = ref 0 and updates_done = ref 0 in
+  let commit_count = ref 0 in
+  let update_cost =
+    max 0. (c.batch_fixed_ns +. c.update_work_ns -. commit_serial_ns)
+  in
+  (* the durable phase persists the redo log: serialized across threads *)
+  let commit_free = ref 0. in
+  let commit_slot () =
+    let start = max (Des.now sim) !commit_free in
+    let finish = start +. commit_serial_ns in
+    commit_free := finish;
+    finish -. Des.now sim
+  in
+  let abort_probability p started =
+    let overlapping = !commit_count - started in
+    if overlapping <= 0 || p <= 0. then 0.
+    else 1. -. ((1. -. p) ** float_of_int overlapping)
+  in
+  let rec reader_loop attempt =
+    let delay =
+      if attempt = 0 then c.think_ns
+      else c.think_ns *. float_of_int (min attempt 8)
+    in
+    Des.schedule sim (jitter sim delay) (fun () ->
+        let started = !commit_count in
+        Des.schedule sim c.read_ns (fun () ->
+            if Des.random sim < abort_probability read_conflict_p started
+            then reader_loop (attempt + 1)
+            else begin
+              incr reads_done;
+              reader_loop 0
+            end))
+  in
+  let rec writer_loop attempt =
+    let delay =
+      if attempt = 0 then c.think_ns
+      else c.think_ns *. float_of_int (min attempt 8)
+    in
+    Des.schedule sim (jitter sim delay) (fun () ->
+        let started = !commit_count in
+        Des.schedule sim update_cost (fun () ->
+            if Des.random sim < abort_probability conflict_p started then
+              writer_loop (attempt + 1)
+            else
+              (* survived validation: enter the serialized durable phase *)
+              Des.schedule sim (commit_slot ()) (fun () ->
+                  incr commit_count;
+                  incr updates_done;
+                  writer_loop 0)))
+  in
+  for _ = 1 to cfg.readers do
+    reader_loop 0
+  done;
+  for _ = 1 to cfg.writers do
+    writer_loop 0
+  done;
+  Des.run sim ~until:cfg.duration_ns;
+  { reads_done = !reads_done; updates_done = !updates_done;
+    elapsed_ns = cfg.duration_ns }
+
+let run cfg =
+  match cfg.model with
+  | Fc_crwwp -> run_fc ~left_right:false cfg
+  | Fc_left_right -> run_fc ~left_right:true cfg
+  | Rw_reader_pref { atomic_ns } -> run_rw_reader_pref ~atomic_ns cfg
+  | Stm { conflict_p; read_conflict_p; commit_serial_ns } ->
+    run_stm ~conflict_p ~read_conflict_p ~commit_serial_ns cfg
+
+let default_costs =
+  { read_ns = 300.; update_work_ns = 600.; batch_fixed_ns = 400.;
+    think_ns = 30. }

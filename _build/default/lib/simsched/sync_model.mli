@@ -1,0 +1,59 @@
+(** Synchronization models for the multi-thread throughput extrapolation:
+    virtual threads run a closed loop of operations whose costs were
+    measured from the real single-threaded code; each model reproduces
+    the blocking/aggregation/abort semantics of one PTM family
+    (DESIGN.md). *)
+
+type costs = {
+  read_ns : float;         (** one read-only transaction *)
+  update_work_ns : float;  (** in-transaction cost of one update *)
+  batch_fixed_ns : float;  (** per-transaction fixed cost (fences, sync) *)
+  think_ns : float;        (** gap between operations of a thread *)
+}
+
+type model =
+  | Fc_crwwp
+      (** flat combining + C-RW-WP writer-preference lock (Rom, RomL):
+          one combiner executes the queued updates as a single durable
+          batch; readers step aside for writers *)
+  | Fc_left_right
+      (** same single combiner, but readers never block; the writer
+          drains readers on each of its two toggles (RomLR) *)
+  | Rw_reader_pref of { atomic_ns : float }
+      (** plain reader-preference RW lock (the paper's PMDK setup).
+          [atomic_ns] is the serialized cost of one RMW on the shared
+          reader counter, which caps total read throughput; writers wait
+          for a zero-reader instant and starve under many readers *)
+  | Stm of {
+      conflict_p : float;
+      read_conflict_p : float;
+      commit_serial_ns : float;
+    }
+      (** optimistic fine-grained STM (Mnemosyne/TinySTM): an update
+          aborts with probability [1 - (1-conflict_p)^k] given [k]
+          overlapping commits; the durable phase ([commit_serial_ns]) is
+          serialized over the shared persistent log *)
+
+type config = {
+  model : model;
+  costs : costs;
+  readers : int;
+  writers : int;
+  duration_ns : float;
+  seed : int;
+}
+
+type result = {
+  reads_done : int;
+  updates_done : int;
+  elapsed_ns : float;
+}
+
+val run : config -> result
+
+val reads_per_sec : result -> float
+val updates_per_sec : result -> float
+val ops_per_sec : result -> float
+
+(** Plausible defaults for tests. *)
+val default_costs : costs

@@ -1,0 +1,1 @@
+lib/sync/crwwp.ml: Domain Fun Read_indicator Spinlock

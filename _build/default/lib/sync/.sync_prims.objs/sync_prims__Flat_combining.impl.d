@@ -1,0 +1,1 @@
+lib/sync/flat_combining.ml: Array Atomic Domain Fun List Spinlock Tid

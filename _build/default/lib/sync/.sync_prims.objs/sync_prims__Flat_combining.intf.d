@@ -1,0 +1,1 @@
+lib/sync/flat_combining.mli:

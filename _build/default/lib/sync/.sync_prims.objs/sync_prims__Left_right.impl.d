@@ -1,0 +1,1 @@
+lib/sync/left_right.ml: Array Atomic Fun Read_indicator Spinlock

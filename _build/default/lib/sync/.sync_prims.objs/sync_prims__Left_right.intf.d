@@ -1,0 +1,1 @@
+lib/sync/left_right.mli:

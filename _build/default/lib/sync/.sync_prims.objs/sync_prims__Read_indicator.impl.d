@@ -1,0 +1,1 @@
+lib/sync/read_indicator.ml: Array Atomic Domain Tid

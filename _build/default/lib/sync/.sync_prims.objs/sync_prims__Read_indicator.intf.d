@@ -1,0 +1,1 @@
+lib/sync/read_indicator.mli:

@@ -1,0 +1,1 @@
+lib/sync/rwlock_rp.ml: Atomic Domain Fun

@@ -1,0 +1,1 @@
+lib/sync/rwlock_rp.mli:

@@ -1,0 +1,1 @@
+lib/sync/tid.ml: Array Atomic Domain Fun

@@ -1,0 +1,77 @@
+(* Flat combining (Hendler et al.): update operations publish a closure in a
+   per-thread array; whichever thread acquires the combiner lock executes
+   every published operation in one batch.  The paper couples this with the
+   C-RW-WP writer lock so that one writer-lock acquisition (and one durable
+   transaction, hence one set of persistence fences) covers a whole batch of
+   update transactions (§5.2).
+
+   The batch runner is handed to the caller-supplied [exec] so that the PTM
+   can wrap it in begin/end-transaction: requests are only marked done after
+   [exec] returns, i.e. after the batch is durably committed — this is what
+   gives durable linearizability to the helped operations. *)
+
+type state =
+  | Empty
+  | Request of (unit -> unit)
+  | Done of exn option
+
+type t = {
+  slots : state Atomic.t array;
+  lock : Spinlock.t;
+  mutable combines : int;   (* batches executed (stats) *)
+  mutable combined : int;   (* total requests executed (stats) *)
+}
+
+let create () =
+  { slots = Array.init Tid.max_threads (fun _ -> Atomic.make Empty);
+    lock = Spinlock.create ();
+    combines = 0;
+    combined = 0 }
+
+let combine t ~exec =
+  Fun.protect ~finally:(fun () -> Spinlock.unlock t.lock) @@ fun () ->
+  let batch = ref [] in
+  Array.iteri
+    (fun i slot ->
+      match Atomic.get slot with
+      | Request f -> batch := (i, f, ref None) :: !batch
+      | Empty | Done _ -> ())
+    t.slots;
+  let requests = !batch in
+  let run_all () =
+    let run (_, f, res) = try f () with e -> res := Some e in
+    List.iter run requests
+  in
+  let finish res_of =
+    List.iter (fun (i, _, res) -> Atomic.set t.slots.(i) (Done (res_of res)))
+      requests
+  in
+  t.combines <- t.combines + 1;
+  t.combined <- t.combined + List.length requests;
+  match exec run_all with
+  | () -> finish (fun res -> !res)
+  | exception e ->
+    (* the batch commit itself failed (e.g. a simulated crash): every
+       requester observes the failure *)
+    finish (fun _ -> Some e)
+
+let apply t f ~exec =
+  let tid = Tid.current () in
+  let slot = t.slots.(tid) in
+  Atomic.set slot (Request f);
+  let rec wait () =
+    match Atomic.get slot with
+    | Done r -> begin
+        Atomic.set slot Empty;
+        match r with Some e -> raise e | None -> ()
+      end
+    | Request _ ->
+      if Spinlock.try_lock t.lock then combine t ~exec
+      else Domain.cpu_relax ();
+      wait ()
+    | Empty -> assert false (* only the owner resets its slot to Empty *)
+  in
+  wait ()
+
+let batches t = t.combines
+let requests_served t = t.combined

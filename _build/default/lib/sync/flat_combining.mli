@@ -1,0 +1,20 @@
+(** Flat-combining array: aggregate update operations under one lock
+    acquisition (and, for a PTM, one durable transaction). *)
+
+type t
+
+val create : unit -> t
+
+(** [apply t f ~exec] publishes [f] and returns once some combiner has
+    executed it durably.  The combiner calls [exec run_batch] exactly once
+    per batch; [exec] must call [run_batch ()] (e.g. between
+    begin-transaction and end-transaction).  Exceptions raised by [f] are
+    re-raised at its requester; an exception escaping [exec] itself is
+    raised at every requester of the batch. *)
+val apply : t -> (unit -> unit) -> exec:((unit -> unit) -> unit) -> unit
+
+(** Number of batches executed so far. *)
+val batches : t -> int
+
+(** Total requests served across all batches. *)
+val requests_served : t -> int

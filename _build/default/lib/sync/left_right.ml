@@ -1,0 +1,72 @@
+(* The Left-Right universal construct (Ramalhete & Correia): two instances
+   of the data, a control variable telling readers which instance to read,
+   and two read indicators so the single writer can wait for readers to
+   drain from the instance it is about to modify.  Read operations are
+   wait-free population-oblivious: arrive, read, depart — never blocked.
+
+   This module is the raw mechanism; RomulusLR composes it with the
+   twin-copy persistence engine (the two "instances" are main and back,
+   read through synthetic pointers). *)
+
+type t = {
+  lr : int Atomic.t;   (* instance readers should use: 0 or 1 *)
+  vi : int Atomic.t;   (* which read indicator new readers announce on *)
+  ri : Read_indicator.t array;
+  wlock : Spinlock.t;
+}
+
+let create ?(initial_lr = 0) () =
+  { lr = Atomic.make initial_lr;
+    vi = Atomic.make 0;
+    ri = [| Read_indicator.create (); Read_indicator.create () |];
+    wlock = Spinlock.create () }
+
+(* ---- reader side (wait-free) ---- *)
+
+let arrive t tid =
+  let v = Atomic.get t.vi in
+  Read_indicator.arrive t.ri.(v) tid;
+  v
+
+let depart t tid v = Read_indicator.depart t.ri.(v) tid
+
+let which_instance t = Atomic.get t.lr
+
+let read t tid f =
+  let v = arrive t tid in
+  Fun.protect
+    ~finally:(fun () -> depart t tid v)
+    (fun () -> f (which_instance t))
+
+(* ---- writer side ---- *)
+
+let write_lock t = Spinlock.lock t.wlock
+let try_write_lock t = Spinlock.try_lock t.wlock
+let write_unlock t = Spinlock.unlock t.wlock
+
+let set_lr t v = Atomic.set t.lr v
+
+let toggle_lr t = Atomic.set t.lr (1 - Atomic.get t.lr)
+
+(* Classic LR "toggleVersionAndScan": after this returns, every reader that
+   arrived before the lr change has departed, so the instance the writer is
+   about to modify has no readers. *)
+let toggle_version_and_wait t =
+  let prev = Atomic.get t.vi in
+  let next = 1 - prev in
+  Read_indicator.wait_empty t.ri.(next);
+  Atomic.set t.vi next;
+  Read_indicator.wait_empty t.ri.(prev)
+
+(* Classic LR update: apply the mutation to the instance readers are not
+   using, expose it, wait out old readers, then repeat the mutation on the
+   other instance.  [apply] must be deterministic (applied twice). *)
+let write t apply =
+  write_lock t;
+  Fun.protect ~finally:(fun () -> write_unlock t) @@ fun () ->
+  let cur = Atomic.get t.lr in
+  let opposite = 1 - cur in
+  apply opposite;
+  toggle_lr t;
+  toggle_version_and_wait t;
+  apply cur

@@ -1,0 +1,35 @@
+(** The Left-Right universal construct: wait-free readers over two instances
+    of the data, a single blocking writer (§5.3). *)
+
+type t
+
+(** [create ~initial_lr ()] — [initial_lr] is the instance readers start
+    on. *)
+val create : ?initial_lr:int -> unit -> t
+
+(** [read t tid f] runs [f instance] wait-free; [instance] is 0 or 1. *)
+val read : t -> int -> (int -> 'a) -> 'a
+
+(** Low-level reader protocol, for composition: announce and get the
+    version index to pass back to {!depart}. *)
+val arrive : t -> int -> int
+
+val depart : t -> int -> int -> unit
+
+(** Instance current readers are directed to. *)
+val which_instance : t -> int
+
+val write_lock : t -> unit
+val try_write_lock : t -> bool
+val write_unlock : t -> unit
+val set_lr : t -> int -> unit
+val toggle_lr : t -> unit
+
+(** Wait until no reader can still be observing the instance readers were
+    directed to before the last {!toggle_lr}. *)
+val toggle_version_and_wait : t -> unit
+
+(** Classic LR update: apply the mutation to the idle instance, publish,
+    drain readers, apply to the other instance.  [apply] receives the
+    instance index and must be deterministic. *)
+val write : t -> (int -> unit) -> unit

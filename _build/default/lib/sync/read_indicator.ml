@@ -1,0 +1,25 @@
+(* The C-RW-WP "read indicator": one entry statically assigned per thread
+   (§5.2).  The paper pads each entry over two cache lines to avoid false
+   sharing; in OCaml each [Atomic.t] is its own heap block, so entries never
+   share a line.  Entries are counters, which makes reader arrival
+   re-entrant (useful for nested read-only sections). *)
+
+type t = { states : int Atomic.t array }
+
+let create () =
+  { states = Array.init Tid.max_threads (fun _ -> Atomic.make 0) }
+
+let arrive t tid = Atomic.incr t.states.(tid)
+
+let depart t tid = Atomic.decr t.states.(tid)
+
+let is_empty t =
+  let rec scan i =
+    i >= Tid.max_threads || (Atomic.get t.states.(i) = 0 && scan (i + 1))
+  in
+  scan 0
+
+let wait_empty t =
+  while not (is_empty t) do
+    Domain.cpu_relax ()
+  done

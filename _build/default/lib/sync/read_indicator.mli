@@ -1,0 +1,14 @@
+(** Per-thread reader-presence array (the C-RW-WP read indicator). *)
+
+type t
+
+val create : unit -> t
+
+(** Announce the reader with slot [tid].  Re-entrant (counting). *)
+val arrive : t -> int -> unit
+
+val depart : t -> int -> unit
+val is_empty : t -> bool
+
+(** Spin until no reader is announced. *)
+val wait_empty : t -> unit

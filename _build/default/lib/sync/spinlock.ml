@@ -1,0 +1,24 @@
+(* Test-and-test-and-set spinlock with exponential backoff.  The paper's
+   C-RW-WP variant replaces the cohort lock by exactly this kind of simple
+   spin lock (§5.2); flat combining keeps update transactions
+   starvation-free on top of it. *)
+
+type t = { locked : bool Atomic.t }
+
+let create () = { locked = Atomic.make false }
+
+let try_lock t =
+  (not (Atomic.get t.locked)) && Atomic.compare_and_set t.locked false true
+
+let lock t =
+  let backoff = ref 1 in
+  while not (try_lock t) do
+    for _ = 1 to !backoff do
+      Domain.cpu_relax ()
+    done;
+    if !backoff < 1024 then backoff := !backoff * 2
+  done
+
+let unlock t = Atomic.set t.locked false
+
+let is_locked t = Atomic.get t.locked

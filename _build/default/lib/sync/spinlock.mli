@@ -1,0 +1,9 @@
+(** Test-and-test-and-set spinlock with exponential backoff. *)
+
+type t
+
+val create : unit -> t
+val try_lock : t -> bool
+val lock : t -> unit
+val unlock : t -> unit
+val is_locked : t -> bool

@@ -1,0 +1,12 @@
+(** Dense per-domain thread ids for statically-sized per-thread arrays. *)
+
+val max_threads : int
+
+exception Too_many_threads
+
+(** Run [f tid] with a slot reserved for the current domain, releasing it
+    afterwards (unless the domain was already registered). *)
+val with_slot : (int -> 'a) -> 'a
+
+(** The current domain's slot, lazily acquired and kept. *)
+val current : unit -> int

@@ -1,0 +1,1 @@
+lib/workload/bench_clock.mli: Pmem

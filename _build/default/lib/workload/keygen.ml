@@ -1,0 +1,31 @@
+(* Deterministic workload generation: a xorshift64* PRNG plus the key and
+   value shapes the paper's benchmarks use (uniform random integer keys,
+   LevelDB's 16-byte keys and 100-byte values, fixed-size payloads). *)
+
+type t = { mutable state : int }
+
+let create ?(seed = 0x12345) () = { state = (if seed = 0 then 1 else seed) }
+
+let next t =
+  let x = ref t.state in
+  x := !x lxor (!x lsl 13);
+  x := !x lxor (!x lsr 7);
+  x := !x lxor (!x lsl 17);
+  t.state <- !x;
+  !x land max_int
+
+(* uniform in [0, n) *)
+let int t n =
+  if n <= 0 then invalid_arg "Keygen.int: bound must be positive";
+  next t mod n
+
+let bool t = next t land 1 = 0
+
+(* LevelDB-style 16-byte key for an index *)
+let level_key i = Printf.sprintf "%016d" i
+
+(* payload of [n] printable bytes, deterministic in the seed *)
+let value t n = String.init n (fun _ -> Char.chr (97 + int t 26))
+
+(* a fixed (non-random) payload of [n] bytes *)
+let fixed_value n = String.make n 'v'

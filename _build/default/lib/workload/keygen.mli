@@ -1,0 +1,22 @@
+(** Deterministic workload generation (the xorshift64-star PRNG). *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+
+(** Next raw 63-bit value. *)
+val next : t -> int
+
+(** Uniform in [0, n). *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** LevelDB-style 16-byte key for an index. *)
+val level_key : int -> string
+
+(** Random printable payload of [n] bytes. *)
+val value : t -> int -> string
+
+(** Fixed payload of [n] bytes. *)
+val fixed_value : int -> string

@@ -1,0 +1,597 @@
+(* A reusable conformance suite for every PTM in the repository: semantic
+   unit tests, durable-linearizability checks under real domains, and
+   systematic crash injection at every instruction boundary under
+   adversarial cache-line policies. *)
+
+module R = Pmem.Region
+
+module type VARIANT = sig
+  include Romulus.Ptm_intf.S
+
+  (** Re-run crash recovery after a simulated power failure. *)
+  val recover : t -> unit
+
+  (** Structural check of the persistent allocator. *)
+  val allocator_check : t -> (unit, string) result
+
+  (** What happens to a transaction whose closure raises: Romulus is
+      irrevocable (partial effects commit), log-based PTMs roll back. *)
+  val exception_behavior : [ `Commits | `Discards ]
+
+  (** Exact persistence fences per update transaction, when the algorithm
+      guarantees a constant (Romulus: 4). *)
+  val exact_fences : int option
+
+  (** Whether the PTM supports concurrent use (the single-threaded API of
+      §5.1 does not; its domain tests are skipped). *)
+  val concurrent : bool
+end
+
+let region ?(size = 1 lsl 16) () = R.create ~size ()
+
+module Make (P : VARIANT) = struct
+  let open_fresh ?size () =
+    let r = region ?size () in
+    (r, P.open_region r)
+
+  (* ---- basic semantics ---- *)
+
+  let test_root_round_trip () =
+    let _, p = open_fresh () in
+    P.update_tx p (fun () ->
+        let obj = P.alloc p 16 in
+        P.store p obj 11;
+        P.store p (obj + 8) 22;
+        P.set_root p 0 obj);
+    let a, b =
+      P.read_tx p (fun () ->
+          let obj = P.get_root p 0 in
+          (P.load p obj, P.load p (obj + 8)))
+    in
+    Alcotest.(check (pair int int)) "values back" (11, 22) (a, b)
+
+  let test_blob_round_trip () =
+    let _, p = open_fresh () in
+    let payload = String.init 100 (fun i -> Char.chr (65 + (i mod 26))) in
+    P.update_tx p (fun () ->
+        let obj = P.alloc p 128 in
+        P.store_bytes p obj payload;
+        P.set_root p 1 obj);
+    let got = P.read_tx p (fun () -> P.load_bytes p (P.get_root p 1) 100) in
+    Alcotest.(check string) "blob back" payload got
+
+  let test_tx_result_value () =
+    let _, p = open_fresh () in
+    Alcotest.(check int) "update_tx returns value" 42
+      (P.update_tx p (fun () -> 42));
+    Alcotest.(check string) "read_tx returns value" "ok"
+      (P.read_tx p (fun () -> "ok"))
+
+  let test_store_outside_tx_raises () =
+    let _, p = open_fresh () in
+    let obj = P.update_tx p (fun () -> P.alloc p 16) in
+    match P.store p obj 1 with
+    | exception Romulus.Engine.Store_outside_transaction -> ()
+    | () -> Alcotest.fail "store outside tx must raise"
+
+  let test_store_in_read_tx_raises () =
+    let _, p = open_fresh () in
+    let obj = P.update_tx p (fun () -> P.alloc p 16) in
+    match P.read_tx p (fun () -> P.store p obj 5) with
+    | exception Romulus.Engine.Store_outside_transaction -> ()
+    | () -> Alcotest.fail "store in read_tx must raise"
+
+  let test_nested_txs_flatten () =
+    let _, p = open_fresh () in
+    let v =
+      P.update_tx p (fun () ->
+          let obj = P.alloc p 16 in
+          P.store p obj 7;
+          P.set_root p 0 obj;
+          P.update_tx p (fun () -> P.store p (obj + 8) 8);
+          P.read_tx p (fun () -> P.load p obj + P.load p (obj + 8)))
+    in
+    Alcotest.(check int) "nested flattening" 15 v;
+    let v2 =
+      P.read_tx p (fun () -> P.read_tx p (fun () -> P.load p (P.get_root p 0)))
+    in
+    Alcotest.(check int) "nested read" 7 v2
+
+  let test_exception_semantics () =
+    let _, p = open_fresh () in
+    let obj =
+      P.update_tx p (fun () ->
+          let o = P.alloc p 16 in
+          P.store p o 1;
+          P.set_root p 0 o;
+          o)
+    in
+    (match P.update_tx p (fun () -> P.store p obj 77; raise Exit) with
+     | exception Exit -> ()
+     | () -> Alcotest.fail "exception must propagate");
+    let v = P.read_tx p (fun () -> P.load p obj) in
+    (match P.exception_behavior with
+     | `Commits ->
+       Alcotest.(check int) "irrevocable: effect persisted" 77 v
+     | `Discards -> Alcotest.(check int) "rolled back on exception" 1 v);
+    (* the PTM must remain usable *)
+    P.update_tx p (fun () -> P.store p obj 5);
+    Alcotest.(check int) "usable after exception" 5
+      (P.read_tx p (fun () -> P.load p obj))
+
+  (* ---- durability across restart ---- *)
+
+  let test_survives_clean_crash () =
+    let r, p = open_fresh () in
+    P.update_tx p (fun () ->
+        let obj = P.alloc p 16 in
+        P.store p obj 123;
+        P.set_root p 0 obj);
+    R.crash r R.Drop_all;
+    P.recover p;
+    Alcotest.(check int) "value survives restart" 123
+      (P.read_tx p (fun () -> P.load p (P.get_root p 0)))
+
+  let test_reopen_region () =
+    let r, p = open_fresh () in
+    P.update_tx p (fun () ->
+        let obj = P.alloc p 16 in
+        P.store p obj 5;
+        P.set_root p 0 obj);
+    R.crash r R.Drop_all;
+    let p2 = P.open_region r in
+    Alcotest.(check int) "reopen preserves data" 5
+      (P.read_tx p2 (fun () -> P.load p2 (P.get_root p2 0)))
+
+  let test_uncommitted_tx_rolls_back () =
+    let r, p = open_fresh () in
+    let obj =
+      P.update_tx p (fun () ->
+          let obj = P.alloc p 16 in
+          P.store p obj 1;
+          P.set_root p 0 obj;
+          obj)
+    in
+    R.set_trap r 10;
+    (match
+       P.update_tx p (fun () ->
+           P.store p obj 999;
+           P.store p (obj + 8) 888)
+     with
+     | exception R.Crash_point -> ()
+     | () -> Alcotest.fail "trap did not fire");
+    (* Drop_all: nothing un-fenced persists, so recovery must reach a state
+       in which the first transaction's effect is intact *)
+    R.crash r R.Drop_all;
+    P.recover p;
+    Alcotest.(check int) "rolled back" 1
+      (P.read_tx p (fun () -> P.load p (P.get_root p 0)))
+
+  (* ---- fence accounting ---- *)
+
+  let fences_of_tx nstores =
+    let r, p = open_fresh () in
+    let obj = P.update_tx p (fun () -> P.alloc p (8 * (nstores + 1))) in
+    let s = R.stats r in
+    let before = Pmem.Stats.snapshot s in
+    P.update_tx p (fun () ->
+        for i = 0 to nstores - 1 do
+          P.store p (obj + (8 * i)) i
+        done);
+    Pmem.Stats.fences (Pmem.Stats.since ~now:s ~past:before)
+
+  let test_fence_bound () =
+    match P.exact_fences with
+    | Some n ->
+      Alcotest.(check int) "fences, 1 store" n (fences_of_tx 1);
+      Alcotest.(check int) "fences, 100 stores" n (fences_of_tx 100);
+      Alcotest.(check int) "fences, 400 stores" n (fences_of_tx 400)
+    | None ->
+      (* log-based PTMs: fences may grow with the transaction *)
+      Alcotest.(check bool) "fences positive" true (fences_of_tx 10 > 0)
+
+  let test_read_tx_no_fences () =
+    let r, p = open_fresh () in
+    let obj =
+      P.update_tx p (fun () ->
+          let o = P.alloc p 16 in
+          P.store p o 1;
+          P.set_root p 0 o;
+          o)
+    in
+    let s = R.stats r in
+    let before = Pmem.Stats.snapshot s in
+    ignore (P.read_tx p (fun () -> P.load p obj));
+    let d = Pmem.Stats.since ~now:s ~past:before in
+    Alcotest.(check int) "no fences in read tx" 0 (Pmem.Stats.fences d);
+    Alcotest.(check int) "no pwbs in read tx" 0 d.Pmem.Stats.pwbs
+
+  (* ---- systematic crash injection ---- *)
+
+  type observed = Pre | Post | Torn of string
+
+  let setup_crash_region () =
+    let r = region () in
+    let p = P.open_region r in
+    let n1, n2 =
+      P.update_tx p (fun () ->
+          let n1 = P.alloc p 16 in
+          P.store p n1 1;
+          P.store p (n1 + 8) 2;
+          P.set_root p 0 n1;
+          let n2 = P.alloc p 16 in
+          P.store p n2 7;
+          P.set_root p 2 n2;
+          (n1, n2))
+    in
+    (r, p, n1, n2)
+
+  let mutate p n1 n2 =
+    P.update_tx p (fun () ->
+        P.store p n1 10;
+        P.store p (n1 + 8) 20;
+        let n3 = P.alloc p 24 in
+        P.store p n3 99;
+        P.set_root p 1 n3;
+        P.free p n2;
+        P.set_root p 2 0)
+
+  let observe p n1 n2 =
+    P.read_tx p (fun () ->
+        let a = P.load p n1 in
+        let b = P.load p (n1 + 8) in
+        let r1 = P.get_root p 1 in
+        let r2 = P.get_root p 2 in
+        match (a, b, r1, r2) with
+        | 1, 2, 0, r2 when r2 = n2 && P.load p n2 = 7 -> Pre
+        | 10, 20, n3, 0 when n3 <> 0 && P.load p n3 = 99 -> Post
+        | _ ->
+          Torn (Printf.sprintf "a=%d b=%d root1=%d root2=%d" a b r1 r2))
+
+  let policy_name = function
+    | R.Drop_all -> "drop_all"
+    | R.Keep_all -> "keep_all"
+    | R.Random_subset seed -> Printf.sprintf "random(%d)" seed
+
+  let crash_at_every_point policy =
+    let completed = ref false in
+    let k = ref 0 in
+    while not !completed do
+      let r, p, n1, n2 = setup_crash_region () in
+      R.set_trap r !k;
+      (match mutate p n1 n2 with
+       | () ->
+         R.clear_trap r;
+         completed := true
+       | exception R.Crash_point -> ());
+      R.crash r policy;
+      P.recover p;
+      (match observe p n1 n2 with
+       | Pre | Post -> ()
+       | Torn s ->
+         Alcotest.failf "torn state at crash point %d (%s): %s" !k
+           (policy_name policy) s);
+      if !completed then begin
+        match observe p n1 n2 with
+        | Post -> ()
+        | Pre | Torn _ -> Alcotest.fail "committed tx lost after crash"
+      end;
+      (match P.allocator_check p with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "allocator broken at point %d: %s" !k e);
+      P.update_tx p (fun () ->
+          let x = P.alloc p 16 in
+          P.store p x 5;
+          P.set_root p 3 x);
+      Alcotest.(check int) "post-recovery tx works" 5
+        (P.read_tx p (fun () -> P.load p (P.get_root p 3)));
+      incr k;
+      if !k > 20_000 then Alcotest.fail "crash loop did not terminate"
+    done;
+    !k
+
+  let test_crash_injection_drop_all () =
+    let points = crash_at_every_point R.Drop_all in
+    Alcotest.(check bool) "covered many crash points" true (points > 10)
+
+  let test_crash_injection_keep_all () =
+    ignore (crash_at_every_point R.Keep_all)
+
+  let test_crash_injection_random () =
+    for seed = 1 to 4 do
+      ignore (crash_at_every_point (R.Random_subset seed))
+    done
+
+  let test_crash_during_recovery () =
+    let r, p, n1, n2 = setup_crash_region () in
+    R.set_trap r 12;
+    (match mutate p n1 n2 with
+     | exception R.Crash_point -> ()
+     | () -> Alcotest.fail "trap did not fire");
+    R.crash r (R.Random_subset 9);
+    let k = ref 0 in
+    let finished = ref false in
+    while not !finished do
+      R.set_trap r !k;
+      (match P.recover p with
+       | () ->
+         R.clear_trap r;
+         finished := true
+       | exception R.Crash_point -> R.crash r (R.Random_subset (!k + 100)));
+      incr k;
+      if !k > 20_000 then Alcotest.fail "recovery loop did not terminate"
+    done;
+    match observe p n1 n2 with
+    | Pre -> ()
+    | Post -> Alcotest.fail "uncommitted tx became visible"
+    | Torn s -> Alcotest.failf "torn after interrupted recoveries: %s" s
+
+  (* Blob atomicity: a transaction rewrites a 96-byte blob and bumps a
+     version word; crashed at every instruction boundary, recovery must
+     never expose a version/blob mismatch or a torn blob. *)
+  let test_blob_crash_atomicity () =
+    let blob_for v = String.make 96 (Char.chr (65 + (v mod 26))) in
+    let k = ref 0 in
+    let completed = ref false in
+    while not !completed do
+      let r = region () in
+      let p = P.open_region r in
+      let obj =
+        P.update_tx p (fun () ->
+            let o = P.alloc p 112 in
+            P.store p o 0;
+            P.store_bytes p (o + 8) (blob_for 0);
+            P.set_root p 0 o;
+            o)
+      in
+      R.set_trap r !k;
+      (match
+         P.update_tx p (fun () ->
+             P.store_bytes p (obj + 8) (blob_for 1);
+             P.store p obj 1)
+       with
+       | () ->
+         R.clear_trap r;
+         completed := true
+       | exception R.Crash_point -> ());
+      R.crash r (R.Random_subset (!k + 77));
+      P.recover p;
+      let v, blob =
+        P.read_tx p (fun () -> (P.load p obj, P.load_bytes p (obj + 8) 96))
+      in
+      if blob <> blob_for v then
+        Alcotest.failf "torn blob at crash point %d: version %d" !k v;
+      incr k;
+      if !k > 20_000 then Alcotest.fail "blob crash loop did not terminate"
+    done
+
+  (* Allocator churn under crashes: interleave allocations and frees with
+     random crash points; after every recovery the arena must pass its
+     structural check and all committed live blocks must be intact. *)
+  let test_allocator_churn_with_crashes () =
+    let r = region () in
+    let p = P.open_region r in
+    let rng = Random.State.make [| 99 |] in
+    (* live.(i) = Some (offset, fingerprint) — mirrors root slot 10+i *)
+    let slots = 8 in
+    let live = Array.make slots 0 in
+    for i = 0 to slots - 1 do
+      live.(i) <-
+        P.update_tx p (fun () ->
+            let o = P.alloc p 32 in
+            P.store p o (i * 1_000);
+            P.set_root p (10 + i) o;
+            o)
+    done;
+    for round = 1 to 60 do
+      let i = Random.State.int rng slots in
+      R.set_trap r (Random.State.int rng 120);
+      (match
+         P.update_tx p (fun () ->
+             (* replace the block in slot i *)
+             P.free p (P.get_root p (10 + i));
+             let o = P.alloc p (16 + (16 * Random.State.int rng 8)) in
+             P.store p o (i * 1_000);
+             P.set_root p (10 + i) o;
+             o)
+       with
+       | o ->
+         R.clear_trap r;
+         live.(i) <- o
+       | exception R.Crash_point ->
+         R.crash r (R.Random_subset round);
+         P.recover p;
+         (* the replacement either committed or not: trust the root *)
+         live.(i) <- P.read_tx p (fun () -> P.get_root p (10 + i)));
+      (match P.allocator_check p with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "round %d: arena broken: %s" round e);
+      for j = 0 to slots - 1 do
+        let v = P.read_tx p (fun () -> P.load p live.(j)) in
+        if v <> j * 1_000 then
+          Alcotest.failf "round %d: slot %d clobbered (%d)" round j v
+      done
+    done
+
+  (* ---- concurrency (real domains) ---- *)
+
+  let test_concurrent_counter () =
+    let _, p = open_fresh () in
+    let obj =
+      P.update_tx p (fun () ->
+          let o = P.alloc p 16 in
+          P.store p o 0;
+          P.set_root p 0 o;
+          o)
+    in
+    let writer () =
+      Sync_prims.Tid.with_slot (fun _ ->
+          for _ = 1 to 300 do
+            P.update_tx p (fun () -> P.store p obj (P.load p obj + 1))
+          done)
+    in
+    let ds = List.init 3 (fun _ -> Domain.spawn writer) in
+    List.iter Domain.join ds;
+    Alcotest.(check int) "all increments applied" 900
+      (P.read_tx p (fun () -> P.load p obj))
+
+  let test_concurrent_readers_consistent () =
+    let _, p = open_fresh () in
+    let obj =
+      P.update_tx p (fun () ->
+          let o = P.alloc p 16 in
+          P.store p o 0;
+          P.store p (o + 8) 0;
+          P.set_root p 0 o;
+          o)
+    in
+    let torn = Atomic.make false in
+    let stop = Atomic.make false in
+    let writer () =
+      Sync_prims.Tid.with_slot (fun _ ->
+          for i = 1 to 400 do
+            P.update_tx p (fun () ->
+                P.store p obj i;
+                P.store p (obj + 8) i)
+          done;
+          Atomic.set stop true)
+    in
+    let reader () =
+      Sync_prims.Tid.with_slot (fun _ ->
+          while not (Atomic.get stop) do
+            P.read_tx p (fun () ->
+                let a = P.load p obj in
+                let b = P.load p (obj + 8) in
+                if a <> b then Atomic.set torn true)
+          done)
+    in
+    let ds = List.map Domain.spawn [ writer; reader; reader ] in
+    List.iter Domain.join ds;
+    Alcotest.(check bool) "transactional isolation" false (Atomic.get torn)
+
+  (* A power failure with several domains mid-flight: every domain dies
+     on Crash_point (the region is dead for all of them), the "restart"
+     recovers, and the counter must be consistent — every increment that
+     was acknowledged before the crash survives. *)
+  let test_concurrent_crash_restart () =
+    let r, p = open_fresh () in
+    let obj =
+      P.update_tx p (fun () ->
+          let o = P.alloc p 16 in
+          P.store p o 0;
+          P.set_root p 0 o;
+          o)
+    in
+    let acked = Atomic.make 0 in
+    let worker () =
+      Sync_prims.Tid.with_slot (fun _ ->
+          try
+            for _ = 1 to 10_000 do
+              P.update_tx p (fun () -> P.store p obj (P.load p obj + 1));
+              Atomic.incr acked
+            done
+          with R.Crash_point -> (* the machine died under us *) ())
+    in
+    R.set_trap r 2_000;
+    let ds = List.init 3 (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join ds;
+    R.crash r R.Drop_all;
+    P.recover p;
+    let v = P.read_tx p (fun () -> P.load p obj) in
+    let a = Atomic.get acked in
+    if v < a then
+      Alcotest.failf "lost acknowledged increments: counter %d < acked %d" v a;
+    if v > a + 3 then
+      Alcotest.failf "counter %d exceeds acked %d + in-flight" v a;
+    (* the system keeps working after the restart *)
+    P.update_tx p (fun () -> P.store p obj (P.load p obj + 1));
+    Alcotest.(check int) "post-restart increment" (v + 1)
+      (P.read_tx p (fun () -> P.load p obj))
+
+  (* ---- qcheck: random transactions + random crash points ---- *)
+
+  let prop_random_crash_atomicity =
+    let open QCheck in
+    let gen =
+      Gen.(
+        triple
+          (list_size (int_bound 30) (pair (int_bound 9) small_nat))
+          small_nat (int_bound 3))
+    in
+    Test.make ~count:40
+      ~name:(P.name ^ ": random tx crash atomicity")
+      (make
+         ~print:(fun (ops, k, pol) ->
+           Printf.sprintf "<%d stores, trap=%d, policy=%d>" (List.length ops)
+             k pol)
+         gen)
+      (fun (ops, trap, pol) ->
+        let r = region () in
+        let p = P.open_region r in
+        let arr =
+          P.update_tx p (fun () ->
+              let a = P.alloc p 80 in
+              for i = 0 to 9 do
+                P.store p (a + (8 * i)) i
+              done;
+              P.set_root p 0 a;
+              a)
+        in
+        let model = Array.init 10 (fun i -> i) in
+        let next = Array.copy model in
+        List.iter (fun (slot, v) -> next.(slot) <- v) ops;
+        R.set_trap r trap;
+        let committed =
+          match
+            P.update_tx p (fun () ->
+                List.iter (fun (slot, v) -> P.store p (arr + (8 * slot)) v) ops)
+          with
+          | () ->
+            R.clear_trap r;
+            true
+          | exception R.Crash_point -> false
+        in
+        let policy =
+          match pol with
+          | 0 -> R.Drop_all
+          | 1 -> R.Keep_all
+          | n -> R.Random_subset n
+        in
+        R.crash r policy;
+        P.recover p;
+        let got =
+          P.read_tx p (fun () ->
+              Array.init 10 (fun i -> P.load p (arr + (8 * i))))
+        in
+        if committed then got = next else got = model || got = next)
+
+  let suite =
+    let tc = Alcotest.test_case in
+    [ tc "root round-trip" `Quick test_root_round_trip;
+      tc "blob round-trip" `Quick test_blob_round_trip;
+      tc "tx result values" `Quick test_tx_result_value;
+      tc "store outside tx raises" `Quick test_store_outside_tx_raises;
+      tc "store in read_tx raises" `Quick test_store_in_read_tx_raises;
+      tc "nested txs flatten" `Quick test_nested_txs_flatten;
+      tc "exception semantics" `Quick test_exception_semantics;
+      tc "survives clean crash" `Quick test_survives_clean_crash;
+      tc "reopen region recovers" `Quick test_reopen_region;
+      tc "uncommitted tx rolls back" `Quick test_uncommitted_tx_rolls_back;
+      tc "fence bound" `Quick test_fence_bound;
+      tc "read tx is fence-free" `Quick test_read_tx_no_fences;
+      tc "crash injection (drop all)" `Slow test_crash_injection_drop_all;
+      tc "crash injection (keep all)" `Slow test_crash_injection_keep_all;
+      tc "crash injection (random)" `Slow test_crash_injection_random;
+      tc "crash during recovery" `Slow test_crash_during_recovery;
+      tc "blob crash atomicity" `Slow test_blob_crash_atomicity;
+      tc "allocator churn with crashes" `Slow
+        test_allocator_churn_with_crashes ]
+    @ (if P.concurrent then
+         [ tc "concurrent counter" `Quick test_concurrent_counter;
+           tc "concurrent readers consistent" `Quick
+             test_concurrent_readers_consistent;
+           tc "crash with domains in flight" `Quick
+             test_concurrent_crash_restart ]
+       else [])
+    @ List.map QCheck_alcotest.to_alcotest [ prop_random_crash_atomicity ]
+end

@@ -1,0 +1,284 @@
+(* Unit and property tests for the simulated persistent-memory region. *)
+
+module R = Pmem.Region
+
+let region ?fence ?(size = 4096) () = R.create ?fence ~size ()
+
+(* ---- basic load/store ---- *)
+
+let test_store_load () =
+  let r = region () in
+  R.store r 0 42;
+  R.store r 8 (-7);
+  R.store r 4088 max_int;
+  Alcotest.(check int) "word at 0" 42 (R.load r 0);
+  Alcotest.(check int) "word at 8" (-7) (R.load r 8);
+  Alcotest.(check int) "word at end" max_int (R.load r 4088)
+
+let test_store_bytes () =
+  let r = region () in
+  R.store_bytes r 100 "hello, persistent world";
+  Alcotest.(check string) "blob round-trip" "hello, persistent world"
+    (R.load_bytes r 100 23)
+
+let test_bounds () =
+  let r = region () in
+  Alcotest.check_raises "load past end"
+    (Invalid_argument "Region.load: range [4089, 4097) outside region of 4096 bytes")
+    (fun () -> ignore (R.load r 4089));
+  Alcotest.check_raises "negative store"
+    (Invalid_argument "Region.store: range [-8, 0) outside region of 4096 bytes")
+    (fun () -> R.store r (-8) 0)
+
+let test_size_rounding () =
+  let r = R.create ~size:100 () in
+  Alcotest.(check int) "rounded to line multiple" 128 (R.size r)
+
+(* ---- persistence semantics ---- *)
+
+let test_unfenced_store_not_durable () =
+  let r = region () in
+  R.store r 0 99;
+  R.crash r R.Drop_all;
+  Alcotest.(check int) "dropped" 0 (R.load r 0)
+
+let test_pwb_without_fence_not_durable () =
+  let r = region () in
+  R.store r 0 99;
+  R.pwb r 0;
+  R.crash r R.Drop_all;
+  Alcotest.(check int) "pwb alone is not durable" 0 (R.load r 0)
+
+let test_fenced_store_durable () =
+  let r = region () in
+  R.store r 0 99;
+  R.pwb r 0;
+  R.pfence r;
+  R.crash r R.Drop_all;
+  Alcotest.(check int) "durable after pfence" 99 (R.load r 0)
+
+let test_fence_only_persists_pwbed_lines () =
+  let r = region () in
+  R.store r 0 11;        (* line 0, never pwb'ed *)
+  R.store r 64 22;       (* line 1, pwb'ed *)
+  R.pwb r 64;
+  R.pfence r;
+  R.crash r R.Drop_all;
+  Alcotest.(check int) "line without pwb dropped" 0 (R.load r 0);
+  Alcotest.(check int) "pwb'ed line persisted" 22 (R.load r 64)
+
+let test_keep_all_policy () =
+  let r = region () in
+  R.store r 0 5;
+  R.crash r R.Keep_all;
+  Alcotest.(check int) "eviction persisted the dirty line" 5 (R.load r 0)
+
+let test_crash_restores_volatile_from_persistent () =
+  let r = region () in
+  R.store r 0 1;
+  R.pwb r 0; R.pfence r;
+  R.store r 0 2;
+  R.crash r R.Drop_all;
+  Alcotest.(check int) "restart sees last durable value" 1 (R.load r 0)
+
+let test_ordered_pwb_profile () =
+  let r = region ~fence:Pmem.Fence.clflush () in
+  R.store r 0 7;
+  R.pwb r 0;
+  (* no fence: CLFLUSH is synchronous *)
+  R.crash r R.Drop_all;
+  Alcotest.(check int) "clflush persists immediately" 7 (R.load r 0)
+
+let test_copy_then_pwb_range () =
+  let r = region () in
+  R.store_bytes r 0 "twin copy payload!";
+  R.copy r ~src:0 ~dst:2048 ~len:18;
+  R.pwb_range r 2048 18;
+  R.pfence r;
+  R.crash r R.Drop_all;
+  Alcotest.(check string) "copied range durable" "twin copy payload!"
+    (R.load_bytes r 2048 18)
+
+(* ---- stats ---- *)
+
+let test_stats_counts () =
+  let r = region () in
+  let s = R.stats r in
+  R.store r 0 1;
+  R.store r 8 2;
+  R.pwb r 0;
+  R.pwb_range r 0 128;  (* 2 lines *)
+  R.pfence r;
+  R.psync r;
+  ignore (R.load r 0);
+  Alcotest.(check int) "stores" 2 s.Pmem.Stats.stores;
+  Alcotest.(check int) "pwbs" 3 s.Pmem.Stats.pwbs;
+  Alcotest.(check int) "pfences" 1 s.Pmem.Stats.pfences;
+  Alcotest.(check int) "psyncs" 1 s.Pmem.Stats.psyncs;
+  Alcotest.(check int) "loads" 1 s.Pmem.Stats.loads;
+  Alcotest.(check int) "nvm bytes" 16 s.Pmem.Stats.nvm_bytes
+
+let test_stats_since () =
+  let r = region () in
+  let s = R.stats r in
+  R.store r 0 1;
+  let snap = Pmem.Stats.snapshot s in
+  R.store r 8 2;
+  R.store r 16 3;
+  let d = Pmem.Stats.since ~now:s ~past:snap in
+  Alcotest.(check int) "delta stores" 2 d.Pmem.Stats.stores
+
+let test_delay_accounting () =
+  let r = region ~fence:Pmem.Fence.stt () in
+  let s = R.stats r in
+  R.store r 0 1;
+  R.pwb r 0;
+  R.pfence r;
+  R.psync r;
+  Alcotest.(check int) "stt delays" (140 + 200 + 200) s.Pmem.Stats.delay_ns
+
+(* ---- crash traps ---- *)
+
+let test_trap_fires () =
+  let r = region () in
+  R.set_trap r 2;
+  R.store r 0 1;  (* step 0 consumed: countdown 2 -> 1 *)
+  R.store r 8 2;  (* countdown 1 -> 0 *)
+  Alcotest.check_raises "third primitive crashes" R.Crash_point
+    (fun () -> R.store r 16 3);
+  (* the machine is dead until the crash is resolved *)
+  Alcotest.check_raises "dead region keeps raising" R.Crash_point
+    (fun () -> R.store r 16 3);
+  Alcotest.check_raises "dead region refuses loads" R.Crash_point
+    (fun () -> ignore (R.load r 0));
+  R.crash r R.Drop_all;
+  R.store r 16 3;
+  Alcotest.(check int) "usable again after crash" 3 (R.load r 16)
+
+let test_trap_zero_fires_immediately () =
+  let r = region () in
+  R.set_trap r 0;
+  Alcotest.check_raises "first primitive crashes" R.Crash_point
+    (fun () -> R.pfence r)
+
+(* ---- property tests ---- *)
+
+(* A random mix of stores/pwb/pfence; after a crash with any policy, every
+   word is either its last fenced value or (policy permitting) its last
+   stored value — never anything else. *)
+let prop_crash_values_are_plausible =
+  let open QCheck in
+  let op = small_nat in
+  Test.make ~count:200 ~name:"crash yields fenced-or-stored values"
+    (pair (list (pair (int_bound 15) op)) (int_bound 2))
+    (fun (ops, pol) ->
+      let r = R.create ~size:(16 * 64) () in
+      (* last value stored per slot, and last fenced value per slot *)
+      let stored = Array.make 16 0 and fenced = Array.make 16 0 in
+      let pwbed = Array.make 16 false in
+      List.iteri
+        (fun i (slot, v) ->
+          match i mod 5 with
+          | 4 ->
+            R.pfence r;
+            Array.iteri (fun j p -> if p then fenced.(j) <- stored.(j)) pwbed
+            (* note: fenced value is the stored value at pwb time; since
+               slots are one per line and we re-pwb on every store below,
+               last-stored at fence time is accurate enough for slots that
+               were pwb'ed after their last store *)
+          | _ ->
+            R.store r (slot * 64) v;
+            stored.(slot) <- v;
+            R.pwb r (slot * 64);
+            pwbed.(slot) <- true)
+        ops;
+      let policy =
+        match pol with
+        | 0 -> R.Drop_all
+        | 1 -> R.Keep_all
+        | _ -> R.Random_subset 42
+      in
+      R.crash r policy;
+      Array.for_all (fun i -> i >= 0)
+        (Array.init 16 (fun slot ->
+             let v = R.load r (slot * 64) in
+             if v = fenced.(slot) || v = stored.(slot) then 0 else -1)))
+
+let prop_keep_all_equals_volatile =
+  let open QCheck in
+  Test.make ~count:100 ~name:"Keep_all crash == volatile image"
+    (list (pair (int_bound 63) int))
+    (fun writes ->
+      let r = R.create ~size:(64 * 64) () in
+      List.iter (fun (slot, v) -> R.store r (slot * 64) v) writes;
+      let before = List.map (fun (s, _) -> R.load r (s * 64)) writes in
+      R.crash r R.Keep_all;
+      let after = List.map (fun (s, _) -> R.load r (s * 64)) writes in
+      before = after)
+
+let prop_random_subset_deterministic =
+  let open QCheck in
+  Test.make ~count:50 ~name:"Random_subset is deterministic per seed"
+    (pair (list (pair (int_bound 63) int)) small_nat)
+    (fun (writes, seed) ->
+      let run () =
+        let r = R.create ~size:(64 * 64) () in
+        List.iter (fun (slot, v) -> R.store r (slot * 64) v) writes;
+        R.crash r (R.Random_subset seed);
+        List.map (fun (s, _) -> R.load r (s * 64)) writes
+      in
+      run () = run ())
+
+(* ---- file persistence ---- *)
+
+let test_save_load_file () =
+  let path = Filename.temp_file "romulus" ".pmem" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let r = region () in
+  R.store r 64 4242;
+  R.pwb r 64;
+  R.pfence r;
+  R.store r 128 7; (* never fenced: must not travel *)
+  R.save_to_file r path;
+  let r2 = R.load_from_file path in
+  Alcotest.(check int) "size preserved" (R.size r) (R.size r2);
+  Alcotest.(check int) "durable word travels" 4242 (R.load r2 64);
+  Alcotest.(check int) "unfenced word does not" 0 (R.load r2 128)
+
+let test_load_file_bad_magic () =
+  let path = Filename.temp_file "romulus" ".pmem" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out_bin path in
+  output_string oc "not a region";
+  close_out oc;
+  match R.load_from_file path with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad magic must be rejected"
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ tc "store/load round-trip" `Quick test_store_load;
+    tc "blob round-trip" `Quick test_store_bytes;
+    tc "bounds checking" `Quick test_bounds;
+    tc "size rounding" `Quick test_size_rounding;
+    tc "unfenced store not durable" `Quick test_unfenced_store_not_durable;
+    tc "pwb without fence not durable" `Quick test_pwb_without_fence_not_durable;
+    tc "fenced store durable" `Quick test_fenced_store_durable;
+    tc "fence persists only pwb'ed lines" `Quick test_fence_only_persists_pwbed_lines;
+    tc "Keep_all persists evictions" `Quick test_keep_all_policy;
+    tc "crash restores volatile from persistent" `Quick test_crash_restores_volatile_from_persistent;
+    tc "ordered pwb (clflush)" `Quick test_ordered_pwb_profile;
+    tc "copy + pwb_range durable" `Quick test_copy_then_pwb_range;
+    tc "stats counters" `Quick test_stats_counts;
+    tc "stats since" `Quick test_stats_since;
+    tc "delay accounting" `Quick test_delay_accounting;
+    tc "crash trap fires" `Quick test_trap_fires;
+    tc "crash trap at zero" `Quick test_trap_zero_fires_immediately;
+    tc "save/load file" `Quick test_save_load_file;
+    tc "load file bad magic" `Quick test_load_file_bad_magic ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_crash_values_are_plausible;
+        prop_keep_all_equals_volatile;
+        prop_random_subset_deterministic ]
+
+let () = Alcotest.run "pmem" [ ("region", suite) ]

@@ -1,0 +1,247 @@
+(* Tests for the discrete-event simulator and the synchronization models:
+   the DES must be deterministic and honour timing, and each model must
+   reproduce the qualitative behaviour the paper attributes to its PTM
+   (these shapes are what the multi-thread figures are built from). *)
+
+open Simsched
+
+(* ---- DES engine ---- *)
+
+let test_des_ordering () =
+  let sim = Des.create () in
+  let log = ref [] in
+  Des.schedule sim 30. (fun () -> log := 3 :: !log);
+  Des.schedule sim 10. (fun () -> log := 1 :: !log);
+  Des.schedule sim 20. (fun () -> log := 2 :: !log);
+  Des.run sim ~until:100.;
+  Alcotest.(check (list int)) "events fire in time order" [ 1; 2; 3 ]
+    (List.rev !log);
+  Alcotest.(check (float 0.001)) "clock advanced to until" 100. (Des.now sim)
+
+let test_des_ties_fifo () =
+  let sim = Des.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Des.schedule sim 10. (fun () -> log := i :: !log)
+  done;
+  Des.run sim ~until:100.;
+  Alcotest.(check (list int)) "same-time events fire FIFO" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_des_cascading () =
+  let sim = Des.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 50 then Des.schedule sim 5. tick
+  in
+  Des.schedule sim 5. tick;
+  Des.run sim ~until:1_000.;
+  Alcotest.(check int) "cascaded events all ran" 50 !count
+
+let test_des_until_cuts_off () =
+  let sim = Des.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    Des.schedule sim 10. tick
+  in
+  Des.schedule sim 10. tick;
+  Des.run sim ~until:105.;
+  Alcotest.(check int) "only events within the horizon" 10 !count
+
+let test_des_random_deterministic () =
+  let draw seed =
+    let sim = Des.create ~seed () in
+    List.init 10 (fun _ -> Des.random sim)
+  in
+  Alcotest.(check bool) "same seed, same stream" true (draw 7 = draw 7);
+  Alcotest.(check bool) "different seed, different stream" true
+    (draw 7 <> draw 8);
+  List.iter
+    (fun x ->
+      Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.))
+    (draw 42)
+
+(* ---- model shapes ---- *)
+
+let costs = Sync_model.default_costs
+
+let run ?(seed = 1) ?(duration = 5e7) model ~readers ~writers =
+  Sync_model.run
+    { Sync_model.model; costs; readers; writers; duration_ns = duration; seed }
+
+let test_model_determinism () =
+  let a = run Sync_model.Fc_crwwp ~readers:4 ~writers:4 in
+  let b = run Sync_model.Fc_crwwp ~readers:4 ~writers:4 in
+  Alcotest.(check bool) "same config, same counts" true
+    (a.Sync_model.reads_done = b.Sync_model.reads_done
+     && a.Sync_model.updates_done = b.Sync_model.updates_done)
+
+let test_single_thread_throughput_sanity () =
+  (* one writer, no contention: throughput ~ 1 / (think + fixed + work) *)
+  let r = run Sync_model.Fc_crwwp ~readers:0 ~writers:1 in
+  let expected =
+    5e7
+    /. (costs.Sync_model.think_ns +. costs.Sync_model.batch_fixed_ns
+        +. costs.Sync_model.update_work_ns)
+  in
+  let got = float_of_int r.Sync_model.updates_done in
+  Alcotest.(check bool)
+    (Printf.sprintf "within 5%% of analytic (%f vs %f)" got expected)
+    true
+    (abs_float (got -. expected) /. expected < 0.05)
+
+let test_left_right_readers_scale_linearly () =
+  let reads n =
+    (run Sync_model.Fc_left_right ~readers:n ~writers:0).Sync_model.reads_done
+  in
+  let r1 = reads 1 and r16 = reads 16 in
+  let ratio = float_of_int r16 /. float_of_int r1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "16 readers ~ 16x one reader (ratio %.2f)" ratio)
+    true
+    (ratio > 14. && ratio < 16.5)
+
+let test_left_right_readers_unaffected_by_writers () =
+  let no_w =
+    (run Sync_model.Fc_left_right ~readers:8 ~writers:0).Sync_model.reads_done
+  in
+  let with_w =
+    (run Sync_model.Fc_left_right ~readers:8 ~writers:2).Sync_model.reads_done
+  in
+  let ratio = float_of_int with_w /. float_of_int no_w in
+  Alcotest.(check bool)
+    (Printf.sprintf "wait-free reads keep >90%% throughput (%.2f)" ratio)
+    true
+    (ratio > 0.9)
+
+let test_crwwp_readers_blocked_by_writers () =
+  let no_w =
+    (run Sync_model.Fc_crwwp ~readers:8 ~writers:0).Sync_model.reads_done
+  in
+  let with_w =
+    (run Sync_model.Fc_crwwp ~readers:8 ~writers:4).Sync_model.reads_done
+  in
+  let ratio = float_of_int with_w /. float_of_int no_w in
+  Alcotest.(check bool)
+    (Printf.sprintf "blocking readers lose throughput (%.2f)" ratio)
+    true
+    (ratio < 0.8)
+
+let test_flat_combining_updates_do_not_collapse () =
+  (* aggregated updates: more writers must not reduce total throughput
+     much below the single-writer rate (starvation-free batching) *)
+  let u n =
+    (run Sync_model.Fc_crwwp ~readers:0 ~writers:n).Sync_model.updates_done
+  in
+  let u1 = u 1 and u32 = u 32 in
+  let ratio = float_of_int u32 /. float_of_int u1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "32 writers >= 80%% of 1 writer (%.2f)" ratio)
+    true
+    (ratio > 0.8)
+
+let test_reader_pref_starves_writers () =
+  (* Figure 7's left panel: 2 writers against a growing reader pack *)
+  let updates n_readers =
+    (run (Sync_model.Rw_reader_pref { atomic_ns = 40. }) ~readers:n_readers
+       ~writers:2)
+      .Sync_model.updates_done
+  in
+  let few = updates 2 and many = updates 32 in
+  Alcotest.(check bool)
+    (Printf.sprintf "writers starve under readers (%d -> %d)" few many)
+    true
+    (many < few / 10)
+
+let test_stm_conflicts_collapse_throughput () =
+  let u p =
+    (run
+       (Sync_model.Stm
+          { conflict_p = p; read_conflict_p = 0.; commit_serial_ns = 0. })
+       ~readers:0 ~writers:8)
+      .Sync_model.updates_done
+  in
+  let disjoint = u 0.0 and shared_counter = u 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "conflicts collapse throughput (%d -> %d)" disjoint
+       shared_counter)
+    true
+    (shared_counter < disjoint / 2)
+
+let test_stm_disjoint_scales () =
+  let u n =
+    (run
+       (Sync_model.Stm
+          { conflict_p = 0.0; read_conflict_p = 0.; commit_serial_ns = 0. })
+       ~readers:0 ~writers:n)
+      .Sync_model.updates_done
+  in
+  let u1 = u 1 and u8 = u 8 in
+  let ratio = float_of_int u8 /. float_of_int u1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "disjoint STM updates scale (%.2f)" ratio)
+    true
+    (ratio > 6.)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ tc "des: time ordering" `Quick test_des_ordering;
+    tc "des: FIFO ties" `Quick test_des_ties_fifo;
+    tc "des: cascading events" `Quick test_des_cascading;
+    tc "des: horizon cutoff" `Quick test_des_until_cuts_off;
+    tc "des: deterministic rng" `Quick test_des_random_deterministic;
+    tc "model: determinism" `Quick test_model_determinism;
+    tc "model: single-thread sanity" `Quick
+      test_single_thread_throughput_sanity;
+    tc "LR: readers scale linearly" `Quick
+      test_left_right_readers_scale_linearly;
+    tc "LR: writers do not hurt readers" `Quick
+      test_left_right_readers_unaffected_by_writers;
+    tc "C-RW-WP: writers block readers" `Quick
+      test_crwwp_readers_blocked_by_writers;
+    tc "FC: updates do not collapse" `Quick
+      test_flat_combining_updates_do_not_collapse;
+    tc "reader-pref: writer starvation" `Quick
+      test_reader_pref_starves_writers;
+    tc "STM: conflicts collapse" `Quick test_stm_conflicts_collapse_throughput;
+    tc "STM: disjoint scales" `Quick test_stm_disjoint_scales ]
+
+
+(* shapes of the two serialized resources in the models *)
+let test_stm_serial_commit_caps_updates () =
+  let u serial =
+    (run
+       (Sync_model.Stm
+          { conflict_p = 0.0; read_conflict_p = 0.; commit_serial_ns = serial })
+       ~readers:0 ~writers:16)
+      .Sync_model.updates_done
+  in
+  let free = u 0. and capped = u 500. in
+  (* 500ns serialized commit caps total updates near 2M/s over 50ms *)
+  Alcotest.(check bool)
+    (Printf.sprintf "serial commit caps throughput (%d -> %d)" free capped)
+    true
+    (capped < free / 2 && capped <= 110_000)
+
+let test_reader_pref_atomic_caps_reads () =
+  let reads n =
+    (run (Sync_model.Rw_reader_pref { atomic_ns = 40. }) ~readers:n ~writers:0)
+      .Sync_model.reads_done
+  in
+  let r8 = reads 8 and r64 = reads 64 in
+  (* the shared counter saturates: 64 readers gain little over 8 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "shared counter caps read scaling (%d -> %d)" r8 r64)
+    true
+    (float_of_int r64 /. float_of_int r8 < 2.5)
+
+let () =
+  Alcotest.run "simsched"
+    [ ("simsched", suite);
+      ( "resources",
+        [ Alcotest.test_case "stm serial commit" `Quick
+            test_stm_serial_commit_caps_updates;
+          Alcotest.test_case "reader-pref atomic cap" `Quick
+            test_reader_pref_atomic_caps_reads ] ) ]

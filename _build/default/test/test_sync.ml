@@ -1,0 +1,228 @@
+(* Real-domain tests for the synchronization substrate.  The container has
+   a single core, so these exercise correctness under preemptive
+   interleaving rather than parallel speedup. *)
+
+open Sync_prims
+
+let spawn_all fs = List.map Domain.spawn fs
+let join_all ds = List.iter Domain.join ds
+
+(* ---- Tid ---- *)
+
+let test_tid_with_slot_distinct () =
+  (* all four domains hold their slot at the same time: the ids they were
+     given must be pairwise distinct *)
+  let seen = Atomic.make [] in
+  let arrived = Atomic.make 0 in
+  let body () =
+    Tid.with_slot (fun tid ->
+        let rec push () =
+          let old = Atomic.get seen in
+          if not (Atomic.compare_and_set seen old (tid :: old)) then push ()
+        in
+        push ();
+        Atomic.incr arrived;
+        while Atomic.get arrived < 4 do
+          Domain.cpu_relax ()
+        done)
+  in
+  join_all (spawn_all [ body; body; body; body ]);
+  let ids = Atomic.get seen in
+  Alcotest.(check int) "four registrations" 4 (List.length ids);
+  Alcotest.(check int) "all distinct" 4
+    (List.length (List.sort_uniq compare ids))
+
+let test_tid_reuse_after_release () =
+  (* sequential domains can reuse slots: the pool never runs out *)
+  for _ = 1 to 300 do
+    Domain.join (Domain.spawn (fun () -> Tid.with_slot (fun tid -> ignore tid)))
+  done
+
+let test_tid_nested_with_slot () =
+  Tid.with_slot (fun a -> Tid.with_slot (fun b ->
+      Alcotest.(check int) "nested reuses the same slot" a b))
+
+(* ---- Spinlock ---- *)
+
+let test_spinlock_mutual_exclusion () =
+  let lock = Spinlock.create () in
+  let counter = ref 0 in
+  let worker () =
+    for _ = 1 to 2_000 do
+      Spinlock.lock lock;
+      (* non-atomic increment: only safe if the lock works *)
+      counter := !counter + 1;
+      Spinlock.unlock lock
+    done
+  in
+  join_all (spawn_all [ worker; worker; worker; worker ]);
+  Alcotest.(check int) "all increments kept" 8_000 !counter
+
+let test_spinlock_try_lock () =
+  let lock = Spinlock.create () in
+  Alcotest.(check bool) "acquire free lock" true (Spinlock.try_lock lock);
+  Alcotest.(check bool) "fail on held lock" false (Spinlock.try_lock lock);
+  Spinlock.unlock lock;
+  Alcotest.(check bool) "acquire after unlock" true (Spinlock.try_lock lock)
+
+(* ---- Read_indicator ---- *)
+
+let test_read_indicator () =
+  let ri = Read_indicator.create () in
+  Alcotest.(check bool) "initially empty" true (Read_indicator.is_empty ri);
+  Read_indicator.arrive ri 3;
+  Read_indicator.arrive ri 3;
+  (* counting: re-entrant *)
+  Alcotest.(check bool) "occupied" false (Read_indicator.is_empty ri);
+  Read_indicator.depart ri 3;
+  Alcotest.(check bool) "still occupied after one depart" false
+    (Read_indicator.is_empty ri);
+  Read_indicator.depart ri 3;
+  Alcotest.(check bool) "empty again" true (Read_indicator.is_empty ri)
+
+(* ---- C-RW-WP ---- *)
+
+(* The writer maintains the invariant a = b; readers must never observe a
+   torn pair. *)
+let test_crwwp_no_torn_reads () =
+  let lock = Crwwp.create () in
+  let a = ref 0 and b = ref 0 in
+  let torn = Atomic.make false in
+  let writer () =
+    for i = 1 to 2_000 do
+      Crwwp.with_write_lock lock (fun () ->
+          a := i;
+          b := i)
+    done
+  in
+  let reader () =
+    Tid.with_slot (fun tid ->
+        for _ = 1 to 2_000 do
+          Crwwp.with_read_lock lock tid (fun () ->
+              let x = !a and y = !b in
+              if x <> y then Atomic.set torn true)
+        done)
+  in
+  join_all (spawn_all [ writer; reader; reader ]);
+  Alcotest.(check bool) "no torn read" false (Atomic.get torn)
+
+let test_crwwp_writer_excludes_writer () =
+  let lock = Crwwp.create () in
+  let counter = ref 0 in
+  let writer () =
+    for _ = 1 to 2_000 do
+      Crwwp.with_write_lock lock (fun () -> counter := !counter + 1)
+    done
+  in
+  join_all (spawn_all [ writer; writer; writer ]);
+  Alcotest.(check int) "writer mutual exclusion" 6_000 !counter
+
+(* ---- Flat combining ---- *)
+
+let test_flat_combining_counts () =
+  let fc = Flat_combining.create () in
+  let counter = ref 0 in
+  let exec run = run () in
+  let worker () =
+    Tid.with_slot (fun _ ->
+        for _ = 1 to 1_000 do
+          Flat_combining.apply fc (fun () -> counter := !counter + 1) ~exec
+        done)
+  in
+  join_all (spawn_all [ worker; worker; worker; worker ]);
+  Alcotest.(check int) "every request executed once" 4_000 !counter;
+  Alcotest.(check int) "requests served" 4_000
+    (Flat_combining.requests_served fc);
+  Alcotest.(check bool) "combining happened (batches <= requests)" true
+    (Flat_combining.batches fc <= 4_000)
+
+let test_flat_combining_result_and_exn () =
+  let fc = Flat_combining.create () in
+  let exec run = run () in
+  let result = ref 0 in
+  Flat_combining.apply fc (fun () -> result := 41 + 1) ~exec;
+  Alcotest.(check int) "closure ran" 42 !result;
+  Alcotest.check_raises "exception propagates to requester" Exit (fun () ->
+      Flat_combining.apply fc (fun () -> raise Exit) ~exec)
+
+let test_flat_combining_exec_failure_hits_all () =
+  let fc = Flat_combining.create () in
+  Alcotest.check_raises "exec failure reaches requester" Not_found (fun () ->
+      Flat_combining.apply fc (fun () -> ()) ~exec:(fun _ -> raise Not_found));
+  (* the array must be clean again afterwards *)
+  let ok = ref false in
+  Flat_combining.apply fc (fun () -> ok := true) ~exec:(fun run -> run ());
+  Alcotest.(check bool) "usable after failure" true !ok
+
+(* ---- Left-Right ---- *)
+
+(* Each instance keeps the invariant fst = snd; the writer mutates only the
+   instance readers are not on, so readers must never see a torn pair. *)
+let test_left_right_no_torn_reads () =
+  let lr = Left_right.create () in
+  let inst = [| [| 0; 0 |]; [| 0; 0 |] |] in
+  let torn = Atomic.make false in
+  let stop = Atomic.make false in
+  let writer () =
+    for i = 1 to 1_000 do
+      Left_right.write lr (fun side ->
+          inst.(side).(0) <- i;
+          (* widen the race window *)
+          for _ = 1 to 50 do Domain.cpu_relax () done;
+          inst.(side).(1) <- i)
+    done;
+    Atomic.set stop true
+  in
+  let reader () =
+    Tid.with_slot (fun tid ->
+        while not (Atomic.get stop) do
+          Left_right.read lr tid (fun side ->
+              let x = inst.(side).(0) in
+              let y = inst.(side).(1) in
+              if x <> y then Atomic.set torn true)
+        done)
+  in
+  join_all (spawn_all [ writer; reader; reader ]);
+  Alcotest.(check bool) "no torn read" false (Atomic.get torn);
+  Alcotest.(check int) "both instances converged (0)" 1_000 inst.(0).(0);
+  Alcotest.(check int) "both instances converged (1)" 1_000 inst.(1).(1)
+
+let test_left_right_reader_sees_latest_committed () =
+  let lr = Left_right.create () in
+  let inst = [| ref 0; ref 0 |] in
+  Left_right.write lr (fun side -> inst.(side) := 7);
+  Tid.with_slot (fun tid ->
+      let v = Left_right.read lr tid (fun side -> !(inst.(side))) in
+      Alcotest.(check int) "post-write read" 7 v)
+
+let test_left_right_toggle_protocol () =
+  let lr = Left_right.create () in
+  Alcotest.(check int) "initial instance" 0 (Left_right.which_instance lr);
+  Left_right.toggle_lr lr;
+  Alcotest.(check int) "toggled" 1 (Left_right.which_instance lr);
+  (* no readers: the version toggle must not block *)
+  Left_right.toggle_version_and_wait lr;
+  Left_right.toggle_lr lr;
+  Alcotest.(check int) "toggled back" 0 (Left_right.which_instance lr)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ tc "tid: distinct slots" `Quick test_tid_with_slot_distinct;
+    tc "tid: slots are reusable" `Slow test_tid_reuse_after_release;
+    tc "tid: nested with_slot" `Quick test_tid_nested_with_slot;
+    tc "spinlock: mutual exclusion" `Quick test_spinlock_mutual_exclusion;
+    tc "spinlock: try_lock" `Quick test_spinlock_try_lock;
+    tc "read indicator: counting" `Quick test_read_indicator;
+    tc "crwwp: no torn reads" `Quick test_crwwp_no_torn_reads;
+    tc "crwwp: writers exclude writers" `Quick test_crwwp_writer_excludes_writer;
+    tc "flat combining: all requests once" `Quick test_flat_combining_counts;
+    tc "flat combining: results and exceptions" `Quick
+      test_flat_combining_result_and_exn;
+    tc "flat combining: exec failure" `Quick
+      test_flat_combining_exec_failure_hits_all;
+    tc "left-right: no torn reads" `Quick test_left_right_no_torn_reads;
+    tc "left-right: read after write" `Quick
+      test_left_right_reader_sees_latest_committed;
+    tc "left-right: toggle protocol" `Quick test_left_right_toggle_protocol ]
+
+let () = Alcotest.run "sync" [ ("sync", suite) ]

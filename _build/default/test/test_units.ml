@@ -1,0 +1,329 @@
+(* Unit tests for the smaller supporting modules: the volatile redo log,
+   fence profiles, workload generation, the engine's commit decomposition
+   and RomulusLR's synthetic-pointer bookkeeping. *)
+
+(* ---- Redo_log ---- *)
+
+let entries_of l =
+  let acc = ref [] in
+  Romulus.Redo_log.iter l (fun ~off ~len -> acc := (off, len) :: !acc);
+  List.rev !acc
+
+let test_redo_log_basics () =
+  let l = Romulus.Redo_log.create () in
+  Alcotest.(check bool) "empty" true (Romulus.Redo_log.is_empty l);
+  Romulus.Redo_log.add l ~off:64 ~len:8;
+  Romulus.Redo_log.add l ~off:128 ~len:8;
+  Alcotest.(check int) "two entries" 2 (Romulus.Redo_log.entries l);
+  Alcotest.(check (list (pair int int))) "order preserved"
+    [ (64, 8); (128, 8) ] (entries_of l);
+  Alcotest.(check int) "bytes" 16 (Romulus.Redo_log.bytes l)
+
+let test_redo_log_dedup () =
+  let l = Romulus.Redo_log.create () in
+  for _ = 1 to 1_000 do
+    Romulus.Redo_log.add l ~off:64 ~len:8
+  done;
+  Alcotest.(check int) "word stores dedup" 1 (Romulus.Redo_log.entries l);
+  (* ranges are appended as-is *)
+  Romulus.Redo_log.add l ~off:64 ~len:16;
+  Romulus.Redo_log.add l ~off:64 ~len:16;
+  Alcotest.(check int) "ranges append" 3 (Romulus.Redo_log.entries l)
+
+let test_redo_log_clear_resets_dedup () =
+  let l = Romulus.Redo_log.create () in
+  Romulus.Redo_log.add l ~off:8 ~len:8;
+  Romulus.Redo_log.clear l;
+  Alcotest.(check bool) "cleared" true (Romulus.Redo_log.is_empty l);
+  Romulus.Redo_log.add l ~off:8 ~len:8;
+  Alcotest.(check int) "dedup forgets cleared entries" 1
+    (Romulus.Redo_log.entries l)
+
+let test_redo_log_growth () =
+  let l = Romulus.Redo_log.create () in
+  for i = 0 to 9_999 do
+    Romulus.Redo_log.add l ~off:(8 * i) ~len:8
+  done;
+  Alcotest.(check int) "ten thousand entries" 10_000
+    (Romulus.Redo_log.entries l);
+  Alcotest.(check int) "bytes" 80_000 (Romulus.Redo_log.bytes l)
+
+let test_redo_log_zero_len_ignored () =
+  let l = Romulus.Redo_log.create () in
+  Romulus.Redo_log.add l ~off:0 ~len:0;
+  Alcotest.(check bool) "zero-length ranges dropped" true
+    (Romulus.Redo_log.is_empty l)
+
+(* ---- Fence profiles ---- *)
+
+let test_fence_by_name () =
+  List.iter
+    (fun p ->
+      Alcotest.(check string) "round-trips" p.Pmem.Fence.name
+        (Pmem.Fence.by_name p.Pmem.Fence.name).Pmem.Fence.name)
+    Pmem.Fence.all;
+  Alcotest.check_raises "unknown profile"
+    (Invalid_argument "Fence.by_name: unknown profile optane") (fun () ->
+      ignore (Pmem.Fence.by_name "optane"))
+
+let test_fence_semantics_flags () =
+  Alcotest.(check bool) "clflush is ordered" true
+    Pmem.Fence.clflush.Pmem.Fence.ordered_pwb;
+  Alcotest.(check bool) "clwb is not" false
+    Pmem.Fence.clwb.Pmem.Fence.ordered_pwb;
+  Alcotest.(check bool) "pcm slower than stt" true
+    (Pmem.Fence.pcm.Pmem.Fence.pwb_ns > Pmem.Fence.stt.Pmem.Fence.pwb_ns)
+
+(* ---- Keygen ---- *)
+
+let test_keygen_deterministic () =
+  let draw () =
+    let g = Workload.Keygen.create ~seed:123 () in
+    List.init 20 (fun _ -> Workload.Keygen.int g 1_000)
+  in
+  Alcotest.(check (list int)) "same seed, same stream" (draw ()) (draw ())
+
+let test_keygen_bounds () =
+  let g = Workload.Keygen.create () in
+  for _ = 1 to 10_000 do
+    let v = Workload.Keygen.int g 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_keygen_spread () =
+  (* all buckets of a small range get hit *)
+  let g = Workload.Keygen.create ~seed:5 () in
+  let seen = Array.make 16 0 in
+  for _ = 1 to 10_000 do
+    let v = Workload.Keygen.int g 16 in
+    seen.(v) <- seen.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 300 then Alcotest.failf "bucket %d starved: %d hits" i c)
+    seen
+
+let test_level_key_format () =
+  Alcotest.(check int) "16 bytes" 16 (String.length (Workload.Keygen.level_key 7));
+  Alcotest.(check string) "zero padded" "0000000000000042"
+    (Workload.Keygen.level_key 42);
+  Alcotest.(check bool) "ordered" true
+    (Workload.Keygen.level_key 9 < Workload.Keygen.level_key 10)
+
+(* ---- engine decomposition (commit_main / replicate / finish_tx) ---- *)
+
+let test_engine_decomposed_commit () =
+  let r = Pmem.Region.create ~size:(1 lsl 16) () in
+  let e = Romulus.Engine.create ~mode:Romulus.Engine.Logged r in
+  Romulus.Engine.begin_tx e;
+  let obj = Romulus.Engine.alloc e 16 in
+  Romulus.Engine.store e obj 5;
+  Romulus.Engine.set_root e 0 obj;
+  Romulus.Engine.commit_main e;
+  (* after commit_main the effects are durable on main even though back
+     has not been updated yet *)
+  Pmem.Region.crash r Pmem.Region.Drop_all;
+  Romulus.Engine.recover e;
+  Alcotest.(check int) "durable after commit_main" 5
+    (Romulus.Engine.load e (Romulus.Engine.get_root e 0))
+
+let test_engine_used_span_grows () =
+  let r = Pmem.Region.create ~size:(1 lsl 16) () in
+  let e = Romulus.Engine.create ~mode:Romulus.Engine.Logged r in
+  let s0 = Romulus.Engine.used_span e in
+  Romulus.Engine.begin_tx e;
+  ignore (Romulus.Engine.alloc e 4096);
+  Romulus.Engine.end_tx e;
+  Alcotest.(check bool) "span grew by at least the allocation" true
+    (Romulus.Engine.used_span e >= s0 + 4096)
+
+let test_engine_mode_accessors () =
+  let r = Pmem.Region.create ~size:(1 lsl 16) () in
+  let e = Romulus.Engine.create ~mode:Romulus.Engine.Full_copy r in
+  Alcotest.(check bool) "mode" true
+    (Romulus.Engine.mode e = Romulus.Engine.Full_copy);
+  Alcotest.(check bool) "main_size positive" true
+    (Romulus.Engine.main_size e > 0);
+  Alcotest.(check bool) "not in tx" false (Romulus.Engine.in_tx e)
+
+let test_engine_rejects_nested_begin () =
+  let r = Pmem.Region.create ~size:(1 lsl 16) () in
+  let e = Romulus.Engine.create ~mode:Romulus.Engine.Logged r in
+  Romulus.Engine.begin_tx e;
+  (match Romulus.Engine.begin_tx e with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "nested begin_tx must raise");
+  Romulus.Engine.end_tx e
+
+(* A transaction that shrinks the allocation frontier (freeing the chunk
+   adjacent to top) must stay crash-atomic in both engine modes: recovery
+   sizes its raw copy from the consistent copy's frontier, which differs
+   before and after the transaction. *)
+let test_engine_shrinking_top_crash_atomic mode () =
+  let k = ref 0 in
+  let completed = ref false in
+  while not !completed do
+    let r = Pmem.Region.create ~size:(1 lsl 16) () in
+    let e = Romulus.Engine.create ~mode r in
+    (* committed state: a small object and a big frontier chunk *)
+    Romulus.Engine.begin_tx e;
+    let small = Romulus.Engine.alloc e 16 in
+    Romulus.Engine.store e small 7;
+    Romulus.Engine.set_root e 0 small;
+    let big = Romulus.Engine.alloc e 8192 in
+    Romulus.Engine.store e big 9;
+    Romulus.Engine.set_root e 1 big;
+    Romulus.Engine.end_tx e;
+    let span_before = Romulus.Engine.used_span e in
+    (* the transaction under test frees the frontier chunk (top shrinks)
+       and updates the small object *)
+    Pmem.Region.set_trap r !k;
+    (match
+       Romulus.Engine.begin_tx e;
+       Romulus.Engine.free e big;
+       Romulus.Engine.set_root e 1 0;
+       Romulus.Engine.store e small 8;
+       Romulus.Engine.end_tx e
+     with
+     | () ->
+       Pmem.Region.clear_trap r;
+       completed := true
+     | exception Pmem.Region.Crash_point -> ());
+    Pmem.Region.crash r (Pmem.Region.Random_subset (!k + 3));
+    Romulus.Engine.recover e;
+    let v = Romulus.Engine.load e (Romulus.Engine.get_root e 0) in
+    let root1 = Romulus.Engine.get_root e 1 in
+    (match (v, root1) with
+     | 7, b when b = big ->
+       if Romulus.Engine.load e big <> 9 then
+         Alcotest.failf "point %d: pre-state lost the big chunk" !k;
+       if Romulus.Engine.used_span e < span_before then
+         Alcotest.failf "point %d: rolled back but frontier shrank" !k
+     | 8, 0 -> () (* post-state: chunk freed *)
+     | v, b -> Alcotest.failf "point %d: torn (v=%d root1=%d)" !k v b);
+    (match Romulus.Engine.allocator_check e with
+     | Ok () -> ()
+     | Error msg -> Alcotest.failf "point %d: allocator: %s" !k msg);
+    incr k;
+    if !k > 20_000 then Alcotest.fail "shrink-crash loop did not terminate"
+  done
+
+(* ---- RomulusLR synthetic pointers ---- *)
+
+let test_lr_delta_zero_outside_read () =
+  Alcotest.(check int) "no ambient offset" 0 (Romulus.Lr.current_delta ())
+
+let test_lr_reader_addresses_back () =
+  let r = Pmem.Region.create ~size:(1 lsl 16) () in
+  let p = Romulus.Lr.open_region r in
+  let obj =
+    Romulus.Lr.update_tx p (fun () ->
+        let o = Romulus.Lr.alloc p 16 in
+        Romulus.Lr.store p o 77;
+        Romulus.Lr.set_root p 0 o;
+        o)
+  in
+  let ms = Romulus.Engine.main_size (Romulus.Lr.engine p) in
+  (* steady state: read-only transactions are parked on the back copy *)
+  let delta_in_read =
+    Romulus.Lr.read_tx p (fun () -> Romulus.Lr.current_delta ())
+  in
+  Alcotest.(check int) "reader offset = main_size" ms delta_in_read;
+  (* scribble on the back copy directly: the reader must see it (it reads
+     back), while the writer still sees main *)
+  Pmem.Region.store r (obj + ms) 123;
+  Alcotest.(check int) "reader reads the back copy" 123
+    (Romulus.Lr.read_tx p (fun () -> Romulus.Lr.load p obj));
+  Alcotest.(check int) "writer reads main" 77
+    (Romulus.Lr.update_tx p (fun () -> Romulus.Lr.load p obj))
+
+let test_lr_update_restores_back () =
+  let r = Pmem.Region.create ~size:(1 lsl 16) () in
+  let p = Romulus.Lr.open_region r in
+  let obj =
+    Romulus.Lr.update_tx p (fun () ->
+        let o = Romulus.Lr.alloc p 16 in
+        Romulus.Lr.store p o 1;
+        Romulus.Lr.set_root p 0 o;
+        o)
+  in
+  Romulus.Lr.update_tx p (fun () -> Romulus.Lr.store p obj 2);
+  (* after the update transaction, both copies hold the new value *)
+  let ms = Romulus.Engine.main_size (Romulus.Lr.engine p) in
+  Alcotest.(check int) "main updated" 2 (Pmem.Region.load r obj);
+  Alcotest.(check int) "back replicated" 2 (Pmem.Region.load r (obj + ms))
+
+(* A PTM's state written to a file mid-transaction reopens in a fresh
+   "process" with recovery, exactly like an mmap'd region would. *)
+let test_ptm_survives_file_round_trip () =
+  let path = Filename.temp_file "romulus" ".pmem" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let module P = Romulus.Logged in
+  let r = Pmem.Region.create ~size:(1 lsl 16) () in
+  let p = P.open_region r in
+  let obj =
+    P.update_tx p (fun () ->
+        let o = P.alloc p 16 in
+        P.store p o 314;
+        P.set_root p 0 o;
+        o)
+  in
+  (* die mid-transaction, save the (persistent) state the disk would
+     hold, and reopen it elsewhere *)
+  Pmem.Region.set_trap r 6;
+  (match P.update_tx p (fun () -> P.store p obj 999) with
+   | () -> Alcotest.fail "trap did not fire"
+   | exception Pmem.Region.Crash_point -> ());
+  Pmem.Region.crash r Pmem.Region.Drop_all;
+  Pmem.Region.save_to_file r path;
+  let r2 = Pmem.Region.load_from_file path in
+  let p2 = P.open_region r2 in
+  Alcotest.(check int) "committed value survives the file round-trip" 314
+    (P.read_tx p2 (fun () -> P.load p2 (P.get_root p2 0)));
+  (* and the new region is fully usable *)
+  P.update_tx p2 (fun () -> P.store p2 (P.get_root p2 0) 315);
+  Alcotest.(check int) "usable after reopen" 315
+    (P.read_tx p2 (fun () -> P.load p2 obj))
+
+(* ---- Stats ---- *)
+
+let test_stats_write_amplification () =
+  let s = Pmem.Stats.create () in
+  s.Pmem.Stats.nvm_bytes <- 300;
+  s.Pmem.Stats.user_bytes <- 100;
+  Alcotest.(check (float 0.001)) "amplification" 3.0
+    (Pmem.Stats.write_amplification s);
+  Pmem.Stats.reset s;
+  Alcotest.(check bool) "nan when no user bytes" true
+    (Float.is_nan (Pmem.Stats.write_amplification s))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ tc "redo log: basics" `Quick test_redo_log_basics;
+    tc "redo log: dedup" `Quick test_redo_log_dedup;
+    tc "redo log: clear resets dedup" `Quick test_redo_log_clear_resets_dedup;
+    tc "redo log: growth" `Quick test_redo_log_growth;
+    tc "redo log: zero-length ignored" `Quick test_redo_log_zero_len_ignored;
+    tc "fence: by_name" `Quick test_fence_by_name;
+    tc "fence: semantics flags" `Quick test_fence_semantics_flags;
+    tc "keygen: deterministic" `Quick test_keygen_deterministic;
+    tc "keygen: bounds" `Quick test_keygen_bounds;
+    tc "keygen: spread" `Quick test_keygen_spread;
+    tc "keygen: level keys" `Quick test_level_key_format;
+    tc "engine: decomposed commit durable" `Quick
+      test_engine_decomposed_commit;
+    tc "engine: used span grows" `Quick test_engine_used_span_grows;
+    tc "engine: accessors" `Quick test_engine_mode_accessors;
+    tc "engine: nested begin rejected" `Quick test_engine_rejects_nested_begin;
+    tc "engine: shrinking frontier crash-atomic (logged)" `Slow
+      (test_engine_shrinking_top_crash_atomic Romulus.Engine.Logged);
+    tc "engine: shrinking frontier crash-atomic (full copy)" `Slow
+      (test_engine_shrinking_top_crash_atomic Romulus.Engine.Full_copy);
+    tc "lr: delta zero outside reads" `Quick test_lr_delta_zero_outside_read;
+    tc "lr: reader addresses back copy" `Quick test_lr_reader_addresses_back;
+    tc "lr: update restores back" `Quick test_lr_update_restores_back;
+    tc "ptm survives file round-trip" `Quick
+      test_ptm_survives_file_round_trip;
+    tc "stats: write amplification" `Quick test_stats_write_amplification ]
+
+let () = Alcotest.run "units" [ ("units", suite) ]
