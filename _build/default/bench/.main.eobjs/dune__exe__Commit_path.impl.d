@@ -1,0 +1,1 @@
+bench/commit_path.ml: Buffer Common Fun Gc List Pds Pmem Printf Romulus Workload

@@ -1,1 +1,1 @@
-bench/main.ml: Ablation Array Common Fig4 Fig5 Fig6 Fig7 Fig8 Fig9 List Micro Printf Pwbhist Recovery Sys Table1
+bench/main.ml: Ablation Array Commit_path Common Fig4 Fig5 Fig6 Fig7 Fig8 Fig9 List Micro Printf Pwbhist Recovery Sys Table1

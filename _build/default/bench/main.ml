@@ -13,7 +13,16 @@ let experiments : (string * string * (Common.scale -> unit)) list =
     ("recovery", "recovery cost (6.5)", Recovery.run);
     ("pwbhist", "pwb-per-transaction histograms (6.2)", Pwbhist.run);
     ("ablation", "design-choice ablations", Ablation.run);
+    ("commit_path", "commit-path write-set ablation (BENCH_commit_path.json)",
+     Commit_path.run);
     ("micro", "bechamel microbenchmarks", Micro.run) ]
+
+(* Runnable by name (and via the @bench-smoke alias) but excluded from the
+   default "all" set so a full run's BENCH_commit_path.json is not
+   overwritten by the tiny smoke parameters. *)
+let hidden : (string * string * (Common.scale -> unit)) list =
+  [ ("commit_path_smoke", "commit-path ablation, tiny parameters (CI smoke)",
+     fun _ -> Commit_path.smoke ()) ]
 
 let usage () =
   print_endline "usage: main.exe [--full] [EXPERIMENT]...";
@@ -35,7 +44,11 @@ let () =
       else
         List.map
           (fun n ->
-            match List.find_opt (fun (name, _, _) -> name = n) experiments with
+            match
+              List.find_opt
+                (fun (name, _, _) -> name = n)
+                (experiments @ hidden)
+            with
             | Some e -> e
             | None ->
               usage ();

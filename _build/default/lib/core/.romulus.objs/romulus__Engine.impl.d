@@ -1,1 +1,1 @@
-lib/core/engine.ml: Palloc Pmem Printf Ptm_intf Redo_log String
+lib/core/engine.ml: Option Palloc Pmem Printf Ptm_intf Redo_log String

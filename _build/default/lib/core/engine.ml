@@ -16,9 +16,16 @@
 
    Store interposition (the persist<T> of §3.2): every store inside a
    transaction appends its range to the volatile log (in Logged mode) and
-   issues a pwb for the modified line.  The allocator runs over the same
-   interposed memory, so its metadata rolls back with the transaction
-   (§4.4). *)
+   records the modified cache line in a per-transaction dirty-line set.
+   The write-backs are deferred: commit_main flushes each dirty line
+   exactly once, right before the CPY fence, so a transaction that stores
+   repeatedly into the same line pays one pwb instead of one per store.
+   Algorithm 1's ordering is preserved — every main pwb still precedes
+   the fence that publishes state = CPY.  ([configure ~eager_pwb:true]
+   restores the pwb-per-store schedule for ablation.)
+
+   The allocator runs over the same interposed memory, so its metadata
+   rolls back with the transaction (§4.4). *)
 
 type mode = Full_copy | Logged
 
@@ -35,7 +42,31 @@ let st_mut = 1
 let st_cpy = 2
 
 module Mem = struct
-  type t = { r : Pmem.Region.t; mutable log : Redo_log.t option }
+  type t = {
+    r : Pmem.Region.t;
+    mutable log : Redo_log.t option;
+    dirty : Pmem.Line_set.t;    (* lines with deferred write-backs *)
+    line_shift : int;
+    mutable eager_pwb : bool;   (* ablation: pwb at every store (seed) *)
+  }
+
+  let make r =
+    let line = Pmem.Region.line_size r in
+    let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+    let line_shift = log2 line 0 in
+    { r; log = None;
+      dirty = Pmem.Line_set.create ~lines:(Pmem.Region.size r lsr line_shift);
+      line_shift;
+      eager_pwb = false }
+
+  let mark_dirty m off len =
+    if len > 0 then begin
+      let first = off lsr m.line_shift in
+      let last = (off + len - 1) lsr m.line_shift in
+      for line = first to last do
+        Pmem.Line_set.set_dirty m.dirty line
+      done
+    end
 
   let load m off = Pmem.Region.load m.r off
 
@@ -44,7 +75,17 @@ module Mem = struct
      | Some l -> Redo_log.add l ~off ~len:8
      | None -> ());
     Pmem.Region.store m.r off v;
-    Pmem.Region.pwb m.r off
+    if m.eager_pwb then Pmem.Region.pwb m.r off else mark_dirty m off 8
+
+  (* Issue the deferred write-backs: one pwb per dirty line.  Must run
+     before the next fence that orders main against the state word. *)
+  let flush_dirty m =
+    Pmem.Line_set.drain_all m.dirty (fun line _ ->
+        Pmem.Region.pwb m.r (line lsl m.line_shift))
+
+  (* Forget the deferred write-backs without issuing them (the caller has
+     flushed the covering ranges explicitly, or a crash made them moot). *)
+  let discard_dirty m = Pmem.Line_set.drain_all m.dirty (fun _ _ -> ())
 end
 
 module A = Palloc.Make (Mem)
@@ -59,6 +100,7 @@ type t = {
   main_size : int;
   arena_base : int;
   mutable in_tx : bool;
+  mutable coalesce : bool;  (* merge log ranges before replicating *)
 }
 
 let main_start = header_bytes
@@ -76,6 +118,15 @@ let layout r =
 let region t = t.r
 let main_size t = t.main_size
 let mode t = t.mode
+
+(* Ablation knobs for the commit-path write-set optimizations; the
+   defaults (deferred write-backs, coalesced log) are the fast path. *)
+let configure ?eager_pwb ?coalesce t =
+  Option.iter (fun b -> t.mem.Mem.eager_pwb <- b) eager_pwb;
+  Option.iter (fun b -> t.coalesce <- b) coalesce
+
+let eager_pwb t = t.mem.Mem.eager_pwb
+let coalesce_enabled t = t.coalesce
 
 (* Bytes of main that are meaningful: header-relative span from the start
    of main to the allocator frontier. *)
@@ -116,12 +167,12 @@ let recover_raw r ~main_size ~arena_base =
 
 let create ~mode r =
   let main_size, arena_base = layout r in
-  let mem = { Mem.r; log = None } in
+  let mem = Mem.make r in
   if Pmem.Region.load r o_magic = magic_value then begin
     recover_raw r ~main_size ~arena_base;
     let arena = A.attach mem ~base:arena_base in
     { r; mem; arena; mode; log = Redo_log.create ();
-      main_start; main_size; arena_base; in_tx = false }
+      main_start; main_size; arena_base; in_tx = false; coalesce = true }
   end
   else begin
     (* format: initialize main, replicate to back, then publish the magic
@@ -130,13 +181,17 @@ let create ~mode r =
     let arena = A.init mem ~base:arena_base ~size:arena_size in
     let t =
       { r; mem; arena; mode; log = Redo_log.create ();
-        main_start; main_size; arena_base; in_tx = false }
+        main_start; main_size; arena_base; in_tx = false; coalesce = true }
     in
     Pmem.Region.store r o_state st_idl;
     let span = used_span t in
     Pmem.Region.copy r ~src:main_start ~dst:(main_start + main_size)
       ~len:span;
-    Pmem.Region.pwb_range r main_start (main_size + span);
+    (* only the used span of main and its back replica need flushing; the
+       span covers every deferred store A.init issued *)
+    Mem.discard_dirty mem;
+    Pmem.Region.pwb_range r main_start span;
+    Pmem.Region.pwb_range r (main_start + main_size) span;
     Pmem.Region.pwb r o_state;
     Pmem.Region.pfence r;
     Pmem.Region.store r o_magic magic_value;
@@ -151,6 +206,7 @@ let recover t =
   recover_raw t.r ~main_size:t.main_size ~arena_base:t.arena_base;
   t.in_tx <- false;
   t.mem.log <- None;
+  Mem.discard_dirty t.mem;
   Redo_log.clear t.log
 
 (* ---- transaction protocol (Algorithm 1) ---- *)
@@ -173,10 +229,15 @@ let begin_tx t =
    transaction committed.  After this returns, the effects are ACID-durable
    (recovery will roll forward, not back). *)
 let commit_main t =
+  (* deferred write-backs: every line the transaction dirtied is flushed
+     exactly once, before the fence that orders main against CPY *)
+  Mem.flush_dirty t.mem;
   Pmem.Region.pfence t.r;
   Pmem.Region.store t.r o_state st_cpy;
   Pmem.Region.pwb t.r o_state;
   Pmem.Region.psync t.r;
+  let s = Pmem.Region.stats t.r in
+  s.Pmem.Stats.commits <- s.Pmem.Stats.commits + 1;
   t.mem.log <- None
 
 (* Propagate the transaction's modifications from main to back. *)
@@ -188,6 +249,8 @@ let replicate t =
        ~dst:(t.main_start + t.main_size) ~len:span;
      Pmem.Region.pwb_range t.r (t.main_start + t.main_size) span
    | Logged ->
+     (* one copy + one pwb_range per maximal interval, not per raw entry *)
+     if t.coalesce then Redo_log.coalesce t.log;
      Redo_log.iter t.log (fun ~off ~len ->
          Pmem.Region.copy t.r ~src:off ~dst:(off + t.main_size) ~len;
          Pmem.Region.pwb_range t.r (off + t.main_size) len));
@@ -237,7 +300,8 @@ let store_bytes t off str =
    | Some l -> Redo_log.add l ~off ~len
    | None -> ());
   Pmem.Region.store_bytes t.r off str;
-  Pmem.Region.pwb_range t.r off len;
+  if t.mem.eager_pwb then Pmem.Region.pwb_range t.r off len
+  else Mem.mark_dirty t.mem off len;
   let s = Pmem.Region.stats t.r in
   s.Pmem.Stats.user_bytes <- s.Pmem.Stats.user_bytes + len
 

@@ -23,14 +23,25 @@ val region : t -> Pmem.Region.t
 val main_size : t -> int
 val mode : t -> mode
 
+(** Ablation knobs for the commit-path write-set optimizations.
+    [eager_pwb] (default [false]) issues a pwb at every interposed store
+    instead of deferring line write-backs to [commit_main]; [coalesce]
+    (default [true]) merges the redo log into maximal intervals before
+    replication. *)
+val configure : ?eager_pwb:bool -> ?coalesce:bool -> t -> unit
+
+val eager_pwb : t -> bool
+val coalesce_enabled : t -> bool
+
 (** Bytes of main in use (what a Full_copy commit replicates). *)
 val used_span : t -> int
 
 (** state <- MUT; pwb; pfence.  Does not nest. *)
 val begin_tx : t -> unit
 
-(** pfence; state <- CPY; pwb; psync.  After this the transaction is
-    ACID-durable on main. *)
+(** Flush deferred dirty-line write-backs (one pwb per line); pfence;
+    state <- CPY; pwb; psync.  After this the transaction is ACID-durable
+    on main. *)
 val commit_main : t -> unit
 
 (** Copy the modified span/ranges from main to back; pwb per line;
@@ -53,7 +64,8 @@ val load_off : t -> int -> int -> int
 val load_bytes : t -> int -> int -> string
 val load_bytes_off : t -> int -> int -> int -> string
 
-(** Interposed store: log (in [Logged] mode) + in-place store + pwb.
+(** Interposed store: log (in [Logged] mode) + in-place store + deferred
+    dirty-line tracking (or an immediate pwb under [~eager_pwb:true]).
     Raises {!Store_outside_transaction} outside [begin_tx]/[end_tx]. *)
 val store : t -> int -> int -> unit
 

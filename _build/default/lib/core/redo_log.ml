@@ -48,6 +48,38 @@ let iter t f =
     f ~off:t.offs.(i) ~len:t.lens.(i)
   done
 
+(* Merge the logged ranges into maximal intervals: sort by offset, then
+   fuse every overlapping or adjacent pair.  Replication afterwards does
+   one copy + one pwb_range per interval instead of per entry, which is
+   where repeated neighbouring stores (allocator metadata, struct fields)
+   stop costing one write-back each.
+
+   Entries already appended stay deduplicated in [words]; an interval
+   covering a word is at least as large as its original range, so later
+   appends of the same word remain redundant. *)
+let coalesce t =
+  if t.n > 1 then begin
+    let order = Array.init t.n (fun i -> i) in
+    Array.sort (fun a b -> compare t.offs.(a) t.offs.(b)) order;
+    let offs = Array.map (fun i -> t.offs.(i)) order in
+    let lens = Array.map (fun i -> t.lens.(i)) order in
+    let m = ref 0 in
+    for i = 0 to t.n - 1 do
+      let off = offs.(i) and len = lens.(i) in
+      if !m > 0 && off <= t.offs.(!m - 1) + t.lens.(!m - 1) then begin
+        let cur_end = t.offs.(!m - 1) + t.lens.(!m - 1) in
+        if off + len > cur_end then
+          t.lens.(!m - 1) <- off + len - t.offs.(!m - 1)
+      end
+      else begin
+        t.offs.(!m) <- off;
+        t.lens.(!m) <- len;
+        incr m
+      end
+    done;
+    t.n <- !m
+  end
+
 let entries t = t.n
 
 let is_empty t = t.n = 0

@@ -10,6 +10,12 @@ val clear : t -> unit
 val add : t -> off:int -> len:int -> unit
 
 val iter : t -> (off:int -> len:int -> unit) -> unit
+
+(** Merge the logged ranges, in place, into maximal sorted intervals:
+    after [coalesce], the entries are sorted by offset and pairwise
+    neither overlapping nor adjacent, and cover exactly the union of the
+    ranges added since the last {!clear}. *)
+val coalesce : t -> unit
 val entries : t -> int
 val is_empty : t -> bool
 

@@ -101,12 +101,14 @@ let load t off =
   check_alive t;
   check_range t off 8 "load";
   t.stats.loads <- t.stats.loads + 1;
+  t.stats.load_bytes <- t.stats.load_bytes + 8;
   Int64.to_int (Bytes.get_int64_le t.vol off)
 
 let load_bytes t off len =
   check_alive t;
   check_range t off len "load_bytes";
   t.stats.loads <- t.stats.loads + 1;
+  t.stats.load_bytes <- t.stats.load_bytes + len;
   Bytes.sub_string t.vol off len
 
 (* ---- stores ---- *)
@@ -144,7 +146,9 @@ let copy t ~src ~dst ~len =
   Bytes.blit t.vol src t.vol dst len;
   dirty_range t dst len;
   t.stats.stores <- t.stats.stores + 1;
-  t.stats.nvm_bytes <- t.stats.nvm_bytes + len
+  t.stats.nvm_bytes <- t.stats.nvm_bytes + len;
+  t.stats.copy_calls <- t.stats.copy_calls + 1;
+  t.stats.replicated_bytes <- t.stats.replicated_bytes + len
 
 (* ---- persistence primitives ---- *)
 

@@ -5,6 +5,11 @@
    credited explicitly by a PTM for the payload the user asked to store.
    Write amplification is [nvm_bytes / user_bytes].
 
+   [copy_calls]/[replicated_bytes] break out the region-internal copies
+   (twin-copy replication plus recovery), and [commits] is ticked by a PTM
+   engine once per durably committed transaction, which is what makes
+   per-transaction rates such as [pwbs_per_tx] derivable from raw counters.
+
    [delay_ns] accumulates the virtual latency injected by the active fence
    profile; benchmark harnesses add it to wall-clock time so that emulated
    STT-RAM / PCM latencies are deterministic rather than spin-waited. *)
@@ -17,17 +22,23 @@ type t = {
   mutable stores : int;
   mutable nvm_bytes : int;
   mutable user_bytes : int;
+  mutable load_bytes : int;
+  mutable copy_calls : int;
+  mutable replicated_bytes : int;
+  mutable commits : int;
   mutable delay_ns : int;
   mutable crashes : int;
 }
 
 let create () =
   { pwbs = 0; pfences = 0; psyncs = 0; loads = 0; stores = 0;
-    nvm_bytes = 0; user_bytes = 0; delay_ns = 0; crashes = 0 }
+    nvm_bytes = 0; user_bytes = 0; load_bytes = 0; copy_calls = 0;
+    replicated_bytes = 0; commits = 0; delay_ns = 0; crashes = 0 }
 
 let reset t =
   t.pwbs <- 0; t.pfences <- 0; t.psyncs <- 0; t.loads <- 0; t.stores <- 0;
-  t.nvm_bytes <- 0; t.user_bytes <- 0; t.delay_ns <- 0; t.crashes <- 0
+  t.nvm_bytes <- 0; t.user_bytes <- 0; t.load_bytes <- 0; t.copy_calls <- 0;
+  t.replicated_bytes <- 0; t.commits <- 0; t.delay_ns <- 0; t.crashes <- 0
 
 let snapshot t = { t with pwbs = t.pwbs }
 
@@ -40,6 +51,10 @@ let since ~now ~past =
     stores = now.stores - past.stores;
     nvm_bytes = now.nvm_bytes - past.nvm_bytes;
     user_bytes = now.user_bytes - past.user_bytes;
+    load_bytes = now.load_bytes - past.load_bytes;
+    copy_calls = now.copy_calls - past.copy_calls;
+    replicated_bytes = now.replicated_bytes - past.replicated_bytes;
+    commits = now.commits - past.commits;
     delay_ns = now.delay_ns - past.delay_ns;
     crashes = now.crashes - past.crashes }
 
@@ -49,9 +64,19 @@ let write_amplification t =
   if t.user_bytes = 0 then nan
   else float_of_int t.nvm_bytes /. float_of_int t.user_bytes
 
+let per_commit count t =
+  if t.commits = 0 then nan
+  else float_of_int count /. float_of_int t.commits
+
+let pwbs_per_tx t = per_commit t.pwbs t
+let copies_per_tx t = per_commit t.copy_calls t
+let replicated_bytes_per_tx t = per_commit t.replicated_bytes t
+
 let pp ppf t =
   Format.fprintf ppf
-    "pwb=%d pfence=%d psync=%d loads=%d stores=%d nvm=%dB user=%dB amp=%.2f \
-     delay=%dns crashes=%d"
+    "pwb=%d pfence=%d psync=%d loads=%d stores=%d nvm=%dB user=%dB \
+     loaded=%dB copies=%d replicated=%dB commits=%d amp=%.2f delay=%dns \
+     crashes=%d"
     t.pwbs t.pfences t.psyncs t.loads t.stores t.nvm_bytes t.user_bytes
+    t.load_bytes t.copy_calls t.replicated_bytes t.commits
     (write_amplification t) t.delay_ns t.crashes

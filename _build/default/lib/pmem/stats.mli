@@ -4,10 +4,14 @@ type t = {
   mutable pwbs : int;        (** persist write-backs issued *)
   mutable pfences : int;     (** persist fences issued *)
   mutable psyncs : int;      (** persist syncs issued *)
-  mutable loads : int;       (** word loads from the region *)
+  mutable loads : int;       (** word/blob loads from the region *)
   mutable stores : int;      (** word stores to the region *)
   mutable nvm_bytes : int;   (** every byte stored into the region *)
   mutable user_bytes : int;  (** payload bytes credited by the PTM *)
+  mutable load_bytes : int;  (** every byte loaded from the region *)
+  mutable copy_calls : int;  (** region-internal copies (replication, recovery) *)
+  mutable replicated_bytes : int; (** bytes moved by region-internal copies *)
+  mutable commits : int;     (** durably committed transactions (ticked by the engine) *)
   mutable delay_ns : int;    (** virtual latency injected by the fence profile *)
   mutable crashes : int;     (** simulated crashes *)
 }
@@ -26,5 +30,12 @@ val fences : t -> int
 
 (** [nvm_bytes / user_bytes]; [nan] when no user bytes were credited. *)
 val write_amplification : t -> float
+
+(** Per-committed-transaction rates; [nan] when no transaction committed
+    in the counted window. *)
+val pwbs_per_tx : t -> float
+
+val copies_per_tx : t -> float
+val replicated_bytes_per_tx : t -> float
 
 val pp : Format.formatter -> t -> unit

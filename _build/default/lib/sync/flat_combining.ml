@@ -17,26 +17,40 @@ type state =
 
 type t = {
   slots : state Atomic.t array;
+  hi : int Atomic.t;        (* 1 + highest tid that ever published here *)
   lock : Spinlock.t;
   mutable combines : int;   (* batches executed (stats) *)
   mutable combined : int;   (* total requests executed (stats) *)
+  mutable scanned : int;    (* slots examined across all batches (stats) *)
 }
 
 let create () =
   { slots = Array.init Tid.max_threads (fun _ -> Atomic.make Empty);
+    hi = Atomic.make 0;
     lock = Spinlock.create ();
     combines = 0;
-    combined = 0 }
+    combined = 0;
+    scanned = 0 }
+
+(* Raise the watermark to cover [tid]; must complete before the request is
+   published so that no combiner can read a stale watermark that hides a
+   visible request. *)
+let rec cover t tid =
+  let cur = Atomic.get t.hi in
+  if tid >= cur && not (Atomic.compare_and_set t.hi cur (tid + 1)) then
+    cover t tid
 
 let combine t ~exec =
   Fun.protect ~finally:(fun () -> Spinlock.unlock t.lock) @@ fun () ->
+  (* only slots below the registration watermark can hold requests *)
+  let limit = Atomic.get t.hi in
   let batch = ref [] in
-  Array.iteri
-    (fun i slot ->
-      match Atomic.get slot with
-      | Request f -> batch := (i, f, ref None) :: !batch
-      | Empty | Done _ -> ())
-    t.slots;
+  for i = limit - 1 downto 0 do
+    match Atomic.get t.slots.(i) with
+    | Request f -> batch := (i, f, ref None) :: !batch
+    | Empty | Done _ -> ()
+  done;
+  t.scanned <- t.scanned + limit;
   let requests = !batch in
   let run_all () =
     let run (_, f, res) = try f () with e -> res := Some e in
@@ -58,6 +72,7 @@ let combine t ~exec =
 let apply t f ~exec =
   let tid = Tid.current () in
   let slot = t.slots.(tid) in
+  cover t tid;
   Atomic.set slot (Request f);
   let rec wait () =
     match Atomic.get slot with
@@ -75,3 +90,5 @@ let apply t f ~exec =
 
 let batches t = t.combines
 let requests_served t = t.combined
+let scan_length t = Atomic.get t.hi
+let slots_scanned t = t.scanned

@@ -18,3 +18,11 @@ val batches : t -> int
 
 (** Total requests served across all batches. *)
 val requests_served : t -> int
+
+(** Current combiner scan length: 1 + the highest thread slot that ever
+    published a request — combiners scan only this prefix of the slot
+    array, not all [Tid.max_threads] entries. *)
+val scan_length : t -> int
+
+(** Total slots examined across all batches. *)
+val slots_scanned : t -> int

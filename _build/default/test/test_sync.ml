@@ -154,6 +154,28 @@ let test_flat_combining_exec_failure_hits_all () =
   Flat_combining.apply fc (fun () -> ok := true) ~exec:(fun run -> run ());
   Alcotest.(check bool) "usable after failure" true !ok
 
+(* Combiners scan only up to the registration watermark, not the whole
+   Tid.max_threads slot array. *)
+let test_flat_combining_scan_watermark () =
+  let fc = Flat_combining.create () in
+  Alcotest.(check int) "no registrations, nothing to scan" 0
+    (Flat_combining.scan_length fc);
+  let exec run = run () in
+  Tid.with_slot (fun tid ->
+      Flat_combining.apply fc (fun () -> ()) ~exec;
+      let expect = tid + 1 in
+      Alcotest.(check int) "watermark = highest registered tid + 1" expect
+        (Flat_combining.scan_length fc);
+      Alcotest.(check bool) "far below the slot-array size" true
+        (expect < Tid.max_threads);
+      let b0 = Flat_combining.batches fc in
+      let s0 = Flat_combining.slots_scanned fc in
+      Flat_combining.apply fc (fun () -> ()) ~exec;
+      let batches = Flat_combining.batches fc - b0 in
+      Alcotest.(check int) "each batch scans only the live prefix"
+        (s0 + (batches * expect))
+        (Flat_combining.slots_scanned fc))
+
 (* ---- Left-Right ---- *)
 
 (* Each instance keeps the invariant fst = snd; the writer mutates only the
@@ -220,6 +242,8 @@ let suite =
       test_flat_combining_result_and_exn;
     tc "flat combining: exec failure" `Quick
       test_flat_combining_exec_failure_hits_all;
+    tc "flat combining: scan watermark" `Quick
+      test_flat_combining_scan_watermark;
     tc "left-right: no torn reads" `Quick test_left_right_no_torn_reads;
     tc "left-right: read after write" `Quick
       test_left_right_reader_sees_latest_committed;

@@ -54,6 +54,174 @@ let test_redo_log_zero_len_ignored () =
   Alcotest.(check bool) "zero-length ranges dropped" true
     (Romulus.Redo_log.is_empty l)
 
+(* ---- Redo_log.coalesce ---- *)
+
+let test_coalesce_merges_adjacent () =
+  let l = Romulus.Redo_log.create () in
+  Romulus.Redo_log.add l ~off:72 ~len:8;
+  Romulus.Redo_log.add l ~off:64 ~len:8;
+  Romulus.Redo_log.add l ~off:80 ~len:8;
+  Romulus.Redo_log.coalesce l;
+  Alcotest.(check (list (pair int int))) "adjacent words merge and sort"
+    [ (64, 24) ] (entries_of l)
+
+let test_coalesce_merges_overlap_and_containment () =
+  let l = Romulus.Redo_log.create () in
+  Romulus.Redo_log.add l ~off:100 ~len:50;
+  Romulus.Redo_log.add l ~off:120 ~len:10;   (* contained *)
+  Romulus.Redo_log.add l ~off:140 ~len:40;   (* overlapping tail *)
+  Romulus.Redo_log.add l ~off:300 ~len:8;    (* disjoint *)
+  Romulus.Redo_log.coalesce l;
+  Alcotest.(check (list (pair int int))) "overlaps collapse"
+    [ (100, 80); (300, 8) ] (entries_of l)
+
+let test_coalesce_keeps_disjoint_and_is_idempotent () =
+  let l = Romulus.Redo_log.create () in
+  Romulus.Redo_log.add l ~off:200 ~len:8;
+  Romulus.Redo_log.add l ~off:64 ~len:8;
+  (* a one-byte gap is NOT adjacency: the ranges must stay separate *)
+  Romulus.Redo_log.add l ~off:73 ~len:7;
+  Romulus.Redo_log.coalesce l;
+  let once = entries_of l in
+  Alcotest.(check (list (pair int int))) "gap preserved"
+    [ (64, 8); (73, 7); (200, 8) ] once;
+  Romulus.Redo_log.coalesce l;
+  Alcotest.(check (list (pair int int))) "idempotent" once (entries_of l);
+  Romulus.Redo_log.clear l;
+  Romulus.Redo_log.coalesce l;
+  Alcotest.(check bool) "empty log is a no-op" true
+    (Romulus.Redo_log.is_empty l)
+
+(* Property: coalescing yields a sorted list of pairwise disjoint,
+   non-adjacent intervals covering exactly the union of the added
+   ranges. *)
+let coalesce_prop =
+  let range = QCheck.(pair (int_bound 500) (int_range 1 64)) in
+  QCheck.Test.make ~count:500 ~name:"redo log: coalesce covers the union"
+    QCheck.(list_of_size Gen.(int_range 1 40) range)
+    (fun ranges ->
+      let l = Romulus.Redo_log.create () in
+      List.iter (fun (off, len) -> Romulus.Redo_log.add l ~off ~len) ranges;
+      Romulus.Redo_log.coalesce l;
+      let out = entries_of l in
+      (* sorted, disjoint, non-adjacent *)
+      let rec well_formed = function
+        | (o1, l1) :: ((o2, _) :: _ as tl) ->
+          o1 + l1 < o2 && well_formed tl
+        | [ _ ] | [] -> true
+      in
+      if not (well_formed out) then
+        QCheck.Test.fail_report "output not sorted/disjoint/non-adjacent";
+      (* exact byte-set cover *)
+      let bound = 600 in
+      let mark ranges =
+        let bs = Array.make bound false in
+        List.iter
+          (fun (off, len) ->
+            for i = off to off + len - 1 do
+              bs.(i) <- true
+            done)
+          ranges;
+        bs
+      in
+      mark ranges = mark out)
+
+(* Each store marks its line dirty; commit_main write-backs every dirty
+   line exactly once, so a transaction touching few lines issues far
+   fewer pwbs than the seed's pwb-per-store path. *)
+let test_deferred_flush_fewer_pwbs () =
+  let run eager =
+    let r = Pmem.Region.create ~size:(1 lsl 16) () in
+    let e = Romulus.Engine.create ~mode:Romulus.Engine.Logged r in
+    Romulus.Engine.configure ~eager_pwb:eager e;
+    let s = Pmem.Region.stats r in
+    let before = Pmem.Stats.snapshot s in
+    Romulus.Engine.begin_tx e;
+    let obj = Romulus.Engine.alloc e 64 in
+    for i = 0 to 7 do
+      Romulus.Engine.store e (obj + (8 * i)) (100 + i)
+    done;
+    Romulus.Engine.set_root e 0 obj;
+    Romulus.Engine.end_tx e;
+    let d = Pmem.Stats.since ~now:s ~past:before in
+    (* same durable result either way *)
+    Pmem.Region.crash r Pmem.Region.Drop_all;
+    Romulus.Engine.recover e;
+    Alcotest.(check int) "durable" 107
+      (Romulus.Engine.load e (Romulus.Engine.get_root e 0 + 56));
+    d.Pmem.Stats.pwbs
+  in
+  let eager = run true and deferred = run false in
+  if deferred >= eager then
+    Alcotest.failf "deferred flushing issued %d pwbs, eager %d" deferred eager
+
+(* In Logged mode, replicate does one Region.copy per log entry; after
+   coalescing, adjacent word entries collapse so it does one copy per
+   maximal interval. *)
+let test_coalesced_replication_fewer_copies () =
+  let run coalesce =
+    let r = Pmem.Region.create ~size:(1 lsl 16) () in
+    let e = Romulus.Engine.create ~mode:Romulus.Engine.Logged r in
+    Romulus.Engine.configure ~coalesce e;
+    Romulus.Engine.begin_tx e;
+    let obj = Romulus.Engine.alloc e 64 in
+    Romulus.Engine.set_root e 0 obj;
+    Romulus.Engine.end_tx e;
+    let s = Pmem.Region.stats r in
+    let before = Pmem.Stats.snapshot s in
+    Romulus.Engine.begin_tx e;
+    for i = 0 to 7 do
+      Romulus.Engine.store e (obj + (8 * i)) i
+    done;
+    Romulus.Engine.end_tx e;
+    (Pmem.Stats.since ~now:s ~past:before).Pmem.Stats.copy_calls
+  in
+  let raw = run false and coalesced = run true in
+  Alcotest.(check int) "raw: one copy per word entry" 8 raw;
+  Alcotest.(check int) "coalesced: one copy for the whole interval" 1
+    coalesced
+
+(* Crash-point sweep over the commit path in all four write-back/coalesce
+   configurations: whatever the schedule of pwbs and copies, every crash
+   point must recover to either the pre- or post-state. *)
+let test_engine_crash_sweep_config ~eager_pwb ~coalesce () =
+  let k = ref 0 in
+  let completed = ref false in
+  while not !completed do
+    let r = Pmem.Region.create ~size:(1 lsl 16) () in
+    let e = Romulus.Engine.create ~mode:Romulus.Engine.Logged r in
+    Romulus.Engine.configure ~eager_pwb ~coalesce e;
+    Romulus.Engine.begin_tx e;
+    let obj = Romulus.Engine.alloc e 128 in
+    Romulus.Engine.store e obj 1;
+    Romulus.Engine.store e (obj + 64) 2;
+    Romulus.Engine.set_root e 0 obj;
+    Romulus.Engine.end_tx e;
+    Pmem.Region.set_trap r !k;
+    (match
+       Romulus.Engine.begin_tx e;
+       Romulus.Engine.store e obj 10;
+       Romulus.Engine.store e (obj + 8) 11;
+       Romulus.Engine.store e (obj + 64) 20;
+       Romulus.Engine.end_tx e
+     with
+     | () ->
+       Pmem.Region.clear_trap r;
+       completed := true
+     | exception Pmem.Region.Crash_point -> ());
+    Pmem.Region.crash r (Pmem.Region.Random_subset (!k + 3));
+    Romulus.Engine.recover e;
+    let base = Romulus.Engine.get_root e 0 in
+    let g d = Romulus.Engine.load e (base + d) in
+    (match (g 0, g 8, g 64) with
+     | 1, _, 2 -> () (* rolled back *)
+     | 10, 11, 20 -> () (* committed *)
+     | a, b, c ->
+       Alcotest.failf "point %d: torn state (%d, %d, %d)" !k a b c);
+    incr k;
+    if !k > 20_000 then Alcotest.fail "config crash sweep did not terminate"
+  done
+
 (* ---- Fence profiles ---- *)
 
 let test_fence_by_name () =
@@ -304,6 +472,25 @@ let suite =
     tc "redo log: clear resets dedup" `Quick test_redo_log_clear_resets_dedup;
     tc "redo log: growth" `Quick test_redo_log_growth;
     tc "redo log: zero-length ignored" `Quick test_redo_log_zero_len_ignored;
+    tc "redo log: coalesce merges adjacent" `Quick
+      test_coalesce_merges_adjacent;
+    tc "redo log: coalesce merges overlaps" `Quick
+      test_coalesce_merges_overlap_and_containment;
+    tc "redo log: coalesce disjoint + idempotent" `Quick
+      test_coalesce_keeps_disjoint_and_is_idempotent;
+    QCheck_alcotest.to_alcotest coalesce_prop;
+    tc "engine: deferred flush issues fewer pwbs" `Quick
+      test_deferred_flush_fewer_pwbs;
+    tc "engine: coalesced replication issues fewer copies" `Quick
+      test_coalesced_replication_fewer_copies;
+    tc "engine: crash sweep (eager, raw)" `Slow
+      (test_engine_crash_sweep_config ~eager_pwb:true ~coalesce:false);
+    tc "engine: crash sweep (eager, coalesced)" `Slow
+      (test_engine_crash_sweep_config ~eager_pwb:true ~coalesce:true);
+    tc "engine: crash sweep (deferred, raw)" `Slow
+      (test_engine_crash_sweep_config ~eager_pwb:false ~coalesce:false);
+    tc "engine: crash sweep (deferred, coalesced)" `Slow
+      (test_engine_crash_sweep_config ~eager_pwb:false ~coalesce:true);
     tc "fence: by_name" `Quick test_fence_by_name;
     tc "fence: semantics flags" `Quick test_fence_semantics_flags;
     tc "keygen: deterministic" `Quick test_keygen_deterministic;
