@@ -7,7 +7,11 @@
    verification tool in CLI form:
 
      crashtest --ptm romLR --workload tree --rounds 500 --seed 7
-     crashtest --ptm all --workload all --rounds 100 *)
+     crashtest --ptm all --workload all --rounds 100
+     crashtest --policy torn --rounds 200          # torn-word adversary
+     crashtest --recovery-crashes 3                # crash recovery itself
+     crashtest --ptm romL --failpoint engine.commit.cpy_published
+     crashtest --list-failpoints *)
 
 open Cmdliner
 
@@ -24,18 +28,39 @@ let ptms : (string * (module PTM)) list =
     ("mne", (module Baselines.Redolog));
     ("pmdk", (module Baselines.Undolog)) ]
 
-type outcome = { rounds : int; crashes : int; failures : string list }
+type outcome = {
+  rounds : int;
+  crashes : int;
+  recovery_crashes : int;
+  failures : string list;
+}
 
 (* One workload campaign: run [rounds] batches of random operations with a
-   random crash trap armed; after each crash, recover by re-opening the
-   region and check invariants + a shadow model. *)
-let run_campaign (module P : PTM) ~workload ~rounds ~seed ~verbose =
+   random crash trap (or a named failpoint) armed; after each crash,
+   recover — optionally crashing the recovery itself, [recovery_crashes]
+   levels deep — and check invariants + a shadow model. *)
+let run_campaign (module P : PTM) ~workload ~rounds ~seed ~verbose ~policy
+    ~recovery_crashes ~failpoint =
   let rng = Workload.Keygen.create ~seed () in
   let region = Pmem.Region.create ~size:(1 lsl 20) () in
   let p = P.open_region region in
   let failures = ref [] in
   let crashes = ref 0 in
+  let rec_crashes = ref 0 in
   let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let pick_policy salt =
+    match policy with
+    | `Drop -> Pmem.Region.Drop_all
+    | `Keep -> Pmem.Region.Keep_all
+    | `Random -> Pmem.Region.Random_subset (seed + salt)
+    | `Torn -> Pmem.Region.Torn_words (seed + salt)
+    | `Mix -> (
+      match Workload.Keygen.int rng 4 with
+      | 0 -> Pmem.Region.Drop_all
+      | 1 -> Pmem.Region.Keep_all
+      | 2 -> Pmem.Region.Torn_words (seed + salt)
+      | _ -> Pmem.Region.Random_subset (seed + salt))
+  in
   (* the workload exposes: apply one op (given a shadow model), and a
      checker run after each recovery *)
   let module M = struct
@@ -103,45 +128,69 @@ let run_campaign (module P : PTM) ~workload ~rounds ~seed ~verbose =
     in
     if diff > 1 then fail "round %d: %d divergences from the model" round diff
   in
+  (* Recover, crashing the recovery itself up to [recovery_crashes] levels
+     deep: each level arms a fresh trap inside the running recovery, the
+     injected crash is resolved under an adversarial policy, and recovery
+     restarts — the final attempt runs to completion untrapped.  Recovery
+     idempotence is exactly what makes this converge. *)
+  let rec recover_nested round level =
+    if level < recovery_crashes then begin
+      Pmem.Region.set_trap region (Workload.Keygen.int rng 60);
+      match P.recover p with
+      | () -> Pmem.Region.clear_trap region
+      | exception Pmem.Region.Crash_point ->
+        incr rec_crashes;
+        Pmem.Region.crash region (pick_policy ((round * 17) + level));
+        recover_nested round (level + 1)
+    end
+    else P.recover p
+  in
   for round = 1 to rounds do
-    Pmem.Region.set_trap region (Workload.Keygen.int rng 400);
+    (match failpoint with
+     | None -> Pmem.Region.set_trap region (Workload.Keygen.int rng 400)
+     | Some site ->
+       Fault.arm ~skip:(Workload.Keygen.int rng 8) site (fun () ->
+           Pmem.Region.kill region));
     (try
-       for _ = 1 to 4 do
-         apply_op ()
-       done;
-       Pmem.Region.clear_trap region
-     with Pmem.Region.Crash_point ->
-       incr crashes;
-       let policy =
-         match Workload.Keygen.int rng 3 with
-         | 0 -> Pmem.Region.Drop_all
-         | 1 -> Pmem.Region.Keep_all
-         | _ -> Pmem.Region.Random_subset (seed + round)
-       in
-       Pmem.Region.crash region policy;
-       P.recover p;
-       (* the in-flight operation may or may not have committed: resync
-          the shadow for the key it touched by trusting the structure *)
-       let resync k =
-         let v =
-           match workload with
-           | `List ->
-             if M.L.contains list_ k then Some k else None
-           | `Tree -> M.T.get tree k
-           | `Map -> M.H.get map k
-         in
-         match v with
-         | Some v -> Hashtbl.replace shadow k v
-         | None -> Hashtbl.remove shadow k
-       in
-       for k = 0 to 199 do
-         resync k
-       done);
-    check round;
+       (try
+          for _ = 1 to 4 do
+            apply_op ()
+          done;
+          Pmem.Region.clear_trap region;
+          Fault.disarm ()
+        with Pmem.Region.Crash_point ->
+          incr crashes;
+          Fault.disarm ();
+          Pmem.Region.crash region (pick_policy round);
+          recover_nested round 0;
+          (* the in-flight operation may or may not have committed: resync
+             the shadow for the key it touched by trusting the structure *)
+          let resync k =
+            let v =
+              match workload with
+              | `List ->
+                if M.L.contains list_ k then Some k else None
+              | `Tree -> M.T.get tree k
+              | `Map -> M.H.get map k
+            in
+            match v with
+            | Some v -> Hashtbl.replace shadow k v
+            | None -> Hashtbl.remove shadow k
+          in
+          for k = 0 to 199 do
+            resync k
+          done);
+       check round
+     with Romulus.Engine.Recovery_error e ->
+       fail "round %d: recovery refused a legitimate crash state: %s" round e);
     if verbose && round mod 100 = 0 then
-      Printf.printf "  ... %d/%d rounds, %d crashes\n%!" round rounds !crashes
+      Printf.printf "  ... %d/%d rounds, %d crashes (%d during recovery)\n%!"
+        round rounds !crashes !rec_crashes
   done;
-  { rounds; crashes = !crashes; failures = !failures }
+  { rounds;
+    crashes = !crashes;
+    recovery_crashes = !rec_crashes;
+    failures = !failures }
 
 (* ---- command line ---- *)
 
@@ -161,11 +210,55 @@ let seed_arg =
   let doc = "PRNG seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let policy_arg =
+  let doc =
+    "Cache-line fate policy at each crash: drop (no unfenced line \
+     persists), keep (every one does), random (per-line coin), torn \
+     (per-8-byte-word coin — the torn-word adversary), or mix (rotate \
+     through all of them)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("drop", `Drop); ("keep", `Keep); ("random", `Random);
+                  ("torn", `Torn); ("mix", `Mix) ])
+        `Mix
+    & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let recovery_crashes_arg =
+  let doc =
+    "Crash the recovery itself up to $(docv) levels deep after every \
+     injected crash (recovery must be idempotent)."
+  in
+  Arg.(value & opt int 0 & info [ "recovery-crashes" ] ~docv:"K" ~doc)
+
+let failpoint_arg =
+  let doc =
+    "Arm the named failpoint site instead of the instruction-counting \
+     trap; see --list-failpoints for the registered names."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "failpoint" ] ~docv:"SITE" ~doc)
+
+let list_failpoints_arg =
+  let doc = "Print every registered failpoint site and exit." in
+  Arg.(value & flag & info [ "list-failpoints" ] ~doc)
+
 let verbose_arg =
   let doc = "Progress output." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
-let main ptm workload rounds seed verbose =
+let main ptm workload rounds seed policy recovery_crashes failpoint
+    list_failpoints verbose =
+  if list_failpoints then begin
+    List.iter print_endline (Fault.sites ());
+    exit 0
+  end;
+  (match failpoint with
+   | Some site when not (Fault.is_site site) ->
+     Printf.eprintf "unknown failpoint %S; registered sites:\n" site;
+     List.iter (Printf.eprintf "  %s\n") (Fault.sites ());
+     exit 2
+   | _ -> ());
   let selected_ptms =
     if ptm = "all" then ptms
     else
@@ -187,10 +280,17 @@ let main ptm workload rounds seed verbose =
       List.iter
         (fun (wname, w) ->
           Printf.printf "%-6s x %-5s: %!" pname wname;
-          let o = run_campaign m ~workload:w ~rounds ~seed ~verbose in
-          if o.failures = [] then
-            Printf.printf "OK (%d rounds, %d crash-recoveries)\n%!" o.rounds
-              o.crashes
+          let o =
+            run_campaign m ~workload:w ~rounds ~seed ~verbose ~policy
+              ~recovery_crashes ~failpoint
+          in
+          if o.failures = [] then begin
+            Printf.printf "OK (%d rounds, %d crash-recoveries" o.rounds
+              o.crashes;
+            if o.recovery_crashes > 0 then
+              Printf.printf ", %d crashes inside recovery" o.recovery_crashes;
+            Printf.printf ")\n%!"
+          end
           else begin
             failed := true;
             Printf.printf "FAILED (%d issues)\n" (List.length o.failures);
@@ -205,6 +305,7 @@ let cmd =
   let info = Cmd.info "crashtest" ~doc in
   Cmd.v info
     Term.(const main $ ptm_arg $ workload_arg $ rounds_arg $ seed_arg
-          $ verbose_arg)
+          $ policy_arg $ recovery_crashes_arg $ failpoint_arg
+          $ list_failpoints_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

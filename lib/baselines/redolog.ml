@@ -38,6 +38,10 @@ let name = "mne"
 
 let magic_value = 0x4D4E454D4F53 (* "MNEMOS" *)
 
+(* Failpoint: the commit marker is durable but the in-place write-back
+   has not happened — recovery must replay the whole log. *)
+let fp_marker_durable = Fault.site "mne.commit.marker_durable"
+
 let o_magic = 0
 let o_log_commit = 8
 let o_log_count = 16
@@ -267,7 +271,8 @@ module Shared = struct
     Pmem.Region.pfence s.r;
     Pmem.Region.store s.r o_log_commit wv;
     Pmem.Region.pwb s.r o_log_commit;
-    Pmem.Region.pfence s.r
+    Pmem.Region.pfence s.r;
+    Fault.hit fp_marker_durable
 
   let write_back s c =
     for i = 0 to c.ws_n - 1 do
@@ -358,9 +363,54 @@ let region t = t.s.Shared.r
 
 (* ---- recovery ---- *)
 
-let replay r ~log_base =
+let recovery_error fmt =
+  Printf.ksprintf (fun s -> raise (Romulus.Engine.Recovery_error s)) fmt
+
+(* Validate the whole committed log before replaying any of it: slots and
+   the count are fenced strictly before the commit marker, so a marker
+   with a count outside the log, a slot with an unknown tag, or a record
+   addressing bytes outside the region can only mean media corruption —
+   replaying it would spray garbage over committed data. *)
+let validate_log r ~log_base ~log_capacity =
+  let size = Pmem.Region.size r in
+  let count = Pmem.Region.load r o_log_count in
+  if count < 0 || count > log_capacity then
+    recovery_error "Redolog.recover: log count %d outside [0, %d]" count
+      log_capacity;
+  let i = ref 0 in
+  while !i < count do
+    let e = log_base + (!i * slot_bytes) in
+    let tag = Pmem.Region.load r e in
+    let addr = Pmem.Region.load r (e + 8) in
+    if tag = tag_word then begin
+      if addr < 0 || addr > size - 8 then
+        recovery_error
+          "Redolog.recover: word slot %d addresses %d outside region of %d \
+           bytes"
+          !i addr size;
+      incr i
+    end
+    else if tag = tag_blob then begin
+      let len = Pmem.Region.load r (e + 16) in
+      if len < 0 || addr < 0 || addr + len > size then
+        recovery_error
+          "Redolog.recover: blob slot %d covers [%d, %d) outside region of \
+           %d bytes"
+          !i addr (addr + len) size;
+      let span = 1 + ((len + slot_bytes - 1) / slot_bytes) in
+      if !i + span > count then
+        recovery_error
+          "Redolog.recover: blob slot %d spans %d slots past the count %d"
+          !i span count;
+      i := !i + span
+    end
+    else recovery_error "Redolog.recover: slot %d has unknown tag %d" !i tag
+  done;
+  count
+
+let replay r ~log_base ~log_capacity =
   if Pmem.Region.load r o_log_commit <> 0 then begin
-    let count = Pmem.Region.load r o_log_count in
+    let count = validate_log r ~log_base ~log_capacity in
     let i = ref 0 in
     while !i < count do
       let e = log_base + (!i * slot_bytes) in
@@ -407,8 +457,11 @@ let open_region r =
       log_capacity;
       commit_lock = Spinlock.create () }
   in
-  if Pmem.Region.load r o_magic = magic_value then begin
-    replay r ~log_base;
+  let magic = Pmem.Region.load r o_magic in
+  if magic <> 0 && magic <> magic_value then
+    recovery_error "Redolog.open: unrecognized magic %#x" magic;
+  if magic = magic_value then begin
+    replay r ~log_base ~log_capacity;
     { s; arena = Alloc.attach s ~base:arena_base }
   end
   else begin
@@ -438,6 +491,7 @@ let recover t =
   Array.iteri (fun i _ -> t.s.Shared.ctxs.(i) <- None) t.s.Shared.ctxs;
   Tinystm.reset t.s.Shared.stm;
   replay t.s.Shared.r ~log_base:t.s.Shared.log_base
+    ~log_capacity:t.s.Shared.log_capacity
 
 (* ---- transactions ---- *)
 

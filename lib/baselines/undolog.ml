@@ -28,6 +28,11 @@ let name = "pmdk"
 
 let magic_value = 0x554E444F4C4F47 (* "UNDOLOG" *)
 
+(* Failpoint: the undo entry is durable but the count that validates it
+   is not — the WAL window the 3-fences-per-store schedule protects. *)
+let fp_entry_logged = Fault.site "pmdk.log.entry_logged"
+let fp_rollback_applied = Fault.site "pmdk.recover.rollback_applied"
+
 let o_magic = 0
 let o_log_count = 8
 let header_bytes = 64
@@ -68,6 +73,7 @@ module Ctx = struct
       (* entry durable strictly before the count that makes it valid:
          otherwise an evicted count line could expose a garbage entry *)
       Pmem.Region.pfence c.r;
+      Fault.hit fp_entry_logged;
       c.log_len <- c.log_len + 1;
       Pmem.Region.store c.r o_log_count c.log_len;
       Pmem.Region.pwb c.r o_log_count;
@@ -93,8 +99,36 @@ let region t = t.ctx.Ctx.r
 
 (* ---- recovery ---- *)
 
-let rollback r ~log_base =
+(* Validate the durable log header before trusting a single entry of it:
+   the WAL discipline (entry fenced before count, count fenced before the
+   in-place store) means a legitimate crash can never produce a count
+   outside the log or an entry pointing outside the region.  If the
+   medium says otherwise, it is corrupt — refuse, do not "roll back"
+   through garbage addresses. *)
+let validate_log r ~log_base ~log_capacity =
+  let size = Pmem.Region.size r in
   let count = Pmem.Region.load r o_log_count in
+  if count < 0 || count > log_capacity then
+    raise
+      (Romulus.Engine.Recovery_error
+         (Printf.sprintf
+            "Undolog.recover: log count %d outside [0, %d]" count
+            log_capacity));
+  for i = 0 to count - 1 do
+    let e = log_base + (i * entry_bytes) in
+    let addr = Pmem.Region.load r e in
+    if addr < 0 || addr > size - 8 then
+      raise
+        (Romulus.Engine.Recovery_error
+           (Printf.sprintf
+              "Undolog.recover: entry %d undoes address %d outside region \
+               of %d bytes"
+              i addr size))
+  done;
+  count
+
+let rollback r ~log_base ~log_capacity =
+  let count = validate_log r ~log_base ~log_capacity in
   if count > 0 then begin
     (* apply undo entries in reverse *)
     for i = count - 1 downto 0 do
@@ -104,6 +138,7 @@ let rollback r ~log_base =
       Pmem.Region.store_bytes r addr old;
       Pmem.Region.pwb r addr
     done;
+    Fault.hit fp_rollback_applied;
     Pmem.Region.pfence r;
     Pmem.Region.store r o_log_count 0;
     Pmem.Region.pwb r o_log_count;
@@ -127,8 +162,13 @@ let open_region r =
     { Ctx.r; log_base; log_capacity; in_tx = false; log_len = 0;
       logged = Hashtbl.create 64 }
   in
-  if Pmem.Region.load r o_magic = magic_value then begin
-    rollback r ~log_base;
+  let magic = Pmem.Region.load r o_magic in
+  if magic <> 0 && magic <> magic_value then
+    raise
+      (Romulus.Engine.Recovery_error
+         (Printf.sprintf "Undolog.open: unrecognized magic %#x" magic));
+  if magic = magic_value then begin
+    rollback r ~log_base ~log_capacity;
     { ctx; arena = Alloc.attach ctx ~base:arena_base;
       lock = Rwlock_rp.create () }
   end
@@ -153,7 +193,8 @@ let open_region r =
 let recover t =
   t.ctx.Ctx.in_tx <- false;
   Hashtbl.reset t.ctx.Ctx.logged;
-  rollback t.ctx.Ctx.r ~log_base:t.ctx.Ctx.log_base;
+  rollback t.ctx.Ctx.r ~log_base:t.ctx.Ctx.log_base
+    ~log_capacity:t.ctx.Ctx.log_capacity;
   t.ctx.Ctx.log_len <- 0
 
 (* ---- transactions ---- *)
@@ -177,7 +218,8 @@ let end_tx t =
 
 (* Abort: undo the in-place stores from the log (PMDK's tx_abort). *)
 let abort_tx t =
-  rollback t.ctx.Ctx.r ~log_base:t.ctx.Ctx.log_base;
+  rollback t.ctx.Ctx.r ~log_base:t.ctx.Ctx.log_base
+    ~log_capacity:t.ctx.Ctx.log_capacity;
   t.ctx.Ctx.in_tx <- false;
   t.ctx.Ctx.log_len <- 0;
   Hashtbl.reset t.ctx.Ctx.logged

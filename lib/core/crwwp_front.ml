@@ -25,6 +25,11 @@ module Make (Config : CONFIG) = struct
 
   let name = Config.name
 
+  (* Per-variant failpoint: the combiner ran the whole batch but the
+     engine transaction has not yet started committing — a crash here
+     must lose every helped operation at once. *)
+  let fp_batch_ran = Fault.site (Config.name ^ ".combiner.batch_ran")
+
   let open_region r =
     { e = Engine.create ~mode:Config.mode r;
       lock = Crwwp.create ();
@@ -66,6 +71,7 @@ module Make (Config : CONFIG) = struct
         Crwwp.with_write_lock t.lock (fun () ->
             Engine.begin_tx t.e;
             run_batch ();
+            Fault.hit fp_batch_ran;
             Engine.end_tx t.e)
       in
       Flat_combining.apply t.fc request ~exec;

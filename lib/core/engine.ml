@@ -31,6 +31,20 @@ type mode = Full_copy | Logged
 
 exception Store_outside_transaction
 
+exception Recovery_error of string
+
+let recovery_error fmt =
+  Printf.ksprintf (fun s -> raise (Recovery_error s)) fmt
+
+(* Failpoint sites: the exact windows of Algorithm 1 the proofs reason
+   about, targetable by name from crash campaigns (see lib/fault). *)
+let fp_mut_published = Fault.site "engine.begin.mut_published"
+let fp_before_flush = Fault.site "engine.commit.before_flush"
+let fp_cpy_published = Fault.site "engine.commit.cpy_published"
+let fp_replicate_copied = Fault.site "engine.replicate.copied"
+let fp_recover_copied = Fault.site "engine.recover.copied"
+let fp_format_before_magic = Fault.site "engine.format.before_magic"
+
 let magic_value = 0x524F4D554C5553 (* "ROMULUS" *)
 
 let o_magic = 0
@@ -133,10 +147,27 @@ let coalesce_enabled t = t.coalesce
 let used_span t = t.arena_base + A.used_bytes t.arena - t.main_start
 
 (* ---- raw recovery (Algorithm 1, recover()) ----
-   Runs before the allocator is attached, using only region primitives. *)
+   Runs before the allocator is attached, using only region primitives.
+
+   Everything recovery reads from the persistent header is validated
+   before it is trusted: the state must name one of the three protocol
+   states, and the allocator frontier recovered from the consistent copy
+   must lie inside that copy.  A violated check means the medium does not
+   hold what the protocol could ever have written — recovery refuses with
+   {!Recovery_error} instead of copying garbage over the good twin. *)
 
 let recover_raw r ~main_size ~arena_base =
   let top_addr copy_base = arena_base + copy_base + Palloc.top_offset in
+  let validate_top ~which top =
+    if top < arena_base + Palloc.meta_bytes || top > main_start + main_size
+    then
+      recovery_error
+        "Engine.recover: allocator frontier %d of the %s copy outside \
+         [%d, %d]"
+        top which
+        (arena_base + Palloc.meta_bytes)
+        (main_start + main_size)
+  in
   let finish () =
     Pmem.Region.pfence r;
     Pmem.Region.store r o_state st_idl;
@@ -148,27 +179,37 @@ let recover_raw r ~main_size ~arena_base =
   | s when s = st_cpy ->
     (* main is consistent: bring back up to date *)
     let top = Pmem.Region.load r (top_addr 0) in
+    validate_top ~which:"main" top;
     let span = top - main_start in
     Pmem.Region.copy r ~src:main_start ~dst:(main_start + main_size)
       ~len:span;
     Pmem.Region.pwb_range r (main_start + main_size) span;
+    Fault.hit fp_recover_copied;
     finish ()
   | s when s = st_mut ->
     (* the transaction did not commit: revert main from back *)
     let top = Pmem.Region.load r (top_addr main_size) in
+    validate_top ~which:"back" top;
     let span = top - main_start in
     Pmem.Region.copy r ~src:(main_start + main_size) ~dst:main_start
       ~len:span;
     Pmem.Region.pwb_range r main_start span;
+    Fault.hit fp_recover_copied;
     finish ()
-  | s -> invalid_arg (Printf.sprintf "Engine.recover: bad state %d" s)
+  | s ->
+    recovery_error "Engine.recover: state %d is none of IDL/MUT/CPY" s
 
 (* ---- creation ---- *)
 
 let create ~mode r =
   let main_size, arena_base = layout r in
   let mem = Mem.make r in
-  if Pmem.Region.load r o_magic = magic_value then begin
+  let magic = Pmem.Region.load r o_magic in
+  if magic <> 0 && magic <> magic_value then
+    (* neither freshly zeroed nor ours: formatting over it would destroy
+       a region some other system may still care about *)
+    recovery_error "Engine.open: unrecognized magic %#x" magic;
+  if magic = magic_value then begin
     recover_raw r ~main_size ~arena_base;
     let arena = A.attach mem ~base:arena_base in
     { r; mem; arena; mode; log = Redo_log.create ();
@@ -194,6 +235,7 @@ let create ~mode r =
     Pmem.Region.pwb_range r (main_start + main_size) span;
     Pmem.Region.pwb r o_state;
     Pmem.Region.pfence r;
+    Fault.hit fp_format_before_magic;
     Pmem.Region.store r o_magic magic_value;
     Pmem.Region.pwb r o_magic;
     Pmem.Region.pfence r;
@@ -223,12 +265,14 @@ let begin_tx t =
   t.in_tx <- true;
   Pmem.Region.store t.r o_state st_mut;
   Pmem.Region.pwb t.r o_state;
-  Pmem.Region.pfence t.r
+  Pmem.Region.pfence t.r;
+  Fault.hit fp_mut_published
 
 (* Make every in-place modification of main durable and mark the
    transaction committed.  After this returns, the effects are ACID-durable
    (recovery will roll forward, not back). *)
 let commit_main t =
+  Fault.hit fp_before_flush;
   (* deferred write-backs: every line the transaction dirtied is flushed
      exactly once, before the fence that orders main against CPY *)
   Mem.flush_dirty t.mem;
@@ -238,7 +282,8 @@ let commit_main t =
   Pmem.Region.psync t.r;
   let s = Pmem.Region.stats t.r in
   s.Pmem.Stats.commits <- s.Pmem.Stats.commits + 1;
-  t.mem.log <- None
+  t.mem.log <- None;
+  Fault.hit fp_cpy_published
 
 (* Propagate the transaction's modifications from main to back. *)
 let replicate t =
@@ -254,6 +299,7 @@ let replicate t =
      Redo_log.iter t.log (fun ~off ~len ->
          Pmem.Region.copy t.r ~src:off ~dst:(off + t.main_size) ~len;
          Pmem.Region.pwb_range t.r (off + t.main_size) len));
+  Fault.hit fp_replicate_copied;
   Pmem.Region.pfence t.r
 
 let finish_tx t =

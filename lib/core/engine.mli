@@ -9,10 +9,18 @@ type mode =
 
 exception Store_outside_transaction
 
+(** Raised when the persistent header fails validation on open or
+    recovery: unrecognized magic, a state outside {IDL, MUT, CPY}, or an
+    allocator frontier pointing outside its copy.  Recovery refuses to
+    touch a region it cannot interpret. *)
+exception Recovery_error of string
+
 type t
 
-(** Format a fresh region, or recover an existing one (recognized by its
-    magic number). *)
+(** Format a fresh (zeroed) region, or validate-and-recover an existing
+    one (recognized by its magic number).  A region that is neither —
+    nonzero but with an unrecognized magic — raises {!Recovery_error}
+    rather than being silently reformatted. *)
 val create : mode:mode -> Pmem.Region.t -> t
 
 (** Re-run crash recovery (equivalent to re-opening the region after a

@@ -25,6 +25,12 @@ type t = {
 
 let name = "romLR"
 
+(* Failpoints for the two Left-Right-specific windows: readers have been
+   redirected to the freshly committed main (back is stale, durably so),
+   and the symmetric point after replication sent them back. *)
+let fp_readers_on_main = Fault.site "romLR.update.readers_on_main"
+let fp_readers_on_back = Fault.site "romLR.update.readers_on_back"
+
 let inst_main = 0
 let inst_back = 1
 
@@ -82,11 +88,13 @@ let update_tx t f =
       (* expose the new state: readers move to main (already durable) *)
       Left_right.set_lr t.lr inst_main;
       Left_right.toggle_version_and_wait t.lr;
+      Fault.hit fp_readers_on_main;
       Engine.replicate t.e;
       (* send readers back to the back copy, freeing main for the next
          update transaction *)
       Left_right.set_lr t.lr inst_back;
       Left_right.toggle_version_and_wait t.lr;
+      Fault.hit fp_readers_on_back;
       Engine.finish_tx t.e
     in
     Flat_combining.apply t.fc request ~exec;

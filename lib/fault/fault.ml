@@ -1,0 +1,69 @@
+(* Failpoint registry: named crash/fault-injection sites threaded through
+   the persistence-critical paths (commit, recovery, allocator).
+
+   The crash-trap machinery in [Pmem.Region] crashes at the k-th
+   *primitive*, which sweeps every instruction boundary but makes it
+   awkward to target one specific window ("right after CPY became durable
+   but before replication touched back").  A failpoint names that window:
+   the code declares a site once ([site "engine.commit.cpy_published"]),
+   calls [hit] at the spot, and a campaign arms the site by name with an
+   arbitrary action — typically [Pmem.Region.kill], powering the machine
+   off exactly there.
+
+   Sites self-register at module-initialization time, so a campaign can
+   enumerate and validate names ([sites], [is_site]) without a separate
+   manifest going stale.  Arming is one-shot: the action fires once
+   (after [skip] earlier visits) and the failpoint disarms itself, so
+   recovery code running after the injected crash re-traverses the same
+   site unharmed.
+
+   This module deliberately depends on nothing: the action closure carries
+   whatever capability the campaign wants to inject. *)
+
+type site = string
+
+let registry : (string, unit) Hashtbl.t = Hashtbl.create 32
+
+let site name =
+  Hashtbl.replace registry name ();
+  name
+
+let is_site name = Hashtbl.mem registry name
+
+let sites () =
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) registry [])
+
+type armed = {
+  name : string;
+  mutable remaining : int; (* visits to let through before firing *)
+  action : unit -> unit;
+}
+
+let current : armed option ref = ref None
+
+exception Unknown_site of string
+
+let arm ?(skip = 0) name action =
+  if not (is_site name) then raise (Unknown_site name);
+  if skip < 0 then invalid_arg "Fault.arm: negative skip";
+  current := Some { name; remaining = skip; action }
+
+let disarm () = current := None
+
+let armed_site () = Option.map (fun a -> a.name) !current
+
+let fired = ref 0
+let fire_count () = !fired
+
+let hit name =
+  match !current with
+  | Some a when String.equal a.name name ->
+    if a.remaining = 0 then begin
+      (* disarm before running the action: the action usually raises, and
+         recovery must be able to cross this site again *)
+      current := None;
+      incr fired;
+      a.action ()
+    end
+    else a.remaining <- a.remaining - 1
+  | Some _ | None -> ()

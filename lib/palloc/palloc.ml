@@ -47,6 +47,11 @@ exception Out_of_space of { requested : int; available : int }
 
 exception Corrupt of string
 
+(* Failpoint sites: allocator metadata is mid-surgery at these points —
+   a crash must roll the half-linked chunks back with the transaction. *)
+let fp_alloc_split = Fault.site "palloc.alloc.split"
+let fp_free_unlinked = Fault.site "palloc.free.unlinked"
+
 let magic_value = 0x50414C4C (* "PALL" *)
 
 let nbins = 64
@@ -196,6 +201,7 @@ module Make (M : MEM) = struct
     | None -> None
     | Some (c, size) ->
       unlink t c;
+      Fault.hit fp_alloc_split;
       let prev_inuse = hdr_prev_inuse (read_header t c) in
       let _ = split t c ~size ~need ~prev_inuse in
       Some c
@@ -253,6 +259,7 @@ module Make (M : MEM) = struct
         (c, size + nsize)
       | Some _ | None -> (c, size)
     in
+    Fault.hit fp_free_unlinked;
     if header c + size = top t then begin
       (* give the space back to the bump frontier *)
       set_top t (header c);

@@ -1,0 +1,7 @@
+(** CRC-32 (IEEE) checksums for snapshot integrity. *)
+
+(** [bytes ?crc buf off len] checksums a byte range.  Pass the result of a
+    previous call as [crc] to checksum data incrementally. *)
+val bytes : ?crc:int -> Bytes.t -> int -> int -> int
+
+val string : ?crc:int -> string -> int

@@ -27,8 +27,11 @@ type policy =
   | Drop_all
   | Keep_all
   | Random_subset of int
+  | Torn_words of int
 
 exception Crash_point
+
+exception Snapshot_corrupt of string
 
 type t = {
   vol : Bytes.t;
@@ -88,6 +91,14 @@ let step t =
 let check_alive t = if t.dead then raise Crash_point
 
 let is_dead t = t.dead
+
+(* Power the machine off right now (a failpoint fired): the region goes
+   dead exactly as if an armed trap had fired, and stays dead until
+   {!crash} resolves the failure. *)
+let kill t =
+  t.trap <- -1;
+  t.dead <- true;
+  raise Crash_point
 
 let check_range t off len what =
   if off < 0 || len < 0 || off + len > Bytes.length t.vol then
@@ -204,18 +215,33 @@ let line_coin seed line =
   x := !x lxor (!x lsr 27);
   !x land 1 = 0
 
+(* Per-word coin for the torn-word adversary: fold the word index into the
+   line mix so every 8-byte word of every line flips independently. *)
+let word_coin seed line word = line_coin (seed + (word * 0x9e3779b9) + 1) line
+
+(* ADR platforms guarantee only 8-byte store atomicity: a cache line that
+   was in flight at the failure may reach the medium partially, some of its
+   words new and some old.  Each aligned 8-byte word of the line
+   independently keeps its pre-crash persistent value or takes the volatile
+   one. *)
+let persist_torn_words t seed line =
+  let off = line lsl t.line_shift in
+  for w = 0 to (t.line lsr 3) - 1 do
+    if word_coin seed line w then
+      Bytes.blit t.vol (off + (8 * w)) t.per (off + (8 * w)) 8
+  done
+
 let crash t policy =
   let decide line was_pending =
-    let persists =
-      match policy with
-      | Drop_all -> false
-      | Keep_all -> true
-      | Random_subset seed ->
-        (* pending lines persist a bit more often than merely-dirty ones,
-           but both are candidates: caches evict whatever they like. *)
-        line_coin seed line || (was_pending && line_coin (seed + 1) line)
-    in
-    if persists then persist_line t line
+    match policy with
+    | Drop_all -> ()
+    | Keep_all -> persist_line t line
+    | Random_subset seed ->
+      (* pending lines persist a bit more often than merely-dirty ones,
+         but both are candidates: caches evict whatever they like. *)
+      if line_coin seed line || (was_pending && line_coin (seed + 1) line)
+      then persist_line t line
+    | Torn_words seed -> persist_torn_words t seed line
   in
   Line_set.drain_all t.lines decide;
   Bytes.blit t.per 0 t.vol 0 (Bytes.length t.per);
@@ -230,15 +256,36 @@ let persistent_load t off =
   check_range t off 8 "persistent_load";
   Int64.to_int (Bytes.get_int64_le t.per off)
 
+(* Test-only copy of the whole persistent image (recovery-idempotence
+   checks compare these byte for byte). *)
+let persistent_snapshot t = Bytes.to_string t.per
+
 (* ---- file persistence ----
 
    The persistent image can be written to / restored from a file, which
    is what makes the simulated NVM survive an actual process restart
    (the paper's regions live in an mmap'd file).  Only the persistent
    image travels: saving is equivalent to a clean shutdown followed by a
-   restart on load. *)
+   restart on load.
 
-let file_magic = "ROMULUS-PMEM-1\n"
+   Snapshot format (all multi-byte integers big-endian, 4 bytes):
+
+     offset  0  magic       "ROMULUS-PMEM-2\n" (15 bytes)
+     offset 15  version     format version, currently 2
+     offset 19  line_size   cache-line size of the saved region
+     offset 23  length      payload bytes
+     offset 27  crc32       CRC-32 (IEEE) over the payload
+     offset 31  payload     the persistent image, [length] bytes
+
+   A snapshot that fails any header check — wrong magic, unsupported
+   version, nonsensical geometry, file length that disagrees with the
+   header, or a payload whose CRC does not match — is rejected with
+   {!Snapshot_corrupt}.  Nothing of a corrupt file is ever loaded. *)
+
+let file_magic = "ROMULUS-PMEM-2\n"
+let file_magic_prefix = "ROMULUS-PMEM-"
+let file_version = 2
+let file_header_bytes = String.length file_magic + 16
 
 let save_to_file t path =
   let oc = open_out_bin path in
@@ -246,25 +293,51 @@ let save_to_file t path =
     ~finally:(fun () -> close_out oc)
     (fun () ->
       output_string oc file_magic;
-      output_binary_int oc (Bytes.length t.per);
+      output_binary_int oc file_version;
       output_binary_int oc t.line;
+      output_binary_int oc (Bytes.length t.per);
+      output_binary_int oc (Crc32.bytes t.per 0 (Bytes.length t.per));
       output_bytes oc t.per)
 
 let load_from_file ?fence path =
+  let corrupt fmt =
+    Printf.ksprintf (fun s -> raise (Snapshot_corrupt (path ^ ": " ^ s))) fmt
+  in
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in ic)
     (fun () ->
-      match
+      try
         let magic = really_input_string ic (String.length file_magic) in
-        if magic <> file_magic then raise Exit;
-        let size = input_binary_int ic in
+        if magic <> file_magic then
+          if String.length magic >= String.length file_magic_prefix
+             && String.sub magic 0 (String.length file_magic_prefix)
+                = file_magic_prefix
+          then corrupt "unsupported snapshot format (magic %S)" magic
+          else corrupt "not a region snapshot (magic %S)" magic;
+        let version = input_binary_int ic in
+        if version <> file_version then
+          corrupt "unsupported format version %d (want %d)" version
+            file_version;
         let line_size = input_binary_int ic in
+        if line_size < 8 || line_size > 65536
+           || line_size land (line_size - 1) <> 0
+        then corrupt "bad line size %d" line_size;
+        let size = input_binary_int ic in
+        if size <= 0 || size land (line_size - 1) <> 0 then
+          corrupt "bad region size %d (line size %d)" size line_size;
+        if in_channel_length ic <> file_header_bytes + size then
+          corrupt "truncated or oversized payload: file is %d bytes, want %d"
+            (in_channel_length ic)
+            (file_header_bytes + size);
+        (* input_binary_int sign-extends bit 31; normalize to [0, 2^32) *)
+        let crc = input_binary_int ic land 0xFFFFFFFF in
         let t = create ~line_size ?fence ~size () in
         really_input ic t.per 0 size;
+        let actual = Crc32.bytes t.per 0 size in
+        if actual <> crc then
+          corrupt "payload checksum mismatch (stored %08x, computed %08x)"
+            (crc land 0xFFFFFFFF) (actual land 0xFFFFFFFF);
         Bytes.blit t.per 0 t.vol 0 size;
         t
-      with
-      | t -> t
-      | exception (Exit | End_of_file) ->
-        invalid_arg "Region.load_from_file: not a region file")
+      with End_of_file -> corrupt "truncated header")

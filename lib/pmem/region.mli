@@ -13,9 +13,20 @@ type policy =
   | Random_subset of int    (** each line persists or not, per-seed
                                 deterministic; dirty lines model arbitrary
                                 cache evictions *)
+  | Torn_words of int       (** each aligned 8-byte word of a non-persisted
+                                line independently keeps its old persistent
+                                value or takes the volatile one, per-seed
+                                deterministic — the ADR guarantee is 8-byte
+                                atomicity, not line atomicity *)
 
 (** Raised by the primitive armed with {!set_trap}, before it executes. *)
 exception Crash_point
+
+(** Raised by {!load_from_file} when a snapshot fails validation (bad
+    magic, unsupported version, impossible geometry, truncation, or a
+    payload checksum mismatch).  A corrupt snapshot is never partially
+    loaded. *)
+exception Snapshot_corrupt of string
 
 type t
 
@@ -42,6 +53,11 @@ val clear_trap : t -> unit
 
 (** True between the trap firing and {!crash}: the machine is off. *)
 val is_dead : t -> bool
+
+(** Power off immediately (used by armed failpoints): the region becomes
+    dead as if a trap had fired, and {!Crash_point} is raised.  Never
+    returns. *)
+val kill : t -> 'a
 
 (** 8-byte word load/store at a byte offset (offsets need not be aligned,
     but all library code uses 8-byte alignment). *)
@@ -76,11 +92,18 @@ val unpersisted_lines : t -> int
 (** Test-only: read a word from the persistent image. *)
 val persistent_load : t -> int -> int
 
+(** Test-only: a copy of the whole persistent image, for byte-identical
+    comparisons (e.g. recovery idempotence). *)
+val persistent_snapshot : t -> string
+
 (** Write the persistent image to a file: equivalent to a clean shutdown.
-    Unfenced volatile state is (correctly) not included. *)
+    Unfenced volatile state is (correctly) not included.  The snapshot
+    carries a versioned header (magic, format version, line size, length)
+    and a CRC-32 over the payload. *)
 val save_to_file : t -> string -> unit
 
 (** Restore a region from a file written by {!save_to_file} — a restart:
     the volatile image starts as a copy of the persistent one.  The PTM's
-    [open_region] then runs recovery as usual. *)
+    [open_region] then runs recovery as usual.  Raises {!Snapshot_corrupt}
+    if the file fails any header or checksum validation. *)
 val load_from_file : ?fence:Fence.profile -> string -> t

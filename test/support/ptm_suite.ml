@@ -275,6 +275,7 @@ module Make (P : VARIANT) = struct
     | R.Drop_all -> "drop_all"
     | R.Keep_all -> "keep_all"
     | R.Random_subset seed -> Printf.sprintf "random(%d)" seed
+    | R.Torn_words seed -> Printf.sprintf "torn(%d)" seed
 
   let crash_at_every_point policy =
     let completed = ref false in
@@ -325,6 +326,14 @@ module Make (P : VARIANT) = struct
       ignore (crash_at_every_point (R.Random_subset seed))
     done
 
+  (* The torn-word adversary: individual 8-byte words of unfenced lines
+     persist independently, the strongest crash model real ADR hardware
+     admits.  The Pre/Post dichotomy must still hold at every boundary. *)
+  let test_crash_injection_torn_words () =
+    for seed = 1 to 4 do
+      ignore (crash_at_every_point (R.Torn_words (seed * 131)))
+    done
+
   let test_crash_during_recovery () =
     let r, p, n1, n2 = setup_crash_region () in
     R.set_trap r 12;
@@ -348,6 +357,48 @@ module Make (P : VARIANT) = struct
     | Pre -> ()
     | Post -> Alcotest.fail "uncommitted tx became visible"
     | Torn s -> Alcotest.failf "torn after interrupted recoveries: %s" s
+
+  (* Recovery is idempotent: after a crash anywhere in a transaction,
+     running recovery once, twice, or once more after a no-op reopen must
+     leave the very same persistent bytes — a second recovery pass (or a
+     recovery interrupted and restarted by the crashtest campaigns) can
+     never un-recover.  Swept over crash points and policies. *)
+  let test_recover_idempotent () =
+    let policies =
+      [ R.Drop_all; R.Keep_all; R.Random_subset 5; R.Torn_words 17 ]
+    in
+    List.iter
+      (fun policy ->
+        let k = ref 0 in
+        let completed = ref false in
+        while not !completed do
+          let r, p, n1, n2 = setup_crash_region () in
+          R.set_trap r !k;
+          (match mutate p n1 n2 with
+           | () ->
+             R.clear_trap r;
+             completed := true
+           | exception R.Crash_point -> ());
+          R.crash r policy;
+          P.recover p;
+          let once = R.persistent_snapshot r in
+          P.recover p;
+          let twice = R.persistent_snapshot r in
+          if not (String.equal once twice) then
+            Alcotest.failf "recover not idempotent at point %d (%s)" !k
+              (policy_name policy);
+          (* a no-op reopen runs the recovery path once more *)
+          let p2 = P.open_region r in
+          ignore (P.read_tx p2 (fun () -> P.get_root p2 0));
+          let reopened = R.persistent_snapshot r in
+          if not (String.equal once reopened) then
+            Alcotest.failf "reopen changed the image at point %d (%s)" !k
+              (policy_name policy);
+          k := !k + 7;
+          if !k > 20_000 then
+            Alcotest.fail "idempotence sweep did not terminate"
+        done)
+      policies
 
   (* Blob atomicity: a transaction rewrites a 96-byte blob and bumps a
      version word; crashed at every instruction boundary, recovery must
@@ -539,7 +590,7 @@ module Make (P : VARIANT) = struct
       Gen.(
         triple
           (list_size (int_bound 30) (pair (int_bound 9) small_nat))
-          small_nat (int_bound 3))
+          small_nat (int_bound 4))
     in
     Test.make ~count:40
       ~name:(P.name ^ ": random tx crash atomicity")
@@ -578,6 +629,7 @@ module Make (P : VARIANT) = struct
           match pol with
           | 0 -> R.Drop_all
           | 1 -> R.Keep_all
+          | 2 -> R.Torn_words (trap + 13)
           | n -> R.Random_subset n
         in
         R.crash r policy;
@@ -605,7 +657,9 @@ module Make (P : VARIANT) = struct
       tc "crash injection (drop all)" `Slow test_crash_injection_drop_all;
       tc "crash injection (keep all)" `Slow test_crash_injection_keep_all;
       tc "crash injection (random)" `Slow test_crash_injection_random;
+      tc "crash injection (torn words)" `Slow test_crash_injection_torn_words;
       tc "crash during recovery" `Slow test_crash_during_recovery;
+      tc "recovery is idempotent" `Slow test_recover_idempotent;
       tc "blob crash atomicity" `Slow test_blob_crash_atomicity;
       tc "allocator churn with crashes" `Slow
         test_allocator_churn_with_crashes ]

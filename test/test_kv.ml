@@ -170,6 +170,19 @@ let test_disk_sim_crash_loses_unsynced () =
   let durable = Kv.Disk_sim.crash d in
   Alcotest.(check int) "only synced bytes survive" 100 durable
 
+let test_disk_sim_crash_edges () =
+  (* crash of a device that never wrote anything *)
+  let d = Kv.Disk_sim.create () in
+  Alcotest.(check int) "fresh device crash" 0 (Kv.Disk_sim.crash d);
+  (* crash exactly at a sync boundary: nothing in flight, nothing lost *)
+  ignore (Kv.Disk_sim.write d 64);
+  Kv.Disk_sim.fdatasync d;
+  Alcotest.(check int) "crash at boundary" 64 (Kv.Disk_sim.crash d);
+  (* a second crash with no intervening writes is a no-op *)
+  Alcotest.(check int) "double crash idempotent" 64 (Kv.Disk_sim.crash d);
+  Alcotest.(check int) "appended rolled back to synced" 64
+    (Kv.Disk_sim.appended d)
+
 (* ---- LevelDB-like baseline ---- *)
 
 let test_leveldb_basics () =
@@ -232,6 +245,61 @@ let test_leveldb_auto_sync_threshold () =
     if Kv.Level_db.get db (Printf.sprintf "key%05d" i) = None then ok := false
   done;
   Alcotest.(check bool) "survivors form a prefix" true !ok
+
+let test_leveldb_crash_empty_journal () =
+  (* a crash before any write: the memtable is empty and stays usable *)
+  let db = Kv.Level_db.create () in
+  Kv.Level_db.crash db;
+  Alcotest.(check int) "empty after empty crash" 0 (Kv.Level_db.count db);
+  Kv.Level_db.put ~sync:true db "k" "v";
+  Kv.Level_db.crash db;
+  Alcotest.(check (option string)) "writes after recovery work" (Some "v")
+    (Kv.Level_db.get db "k")
+
+let test_leveldb_crash_exactly_at_sync_boundary () =
+  (* records are 9 + |k| + |v| bytes; key "kN" + value "0123456789" is 21.
+     With sync_every_bytes = 42, the threshold is reached *exactly* on
+     every second put — the boundary write itself must be durable. *)
+  let db = Kv.Level_db.create ~sync_every_bytes:42 () in
+  for i = 1 to 5 do
+    Kv.Level_db.put db (Printf.sprintf "k%d" i) "0123456789"
+  done;
+  Alcotest.(check int) "puts 2 and 4 synced" 2
+    (Kv.Disk_sim.syncs (Kv.Level_db.disk db));
+  Kv.Level_db.crash db;
+  Alcotest.(check int) "exactly the synced prefix survives" 4
+    (Kv.Level_db.count db);
+  Alcotest.(check (option string)) "boundary record itself is durable"
+    (Some "0123456789")
+    (Kv.Level_db.get db "k4");
+  Alcotest.(check (option string)) "first unsynced record is lost" None
+    (Kv.Level_db.get db "k5")
+
+let test_leveldb_replay_after_double_crash () =
+  let db = Kv.Level_db.create ~sync_every_bytes:1_000_000 () in
+  Kv.Level_db.put ~sync:true db "a" "1";
+  Kv.Level_db.put ~sync:true db "b" "2";
+  Kv.Level_db.delete ~sync:true db "a";
+  Kv.Level_db.put db "lost" "never synced";
+  Kv.Level_db.crash db;
+  Alcotest.(check (option string)) "delete replayed" None
+    (Kv.Level_db.get db "a");
+  Alcotest.(check (option string)) "unsynced put lost" None
+    (Kv.Level_db.get db "lost");
+  (* keep going after the first recovery, then crash again: the journal
+     prefix kept from crash #1 must still replay correctly under #2 *)
+  Kv.Level_db.put ~sync:true db "c" "3";
+  Kv.Level_db.put db "lost2" "never synced";
+  Kv.Level_db.crash db;
+  Alcotest.(check int) "second replay count" 2 (Kv.Level_db.count db);
+  Alcotest.(check (option string)) "old record survives both crashes"
+    (Some "2")
+    (Kv.Level_db.get db "b");
+  Alcotest.(check (option string)) "new record survives second crash"
+    (Some "3")
+    (Kv.Level_db.get db "c");
+  Alcotest.(check (option string)) "unsynced put lost again" None
+    (Kv.Level_db.get db "lost2")
 
 (* ---- sorted store (string B+tree) ---- *)
 
@@ -429,11 +497,18 @@ let suite =
     tc "romulusdb scan orders" `Quick test_db_iter_orders_agree;
     tc "disk sim costs" `Quick test_disk_sim_costs;
     tc "disk sim crash" `Quick test_disk_sim_crash_loses_unsynced;
+    tc "disk sim crash edges" `Quick test_disk_sim_crash_edges;
     tc "leveldb basics" `Quick test_leveldb_basics;
     tc "leveldb buffered durability" `Quick
       test_leveldb_buffered_durability_loses_writes;
     tc "leveldb sync mode" `Quick test_leveldb_sync_mode_durable;
-    tc "leveldb auto-sync threshold" `Quick test_leveldb_auto_sync_threshold ]
+    tc "leveldb auto-sync threshold" `Quick test_leveldb_auto_sync_threshold;
+    tc "leveldb crash with empty journal" `Quick
+      test_leveldb_crash_empty_journal;
+    tc "leveldb crash at sync boundary" `Quick
+      test_leveldb_crash_exactly_at_sync_boundary;
+    tc "leveldb replay after double crash" `Quick
+      test_leveldb_replay_after_double_crash ]
   @ [ Alcotest.test_case "sorted db basics" `Quick test_sorted_db_basics;
       Alcotest.test_case "sorted db durability" `Quick
         test_sorted_db_durability ]

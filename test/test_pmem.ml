@@ -229,6 +229,57 @@ let prop_random_subset_deterministic =
       in
       run () = run ())
 
+(* ---- torn words ---- *)
+
+(* Under Torn_words, each 8-byte word of a dirty unfenced line keeps its
+   old or new value independently — never a third value — and at least one
+   seed must actually tear the line (a mix of old and new words), which is
+   exactly what line-granular policies can never produce. *)
+let test_torn_words_word_granularity () =
+  let torn_seed_found = ref false in
+  for seed = 1 to 100 do
+    if not !torn_seed_found then begin
+      let r = region () in
+      for w = 0 to 7 do R.store r (w * 8) 1 done;
+      R.pwb_range r 0 64;
+      R.pfence r;
+      for w = 0 to 7 do R.store r (w * 8) 2 done;
+      (* dirty, never flushed *)
+      R.crash r (R.Torn_words seed);
+      let news = ref 0 in
+      for w = 0 to 7 do
+        let v = R.load r (w * 8) in
+        if v <> 1 && v <> 2 then
+          Alcotest.failf "seed %d word %d: %d is neither old nor new" seed w v;
+        if v = 2 then incr news
+      done;
+      if !news > 0 && !news < 8 then torn_seed_found := true
+    end
+  done;
+  Alcotest.(check bool) "some seed tears the line mid-way" true
+    !torn_seed_found
+
+let test_torn_words_respects_fences () =
+  let r = region () in
+  R.store r 0 77;
+  R.pwb r 0;
+  R.pfence r;
+  R.crash r (R.Torn_words 9);
+  Alcotest.(check int) "fenced word survives any torn crash" 77 (R.load r 0)
+
+let prop_torn_words_deterministic =
+  let open QCheck in
+  Test.make ~count:50 ~name:"Torn_words is deterministic per seed"
+    (pair (list (pair (int_bound 63) int)) small_nat)
+    (fun (writes, seed) ->
+      let run () =
+        let r = R.create ~size:(64 * 64) () in
+        List.iter (fun (slot, v) -> R.store r (slot * 8) v) writes;
+        R.crash r (R.Torn_words seed);
+        List.map (fun (s, _) -> R.load r (s * 8)) writes
+      in
+      run () = run ())
+
 (* ---- file persistence ---- *)
 
 let test_save_load_file () =
@@ -245,15 +296,82 @@ let test_save_load_file () =
   Alcotest.(check int) "durable word travels" 4242 (R.load r2 64);
   Alcotest.(check int) "unfenced word does not" 0 (R.load r2 128)
 
+let expect_corrupt what path =
+  match R.load_from_file path with
+  | exception R.Snapshot_corrupt _ -> ()
+  | exception e ->
+    Alcotest.failf "%s: expected Snapshot_corrupt, got %s" what
+      (Printexc.to_string e)
+  | _ -> Alcotest.failf "%s: corrupt snapshot accepted" what
+
 let test_load_file_bad_magic () =
   let path = Filename.temp_file "romulus" ".pmem" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
   let oc = open_out_bin path in
   output_string oc "not a region";
   close_out oc;
-  match R.load_from_file path with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "bad magic must be rejected"
+  expect_corrupt "bad magic" path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  really_input_string ic (in_channel_length ic)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let make_snapshot path =
+  let r = region () in
+  R.store r 64 4242;
+  R.pwb r 64;
+  R.pfence r;
+  R.store_bytes r 512 "snapshot payload";
+  R.pwb_range r 512 16;
+  R.pfence r;
+  R.save_to_file r path
+
+(* Flip one byte at a time — every header byte plus payload samples — and
+   require a typed rejection every single time.  Header fields fail their
+   own validation; payload flips must be caught by the CRC. *)
+let test_snapshot_bitflips_rejected () =
+  let path = Filename.temp_file "romulus" ".pmem" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  make_snapshot path;
+  let orig = read_file path in
+  let len = String.length orig in
+  let header = 31 in
+  Alcotest.(check int) "snapshot length" (header + 4096) len;
+  let targets =
+    List.init header Fun.id          (* every header byte *)
+    @ [ header; header + 64; header + 67; header + 512; len - 1 ]
+  in
+  List.iter
+    (fun i ->
+      let b = Bytes.of_string orig in
+      Bytes.set b i (Char.chr (Char.code orig.[i] lxor 0xFF));
+      write_file path (Bytes.to_string b);
+      expect_corrupt (Printf.sprintf "byte %d flipped" i) path)
+    targets;
+  (* and the untouched file still loads *)
+  write_file path orig;
+  let r = R.load_from_file path in
+  Alcotest.(check int) "intact snapshot loads" 4242 (R.load r 64)
+
+(* Truncate at every interesting boundary: inside the magic, at each
+   header-field edge, mid-payload, and one byte short of complete. *)
+let test_snapshot_truncation_rejected () =
+  let path = Filename.temp_file "romulus" ".pmem" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  make_snapshot path;
+  let orig = read_file path in
+  let len = String.length orig in
+  List.iter
+    (fun n ->
+      write_file path (String.sub orig 0 n);
+      expect_corrupt (Printf.sprintf "truncated to %d bytes" n) path)
+    [ 0; 5; 15; 19; 23; 27; 31; 31 + 2048; len - 1 ]
 
 let suite =
   let tc = Alcotest.test_case in
@@ -274,11 +392,16 @@ let suite =
     tc "delay accounting" `Quick test_delay_accounting;
     tc "crash trap fires" `Quick test_trap_fires;
     tc "crash trap at zero" `Quick test_trap_zero_fires_immediately;
+    tc "torn words are word-granular" `Quick test_torn_words_word_granularity;
+    tc "torn words respect fences" `Quick test_torn_words_respects_fences;
     tc "save/load file" `Quick test_save_load_file;
-    tc "load file bad magic" `Quick test_load_file_bad_magic ]
+    tc "load file bad magic" `Quick test_load_file_bad_magic;
+    tc "snapshot bit-flips rejected" `Quick test_snapshot_bitflips_rejected;
+    tc "snapshot truncation rejected" `Quick test_snapshot_truncation_rejected ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_crash_values_are_plausible;
         prop_keep_all_equals_volatile;
-        prop_random_subset_deterministic ]
+        prop_random_subset_deterministic;
+        prop_torn_words_deterministic ]
 
 let () = Alcotest.run "pmem" [ ("region", suite) ]
