@@ -11,7 +11,17 @@
      crashtest --policy torn --rounds 200          # torn-word adversary
      crashtest --recovery-crashes 3                # crash recovery itself
      crashtest --ptm romL --failpoint engine.commit.cpy_published
-     crashtest --list-failpoints *)
+     crashtest --inject-exn --rounds 25            # exception injection
+     crashtest --list-failpoints
+
+   --inject-exn switches from crash injection to exception injection:
+   every raise-capable failpoint site reachable from the selected PTM is
+   armed, per round, to raise Fault.Injected instead of powering the
+   machine off, and the campaign asserts the abort contract — a typed
+   Engine.Tx_aborted at the caller, the aborted transaction invisible
+   against the sequential oracle, allocator metadata intact, recovery a
+   byte-level no-op, and a follow-up transaction from another thread
+   slot committing. *)
 
 open Cmdliner
 
@@ -19,6 +29,7 @@ module type PTM = sig
   include Romulus.Ptm_intf.S
 
   val recover : t -> unit
+  val allocator_check : t -> (unit, string) result
 end
 
 let ptms : (string * (module PTM)) list =
@@ -192,6 +203,173 @@ let run_campaign (module P : PTM) ~workload ~rounds ~seed ~verbose ~policy
     recovery_crashes = !rec_crashes;
     failures = !failures }
 
+(* ---- exception-injection campaign ---- *)
+
+(* Which raise-capable sites a PTM can actually reach: the engine and
+   combiner sites belong to the Romulus variants, the STM/undo-log sites
+   to their baselines, and the allocator sites to everyone. *)
+let site_applicable ~ptm site =
+  let prefixes =
+    match ptm with
+    | "rom" -> [ "engine."; "rom."; "palloc." ]
+    | "romL" -> [ "engine."; "romL."; "palloc." ]
+    | "romLR" -> [ "engine."; "palloc." ]
+    | "mne" -> [ "mne."; "palloc." ]
+    | "pmdk" -> [ "pmdk."; "palloc." ]
+    | _ -> []
+  in
+  List.exists (fun prefix -> String.starts_with ~prefix site) prefixes
+
+(* One exception-injection campaign: [site] is armed each round to raise
+   [Fault.Injected] (after a random number of skipped visits) while a
+   batch of random update operations runs.  The abort contract checked
+   after every round:
+
+     (a) the caller observed a typed Engine.Tx_aborted whose cause is
+         the injected exception — never a bare Injected, Failure or
+         Invalid_argument;
+     (b) the structure agrees with the sequential shadow oracle
+         *exactly* (no crash happened, so not even one in-flight
+         operation may diverge) and the allocator is structurally sound;
+     (c) recovery right after an abort is a byte-level no-op on the
+         persistent image (the abort already restored everything);
+     (d) a follow-up update transaction from a different thread slot
+         commits and is visible — no lock is still held, no combiner
+         slot stranded. *)
+let run_inject_campaign (module P : PTM) ~workload ~rounds ~seed ~verbose
+    ~site =
+  let rng = Workload.Keygen.create ~seed () in
+  let region = Pmem.Region.create ~size:(1 lsl 20) () in
+  let p = P.open_region region in
+  let failures = ref [] in
+  let injected = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let module M = struct
+    module L = Pds.Linked_list.Make (P)
+    module T = Pds.Rb_tree.Make (P)
+    module H = Pds.Hash_map.Make (P)
+  end in
+  let shadow : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let list_ = M.L.create p ~root:0 in
+  let tree = M.T.create p ~root:1 in
+  let map = M.H.create ~initial_buckets:8 p ~root:2 in
+  let key () = Workload.Keygen.int rng 200 in
+  let apply_op () =
+    let k = key () in
+    match workload with
+    | `List ->
+      if Workload.Keygen.bool rng then (
+        ignore (M.L.add list_ k);
+        Hashtbl.replace shadow k k)
+      else (
+        ignore (M.L.remove list_ k);
+        Hashtbl.remove shadow k)
+    | `Tree ->
+      if Workload.Keygen.bool rng then (
+        ignore (M.T.put tree k (k * 3));
+        Hashtbl.replace shadow k (k * 3))
+      else (
+        ignore (M.T.remove tree k);
+        Hashtbl.remove shadow k)
+    | `Map ->
+      if Workload.Keygen.bool rng then (
+        ignore (M.H.put map k (k * 5));
+        Hashtbl.replace shadow k (k * 5))
+      else (
+        ignore (M.H.remove map k);
+        Hashtbl.remove shadow k)
+  in
+  let check_exact round =
+    (match
+       match workload with
+       | `List -> M.L.check list_
+       | `Tree -> M.T.check tree
+       | `Map -> M.H.check map
+     with
+     | Ok () -> ()
+     | Error e -> fail "round %d: structural: %s" round e);
+    let mine =
+      match workload with
+      | `List -> M.L.fold list_ (fun acc k -> (k, k) :: acc) []
+      | `Tree -> M.T.fold tree (fun acc k v -> (k, v) :: acc) []
+      | `Map -> M.H.fold map (fun acc k v -> (k, v) :: acc) []
+    in
+    let theirs = Hashtbl.fold (fun k v acc -> (k, v) :: acc) shadow [] in
+    let diff =
+      List.length (List.filter (fun kv -> not (List.mem kv theirs)) mine)
+      + List.length (List.filter (fun kv -> not (List.mem kv mine)) theirs)
+    in
+    if diff > 0 then
+      fail "round %d: aborted transaction visible: %d divergences" round diff
+  in
+  (* warm-up, un-armed: populate the structures so that removes actually
+     free chunks and allocations are served from the bins — otherwise
+     the allocator sites are unreachable in early rounds *)
+  for _ = 1 to 32 do
+    apply_op ()
+  done;
+  (* A round counts only when the armed site actually fired (frees, bin
+     reuse and batch shapes are workload-dependent); attempts are capped
+     so a genuinely unreachable site still fails loudly. *)
+  let round = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = rounds * 50 in
+  while !round < rounds && !attempts < max_attempts do
+    incr attempts;
+    Fault.arm ~skip:(Workload.Keygen.int rng 2) site (fun () ->
+        raise (Fault.Injected site));
+    let before_fires = !injected in
+    for _ = 1 to 4 do
+      match apply_op () with
+      | () -> ()
+      | exception Romulus.Engine.Tx_aborted { cause = Fault.Injected s; _ }
+        when String.equal s site ->
+        incr injected
+      | exception e ->
+        fail "attempt %d: fault at %s escaped untyped: %s" !attempts site
+          (Printexc.to_string e)
+    done;
+    Fault.disarm ();
+    if !injected > before_fires then begin
+      incr round;
+      let round = !round in
+      check_exact round;
+      (match P.allocator_check p with
+       | Ok () -> ()
+       | Error e -> fail "round %d: allocator: %s" round e);
+      let before = Pmem.Region.persistent_snapshot region in
+      P.recover p;
+      let after = Pmem.Region.persistent_snapshot region in
+      if not (String.equal before after) then
+        fail "round %d: recovery after an abort changed the persistent image"
+          round;
+      (* a fresh domain takes a different thread slot: its commit proves
+         no lock is still held and no combiner request is stranded *)
+      (match
+         Domain.join
+           (Domain.spawn (fun () ->
+                Sync_prims.Tid.with_slot (fun _ ->
+                    P.update_tx p (fun () -> P.set_root p 63 round))))
+       with
+       | () -> ()
+       | exception e ->
+         fail "round %d: follow-up commit failed: %s" round
+           (Printexc.to_string e));
+      if P.read_tx p (fun () -> P.get_root p 63) <> round then
+        fail "round %d: follow-up transaction not visible" round;
+      if verbose && round mod 50 = 0 then
+        Printf.printf "  ... %d/%d rounds, %d injected aborts\n%!" round
+          rounds !injected
+    end
+  done;
+  if !round < rounds then
+    fail "site %s fired only %d/%d times in %d attempts" site !round rounds
+      !attempts;
+  { rounds = !round;
+    crashes = !injected;
+    recovery_crashes = 0;
+    failures = !failures }
+
 (* ---- command line ---- *)
 
 let ptm_arg =
@@ -239,8 +417,22 @@ let failpoint_arg =
   Arg.(
     value & opt (some string) None & info [ "failpoint" ] ~docv:"SITE" ~doc)
 
+let inject_exn_arg =
+  let doc =
+    "Exception-injection mode: instead of crashing, every raise-capable \
+     failpoint site reachable from the selected PTMs raises a typed \
+     Fault.Injected, and each round asserts the abort contract (typed \
+     error, aborted transaction invisible, allocator sound, recovery a \
+     byte-level no-op, follow-up transaction from another thread slot \
+     commits).  Combine with --failpoint to sweep a single site."
+  in
+  Arg.(value & flag & info [ "inject-exn" ] ~doc)
+
 let list_failpoints_arg =
-  let doc = "Print every registered failpoint site and exit." in
+  let doc =
+    "Print every registered failpoint site (raise-capable ones marked) \
+     and exit."
+  in
   Arg.(value & flag & info [ "list-failpoints" ] ~doc)
 
 let verbose_arg =
@@ -248,9 +440,13 @@ let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
 let main ptm workload rounds seed policy recovery_crashes failpoint
-    list_failpoints verbose =
+    inject_exn list_failpoints verbose =
   if list_failpoints then begin
-    List.iter print_endline (Fault.sites ());
+    List.iter
+      (fun s ->
+        if Fault.can_raise s then Printf.printf "%s  [raise-capable]\n" s
+        else print_endline s)
+      (Fault.sites ());
     exit 0
   end;
   (match failpoint with
@@ -275,29 +471,70 @@ let main ptm workload rounds seed policy recovery_crashes failpoint
     | w -> failwith ("unknown workload " ^ w)
   in
   let failed = ref false in
-  List.iter
-    (fun (pname, m) ->
-      List.iter
-        (fun (wname, w) ->
-          Printf.printf "%-6s x %-5s: %!" pname wname;
-          let o =
-            run_campaign m ~workload:w ~rounds ~seed ~verbose ~policy
-              ~recovery_crashes ~failpoint
-          in
-          if o.failures = [] then begin
-            Printf.printf "OK (%d rounds, %d crash-recoveries" o.rounds
-              o.crashes;
-            if o.recovery_crashes > 0 then
-              Printf.printf ", %d crashes inside recovery" o.recovery_crashes;
-            Printf.printf ")\n%!"
-          end
-          else begin
-            failed := true;
-            Printf.printf "FAILED (%d issues)\n" (List.length o.failures);
-            List.iter (fun f -> Printf.printf "    %s\n" f) o.failures
-          end)
-        workloads)
-    selected_ptms;
+  if inject_exn then
+    (* exception-injection sweep: PTMs x workloads x raise-capable sites *)
+    let sweep_sites =
+      match failpoint with
+      | Some site ->
+        if not (Fault.can_raise site) then begin
+          Printf.eprintf "site %S is not raise-capable; sweepable sites:\n"
+            site;
+          List.iter (Printf.eprintf "  %s\n") (Fault.raise_sites ());
+          exit 2
+        end;
+        [ site ]
+      | None -> Fault.raise_sites ()
+    in
+    List.iter
+      (fun (pname, m) ->
+        List.iter
+          (fun (wname, w) ->
+            List.iter
+              (fun site ->
+                if site_applicable ~ptm:pname site then begin
+                  Printf.printf "%-6s x %-5s x %-28s: %!" pname wname site;
+                  let o =
+                    run_inject_campaign m ~workload:w ~rounds ~seed ~verbose
+                      ~site
+                  in
+                  if o.failures = [] then
+                    Printf.printf "OK (%d rounds, %d injected aborts)\n%!"
+                      o.rounds o.crashes
+                  else begin
+                    failed := true;
+                    Printf.printf "FAILED (%d issues)\n"
+                      (List.length o.failures);
+                    List.iter (fun f -> Printf.printf "    %s\n" f) o.failures
+                  end
+                end)
+              sweep_sites)
+          workloads)
+      selected_ptms
+  else
+    List.iter
+      (fun (pname, m) ->
+        List.iter
+          (fun (wname, w) ->
+            Printf.printf "%-6s x %-5s: %!" pname wname;
+            let o =
+              run_campaign m ~workload:w ~rounds ~seed ~verbose ~policy
+                ~recovery_crashes ~failpoint
+            in
+            if o.failures = [] then begin
+              Printf.printf "OK (%d rounds, %d crash-recoveries" o.rounds
+                o.crashes;
+              if o.recovery_crashes > 0 then
+                Printf.printf ", %d crashes inside recovery"
+                  o.recovery_crashes;
+              Printf.printf ")\n%!"
+            end
+            else begin
+              failed := true;
+              Printf.printf "FAILED (%d issues)\n" (List.length o.failures);
+              List.iter (fun f -> Printf.printf "    %s\n" f) o.failures
+            end)
+          workloads)
+      selected_ptms;
   if !failed then exit 1
 
 let cmd =
@@ -306,6 +543,6 @@ let cmd =
   Cmd.v info
     Term.(const main $ ptm_arg $ workload_arg $ rounds_arg $ seed_arg
           $ policy_arg $ recovery_crashes_arg $ failpoint_arg
-          $ list_failpoints_arg $ verbose_arg)
+          $ inject_exn_arg $ list_failpoints_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

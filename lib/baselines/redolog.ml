@@ -42,6 +42,11 @@ let magic_value = 0x4D4E454D4F53 (* "MNEMOS" *)
    has not happened — recovery must replay the whole log. *)
 let fp_marker_durable = Fault.site "mne.commit.marker_durable"
 
+(* Failpoint: every write-set stripe is locked and the read set has
+   validated, but nothing durable has happened — an injected exception
+   here must release every stripe and abort the transaction cleanly. *)
+let fp_locks_acquired = Fault.site ~can_raise:true "mne.commit.locks_acquired"
+
 let o_magic = 0
 let o_log_commit = 8
 let o_log_count = 16
@@ -53,7 +58,6 @@ let tag_word = 0
 let tag_blob = 1
 
 exception Log_full
-exception Too_many_aborts
 
 module Shared = struct
   type ctx = {
@@ -340,14 +344,26 @@ module Shared = struct
           let w = Tinystm.read_word s.stm idx in
           if Tinystm.is_locked w || Tinystm.version w > c.rv then abort ()
       done;
-      (* durable phase, serialized over the shared log *)
-      Spinlock.lock s.commit_lock;
-      Fun.protect
-        ~finally:(fun () -> Spinlock.unlock s.commit_lock)
-        (fun () ->
-          persist_redo_log s c wv;
-          write_back s c;
-          retire_log s);
+      (* From here on, any escaping exception — Log_full, an injected
+         fault, a simulated crash — must release the acquired stripes, or
+         they stay locked forever and every later transaction touching
+         them livelocks.  Before the commit marker is durable nothing has
+         been published, so releasing with the previous versions is a
+         clean abort; after it, only a crash can raise, and a dead region
+         fails every subsequent access anyway. *)
+      (try
+         Fault.hit fp_locks_acquired;
+         (* durable phase, serialized over the shared log *)
+         Spinlock.lock s.commit_lock;
+         Fun.protect
+           ~finally:(fun () -> Spinlock.unlock s.commit_lock)
+           (fun () ->
+             persist_redo_log s c wv;
+             write_back s c;
+             retire_log s)
+       with e ->
+         release_all ();
+         raise e);
       Hashtbl.iter (fun idx _ -> Tinystm.release s.stm idx ~ver:wv) acquired
     end
 end
@@ -495,10 +511,24 @@ let recover t =
 
 (* ---- transactions ---- *)
 
-let max_attempts = 1_000_000
+(* Bounded retry: a conflict storm surfaces as a typed
+   Tinystm.Contention_exhausted after this many consecutive aborts,
+   instead of an unbounded spin. *)
+let max_attempts = 4096
 
+(* Exponential backoff with deterministic per-(thread, attempt) jitter,
+   so symmetric threads do not lock-step through identical retry
+   schedules and re-collide forever. *)
 let backoff n =
-  for _ = 1 to min 1024 (1 lsl min n 10) do
+  let mix z =
+    let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 in
+    let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB in
+    z lxor (z lsr 31)
+  in
+  let jitter =
+    mix ((Tid.current () * 0x2545F4914F6CDD1D) + n) land 127
+  in
+  for _ = 1 to min 2048 (1 lsl min n 10) + jitter do
     Domain.cpu_relax ()
   done
 
@@ -507,7 +537,8 @@ let update_tx t f =
   if c.Shared.active then f ()
   else begin
     let rec attempt n =
-      if n > max_attempts then raise Too_many_aborts;
+      if n > max_attempts then
+        raise (Tinystm.Contention_exhausted { attempts = max_attempts });
       Shared.reset_ctx c ~read_only:false ~rv:(Tinystm.now t.s.Shared.stm);
       match
         let v = f () in
@@ -527,10 +558,18 @@ let update_tx t f =
         backoff n;
         attempt (n + 1)
       | exception e ->
-        (* user exception: buffered writes are discarded (STM semantics
-           differ from Romulus here) *)
+        (* transaction failed for a non-conflict reason — user exception,
+           log overflow, injected fault: the buffered writes are
+           discarded and the typed abort reports the cause *)
         c.Shared.active <- false;
-        raise e
+        let st = Pmem.Region.stats t.s.Shared.r in
+        st.Pmem.Stats.tx_aborts <- st.Pmem.Stats.tx_aborts + 1;
+        (match e with
+         | Pmem.Region.Crash_point | Romulus.Engine.Tx_aborted _ -> raise e
+         | _ ->
+           raise
+             (Romulus.Engine.Tx_aborted
+                { cause = e; backtrace = Printexc.get_backtrace () }))
     in
     attempt 1
   end
@@ -540,7 +579,8 @@ let read_tx t f =
   if c.Shared.active then f ()
   else begin
     let rec attempt n =
-      if n > max_attempts then raise Too_many_aborts;
+      if n > max_attempts then
+        raise (Tinystm.Contention_exhausted { attempts = max_attempts });
       Shared.reset_ctx c ~read_only:true ~rv:(Tinystm.now t.s.Shared.stm);
       match f () with
       | v ->
@@ -574,7 +614,7 @@ let free t p = Alloc.free t.arena p
 
 let root_addr i =
   if i < 0 || i >= Romulus.Ptm_intf.root_slots then
-    invalid_arg "Redolog: root index out of range";
+    raise (Romulus.Engine.Root_out_of_bounds i);
   header_bytes + (8 * i)
 
 let get_root t i = Shared.load t.s (root_addr i)
@@ -583,3 +623,4 @@ let set_root t i v = Shared.store t.s (root_addr i) v
 (* test hooks *)
 let allocator_check t = Alloc.check t.arena
 let aborts t = Tinystm.aborts t.s.Shared.stm
+let stm t = t.s.Shared.stm

@@ -6,11 +6,13 @@
 
 include Romulus.Ptm_intf.S
 
-(** Raised when a transaction overflows the persistent redo log. *)
+(** Raised when a transaction overflows the persistent redo log.  The
+    transaction aborts cleanly (stripes released, buffered writes
+    discarded) and the exception reaches the caller wrapped in
+    [Romulus.Engine.Tx_aborted]; after {!Tinystm.Contention_exhausted}
+    many consecutive conflict aborts the typed exhaustion error is
+    raised raw instead of retrying forever. *)
 exception Log_full
-
-(** Raised after an implausible number of consecutive aborts. *)
-exception Too_many_aborts
 
 (** Re-run crash recovery (replay a committed log, reset volatile STM
     state). *)
@@ -21,3 +23,7 @@ val allocator_check : t -> (unit, string) result
 
 (** Aborts observed so far (indicative; racy under domains). *)
 val aborts : t -> int
+
+(** The underlying STM (test hook: lets a contention test pin a stripe
+    lock from outside any transaction). *)
+val stm : t -> Tinystm.t

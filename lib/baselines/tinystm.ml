@@ -10,6 +10,11 @@
 
 exception Abort
 
+(* The bounded-retry loops of the STM-based PTMs give up with this after
+   exhausting their attempt budget: a typed, recoverable signal that the
+   workload is livelocked, instead of spinning forever. *)
+exception Contention_exhausted of { attempts : int }
+
 type t = {
   clock : int Atomic.t;
   locks : int Atomic.t array;

@@ -5,6 +5,13 @@
 (** Raised (internally) to abort and retry a transaction. *)
 exception Abort
 
+(** Raised by the STM-based PTMs after a bounded number of consecutive
+    conflict aborts (with exponential backoff and jitter between
+    attempts): a typed, recoverable contention-livelock signal.  The
+    transaction's buffered effects are discarded; the caller may simply
+    retry. *)
+exception Contention_exhausted of { attempts : int }
+
 type t
 
 val create : ?bits:int -> unit -> t

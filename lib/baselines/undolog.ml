@@ -29,8 +29,10 @@ let name = "pmdk"
 let magic_value = 0x554E444F4C4F47 (* "UNDOLOG" *)
 
 (* Failpoint: the undo entry is durable but the count that validates it
-   is not — the WAL window the 3-fences-per-store schedule protects. *)
-let fp_entry_logged = Fault.site "pmdk.log.entry_logged"
+   is not — the WAL window the 3-fences-per-store schedule protects.  An
+   injected exception here must abort the transaction: the entries
+   logged so far roll every in-place store back. *)
+let fp_entry_logged = Fault.site ~can_raise:true "pmdk.log.entry_logged"
 let fp_rollback_applied = Fault.site "pmdk.recover.rollback_applied"
 
 let o_magic = 0
@@ -241,10 +243,18 @@ let update_tx t f =
               end_tx t;
               v
             | exception e ->
+              let backtrace = Printexc.get_backtrace () in
               (match e with
-               | Pmem.Region.Crash_point -> () (* machine is dead *)
-               | _ -> abort_tx t);
-              raise e))
+               | Pmem.Region.Crash_point -> raise e (* machine is dead *)
+               | _ ->
+                 abort_tx t;
+                 let st = Pmem.Region.stats t.ctx.Ctx.r in
+                 st.Pmem.Stats.tx_aborts <- st.Pmem.Stats.tx_aborts + 1;
+                 (match e with
+                  | Romulus.Engine.Tx_aborted _ -> raise e
+                  | _ ->
+                    raise
+                      (Romulus.Engine.Tx_aborted { cause = e; backtrace })))))
 
 let read_tx t f =
   if Domain.DLS.get in_update_key || Domain.DLS.get read_depth_key > 0 then
@@ -261,12 +271,21 @@ let read_tx t f =
 let load t off = Pmem.Region.load t.ctx.Ctx.r off
 let load_bytes t off len = Pmem.Region.load_bytes t.ctx.Ctx.r off len
 
+(* A domain inside a read-only transaction must never store, even while
+   a writer elsewhere has the shared context's [in_tx] set. *)
+let check_not_read_only () =
+  if Domain.DLS.get read_depth_key > 0
+     && not (Domain.DLS.get in_update_key) then
+    raise Romulus.Engine.Store_outside_transaction
+
 let store t off v =
+  check_not_read_only ();
   Ctx.store t.ctx off v;
   let s = Pmem.Region.stats t.ctx.Ctx.r in
   s.Pmem.Stats.user_bytes <- s.Pmem.Stats.user_bytes + 8
 
 let store_bytes t off str =
+  check_not_read_only ();
   let c = t.ctx in
   if not c.Ctx.in_tx then raise Romulus.Engine.Store_outside_transaction;
   (* snapshot the covered words, then store the blob in place *)
@@ -284,22 +303,27 @@ let store_bytes t off str =
   s.Pmem.Stats.user_bytes <- s.Pmem.Stats.user_bytes + len
 
 let alloc t n =
+  check_not_read_only ();
   if not t.ctx.Ctx.in_tx then
     raise Romulus.Engine.Store_outside_transaction;
   Alloc.alloc t.arena n
 
 let free t p =
+  check_not_read_only ();
   if not t.ctx.Ctx.in_tx then
     raise Romulus.Engine.Store_outside_transaction;
   Alloc.free t.arena p
 
 let root_addr i =
   if i < 0 || i >= Romulus.Ptm_intf.root_slots then
-    invalid_arg "Undolog: root index out of range";
+    raise (Romulus.Engine.Root_out_of_bounds i);
   header_bytes + (8 * i)
 
 let get_root t i = Pmem.Region.load t.ctx.Ctx.r (root_addr i)
-let set_root t i v = Ctx.store t.ctx (root_addr i) v
+
+let set_root t i v =
+  check_not_read_only ();
+  Ctx.store t.ctx (root_addr i) v
 
 (* test hook *)
 let allocator_check t = Alloc.check t.arena

@@ -7,7 +7,10 @@
 
 include Romulus.Ptm_intf.S
 
-(** Raised when a transaction overflows the persistent undo log. *)
+(** Raised when a transaction overflows the persistent undo log.  The
+    transaction aborts cleanly (in-place stores undone from the entries
+    logged so far) and the exception reaches the caller wrapped in
+    [Romulus.Engine.Tx_aborted]. *)
 exception Log_full
 
 (** Re-run crash recovery (roll back any active log). *)

@@ -27,8 +27,9 @@ module Make (Config : CONFIG) = struct
 
   (* Per-variant failpoint: the combiner ran the whole batch but the
      engine transaction has not yet started committing — a crash here
-     must lose every helped operation at once. *)
-  let fp_batch_ran = Fault.site (Config.name ^ ".combiner.batch_ran")
+     must lose every helped operation at once, and an injected exception
+     must abort the whole batch cleanly. *)
+  let fp_batch_ran = Fault.site ~can_raise:true (Config.name ^ ".combiner.batch_ran")
 
   let open_region r =
     { e = Engine.create ~mode:Config.mode r;
@@ -69,10 +70,17 @@ module Make (Config : CONFIG) = struct
       in
       let exec run_batch =
         Crwwp.with_write_lock t.lock (fun () ->
-            Engine.begin_tx t.e;
-            run_batch ();
-            Fault.hit fp_batch_ran;
-            Engine.end_tx t.e)
+            (* a raising request (or injected fault, even one inside
+               begin_tx itself) aborts the whole attempt — partial
+               effects of the batch must not commit; the combiner
+               answers the raiser with the Tx_aborted and retries the
+               survivors in a fresh exec round *)
+            try
+              Engine.begin_tx t.e;
+              run_batch ();
+              Fault.hit fp_batch_ran;
+              Engine.end_tx t.e
+            with e -> Engine.abort_main t.e e)
       in
       Flat_combining.apply t.fc request ~exec;
       match !result with
@@ -83,14 +91,38 @@ module Make (Config : CONFIG) = struct
         assert false
     end
 
+  (* A domain inside a read-only transaction must never store, even when
+     a combiner elsewhere has an engine transaction open (the engine's
+     own in-transaction check cannot tell the two domains apart). *)
+  let check_not_read_only () =
+    if read_depth () > 0 && not (in_update ()) then
+      raise Engine.Store_outside_transaction
+
   let load t off = Engine.load t.e off
-  let store t off v = Engine.store t.e off v
+
+  let store t off v =
+    check_not_read_only ();
+    Engine.store t.e off v
+
   let load_bytes t off len = Engine.load_bytes t.e off len
-  let store_bytes t off s = Engine.store_bytes t.e off s
-  let alloc t n = Engine.alloc t.e n
-  let free t p = Engine.free t.e p
+
+  let store_bytes t off s =
+    check_not_read_only ();
+    Engine.store_bytes t.e off s
+
+  let alloc t n =
+    check_not_read_only ();
+    Engine.alloc t.e n
+
+  let free t p =
+    check_not_read_only ();
+    Engine.free t.e p
+
   let get_root t i = Engine.get_root t.e i
-  let set_root t i v = Engine.set_root t.e i v
+
+  let set_root t i v =
+    check_not_read_only ();
+    Engine.set_root t.e i v
 
   (* test hooks *)
   let engine t = t.e

@@ -31,19 +31,36 @@ type mode = Full_copy | Logged
 
 exception Store_outside_transaction
 
+exception Root_out_of_bounds of int
+
 exception Recovery_error of string
+
+(* An update transaction whose closure (or pre-durability commit
+   machinery) raised: the transaction was rolled back — main restored
+   from back, state republished as IDL — and the original exception is
+   re-raised wrapped here, with the backtrace captured at the abort. *)
+exception Tx_aborted of { cause : exn; backtrace : string }
 
 let recovery_error fmt =
   Printf.ksprintf (fun s -> raise (Recovery_error s)) fmt
 
 (* Failpoint sites: the exact windows of Algorithm 1 the proofs reason
-   about, targetable by name from crash campaigns (see lib/fault). *)
-let fp_mut_published = Fault.site "engine.begin.mut_published"
-let fp_before_flush = Fault.site "engine.commit.before_flush"
+   about, targetable by name from crash campaigns (see lib/fault).
+   Raise-capable sites sit strictly before the CPY durability point, so
+   an injected exception there must abort the transaction cleanly; the
+   post-CPY and recovery windows are crash-only. *)
+let fp_mut_published = Fault.site ~can_raise:true "engine.begin.mut_published"
+let fp_before_flush = Fault.site ~can_raise:true "engine.commit.before_flush"
 let fp_cpy_published = Fault.site "engine.commit.cpy_published"
 let fp_replicate_copied = Fault.site "engine.replicate.copied"
 let fp_recover_copied = Fault.site "engine.recover.copied"
 let fp_format_before_magic = Fault.site "engine.format.before_magic"
+
+(* Abort-path windows: main restored from back but IDL not yet durable,
+   and the symmetric point right after it is.  Crash-only — recovery
+   from a crash inside the abort path must converge to the pre-state. *)
+let fp_abort_restored = Fault.site "engine.abort.restored"
+let fp_abort_idl_published = Fault.site "engine.abort.idl_published"
 
 let magic_value = 0x524F4D554C5553 (* "ROMULUS" *)
 
@@ -135,9 +152,10 @@ let mode t = t.mode
 
 (* Ablation knobs for the commit-path write-set optimizations; the
    defaults (deferred write-backs, coalesced log) are the fast path. *)
-let configure ?eager_pwb ?coalesce t =
+let configure ?eager_pwb ?coalesce ?redo_capacity t =
   Option.iter (fun b -> t.mem.Mem.eager_pwb <- b) eager_pwb;
-  Option.iter (fun b -> t.coalesce <- b) coalesce
+  Option.iter (fun b -> t.coalesce <- b) coalesce;
+  Option.iter (fun c -> Redo_log.set_capacity t.log c) redo_capacity
 
 let eager_pwb t = t.mem.Mem.eager_pwb
 let coalesce_enabled t = t.coalesce
@@ -313,6 +331,54 @@ let end_tx t =
   replicate t;
   finish_tx t
 
+(* Roll an in-flight update transaction back.  While state = MUT the
+   abort is "free" (§4.5): back is the consistent copy, so this is
+   exactly recovery's MUT branch run in-process — whole-span restore in
+   Full_copy, per-logged-range restore in Logged — followed by the same
+   fence discipline that republishes IDL durably.  The original
+   exception is re-raised wrapped in {!Tx_aborted}; crashes propagate
+   raw (a dead region has nothing to roll back — reopening it runs real
+   recovery), and an exception that slipped in after the CPY durability
+   point rolls *forward*, because the transaction already committed. *)
+let abort_main t cause =
+  let backtrace = Printexc.get_backtrace () in
+  if Pmem.Region.is_dead t.r || not t.in_tx then raise cause
+  else if Pmem.Region.load t.r o_state = st_cpy then begin
+    replicate t;
+    finish_tx t;
+    raise cause
+  end
+  else begin
+    Mem.discard_dirty t.mem;
+    (match t.mode with
+     | Full_copy ->
+       let top =
+         Pmem.Region.load t.r (t.arena_base + t.main_size + Palloc.top_offset)
+       in
+       let span = top - t.main_start in
+       Pmem.Region.copy t.r ~src:(t.main_start + t.main_size)
+         ~dst:t.main_start ~len:span;
+       Pmem.Region.pwb_range t.r t.main_start span
+     | Logged ->
+       Redo_log.iter t.log (fun ~off ~len ->
+           Pmem.Region.copy t.r ~src:(off + t.main_size) ~dst:off ~len;
+           Pmem.Region.pwb_range t.r off len));
+    Fault.hit fp_abort_restored;
+    Pmem.Region.pfence t.r;
+    Pmem.Region.store t.r o_state st_idl;
+    Pmem.Region.pwb t.r o_state;
+    Pmem.Region.pfence t.r;
+    Fault.hit fp_abort_idl_published;
+    t.mem.log <- None;
+    t.in_tx <- false;
+    Redo_log.clear t.log;
+    let s = Pmem.Region.stats t.r in
+    s.Pmem.Stats.tx_aborts <- s.Pmem.Stats.tx_aborts + 1;
+    match cause with
+    | Tx_aborted _ | Pmem.Region.Crash_point -> raise cause
+    | _ -> raise (Tx_aborted { cause; backtrace })
+  end
+
 (* ---- interposed accesses ---- *)
 
 let check_main t off len what =
@@ -362,8 +428,7 @@ let free t p =
 (* ---- roots ---- *)
 
 let root_addr t i =
-  if i < 0 || i >= Ptm_intf.root_slots then
-    invalid_arg "Engine: root index out of range";
+  if i < 0 || i >= Ptm_intf.root_slots then raise (Root_out_of_bounds i);
   t.main_start + (8 * i)
 
 let get_root t i = Pmem.Region.load t.r (root_addr t i)

@@ -9,11 +9,23 @@ type mode =
 
 exception Store_outside_transaction
 
+(** Raised by {!get_root}/{!set_root} (and the front-ends' root
+    accessors) for a slot index outside [0, Ptm_intf.root_slots). *)
+exception Root_out_of_bounds of int
+
 (** Raised when the persistent header fails validation on open or
     recovery: unrecognized magic, a state outside {IDL, MUT, CPY}, or an
     allocator frontier pointing outside its copy.  Recovery refuses to
     touch a region it cannot interpret. *)
 exception Recovery_error of string
+
+(** An update transaction whose closure (or pre-durability commit
+    machinery) raised.  The transaction was rolled back — main restored
+    from back, state republished as IDL, allocator and roots exactly as
+    before the transaction — and the original exception is re-raised
+    wrapped here.  [backtrace] is the raw backtrace string captured when
+    the abort began (empty unless backtrace recording is on). *)
+exception Tx_aborted of { cause : exn; backtrace : string }
 
 type t
 
@@ -35,8 +47,12 @@ val mode : t -> mode
     [eager_pwb] (default [false]) issues a pwb at every interposed store
     instead of deferring line write-backs to [commit_main]; [coalesce]
     (default [true]) merges the redo log into maximal intervals before
-    replication. *)
-val configure : ?eager_pwb:bool -> ?coalesce:bool -> t -> unit
+    replication; [redo_capacity] bounds the volatile redo log's entry
+    count (default [Redo_log.default_capacity]) — an update transaction
+    that exceeds it aborts with {!Tx_aborted} carrying
+    {!Redo_log.Overflow}. *)
+val configure :
+  ?eager_pwb:bool -> ?coalesce:bool -> ?redo_capacity:int -> t -> unit
 
 val eager_pwb : t -> bool
 val coalesce_enabled : t -> bool
@@ -62,6 +78,18 @@ val finish_tx : t -> unit
 (** [commit_main] + [replicate] + [finish_tx] — at most 4 persistence
     fences per transaction including the one in [begin_tx]. *)
 val end_tx : t -> unit
+
+(** [abort_main t cause] rolls the in-flight update transaction back and
+    never returns.  While state = MUT the abort is "free": back is the
+    consistent copy, so main is restored from it (whole used span in
+    [Full_copy], the logged ranges in [Logged]) and IDL is republished
+    with the same fence discipline as recovery.  Re-raises [cause]
+    wrapped in {!Tx_aborted} — except crashes ([Pmem.Region.Crash_point])
+    and already-wrapped {!Tx_aborted}, which propagate raw, and an
+    exception arriving after the CPY durability point, which rolls the
+    commit *forward* (the transaction is durable; nothing aborts) and
+    re-raises the cause unwrapped. *)
+val abort_main : t -> exn -> 'a
 
 val load : t -> int -> int
 

@@ -82,33 +82,76 @@ let update_tx t f =
         (fun () -> result := Some (f ()))
     in
     let exec run_batch =
-      Engine.begin_tx t.e;
-      run_batch ();
-      Engine.commit_main t.e;
-      (* expose the new state: readers move to main (already durable) *)
-      Left_right.set_lr t.lr inst_main;
-      Left_right.toggle_version_and_wait t.lr;
-      Fault.hit fp_readers_on_main;
-      Engine.replicate t.e;
-      (* send readers back to the back copy, freeing main for the next
-         update transaction *)
-      Left_right.set_lr t.lr inst_back;
-      Left_right.toggle_version_and_wait t.lr;
-      Fault.hit fp_readers_on_back;
-      Engine.finish_tx t.e
+      (* before the CPY durability point a raising request (or injected
+         fault, even one inside begin_tx itself) aborts the attempt:
+         readers never left the back copy, so the Left-Right state needs
+         no repair — only the twin-copy roll back that abort_main
+         performs *)
+      (try
+         Engine.begin_tx t.e;
+         run_batch ();
+         Engine.commit_main t.e
+       with e -> Engine.abort_main t.e e);
+      match
+        (* expose the new state: readers move to main (already durable) *)
+        Left_right.set_lr t.lr inst_main;
+        Left_right.toggle_version_and_wait t.lr;
+        Fault.hit fp_readers_on_main;
+        Engine.replicate t.e;
+        (* send readers back to the back copy, freeing main for the next
+           update transaction *)
+        Left_right.set_lr t.lr inst_back;
+        Left_right.toggle_version_and_wait t.lr;
+        Fault.hit fp_readers_on_back;
+        Engine.finish_tx t.e
+      with
+      | () -> ()
+      | exception e ->
+        (* post-durability windows are crash-only, so this is (virtually
+           always) a simulated crash — but the volatile Left-Right state
+           must honour its invariant before the combiner lock is
+           released: park new readers on back and drain main, so a
+           subsequent writer (after recovery) finds main free *)
+        Left_right.set_lr t.lr inst_back;
+        Left_right.toggle_version_and_wait t.lr;
+        raise e
     in
     Flat_combining.apply t.fc request ~exec;
     match !result with Some v -> v | None -> assert false
   end
 
+(* A domain inside a read-only transaction must never store, even when a
+   combiner elsewhere has an engine transaction open (the engine's own
+   in-transaction check cannot tell the two domains apart) — and a
+   back-reader's synthetic-pointer delta must never leak into a store. *)
+let check_not_read_only () =
+  if read_depth () > 0 && not (in_update ()) then
+    raise Engine.Store_outside_transaction
+
 let load t off = Engine.load_off t.e (delta ()) off
 let load_bytes t off len = Engine.load_bytes_off t.e (delta ()) off len
-let store t off v = Engine.store t.e off v
-let store_bytes t off s = Engine.store_bytes t.e off s
-let alloc t n = Engine.alloc t.e n
-let free t p = Engine.free t.e p
+
+let store t off v =
+  check_not_read_only ();
+  Engine.store t.e off v
+
+let store_bytes t off s =
+  check_not_read_only ();
+  Engine.store_bytes t.e off s
+
+let alloc t n =
+  check_not_read_only ();
+  Engine.alloc t.e n
+
+let free t p =
+  check_not_read_only ();
+  Engine.free t.e p
+
 let get_root t i = Engine.get_root_off t.e (delta ()) i
-let set_root t i v = Engine.set_root t.e i v
+
+let set_root t i v =
+  check_not_read_only ();
+  Engine.set_root t.e i v
 
 (* test hooks *)
 let engine t = t.e

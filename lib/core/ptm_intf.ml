@@ -20,14 +20,21 @@ module type S = sig
   val region : t -> Pmem.Region.t
 
   (** Run a read-only transaction.  Read-only transactions never write to
-      persistent memory; attempting to [store] inside one raises. *)
+      persistent memory; attempting to [store] inside one raises
+      [Engine.Store_outside_transaction] (and the read ingress — read
+      indicator, Left-Right arrival — is still departed when the closure
+      raises). *)
   val read_tx : t -> (unit -> 'a) -> 'a
 
   (** Run an update transaction, durably: when [update_tx] returns, the
-      transaction's effects survive any subsequent crash.  Romulus
-      transactions are irrevocable (never re-executed); the lock-free
-      baseline (Mnemosyne-like) may re-execute the closure on conflict, so
-      closures should not perform non-idempotent volatile side effects. *)
+      transaction's effects survive any subsequent crash.  When the
+      closure (or the pre-durability commit machinery) raises, the
+      transaction aborts — every persistent effect, including allocator
+      metadata, is rolled back — and the exception is re-raised wrapped
+      in [Engine.Tx_aborted] (simulated crashes propagate raw).  The
+      lock-free baseline (Mnemosyne-like) may additionally re-execute
+      the closure on conflict, so closures should not perform
+      non-idempotent volatile side effects. *)
   val update_tx : t -> (unit -> 'a) -> 'a
 
   (** Load the word at a byte offset (inside a transaction). *)

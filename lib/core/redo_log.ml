@@ -6,22 +6,40 @@
    so that a loop storing to the same field logs one range, not thousands;
    ranges from blob stores are appended as-is. *)
 
+exception Overflow of { capacity : int }
+
+(* Large enough that only a deliberately pathological transaction hits
+   it; small enough that a runaway store loop surfaces as a typed,
+   abortable error instead of unbounded DRAM growth. *)
+let default_capacity = 1 lsl 20
+
 type t = {
   mutable offs : int array;
   mutable lens : int array;
   mutable n : int;
+  mutable capacity : int;   (* max entries before {!Overflow} *)
   words : (int, unit) Hashtbl.t;
 }
 
-let create () =
-  { offs = Array.make 64 0; lens = Array.make 64 0; n = 0;
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Redo_log.create: capacity < 1";
+  { offs = Array.make 64 0; lens = Array.make 64 0; n = 0; capacity;
     words = Hashtbl.create 64 }
+
+let capacity t = t.capacity
+
+let set_capacity t c =
+  if c < 1 then invalid_arg "Redo_log.set_capacity: capacity < 1";
+  t.capacity <- c
 
 let clear t =
   t.n <- 0;
   Hashtbl.reset t.words
 
 let append t off len =
+  (* raised before anything is recorded: the log still covers exactly the
+     stores that were applied, so an abort can roll them back *)
+  if t.n >= t.capacity then raise (Overflow { capacity = t.capacity });
   if t.n = Array.length t.offs then begin
     let cap = 2 * t.n in
     let offs = Array.make cap 0 and lens = Array.make cap 0 in

@@ -24,22 +24,22 @@ let update_tx t f =
     Fun.protect
       ~finally:(fun () -> t.depth <- 0)
       (fun () ->
-        Engine.begin_tx t.e;
-        match f () with
+        match
+          Engine.begin_tx t.e;
+          f ()
+        with
         | v ->
           Engine.end_tx t.e;
           v
         | exception e ->
-          (* Romulus transactions are irrevocable: the partial effects
-             commit and the exception propagates (unless the machine is
-             dead, in which case nothing more can execute) *)
-          (match e with
-           | Pmem.Region.Crash_point -> ()
-           | _ -> Engine.end_tx t.e);
-          raise e)
+          (* roll back (even when begin_tx itself raised at an injected
+             fault site): main restored from back, the exception
+             re-raised wrapped in Engine.Tx_aborted (crashes raw) *)
+          Engine.abort_main t.e e)
   end
 
-(* single-threaded read transactions are plain code *)
+(* single-threaded read transactions are plain code; stores inside them
+   hit the engine's Store_outside_transaction check *)
 let read_tx t f =
   ignore t;
   f ()

@@ -22,16 +22,35 @@
 
 type site = string
 
-let registry : (string, unit) Hashtbl.t = Hashtbl.create 32
+(* [can_raise]: the site sits in a window where a *software* exception can
+   legitimately originate (user code, allocator, log append) and the
+   surrounding transaction machinery promises to abort cleanly.  Sites
+   strictly inside commit/recovery machinery are crash-only: the only
+   fault that reaches them in reality is a power failure. *)
+let registry : (string, bool) Hashtbl.t = Hashtbl.create 32
 
-let site name =
-  Hashtbl.replace registry name ();
+let site ?(can_raise = false) name =
+  Hashtbl.replace registry name can_raise;
   name
 
 let is_site name = Hashtbl.mem registry name
 
+let can_raise name =
+  match Hashtbl.find_opt registry name with
+  | Some b -> b
+  | None -> false
+
 let sites () =
-  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) registry [])
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
+
+let raise_sites () =
+  List.sort String.compare
+    (Hashtbl.fold (fun k cr acc -> if cr then k :: acc else acc) registry [])
+
+(* The payload an exception-injection campaign raises at an armed site:
+   typed, so aborted transactions can be told apart from real failures. *)
+exception Injected of string
 
 type armed = {
   name : string;

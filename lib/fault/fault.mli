@@ -11,14 +11,30 @@
 type site = string
 
 (** Declare (and register) a failpoint site.  Idempotent; returns the
-    name so sites read as [let fp = Fault.site "engine.commit.x"]. *)
-val site : string -> site
+    name so sites read as [let fp = Fault.site "engine.commit.x"].
+    [can_raise] (default [false]) marks the site as raise-capable: it
+    sits in a window where a software exception can originate (user code,
+    allocator, log append) and the enclosing transaction machinery
+    promises to abort cleanly — exception-injection campaigns sweep
+    exactly these sites.  Crash injection may target any site. *)
+val site : ?can_raise:bool -> string -> site
 
 (** All registered site names, sorted.  Sites register when their module
     initializes, so link the libraries of interest before asking. *)
 val sites : unit -> string list
 
+(** The raise-capable subset of {!sites} (see [can_raise]). *)
+val raise_sites : unit -> string list
+
 val is_site : string -> bool
+
+(** Whether the named site was registered raise-capable. *)
+val can_raise : string -> bool
+
+(** Raised (by convention) at armed sites during exception-injection
+    campaigns: [arm site (fun () -> raise (Injected site))].  Typed so the
+    resulting transaction abort is distinguishable from a real failure. *)
+exception Injected of string
 
 exception Unknown_site of string
 

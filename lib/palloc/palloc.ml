@@ -43,14 +43,19 @@ module type MEM = sig
   val store : t -> int -> int -> unit
 end
 
-exception Out_of_space of { requested : int; available : int }
+exception Out_of_memory of { requested : int; available : int }
 
 exception Corrupt of string
 
+exception Invalid_free of { offset : int; reason : string }
+
 (* Failpoint sites: allocator metadata is mid-surgery at these points —
-   a crash must roll the half-linked chunks back with the transaction. *)
-let fp_alloc_split = Fault.site "palloc.alloc.split"
-let fp_free_unlinked = Fault.site "palloc.free.unlinked"
+   a crash must roll the half-linked chunks back with the transaction.
+   Both are raise-capable: an exception here (rather than a power
+   failure) models user-visible allocator faults, and the enclosing
+   transaction must abort cleanly around the half-done surgery. *)
+let fp_alloc_split = Fault.site ~can_raise:true "palloc.alloc.split"
+let fp_free_unlinked = Fault.site ~can_raise:true "palloc.free.unlinked"
 
 let magic_value = 0x50414C4C (* "PALL" *)
 
@@ -209,7 +214,7 @@ module Make (M : MEM) = struct
   let alloc_from_top t ~need =
     let tp = top t in
     if tp + need > limit t then
-      raise (Out_of_space { requested = need; available = limit t - tp });
+      raise (Out_of_memory { requested = need; available = limit t - tp });
     let c = tp + 8 in
     write_header t c ~size:need ~inuse:true
       ~prev_inuse:(frontier_prev t <> 0);
@@ -231,13 +236,38 @@ module Make (M : MEM) = struct
 
   (* ---- free ---- *)
 
+  (* Walk the chunk lattice from the bottom of the heap to decide whether
+     [c] is the payload offset of a live chunk.  Freeing anything else
+     (a stale pointer, an interior offset, a chunk whose header was
+     absorbed by an earlier coalescing free) would silently corrupt the
+     free lists, so [free] refuses with a typed {!Invalid_free} instead.
+     The walk is linear in the number of chunks below [c]; arenas here
+     are simulation-sized, and detecting the corruption beats speed. *)
+  let validate_free t c =
+    let invalid reason = raise (Invalid_free { offset = c; reason }) in
+    let ds = data_start_of ~base:t.base in
+    let tp = top t in
+    if c < ds || header c >= tp then invalid "offset outside the heap";
+    if (c - ds) mod 16 <> 0 then invalid "misaligned chunk offset";
+    let rec seek p =
+      if p = c then ()
+      else if p > c then invalid "interior offset, not a chunk start"
+      else begin
+        let size = hdr_size (read_header t p) in
+        if size < min_chunk || size mod 16 <> 0 then
+          raise
+            (Corrupt
+               (Printf.sprintf "Palloc.free: heap walk hit bad header at %d"
+                  p));
+        seek (p + size)
+      end
+    in
+    seek ds;
+    if not (hdr_inuse (read_header t c)) then invalid "double free"
+
   let free t c =
-    if header c < data_start_of ~base:t.base - 8 || header c >= top t then
-      raise
-        (Corrupt (Printf.sprintf "Palloc.free: %d is not a live chunk" c));
+    validate_free t c;
     let h = read_header t c in
-    if not (hdr_inuse h) then
-      raise (Corrupt (Printf.sprintf "Palloc.free: double free at %d" c));
     let size = hdr_size h in
     let c, size, prev_inuse =
       (* backward coalescing via the previous chunk's footer *)

@@ -16,11 +16,21 @@ module type MEM = sig
   val store : t -> int -> int -> unit
 end
 
-(** Raised when the arena cannot satisfy a request. *)
-exception Out_of_space of { requested : int; available : int }
+(** Raised when the arena cannot satisfy a request.  A recoverable,
+    typed event: inside a PTM transaction the enclosing [update_tx]
+    aborts cleanly and the arena stays exactly as it was. *)
+exception Out_of_memory of { requested : int; available : int }
 
-(** Raised on metadata corruption (bad magic, double free). *)
+(** Raised on metadata corruption (bad magic, an undecodable header met
+    while validating a free). *)
 exception Corrupt of string
+
+(** Raised by {!Make.free} for an offset that is not the payload of a
+    live chunk: outside the heap, misaligned, interior to a chunk, or
+    already freed (including a stale pointer to a chunk that an earlier
+    free coalesced away).  Detected *before* any metadata is modified, so
+    the arena is untouched. *)
+exception Invalid_free of { offset : int; reason : string }
 
 (** Number of segregated free lists. *)
 val nbins : int
@@ -49,11 +59,12 @@ module Make (M : MEM) : sig
   val attach : M.t -> base:int -> t
 
   (** [alloc t n] returns the byte offset of an [n]-byte payload.  The
-      payload is NOT zeroed.  Raises {!Out_of_space} when the arena is
+      payload is NOT zeroed.  Raises {!Out_of_memory} when the arena is
       exhausted. *)
   val alloc : t -> int -> int
 
-  (** Raises [Corrupt] on double free. *)
+  (** Raises {!Invalid_free} (before touching any metadata) when the
+      offset is not a live chunk — including double frees. *)
   val free : t -> int -> unit
 
   (** Bytes between the arena base and the allocation frontier — the upper

@@ -14,6 +14,7 @@ type t = {
   mutable commits : int;     (** durably committed transactions (ticked by the engine) *)
   mutable delay_ns : int;    (** virtual latency injected by the fence profile *)
   mutable crashes : int;     (** simulated crashes *)
+  mutable tx_aborts : int;   (** transactions aborted and rolled back (ticked by the PTM) *)
 }
 
 val create : unit -> t

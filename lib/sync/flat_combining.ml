@@ -47,27 +47,45 @@ let combine t ~exec =
   let batch = ref [] in
   for i = limit - 1 downto 0 do
     match Atomic.get t.slots.(i) with
-    | Request f -> batch := (i, f, ref None) :: !batch
+    | Request f -> batch := (i, f) :: !batch
     | Empty | Done _ -> ()
   done;
   t.scanned <- t.scanned + limit;
-  let requests = !batch in
-  let run_all () =
-    let run (_, f, res) = try f () with e -> res := Some e in
-    List.iter run requests
-  in
-  let finish res_of =
-    List.iter (fun (i, _, res) -> Atomic.set t.slots.(i) (Done (res_of res)))
-      requests
-  in
   t.combines <- t.combines + 1;
-  t.combined <- t.combined + List.length requests;
-  match exec run_all with
-  | () -> finish (fun res -> !res)
-  | exception e ->
-    (* the batch commit itself failed (e.g. a simulated crash): every
-       requester observes the failure *)
-    finish (fun _ -> Some e)
+  t.combined <- t.combined + List.length !batch;
+  (* Rounds: run the pending requests inside one [exec] call.  A request
+     that raises must not have its partial effects committed with the
+     rest of the batch, so the exception propagates out of [run_all] and
+     [exec] is expected to discard the whole attempt (the PTM aborts the
+     transaction).  The raiser is then answered with the exception that
+     escaped [exec] and the survivors retry in a fresh [exec].  Every
+     round removes at least one request, so the loop terminates even
+     when every request raises; an [exec] failure with no identifiable
+     raiser (begin/commit machinery, e.g. a simulated crash) answers the
+     whole batch — no requester is ever left waiting. *)
+  let rec rounds pending =
+    match pending with
+    | [] -> ()
+    | _ ->
+      let raiser = ref (-1) in
+      let run_all () =
+        List.iter (fun (i, f) -> raiser := i; f ()) pending;
+        raiser := -1
+      in
+      (match exec run_all with
+       | () ->
+         List.iter (fun (i, _) -> Atomic.set t.slots.(i) (Done None)) pending
+       | exception e ->
+         let failed = !raiser in
+         if failed < 0 then
+           List.iter (fun (i, _) -> Atomic.set t.slots.(i) (Done (Some e)))
+             pending
+         else begin
+           Atomic.set t.slots.(failed) (Done (Some e));
+           rounds (List.filter (fun (i, _) -> i <> failed) pending)
+         end)
+  in
+  rounds !batch
 
 let apply t f ~exec =
   let tid = Tid.current () in

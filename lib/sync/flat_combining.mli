@@ -6,11 +6,17 @@ type t
 val create : unit -> t
 
 (** [apply t f ~exec] publishes [f] and returns once some combiner has
-    executed it durably.  The combiner calls [exec run_batch] exactly once
-    per batch; [exec] must call [run_batch ()] (e.g. between
-    begin-transaction and end-transaction).  Exceptions raised by [f] are
-    re-raised at its requester; an exception escaping [exec] itself is
-    raised at every requester of the batch. *)
+    executed it durably.  The combiner calls [exec run_batch] once per
+    round; [exec] must call [run_batch ()] (e.g. between
+    begin-transaction and end-transaction) and, if [run_batch] raises,
+    must discard the attempt's effects (abort the transaction) and let
+    the exception — possibly transformed, e.g. wrapped in a typed abort
+    error — escape [exec].  The combiner then answers the raising
+    request with that exception and retries the remaining requests in a
+    fresh [exec] round, so one poisonous request fails alone while the
+    rest of the batch still commits.  An [exec] failure outside any
+    request (begin/commit machinery, a simulated crash) is raised at
+    every requester of the round; no requester is ever left waiting. *)
 val apply : t -> (unit -> unit) -> exec:((unit -> unit) -> unit) -> unit
 
 (** Number of batches executed so far. *)

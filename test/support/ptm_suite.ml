@@ -14,10 +14,6 @@ module type VARIANT = sig
   (** Structural check of the persistent allocator. *)
   val allocator_check : t -> (unit, string) result
 
-  (** What happens to a transaction whose closure raises: Romulus is
-      irrevocable (partial effects commit), log-based PTMs roll back. *)
-  val exception_behavior : [ `Commits | `Discards ]
-
   (** Exact persistence fences per update transaction, when the algorithm
       guarantees a constant (Romulus: 4). *)
   val exact_fences : int option
@@ -97,6 +93,9 @@ module Make (P : VARIANT) = struct
     in
     Alcotest.(check int) "nested read" 7 v2
 
+  (* Every PTM in the repository aborts a transaction whose closure
+     raises: partial effects are discarded and the exception re-raised
+     wrapped in Engine.Tx_aborted (carrying the original cause). *)
   let test_exception_semantics () =
     let _, p = open_fresh () in
     let obj =
@@ -107,17 +106,135 @@ module Make (P : VARIANT) = struct
           o)
     in
     (match P.update_tx p (fun () -> P.store p obj 77; raise Exit) with
-     | exception Exit -> ()
+     | exception Romulus.Engine.Tx_aborted { cause = Exit; _ } -> ()
+     | exception e ->
+       Alcotest.failf "expected Tx_aborted{Exit}, got %s"
+         (Printexc.to_string e)
      | () -> Alcotest.fail "exception must propagate");
-    let v = P.read_tx p (fun () -> P.load p obj) in
-    (match P.exception_behavior with
-     | `Commits ->
-       Alcotest.(check int) "irrevocable: effect persisted" 77 v
-     | `Discards -> Alcotest.(check int) "rolled back on exception" 1 v);
+    Alcotest.(check int) "rolled back on exception" 1
+      (P.read_tx p (fun () -> P.load p obj));
     (* the PTM must remain usable *)
     P.update_tx p (fun () -> P.store p obj 5);
     Alcotest.(check int) "usable after exception" 5
       (P.read_tx p (fun () -> P.load p obj))
+
+  (* A raising read-only transaction must depart its read indicator /
+     Left-Right ingress on the way out: if the arrival leaked, the next
+     update transaction would wait forever for the phantom reader.  The
+     raw exception propagates unwrapped (nothing to abort). *)
+  let test_read_tx_raise_departs () =
+    let _, p = open_fresh () in
+    let obj =
+      P.update_tx p (fun () ->
+          let o = P.alloc p 16 in
+          P.store p o 1;
+          P.set_root p 0 o;
+          o)
+    in
+    (match P.read_tx p (fun () -> ignore (P.load p obj); raise Exit) with
+     | exception Exit -> ()
+     | exception e ->
+       Alcotest.failf "read_tx must re-raise raw, got %s"
+         (Printexc.to_string e)
+     | _ -> Alcotest.fail "exception must propagate");
+    (* a store inside a read-only transaction is a typed error and must
+       depart the ingress just the same *)
+    (match P.read_tx p (fun () -> P.store p obj 9) with
+     | exception Romulus.Engine.Store_outside_transaction -> ()
+     | () -> Alcotest.fail "store in read_tx must raise");
+    (* would-deadlock regression: writers drain the read indicator, so a
+       leaked arrival would hang this update transaction *)
+    P.update_tx p (fun () -> P.store p obj 2);
+    Alcotest.(check int) "update after raising read_tx" 2
+      (P.read_tx p (fun () -> P.load p obj))
+
+  (* An invalid free (double free, interior pointer) inside a transaction
+     is detected before any metadata is touched, surfaces as a typed
+     Tx_aborted{Invalid_free}, and the whole transaction — including a
+     prior valid free — rolls back. *)
+  let test_invalid_free_typed () =
+    let _, p = open_fresh () in
+    let obj =
+      P.update_tx p (fun () ->
+          let o = P.alloc p 32 in
+          P.store p o 5;
+          P.set_root p 0 o;
+          o)
+    in
+    (match P.update_tx p (fun () -> P.free p obj; P.free p obj) with
+     | exception
+         Romulus.Engine.Tx_aborted { cause = Palloc.Invalid_free _; _ } -> ()
+     | exception e ->
+       Alcotest.failf "expected Tx_aborted{Invalid_free}, got %s"
+         (Printexc.to_string e)
+     | () -> Alcotest.fail "double free must raise");
+    (match P.allocator_check p with
+     | Ok () -> ()
+     | Error e -> Alcotest.failf "arena damaged by rejected free: %s" e);
+    (* the first (valid) free aborted with the transaction: still live *)
+    Alcotest.(check int) "block survived the aborted double free" 5
+      (P.read_tx p (fun () -> P.load p obj));
+    (match
+       P.update_tx p (fun () -> P.free p (P.get_root p 0 + 4))
+     with
+     | exception
+         Romulus.Engine.Tx_aborted { cause = Palloc.Invalid_free _; _ } -> ()
+     | () -> Alcotest.fail "interior-pointer free must raise");
+    (* freeing it once, for real, still works *)
+    P.update_tx p (fun () -> P.free p obj; P.set_root p 0 0);
+    match P.allocator_check p with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "arena damaged by final free: %s" e
+
+  (* ---- resource exhaustion: typed errors only ---- *)
+
+  let test_out_of_memory_typed () =
+    let r, p = open_fresh () in
+    let obj =
+      P.update_tx p (fun () ->
+          let o = P.alloc p 16 in
+          P.store p o 3;
+          P.set_root p 0 o;
+          o)
+    in
+    (match P.update_tx p (fun () -> ignore (P.alloc p (1 lsl 22))) with
+     | exception
+         Romulus.Engine.Tx_aborted { cause = Palloc.Out_of_memory _; _ } -> ()
+     | exception e ->
+       Alcotest.failf "expected Tx_aborted{Out_of_memory}, got %s"
+         (Printexc.to_string e)
+     | () -> Alcotest.fail "oversized alloc must raise");
+    (match P.allocator_check p with
+     | Ok () -> ()
+     | Error e -> Alcotest.failf "arena damaged by failed alloc: %s" e);
+    (* exhaustion is recoverable: the next transaction commits *)
+    P.update_tx p (fun () -> P.store p obj 4);
+    Alcotest.(check int) "usable after exhaustion" 4
+      (P.read_tx p (fun () -> P.load p obj));
+    (* and the clean abort left nothing for recovery to redo *)
+    let s = R.persistent_snapshot r in
+    P.recover p;
+    Alcotest.(check bool) "recovery after exhaustion is a no-op" true
+      (String.equal s (R.persistent_snapshot r))
+
+  let test_root_out_of_bounds_typed () =
+    let _, p = open_fresh () in
+    (match P.update_tx p (fun () -> P.set_root p 1_000_000 1) with
+     | exception
+         Romulus.Engine.Tx_aborted
+           { cause = Romulus.Engine.Root_out_of_bounds _; _ } -> ()
+     | exception e ->
+       Alcotest.failf "expected Tx_aborted{Root_out_of_bounds}, got %s"
+         (Printexc.to_string e)
+     | () -> Alcotest.fail "out-of-bounds root must raise");
+    (* outside a transaction the typed error surfaces raw *)
+    (match P.read_tx p (fun () -> P.get_root p (-1)) with
+     | exception Romulus.Engine.Root_out_of_bounds _ -> ()
+     | _ -> Alcotest.fail "negative root index must raise");
+    (* still usable *)
+    P.update_tx p (fun () -> P.set_root p 0 7);
+    Alcotest.(check int) "usable after bad root index" 7
+      (P.read_tx p (fun () -> P.get_root p 0))
 
   (* ---- durability across restart ---- *)
 
@@ -487,6 +604,172 @@ module Make (P : VARIANT) = struct
       done
     done
 
+  (* A crash *inside the abort path itself*: the instruction-counting trap
+     is swept over an aborting transaction, so it fires during the user
+     code, during the rollback (restore-from-back / undo application), or
+     not at all.  Whatever the line-fate policy, recovery must converge to
+     the pre-state — an aborted transaction can never become visible, even
+     half-aborted. *)
+  let test_crash_inside_abort_path () =
+    List.iter
+      (fun policy ->
+        let k = ref 0 in
+        let completed = ref false in
+        while not !completed do
+          let r, p, n1, n2 = setup_crash_region () in
+          R.set_trap r !k;
+          (match
+             P.update_tx p (fun () ->
+                 P.store p n1 10;
+                 P.store p (n1 + 8) 20;
+                 let n3 = P.alloc p 24 in
+                 P.store p n3 99;
+                 P.set_root p 1 n3;
+                 P.free p n2;
+                 P.set_root p 2 0;
+                 raise Exit)
+           with
+           | exception Romulus.Engine.Tx_aborted { cause = Exit; _ } ->
+             R.clear_trap r;
+             completed := true
+           | exception R.Crash_point -> ()
+           | exception e ->
+             Alcotest.failf "point %d (%s): unexpected %s" !k
+               (policy_name policy) (Printexc.to_string e)
+           | () -> Alcotest.fail "raising tx must not commit");
+          if not !completed then begin
+            R.crash r policy;
+            P.recover p
+          end;
+          (match observe p n1 n2 with
+           | Pre -> ()
+           | Post ->
+             Alcotest.failf "aborted tx visible at point %d (%s)" !k
+               (policy_name policy)
+           | Torn s ->
+             Alcotest.failf "torn abort at point %d (%s): %s" !k
+               (policy_name policy) s);
+          (match P.allocator_check p with
+           | Ok () -> ()
+           | Error e ->
+             Alcotest.failf "arena broken at point %d (%s): %s" !k
+               (policy_name policy) e);
+          if !completed then begin
+            (* trap never fired: the abort ran to completion and must have
+               left nothing for recovery to redo *)
+            let s = R.persistent_snapshot r in
+            P.recover p;
+            if not (String.equal s (R.persistent_snapshot r)) then
+              Alcotest.failf "recovery after clean abort not a no-op (%s)"
+                (policy_name policy)
+          end;
+          (* the system keeps working *)
+          P.update_tx p (fun () ->
+              let x = P.alloc p 16 in
+              P.store p x 5;
+              P.set_root p 3 x);
+          Alcotest.(check int) "post-abort-crash tx works" 5
+            (P.read_tx p (fun () -> P.load p (P.get_root p 3)));
+          incr k;
+          if !k > 20_000 then
+            Alcotest.fail "abort crash sweep did not terminate"
+        done)
+      [ R.Drop_all; R.Keep_all; R.Random_subset 7; R.Torn_words 113 ]
+
+  (* ---- qcheck: aborted alloc+store+free leaves the allocator intact ---- *)
+
+  (* Differential property: a victim region runs a committed prologue,
+     then an alloc+store+free transaction that aborts; a control region
+     runs only the prologue.  Afterwards both must satisfy the same
+     allocation requests with identical offsets (the allocator is
+     deterministic, so identical metadata <=> identical placement), the
+     victim's arena must pass its structural check, and recovery on the
+     victim must be a byte-level no-op.  An empty prologue exercises the
+     abort as the very first transaction after the formatting open. *)
+  let prop_aborted_tx_allocator_intact =
+    let open QCheck in
+    let gen =
+      Gen.(
+        triple
+          (list_size (int_bound 5) (map (fun n -> 16 + (8 * (n mod 24))) nat))
+          (list_size (int_bound 6) (map (fun n -> 8 + (8 * (n mod 40))) nat))
+          (list_size (int_bound 5) bool))
+    in
+    Test.make ~count:30
+      ~name:(P.name ^ ": aborted alloc+store+free leaves allocator intact")
+      (make
+         ~print:(fun (pro, sizes, frees) ->
+           Printf.sprintf "<prologue %d, %d allocs, %d free flags>"
+             (List.length pro) (List.length sizes) (List.length frees))
+         gen)
+      (fun (prologue, tx_sizes, free_flags) ->
+        let mk () =
+          let r = region () in
+          (r, P.open_region r)
+        in
+        let r1, victim = mk () in
+        let _, control = mk () in
+        let run_prologue p =
+          List.iteri
+            (fun i n ->
+              P.update_tx p (fun () ->
+                  let o = P.alloc p n in
+                  P.store p o (i + 1);
+                  P.set_root p i o))
+            prologue
+        in
+        run_prologue victim;
+        run_prologue control;
+        (* the aborting transaction: fresh allocs with stores, frees of a
+           subset of the prologue blocks, then a raise *)
+        (match
+           P.update_tx victim (fun () ->
+               List.iter
+                 (fun n ->
+                   let o = P.alloc victim n in
+                   P.store victim o 0xDEAD)
+                 tx_sizes;
+               List.iteri
+                 (fun i doit ->
+                   if doit && i < List.length prologue then
+                     P.free victim (P.get_root victim i))
+                 free_flags;
+               raise Exit)
+         with
+         | exception Romulus.Engine.Tx_aborted { cause = Exit; _ } -> ()
+         | exception e ->
+           Test.fail_reportf "expected Tx_aborted{Exit}, got %s"
+             (Printexc.to_string e)
+         | () -> Test.fail_report "aborting tx committed");
+        (match P.allocator_check victim with
+         | Ok () -> ()
+         | Error e -> Test.fail_reportf "victim arena: %s" e);
+        (* recovery finds nothing to redo after a clean abort *)
+        let s = R.persistent_snapshot r1 in
+        P.recover victim;
+        if not (String.equal s (R.persistent_snapshot r1)) then
+          Test.fail_report "recovery after abort changed the image";
+        (* prologue blocks (including any the aborted tx freed) intact *)
+        List.iteri
+          (fun i _ ->
+            let v =
+              P.read_tx victim (fun () -> P.load victim (P.get_root victim i))
+            in
+            if v <> i + 1 then
+              Test.fail_reportf "prologue block %d clobbered: %d" i v)
+          prologue;
+        (* identical metadata <=> identical placement of fresh requests *)
+        let probe p =
+          P.update_tx p (fun () ->
+              List.map (fun n -> P.alloc p n) [ 24; 40; 64; 104; 16 ])
+        in
+        let a = probe victim and b = probe control in
+        if a <> b then
+          Test.fail_reportf "allocator diverged after abort: [%s] vs [%s]"
+            (String.concat ";" (List.map string_of_int a))
+            (String.concat ";" (List.map string_of_int b));
+        true)
+
   (* ---- concurrency (real domains) ---- *)
 
   let test_concurrent_counter () =
@@ -649,6 +932,11 @@ module Make (P : VARIANT) = struct
       tc "store in read_tx raises" `Quick test_store_in_read_tx_raises;
       tc "nested txs flatten" `Quick test_nested_txs_flatten;
       tc "exception semantics" `Quick test_exception_semantics;
+      tc "raising read_tx departs ingress" `Quick test_read_tx_raise_departs;
+      tc "invalid free is typed and aborts" `Quick test_invalid_free_typed;
+      tc "out of memory is typed and aborts" `Quick test_out_of_memory_typed;
+      tc "root index out of bounds is typed" `Quick
+        test_root_out_of_bounds_typed;
       tc "survives clean crash" `Quick test_survives_clean_crash;
       tc "reopen region recovers" `Quick test_reopen_region;
       tc "uncommitted tx rolls back" `Quick test_uncommitted_tx_rolls_back;
@@ -659,6 +947,7 @@ module Make (P : VARIANT) = struct
       tc "crash injection (random)" `Slow test_crash_injection_random;
       tc "crash injection (torn words)" `Slow test_crash_injection_torn_words;
       tc "crash during recovery" `Slow test_crash_during_recovery;
+      tc "crash inside the abort path" `Slow test_crash_inside_abort_path;
       tc "recovery is idempotent" `Slow test_recover_idempotent;
       tc "blob crash atomicity" `Slow test_blob_crash_atomicity;
       tc "allocator churn with crashes" `Slow
@@ -670,5 +959,6 @@ module Make (P : VARIANT) = struct
            tc "crash with domains in flight" `Quick
              test_concurrent_crash_restart ]
        else [])
-    @ List.map QCheck_alcotest.to_alcotest [ prop_random_crash_atomicity ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [ prop_random_crash_atomicity; prop_aborted_tx_allocator_intact ]
 end

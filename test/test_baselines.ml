@@ -6,7 +6,6 @@
 module Undolog_suite = Ptm_suite.Make (struct
   include Baselines.Undolog
 
-  let exception_behavior = `Discards
   let exact_fences = None
   let concurrent = true
 end)
@@ -14,7 +13,6 @@ end)
 module Redolog_suite = Ptm_suite.Make (struct
   include Baselines.Redolog
 
-  let exception_behavior = `Discards
   let exact_fences = None
   let concurrent = true
 end)
@@ -113,7 +111,7 @@ let test_redolog_buffering () =
          seen_inside := P.load p obj;
          raise Exit)
    with
-   | exception Exit -> ()
+   | exception Romulus.Engine.Tx_aborted { cause = Exit; _ } -> ()
    | () -> Alcotest.fail "exception must propagate");
   Alcotest.(check int) "read-your-writes inside tx" 2 !seen_inside;
   Alcotest.(check int) "discarded after exception" 1
@@ -139,7 +137,7 @@ let test_redolog_alloc_rollback () =
          P.store p o 9;
          raise Exit)
    with
-   | exception Exit -> ()
+   | exception Romulus.Engine.Tx_aborted { cause = Exit; _ } -> ()
    | () -> Alcotest.fail "exception must propagate");
   (match P.allocator_check p with
    | Ok () -> ()
@@ -149,6 +147,38 @@ let test_redolog_alloc_rollback () =
       let o = P.alloc p 1024 in
       P.store p o 1;
       P.set_root p 1 o)
+
+(* Contention livelock is a typed, recoverable event: with a stripe lock
+   pinned from outside, the bounded retry loop (exponential backoff +
+   jitter) must give up with Contention_exhausted — not Failure, not a
+   hang — and the transaction must succeed once the lock is gone. *)
+let test_redolog_contention_exhausted () =
+  let module P = Baselines.Redolog in
+  let r = region () in
+  let p = P.open_region r in
+  let obj =
+    P.update_tx p (fun () ->
+        let o = P.alloc p 16 in
+        P.store p o 0;
+        P.set_root p 0 o;
+        o)
+  in
+  let stm = P.stm p in
+  let idx = Baselines.Tinystm.stripe stm obj in
+  (match Baselines.Tinystm.try_acquire stm idx with
+   | None -> Alcotest.fail "stripe unexpectedly locked"
+   | Some prev ->
+     (match P.update_tx p (fun () -> P.store p obj 1) with
+      | exception Baselines.Tinystm.Contention_exhausted { attempts } ->
+        Alcotest.(check bool) "attempts reported" true (attempts > 0)
+      | exception e ->
+        Alcotest.failf "expected Contention_exhausted, got %s"
+          (Printexc.to_string e)
+      | () -> Alcotest.fail "tx cannot commit past a pinned stripe");
+     Baselines.Tinystm.release_unchanged stm idx ~prev_version:prev);
+  P.update_tx p (fun () -> P.store p obj 1);
+  Alcotest.(check int) "retry succeeds after the lock is gone" 1
+    (P.read_tx p (fun () -> P.load p obj))
 
 (* ---- reader-preference lock ---- *)
 
@@ -178,6 +208,8 @@ let baseline_specific =
     tc "redolog: conflicting counters" `Quick test_redolog_conflicts_abort;
     tc "redolog: write buffering" `Quick test_redolog_buffering;
     tc "redolog: alloc rollback on abort" `Quick test_redolog_alloc_rollback;
+    tc "redolog: contention exhaustion is typed" `Quick
+      test_redolog_contention_exhausted;
     tc "rwlock_rp: exclusion" `Quick test_rwlock_rp_basic ]
 
 let () =

@@ -97,23 +97,53 @@ let test_split_large_chunk () =
   let _r2 = A.alloc a 128 in
   check_ok a "after allocating the remainder"
 
+(* Invalid frees (outside any transaction: the raw allocator level) are
+   detected before any metadata is modified and surface as the typed
+   Invalid_free, never a crash or silent corruption. *)
+let expect_invalid_free what f =
+  match f () with
+  | exception Palloc.Invalid_free _ -> ()
+  | () -> Alcotest.failf "%s not detected" what
+
 let test_double_free_detected () =
   let _, a = fresh () in
   let p = A.alloc a 16 in
   A.free a p;
-  (match A.free a p with
-   | exception Palloc.Corrupt _ -> ()
-   | () -> Alcotest.fail "double free not detected")
+  expect_invalid_free "double free" (fun () -> A.free a p);
+  check_ok a "arena untouched by rejected double free"
 
-let test_out_of_space () =
+let test_invalid_free_variants () =
+  let _, a = fresh () in
+  let p = A.alloc a 64 in
+  let _guard = A.alloc a 64 in
+  expect_invalid_free "misaligned pointer" (fun () -> A.free a (p + 4));
+  expect_invalid_free "interior pointer" (fun () -> A.free a (p + 16));
+  expect_invalid_free "offset before the heap" (fun () -> A.free a 8);
+  expect_invalid_free "offset past the heap" (fun () -> A.free a (1 lsl 30));
+  check_ok a "arena untouched by rejected frees";
+  (* the probed block is still live and freeable exactly once *)
+  A.free a p;
+  check_ok a "valid free still works";
+  (* a stale pointer to a chunk that coalescing absorbed is caught too *)
+  expect_invalid_free "stale pointer after coalesce" (fun () -> A.free a p)
+
+let test_out_of_memory () =
   let _, a = fresh ~size:2048 () in
+  let last = ref 0 in
   (match
      for _ = 1 to 1_000 do
-       ignore (A.alloc a 64)
+       last := A.alloc a 64
      done
    with
-   | exception Palloc.Out_of_space _ -> ()
-   | () -> Alcotest.fail "expected Out_of_space")
+   | exception Palloc.Out_of_memory { requested; available } ->
+     Alcotest.(check bool) "carries sizes" true
+       (requested >= 64 && available >= 0)
+   | () -> Alcotest.fail "expected Out_of_memory");
+  check_ok a "arena intact after exhaustion";
+  (* exhaustion is recoverable: freeing makes space again *)
+  A.free a !last;
+  Alcotest.(check int) "freed space reused" !last (A.alloc a 64);
+  check_ok a "usable after exhaustion"
 
 let test_attach () =
   let r, a = fresh () in
@@ -161,7 +191,7 @@ let run_script script =
          (* write a fingerprint into the first word *)
          Pmem.Region.store r p (fingerprint p);
          live := (p, n) :: !live
-       | exception Palloc.Out_of_space _ -> ())
+       | exception Palloc.Out_of_memory _ -> ())
     | `Free i ->
       (match !live with
        | [] -> ()
@@ -207,7 +237,8 @@ let suite =
     tc "coalescing" `Quick test_coalescing_forward_backward;
     tc "splitting" `Quick test_split_large_chunk;
     tc "double free detected" `Quick test_double_free_detected;
-    tc "out of space" `Quick test_out_of_space;
+    tc "invalid free variants" `Quick test_invalid_free_variants;
+    tc "out of memory" `Quick test_out_of_memory;
     tc "attach" `Quick test_attach;
     tc "attach bad magic" `Quick test_attach_bad_magic;
     tc "bin_index monotone" `Quick test_bin_index_monotone ]

@@ -4,7 +4,6 @@
 module Basic_suite = Ptm_suite.Make (struct
   include Romulus.Basic
 
-  let exception_behavior = `Commits
   let exact_fences = Some 4
   let concurrent = true
 end)
@@ -12,7 +11,6 @@ end)
 module Logged_suite = Ptm_suite.Make (struct
   include Romulus.Logged
 
-  let exception_behavior = `Commits
   let exact_fences = Some 4
   let concurrent = true
 end)
@@ -20,7 +18,6 @@ end)
 module Lr_suite = Ptm_suite.Make (struct
   include Romulus.Lr
 
-  let exception_behavior = `Commits
   let exact_fences = Some 4
   let concurrent = true
 end)
@@ -28,7 +25,6 @@ end)
 module Seq_suite = Ptm_suite.Make (struct
   include Romulus.Seq_front
 
-  let exception_behavior = `Commits
   let exact_fences = Some 4
   let concurrent = false
 end)
@@ -95,7 +91,6 @@ let test_log_reduces_replication () =
       (module struct
         include Romulus.Basic
 
-        let exception_behavior = `Commits
         let exact_fences = Some 4
         let concurrent = true
       end)
@@ -105,7 +100,6 @@ let test_log_reduces_replication () =
       (module struct
         include Romulus.Logged
 
-        let exception_behavior = `Commits
         let exact_fences = Some 4
         let concurrent = true
       end)
@@ -114,6 +108,51 @@ let test_log_reduces_replication () =
     (Printf.sprintf "logged (%dB) well below basic (%dB)" logged basic)
     true
     (logged * 4 < basic)
+
+(* Exhausting the bounded redo log mid-transaction must abort with the
+   typed Tx_aborted{Redo_log.Overflow}: every store already applied rolls
+   back, and the engine stays usable once the pressure is gone. *)
+let test_redo_log_overflow_typed () =
+  let r = Pmem.Region.create ~size:(1 lsl 16) () in
+  let module P = Romulus.Logged in
+  let p = P.open_region r in
+  let stride = 128 and n = 8 in
+  let obj =
+    P.update_tx p (fun () ->
+        let o = P.alloc p (stride * n) in
+        for i = 0 to n - 1 do
+          P.store p (o + (stride * i)) i
+        done;
+        P.set_root p 0 o;
+        o)
+  in
+  Romulus.Engine.configure ~redo_capacity:4 (P.engine p);
+  (match
+     P.update_tx p (fun () ->
+         (* n disjoint line-distant ranges: cannot coalesce below the
+            4-entry capacity *)
+         for i = 0 to n - 1 do
+           P.store p (obj + (stride * i)) (100 + i)
+         done)
+   with
+   | exception
+       Romulus.Engine.Tx_aborted { cause = Romulus.Redo_log.Overflow _; _ } ->
+     ()
+   | exception e ->
+     Alcotest.failf "expected Tx_aborted{Overflow}, got %s"
+       (Printexc.to_string e)
+   | () -> Alcotest.fail "overflowing tx must abort");
+  (* the stores recorded before the overflow rolled back with the rest *)
+  for i = 0 to n - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "slot %d rolled back" i)
+      i
+      (P.read_tx p (fun () -> P.load p (obj + (stride * i))))
+  done;
+  Romulus.Engine.configure ~redo_capacity:(1 lsl 20) (P.engine p);
+  P.update_tx p (fun () -> P.store p obj 42);
+  Alcotest.(check int) "usable after overflow" 42
+    (P.read_tx p (fun () -> P.load p obj))
 
 let () =
   Alcotest.run "romulus"
@@ -125,4 +164,6 @@ let () =
         [ Alcotest.test_case "reader on back copy" `Quick
             test_lr_reader_on_back;
           Alcotest.test_case "log shrinks replication" `Quick
-            test_log_reduces_replication ] ) ]
+            test_log_reduces_replication;
+          Alcotest.test_case "redo-log overflow is typed" `Quick
+            test_redo_log_overflow_typed ] ) ]
