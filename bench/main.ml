@@ -15,6 +15,7 @@ let experiments : (string * string * (Common.scale -> unit)) list =
     ("ablation", "design-choice ablations", Ablation.run);
     ("commit_path", "commit-path write-set ablation (BENCH_commit_path.json)",
      Commit_path.run);
+    ("scrub", "media-scrub overhead (BENCH_scrub.json)", Scrub.run);
     ("micro", "bechamel microbenchmarks", Micro.run) ]
 
 (* Runnable by name (and via the @bench-smoke alias) but excluded from the

@@ -30,6 +30,8 @@ module type PTM = sig
 
   val recover : t -> unit
   val allocator_check : t -> (unit, string) result
+  val scrub : t -> Romulus.Engine.scrub_report
+  val media_spans : t -> (int * int) list
 end
 
 let ptms : (string * (module PTM)) list =
@@ -370,6 +372,245 @@ let run_inject_campaign (module P : PTM) ~workload ~rounds ~seed ~verbose
     recovery_crashes = 0;
     failures = !failures }
 
+(* ---- media-rot scrub campaign ---- *)
+
+(* Differential scrub-and-repair campaign.  A victim and a control PTM
+   run the same deterministic workload and settle to identical durable
+   images; rot is injected into the victim's used persistent spans; then
+   the victim restarts.  Twin-copy designs must come back byte-identical
+   to the control; single-image baselines must surface every fault as a
+   typed error — silently returning corrupt data is the only sin.  A
+   sub-campaign crashes *inside the repair window* (failpoint kills on
+   engine.scrub.* plus an instruction-trap sweep over recovery) under
+   all four line-fate policies and requires convergence all the same. *)
+let run_scrub_campaign (module P : PTM) ~workload ~rounds ~seed ~verbose
+    ~rot_rates =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let repaired_total = ref 0 in
+  let detections = ref 0 in
+  let window_crashes = ref 0 in
+  let module L = Pds.Linked_list.Make (P) in
+  let module T = Pds.Rb_tree.Make (P) in
+  let module H = Pds.Hash_map.Make (P) in
+  (* Build a region, run [ops] deterministic update operations, and
+     return readers.  Identical [wseed] => byte-identical images. *)
+  let build ~wseed =
+    let region = Pmem.Region.create ~size:(1 lsl 20) () in
+    let p = P.open_region region in
+    let list_ = L.create p ~root:0 in
+    let tree = T.create p ~root:1 in
+    let map = H.create ~initial_buckets:8 p ~root:2 in
+    let rng = Workload.Keygen.create ~seed:wseed () in
+    let shadow : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    for _ = 1 to 64 do
+      let k = Workload.Keygen.int rng 200 in
+      match workload with
+      | `List ->
+        if Workload.Keygen.bool rng then (
+          ignore (L.add list_ k);
+          Hashtbl.replace shadow k k)
+        else (
+          ignore (L.remove list_ k);
+          Hashtbl.remove shadow k)
+      | `Tree ->
+        if Workload.Keygen.bool rng then (
+          ignore (T.put tree k (k * 3));
+          Hashtbl.replace shadow k (k * 3))
+        else (
+          ignore (T.remove tree k);
+          Hashtbl.remove shadow k)
+      | `Map ->
+        if Workload.Keygen.bool rng then (
+          ignore (H.put map k (k * 5));
+          Hashtbl.replace shadow k (k * 5))
+        else (
+          ignore (H.remove map k);
+          Hashtbl.remove shadow k)
+    done;
+    let readback () =
+      List.sort compare
+        (match workload with
+         | `List -> L.fold list_ (fun acc k -> (k, k) :: acc) []
+         | `Tree -> T.fold tree (fun acc k v -> (k, v) :: acc) []
+         | `Map -> H.fold map (fun acc k v -> (k, v) :: acc) [])
+    in
+    let structural () =
+      match workload with
+      | `List -> L.check list_
+      | `Tree -> T.check tree
+      | `Map -> H.check map
+    in
+    let expected =
+      List.sort compare (Hashtbl.fold (fun k v a -> (k, v) :: a) shadow [])
+    in
+    (region, p, readback, structural, expected)
+  in
+  (* Settle to a durable resting image with every line clean: power off,
+     recover, power off again (the second recovery below then starts
+     from rot at rest, exactly the deployment scenario). *)
+  let settle region p =
+    Pmem.Region.crash region Pmem.Region.Drop_all;
+    P.recover p;
+    Pmem.Region.crash region Pmem.Region.Drop_all
+  in
+  (* Corrupt back-copy lines only where the main-copy twin is still
+     sound: rotting both twins of one line is unrepairable by design and
+     not what this campaign asserts. *)
+  let corrupt_back_unpaired region spans ~salt =
+    match spans with
+    | [ (mbase, mspan); (bbase, _) ] when mspan > 0 ->
+      let line_size = Pmem.Region.line_size region in
+      let twin_d = (bbase - mbase) / line_size in
+      let bl = (bbase + mspan - 1) / line_size in
+      if Pmem.Region.media_ok region ~line:(bl - twin_d) then
+        Pmem.Region.corrupt_line ~seed:salt region ~line:bl;
+      let bl2 = bbase / line_size in
+      if bl2 <> bl && Pmem.Region.media_ok region ~line:(bl2 - twin_d) then
+        Pmem.Region.corrupt_bits region ~seed:salt ~off:(bl2 * line_size)
+          ~len:line_size ~flips:3
+    | _ -> ()
+  in
+  let snapshot = Pmem.Region.persistent_snapshot in
+  for round = 1 to rounds do
+    let wseed = seed + (1009 * round) in
+    (* ---- rot differential, one run per rate ---- *)
+    List.iteri
+      (fun ri rate ->
+        let salt = wseed + (97 * ri) in
+        let vregion, victim, vread, vcheck, expected = build ~wseed in
+        let cregion, control, _, _, _ = build ~wseed in
+        settle vregion victim;
+        settle cregion control;
+        if not (String.equal (snapshot vregion) (snapshot cregion)) then
+          fail "round %d: victim and control diverged before injection"
+            round;
+        let spans = P.media_spans victim in
+        let twin = List.length spans = 2 in
+        let rotted =
+          match spans with
+          | (base, span) :: _ when span > 0 ->
+            Pmem.Region.inject_rot ~off:base ~len:span vregion
+              (Pmem.Region.Media_rot { seed = salt; rate })
+          | _ -> 0
+        in
+        if twin then corrupt_back_unpaired vregion spans ~salt;
+        P.recover control;
+        if twin then begin
+          (* twin-copy: restart must repair everything and come back
+             byte-identical to the never-rotted control *)
+          match P.recover victim with
+          | exception e ->
+            fail "round %d rate %g: recovery refused repairable rot: %s"
+              round rate (Printexc.to_string e)
+          | () ->
+            let s = Pmem.Region.stats vregion in
+            repaired_total := !repaired_total + s.Pmem.Stats.repaired_lines;
+            if not (String.equal (snapshot vregion) (snapshot cregion))
+            then
+              fail "round %d rate %g: image differs from control after \
+                    scrub (%d lines rotted)"
+                round rate rotted;
+            (match vcheck () with
+             | Ok () -> ()
+             | Error e ->
+               fail "round %d rate %g: structural: %s" round rate e);
+            if vread () <> expected then
+              fail "round %d rate %g: data differs from the oracle" round
+                rate;
+            let rep = P.scrub victim in
+            if rep.Romulus.Engine.repaired <> 0 then
+              fail "round %d rate %g: second scrub repaired %d more lines"
+                round rate rep.Romulus.Engine.repaired
+        end
+        else begin
+          (* single image: every fault must surface typed — recovery,
+             scrub, or the reads themselves — never as silent garbage *)
+          match P.recover victim with
+          | exception Pmem.Region.Media_error _ -> incr detections
+          | exception Romulus.Engine.Unrepairable _ -> incr detections
+          | () ->
+            (match P.scrub victim with
+             | exception Romulus.Engine.Unrepairable _ -> incr detections
+             | (_ : Romulus.Engine.scrub_report) -> ());
+            (match vread () with
+             | exception Pmem.Region.Media_error _ -> incr detections
+             | got ->
+               if got <> expected then
+                 fail "round %d rate %g: SILENT corruption: %d rotted \
+                       lines, reads diverged with no typed error"
+                   round rate rotted)
+        end)
+      rot_rates;
+    (* ---- crashes inside the repair window (twin-copy designs) ---- *)
+    let vregion, victim, _, _, _ = build ~wseed in
+    let cregion, control, _, _, _ = build ~wseed in
+    settle vregion victim;
+    settle cregion control;
+    P.recover victim;
+    P.recover control;
+    if List.length (P.media_spans victim) = 2 then begin
+      let oracle = snapshot cregion in
+      let mbase, mspan = List.hd (P.media_spans victim) in
+      let line = (mbase + mspan - 1) / Pmem.Region.line_size vregion in
+      let converged what policy =
+        if not (String.equal (snapshot vregion) oracle) then
+          fail "round %d: %s under %s left a diverged image" round what
+            policy
+      in
+      List.iter
+        (fun (pname, policy) ->
+          (* failpoint kills: power off right at the detection point and
+             right after the repairing fence *)
+          List.iter
+            (fun site ->
+              Pmem.Region.corrupt_line vregion ~line;
+              Fault.arm site (fun () -> Pmem.Region.kill vregion);
+              (match P.recover victim with
+               | () -> fail "round %d: %s did not fire" round site
+               | exception Pmem.Region.Crash_point ->
+                 incr window_crashes;
+                 Pmem.Region.crash vregion policy;
+                 P.recover victim);
+              Fault.disarm ();
+              converged site pname)
+            [ "engine.scrub.bad_line"; "engine.scrub.repaired" ];
+          (* instruction-trap sweep over the whole repairing recovery *)
+          let k = ref 0 in
+          let completed = ref false in
+          while not !completed do
+            Pmem.Region.corrupt_line vregion ~line;
+            Pmem.Region.set_trap vregion !k;
+            (match P.recover victim with
+             | () ->
+               Pmem.Region.clear_trap vregion;
+               completed := true
+             | exception Pmem.Region.Crash_point ->
+               incr window_crashes;
+               Pmem.Region.crash vregion policy;
+               P.recover victim);
+            converged (Printf.sprintf "trap %d" !k) pname;
+            incr k;
+            if !k > 5_000 then begin
+              fail "round %d: repair-window sweep did not terminate" round;
+              completed := true
+            end
+          done)
+        [ ("drop_all", Pmem.Region.Drop_all);
+          ("keep_all", Pmem.Region.Keep_all);
+          ("random", Pmem.Region.Random_subset (wseed + 5));
+          ("torn_words", Pmem.Region.Torn_words (wseed + 131)) ]
+    end;
+    if verbose then
+      Printf.printf
+        "  ... %d/%d seeds, %d repaired, %d detections, %d window crashes\n%!"
+        round rounds !repaired_total !detections !window_crashes
+  done;
+  { rounds;
+    crashes = !repaired_total;
+    recovery_crashes = !window_crashes;
+    failures = !failures }
+
 (* ---- command line ---- *)
 
 let ptm_arg =
@@ -428,6 +669,27 @@ let inject_exn_arg =
   in
   Arg.(value & flag & info [ "inject-exn" ] ~doc)
 
+let scrub_arg =
+  let doc =
+    "Media-rot scrub campaign: inject silent corruption at rest into the \
+     used persistent spans, restart, and require twin-copy PTMs to \
+     recover byte-identical to an uncorrupted control while single-image \
+     baselines surface every fault as a typed error.  Also crashes \
+     inside the repair window (engine.scrub.* failpoints plus a trap \
+     sweep) under every line-fate policy.  --rounds is the number of \
+     seeds swept."
+  in
+  Arg.(value & flag & info [ "scrub" ] ~doc)
+
+let rot_rates_arg =
+  let doc =
+    "Comma-separated per-line rot probabilities for the scrub campaign."
+  in
+  Arg.(
+    value
+    & opt string "0.002,0.01,0.05"
+    & info [ "rot-rates" ] ~docv:"R1,R2,.." ~doc)
+
 let list_failpoints_arg =
   let doc =
     "Print every registered failpoint site (raise-capable ones marked) \
@@ -440,7 +702,7 @@ let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
 let main ptm workload rounds seed policy recovery_crashes failpoint
-    inject_exn list_failpoints verbose =
+    inject_exn scrub rot_rates_str list_failpoints verbose =
   if list_failpoints then begin
     List.iter
       (fun s ->
@@ -471,7 +733,45 @@ let main ptm workload rounds seed policy recovery_crashes failpoint
     | w -> failwith ("unknown workload " ^ w)
   in
   let failed = ref false in
-  if inject_exn then
+  if scrub then begin
+    let rot_rates =
+      try
+        List.map float_of_string
+          (List.filter
+             (fun s -> s <> "")
+             (String.split_on_char ',' rot_rates_str))
+      with Failure _ ->
+        Printf.eprintf "unparsable --rot-rates %S\n" rot_rates_str;
+        exit 2
+    in
+    if rot_rates = [] then begin
+      Printf.eprintf "--rot-rates must name at least one rate\n";
+      exit 2
+    end;
+    List.iter
+      (fun (pname, m) ->
+        List.iter
+          (fun (wname, w) ->
+            Printf.printf "%-6s x %-5s x scrub: %!" pname wname;
+            let o =
+              run_scrub_campaign m ~workload:w ~rounds ~seed ~verbose
+                ~rot_rates
+            in
+            if o.failures = [] then
+              Printf.printf
+                "OK (%d seeds x %d rates, %d lines repaired, %d \
+                 repair-window crashes)\n%!"
+                o.rounds (List.length rot_rates) o.crashes
+                o.recovery_crashes
+            else begin
+              failed := true;
+              Printf.printf "FAILED (%d issues)\n" (List.length o.failures);
+              List.iter (fun f -> Printf.printf "    %s\n" f) o.failures
+            end)
+          workloads)
+      selected_ptms
+  end
+  else if inject_exn then
     (* exception-injection sweep: PTMs x workloads x raise-capable sites *)
     let sweep_sites =
       match failpoint with
@@ -543,6 +843,7 @@ let cmd =
   Cmd.v info
     Term.(const main $ ptm_arg $ workload_arg $ rounds_arg $ seed_arg
           $ policy_arg $ recovery_crashes_arg $ failpoint_arg
-          $ inject_exn_arg $ list_failpoints_arg $ verbose_arg)
+          $ inject_exn_arg $ scrub_arg $ rot_rates_arg
+          $ list_failpoints_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

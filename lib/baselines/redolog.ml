@@ -620,6 +620,35 @@ let root_addr i =
 let get_root t i = Shared.load t.s (root_addr i)
 let set_root t i v = Shared.store t.s (root_addr i) v
 
+(* Detection-only media scrub: the redo-log region too keeps a single
+   copy of every line — a sidecar CRC miss is always
+   [Romulus.Engine.Unrepairable] (state "none").  The walk covers the
+   header, roots and used arena span. *)
+let media_frontier t =
+  let arena_base, _, _ = layout t.s.Shared.r in
+  arena_base + Alloc.used_bytes t.arena
+
+let scrub t =
+  let r = t.s.Shared.r in
+  let stats = Pmem.Region.stats r in
+  let line = Pmem.Region.line_size r in
+  let last = (media_frontier t - 1) / line in
+  let scrubbed = ref 0 in
+  for l = 0 to last do
+    incr scrubbed;
+    stats.Pmem.Stats.scrubbed_lines <- stats.Pmem.Stats.scrubbed_lines + 1;
+    if Pmem.Region.line_is_clean r ~line:l
+       && not (Pmem.Region.media_ok r ~line:l)
+    then begin
+      stats.Pmem.Stats.unrepairable_lines <-
+        stats.Pmem.Stats.unrepairable_lines + 1;
+      raise (Romulus.Engine.Unrepairable { offset = l * line; state = "none" })
+    end
+  done;
+  { Romulus.Engine.scrubbed = !scrubbed; repaired = 0 }
+
+let media_spans t = [ (0, media_frontier t) ]
+
 (* test hooks *)
 let allocator_check t = Alloc.check t.arena
 let aborts t = Tinystm.aborts t.s.Shared.stm

@@ -325,5 +325,35 @@ let set_root t i v =
   check_not_read_only ();
   Ctx.store t.ctx (root_addr i) v
 
+(* Detection-only media scrub: an undo-log region keeps a single copy of
+   every line, so a sidecar CRC miss has no twin to repair from — it is
+   always [Romulus.Engine.Unrepairable] (state "none").  The walk covers
+   the header, roots and used arena span. *)
+let media_frontier t =
+  let arena_base, _, _ = layout t.ctx.Ctx.r in
+  arena_base + Alloc.used_bytes t.arena
+
+let scrub t =
+  if t.ctx.Ctx.in_tx then invalid_arg "Undolog.scrub: transaction in progress";
+  let r = t.ctx.Ctx.r in
+  let stats = Pmem.Region.stats r in
+  let line = Pmem.Region.line_size r in
+  let last = (media_frontier t - 1) / line in
+  let scrubbed = ref 0 in
+  for l = 0 to last do
+    incr scrubbed;
+    stats.Pmem.Stats.scrubbed_lines <- stats.Pmem.Stats.scrubbed_lines + 1;
+    if Pmem.Region.line_is_clean r ~line:l
+       && not (Pmem.Region.media_ok r ~line:l)
+    then begin
+      stats.Pmem.Stats.unrepairable_lines <-
+        stats.Pmem.Stats.unrepairable_lines + 1;
+      raise (Romulus.Engine.Unrepairable { offset = l * line; state = "none" })
+    end
+  done;
+  { Romulus.Engine.scrubbed = !scrubbed; repaired = 0 }
+
+let media_spans t = [ (0, media_frontier t) ]
+
 (* test hook *)
 let allocator_check t = Alloc.check t.arena

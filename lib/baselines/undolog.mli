@@ -16,5 +16,13 @@ exception Log_full
 (** Re-run crash recovery (roll back any active log). *)
 val recover : t -> unit
 
+(** Detection-only media scrub: verify per-line sidecar CRCs over the
+    used span.  No twin copy exists, so any CRC miss raises
+    [Romulus.Engine.Unrepairable] with state ["none"].  *)
+val scrub : t -> Romulus.Engine.scrub_report
+
+(** Fault-campaign target range: the single used span. *)
+val media_spans : t -> (int * int) list
+
 (** Structural check of the persistent allocator. *)
 val allocator_check : t -> (unit, string) result

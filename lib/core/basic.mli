@@ -5,4 +5,6 @@ include Ptm_intf.S
 
 val engine : t -> Engine.t
 val recover : t -> unit
+val scrub : t -> Engine.scrub_report
+val media_spans : t -> (int * int) list
 val allocator_check : t -> (unit, string) result

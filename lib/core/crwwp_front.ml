@@ -127,5 +127,7 @@ module Make (Config : CONFIG) = struct
   (* test hooks *)
   let engine t = t.e
   let recover t = Engine.recover t.e
+  let scrub t = Engine.scrub t.e
+  let media_spans t = Engine.media_spans t.e
   let allocator_check t = Engine.allocator_check t.e
 end

@@ -16,6 +16,12 @@ module Make (_ : CONFIG) : sig
   (** Re-run crash recovery after a simulated power failure. *)
   val recover : t -> unit
 
+  (** On-demand twin-copy scrub-and-repair (see {!Engine.scrub}). *)
+  val scrub : t -> Engine.scrub_report
+
+  (** Fault-campaign target ranges (see {!Engine.media_spans}). *)
+  val media_spans : t -> (int * int) list
+
   (** Structural check of the persistent allocator. *)
   val allocator_check : t -> (unit, string) result
 end

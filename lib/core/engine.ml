@@ -41,6 +41,16 @@ exception Recovery_error of string
    re-raised wrapped here, with the backtrace captured at the abort. *)
 exception Tx_aborted of { cause : exn; backtrace : string }
 
+(* A scrub found a line whose sidecar CRC fails and no twin can repair it:
+   both copies of the line are bad, the line has no twin (headers,
+   single-copy baselines), or the protocol state forbids trusting the
+   surviving copy.  [state] names the protocol state the scrub ran under
+   ("IDL"/"MUT"/"CPY", "header" for untwinned header lines, "none" for
+   the single-copy baselines). *)
+exception Unrepairable of { offset : int; state : string }
+
+type scrub_report = { scrubbed : int; repaired : int }
+
 let recovery_error fmt =
   Printf.ksprintf (fun s -> raise (Recovery_error s)) fmt
 
@@ -61,6 +71,14 @@ let fp_format_before_magic = Fault.site "engine.format.before_magic"
    from a crash inside the abort path must converge to the pre-state. *)
 let fp_abort_restored = Fault.site "engine.abort.restored"
 let fp_abort_idl_published = Fault.site "engine.abort.idl_published"
+
+(* Repair-window failpoints: a bad line was detected but its twin's
+   content is not yet rewritten, and the point right after the repair is
+   durable.  Crash-only — a crash anywhere inside the repair must leave
+   the region recoverable (the bad line is still bad, or healed; never
+   half-trusted). *)
+let fp_scrub_bad_line = Fault.site "engine.scrub.bad_line"
+let fp_scrub_repaired = Fault.site "engine.scrub.repaired"
 
 let magic_value = 0x524F4D554C5553 (* "ROMULUS" *)
 
@@ -164,6 +182,108 @@ let coalesce_enabled t = t.coalesce
    of main to the allocator frontier. *)
 let used_span t = t.arena_base + A.used_bytes t.arena - t.main_start
 
+(* ---- scrub: verify sidecar CRCs, repair from the twin ----
+
+   The twin-copy layout is a latent replication scheme: a line whose
+   per-line CRC fails in one copy can be rewritten from the other, under
+   exactly the trust relation recovery already uses — IDL means both
+   copies are consistent (either direction repairs), MUT means back is
+   truth (only main may be repaired), CPY means main is truth (only back
+   may be repaired).  Repairing *against* that relation could bless
+   uncommitted or stale data, so a bad line in the truth copy whose twin
+   cannot vouch for it is {!Unrepairable}.
+
+   Untwinned lines — the 64-byte protocol header, and (with line sizes
+   above 64) lines straddling a copy boundary — are detection-only.
+
+   The repair itself is an ordinary persisted store (store + pwb + fence),
+   so it is covered by crash traps and the [engine.scrub.*] failpoints:
+   a crash inside the repair window leaves the line either still-bad
+   (re-detected and re-repaired by the scrub recovery runs first) or
+   healed; a torn write-back over the degraded cell cannot heal it, so
+   the stale sidecar keeps witnessing the fault. *)
+
+let state_name s =
+  if s = st_idl then "IDL"
+  else if s = st_mut then "MUT"
+  else if s = st_cpy then "CPY"
+  else string_of_int s
+
+let scrub_raw r ~main_size ~arena_base =
+  let stats = Pmem.Region.stats r in
+  let line = Pmem.Region.line_size r in
+  let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+  let shift = log2 line 0 in
+  let twin_d = main_size lsr shift in
+  let scrubbed = ref 0 and repaired = ref 0 in
+  (* only clean lines are auditable: a dirty/pending line's next
+     write-back supersedes whatever the medium holds *)
+  let bad l =
+    Pmem.Region.line_is_clean r ~line:l
+    && not (Pmem.Region.media_ok r ~line:l)
+  in
+  let unrepairable l state =
+    stats.Pmem.Stats.unrepairable_lines <-
+      stats.Pmem.Stats.unrepairable_lines + 1;
+    raise (Unrepairable { offset = l lsl shift; state })
+  in
+  let visit () =
+    incr scrubbed;
+    stats.Pmem.Stats.scrubbed_lines <- stats.Pmem.Stats.scrubbed_lines + 1
+  in
+  (* header lines first: they hold the state word the trust relation
+     depends on, and have no twin *)
+  let hdr_last = (main_start - 1) lsr shift in
+  for l = 0 to hdr_last do
+    visit ();
+    if bad l then unrepairable l "header"
+  done;
+  let state = Pmem.Region.load r o_state in
+  let sname = state_name state in
+  (* per-copy spans from the allocator frontiers; a frontier that fails
+     validation (or sits in a bad line) degrades to a full-copy walk *)
+  let span_of copy_base =
+    match Pmem.Region.load r (arena_base + copy_base + Palloc.top_offset) with
+    | top
+      when top >= arena_base + Palloc.meta_bytes
+           && top <= main_start + main_size -> top - main_start
+    | _ -> main_size
+    | exception Pmem.Region.Media_error _ -> main_size
+  in
+  let repair ~dst ~src ~state =
+    Fault.hit fp_scrub_bad_line;
+    if bad src then unrepairable dst state;
+    let content = Pmem.Region.load_bytes r (src lsl shift) line in
+    Pmem.Region.store_bytes r (dst lsl shift) content;
+    Pmem.Region.pwb_range r (dst lsl shift) line;
+    Pmem.Region.pfence r;
+    incr repaired;
+    stats.Pmem.Stats.repaired_lines <- stats.Pmem.Stats.repaired_lines + 1;
+    Fault.hit fp_scrub_repaired
+  in
+  let scrub_copy ~base ~span ~twin ~repairable =
+    if span > 0 then begin
+      let first = max (hdr_last + 1) (base lsr shift) in
+      let last = (base + span - 1) lsr shift in
+      for l = first to last do
+        visit ();
+        if bad l then begin
+          let fully_inside =
+            l lsl shift >= base && (l + 1) lsl shift <= base + main_size
+          in
+          if not (fully_inside && repairable) then unrepairable l sname;
+          repair ~dst:l ~src:(l + twin) ~state:sname
+        end
+      done
+    end
+  in
+  scrub_copy ~base:main_start ~span:(span_of 0) ~twin:twin_d
+    ~repairable:(state = st_idl || state = st_mut);
+  scrub_copy ~base:(main_start + main_size) ~span:(span_of main_size)
+    ~twin:(-twin_d)
+    ~repairable:(state = st_idl || state = st_cpy);
+  { scrubbed = !scrubbed; repaired = !repaired }
+
 (* ---- raw recovery (Algorithm 1, recover()) ----
    Runs before the allocator is attached, using only region primitives.
 
@@ -175,6 +295,10 @@ let used_span t = t.arena_base + A.used_bytes t.arena - t.main_start
    {!Recovery_error} instead of copying garbage over the good twin. *)
 
 let recover_raw r ~main_size ~arena_base =
+  (* media pass first: roll-forward/back copies whole spans, so a rotten
+     line in the truth copy must be repaired (or refused as
+     {!Unrepairable}) before it can be replicated over the good twin *)
+  ignore (scrub_raw r ~main_size ~arena_base : scrub_report);
   let top_addr copy_base = arena_base + copy_base + Palloc.top_offset in
   let validate_top ~which top =
     if top < arena_base + Palloc.meta_bytes || top > main_start + main_size
@@ -268,6 +392,18 @@ let recover t =
   t.mem.log <- None;
   Mem.discard_dirty t.mem;
   Redo_log.clear t.log
+
+(* On-demand scrub of a quiescent engine (the failpoint-instrumented
+   entry the campaigns drive). *)
+let scrub t =
+  if t.in_tx then invalid_arg "Engine.scrub: transaction in progress";
+  scrub_raw t.r ~main_size:t.main_size ~arena_base:t.arena_base
+
+(* Byte ranges a media-fault campaign may target such that every fault is
+   at least detectable by {!scrub}: the used spans of both twins. *)
+let media_spans t =
+  let span = used_span t in
+  [ (t.main_start, span); (t.main_start + t.main_size, span) ]
 
 (* ---- transaction protocol (Algorithm 1) ---- *)
 

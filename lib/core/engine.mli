@@ -27,6 +27,19 @@ exception Recovery_error of string
     the abort began (empty unless backtrace recording is on). *)
 exception Tx_aborted of { cause : exn; backtrace : string }
 
+(** A scrub found a line whose sidecar CRC fails and that no twin can
+    repair: both copies bad, an untwinned line (protocol header,
+    single-copy baselines), or a protocol state that forbids trusting the
+    surviving copy.  [state] is the protocol state the scrub ran under
+    ("IDL"/"MUT"/"CPY"; "header" for header lines; the single-copy
+    baselines report "none"). *)
+exception Unrepairable of { offset : int; state : string }
+
+type scrub_report = {
+  scrubbed : int;  (** lines whose sidecar CRC the scrub verified *)
+  repaired : int;  (** bad lines rewritten from their twin *)
+}
+
 type t
 
 (** Format a fresh (zeroed) region, or validate-and-recover an existing
@@ -36,8 +49,27 @@ type t
 val create : mode:mode -> Pmem.Region.t -> t
 
 (** Re-run crash recovery (equivalent to re-opening the region after a
-    simulated crash). *)
+    simulated crash).  Recovery begins with a scrub pass: a rotten line in
+    the truth copy is repaired from its twin (or refused as
+    {!Unrepairable}) before roll-forward/back replicates anything over the
+    good copy. *)
 val recover : t -> unit
+
+(** Walk the used spans of both twins, verify every clean line's sidecar
+    CRC, and repair bad lines from their twin under the 3-state trust
+    relation (IDL: either direction; MUT: back is truth, only main is
+    repairable; CPY: main is truth, only back is repairable).  Repairs are
+    ordinary persisted stores, instrumented by the [engine.scrub.bad_line]
+    / [engine.scrub.repaired] failpoints.  Raises {!Unrepairable} on the
+    first line no twin can vouch for, and [Invalid_argument] if called
+    inside a transaction.  Also runs automatically at the head of
+    {!recover}. *)
+val scrub : t -> scrub_report
+
+(** Byte ranges ([offset], [length]) a media-fault campaign may target
+    such that every injected fault is at least detectable by {!scrub}:
+    the used spans of both twins. *)
+val media_spans : t -> (int * int) list
 
 val region : t -> Pmem.Region.t
 val main_size : t -> int

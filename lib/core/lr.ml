@@ -160,6 +160,8 @@ let recover t =
   Engine.recover t.e;
   Left_right.set_lr t.lr inst_back
 
+let scrub t = Engine.scrub t.e
+let media_spans t = Engine.media_spans t.e
 let allocator_check t = Engine.allocator_check t.e
 
 (* debug hook: the calling domain's current synthetic-pointer offset *)

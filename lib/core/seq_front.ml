@@ -60,4 +60,6 @@ let recover t =
   Engine.recover t.e;
   t.depth <- 0
 
+let scrub t = Engine.scrub t.e
+let media_spans t = Engine.media_spans t.e
 let allocator_check t = Engine.allocator_check t.e

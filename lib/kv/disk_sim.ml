@@ -8,20 +8,29 @@
    memory-mapped file in /dev/shm, so "disk" writes are cheap but the
    fdatasync system call is not). *)
 
+exception Read_failed of { attempts : int }
+
 type t = {
   mutable appended : int;   (* bytes written (page cache) *)
   mutable synced : int;     (* durable prefix of [appended] *)
   mutable vtime_ns : int;   (* accumulated virtual cost *)
   mutable syncs : int;      (* fdatasync calls *)
+  mutable reads : int;      (* read operations issued *)
+  mutable read_retries : int;      (* transient faults retried *)
+  mutable read_fault_seed : int;
+  mutable read_fault_rate : float; (* per-attempt fault probability *)
   write_ns_base : int;      (* per-write syscall overhead *)
   write_ns_per_byte : int;  (* ns per 16 bytes: journal append + memtable flush + first compaction pass *)
   fdatasync_ns : int;
+  read_backoff_ns : int;    (* backoff before the first retry; doubles *)
 }
 
 let create ?(write_ns_base = 150) ?(write_ns_per_16bytes = 12)
-    ?(fdatasync_ns = 400_000) () =
+    ?(fdatasync_ns = 400_000) ?(read_backoff_ns = 1_000) () =
   { appended = 0; synced = 0; vtime_ns = 0; syncs = 0;
-    write_ns_base; write_ns_per_byte = write_ns_per_16bytes; fdatasync_ns }
+    reads = 0; read_retries = 0; read_fault_seed = 0; read_fault_rate = 0.0;
+    write_ns_base; write_ns_per_byte = write_ns_per_16bytes; fdatasync_ns;
+    read_backoff_ns }
 
 (* Append [n] bytes; returns the end offset of the write. *)
 let write t n =
@@ -51,9 +60,62 @@ let crash t =
    cache, index lookups, decompression). *)
 let charge t ns = t.vtime_ns <- t.vtime_ns + ns
 
+(* ---- reads with transient-fault injection ----
+
+   Real devices return transient read errors (EIO on a flaky link, a
+   media retry inside the drive) that callers are expected to retry.
+   [read] models that: each attempt fails with probability
+   [read_fault_rate], deterministically per seed; failed attempts retry
+   after an exponential backoff (charged as virtual time) and the error
+   surfaces as the typed {!Read_failed} only once the retry budget is
+   exhausted — never as silently-missing data. *)
+
+let max_read_attempts = 6
+
+(* Deterministic per-(read, attempt) coin (splitmix-style mixer). *)
+let read_coin seed i =
+  let x = ref ((seed * 0x1e3779b97f4a7c15) + ((i + 1) * 0x3f58476d1ce4e5b9)) in
+  x := !x lxor (!x lsr 30);
+  x := !x * 0x3f58476d1ce4e5b9;
+  x := !x lxor (!x lsr 27);
+  !x land max_int
+
+let read t ns =
+  t.reads <- t.reads + 1;
+  let rec attempt k =
+    t.vtime_ns <- t.vtime_ns + ns;
+    let faulty =
+      t.read_fault_rate > 0.0
+      && float_of_int
+           (read_coin t.read_fault_seed ((t.reads * max_read_attempts) + k)
+           land 0xFFFFF)
+         /. 1048576.0
+         < t.read_fault_rate
+    in
+    if faulty then
+      if k + 1 >= max_read_attempts then
+        raise (Read_failed { attempts = k + 1 })
+      else begin
+        t.read_retries <- t.read_retries + 1;
+        t.vtime_ns <- t.vtime_ns + (t.read_backoff_ns lsl k);
+        attempt (k + 1)
+      end
+  in
+  attempt 0
+
+let set_read_faults t ~seed ~rate =
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg "Disk_sim.set_read_faults: rate must be in [0, 1]";
+  t.read_fault_seed <- seed;
+  t.read_fault_rate <- rate
+
+let clear_read_faults t = t.read_fault_rate <- 0.0
+
 let appended t = t.appended
 let synced t = t.synced
 let vtime_ns t = t.vtime_ns
 let syncs t = t.syncs
+let reads t = t.reads
+let read_retries t = t.read_retries
 
 let reset_vtime t = t.vtime_ns <- 0

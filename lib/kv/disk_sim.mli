@@ -3,12 +3,18 @@
     them durable.  All costs are virtual nanoseconds, so benchmark runs
     are deterministic. *)
 
+(** A read whose transient faults exhausted the bounded retry budget.
+    Typed: flaky media surfaces as an error the caller can handle, never
+    as silently-missing data. *)
+exception Read_failed of { attempts : int }
+
 type t
 
 val create :
   ?write_ns_base:int ->
   ?write_ns_per_16bytes:int ->
   ?fdatasync_ns:int ->
+  ?read_backoff_ns:int ->
   unit ->
   t
 
@@ -20,6 +26,19 @@ val fdatasync : t -> unit
 (** Charge an arbitrary virtual cost (modelled read paths). *)
 val charge : t -> int -> unit
 
+(** A read operation costing [ns] virtual nanoseconds per attempt.  With
+    read faults armed ({!set_read_faults}) each attempt fails with the
+    configured probability (deterministic per seed); failed attempts are
+    retried after an exponential backoff charged as virtual time, and
+    {!Read_failed} is raised once the bounded budget is exhausted. *)
+val read : t -> int -> unit
+
+(** Arm transient read-fault injection: each read attempt faults with
+    probability [rate], deterministically per [seed]. *)
+val set_read_faults : t -> seed:int -> rate:float -> unit
+
+val clear_read_faults : t -> unit
+
 (** Simulated power failure: drop everything beyond the synced prefix;
     returns the durable byte count. *)
 val crash : t -> int
@@ -28,4 +47,9 @@ val appended : t -> int
 val synced : t -> int
 val vtime_ns : t -> int
 val syncs : t -> int
+
+(** Read operations issued / transient faults retried so far. *)
+val reads : t -> int
+
+val read_retries : t -> int
 val reset_vtime : t -> unit

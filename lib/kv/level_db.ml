@@ -75,9 +75,11 @@ let delete ?(sync = false) t k =
 
 (* Reads pay the modelled table/block-cache costs: our baseline keeps
    everything in one sorted table, whereas real LevelDB reads go through
-   SSTables, the block cache and decompression. *)
+   SSTables, the block cache and decompression.  They route through
+   [Disk_sim.read], so a flaky device (set_read_faults) makes them retry
+   with backoff and eventually raise [Disk_sim.Read_failed]. *)
 let get t k =
-  Disk_sim.charge t.disk t.get_ns;
+  Disk_sim.read t.disk t.get_ns;
   Smap.find_opt k t.memtable
 
 let count t = Smap.cardinal t.memtable
@@ -85,7 +87,7 @@ let count t = Smap.cardinal t.memtable
 let iter t f =
   Smap.iter
     (fun k v ->
-      Disk_sim.charge t.disk t.scan_entry_ns;
+      Disk_sim.read t.disk t.scan_entry_ns;
       f k v)
     t.memtable
 
@@ -94,7 +96,7 @@ let iter_reverse t f =
   let keys = Smap.fold (fun k v acc -> (k, v) :: acc) t.memtable [] in
   List.iter
     (fun (k, v) ->
-      Disk_sim.charge t.disk t.scan_entry_ns;
+      Disk_sim.read t.disk t.scan_entry_ns;
       f k v)
     keys
 

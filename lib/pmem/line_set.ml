@@ -58,6 +58,8 @@ let set_pending t line =
    stack; it is dropped at the next compaction. *)
 let set_clean t line = Bytes.unsafe_set t.marks line clean
 
+let is_clean t line = mark t line = Clean
+
 (* Call [f line] for every pending line and mark it clean; dirty lines are
    kept.  Compacts the member stack in place. *)
 let flush_pending t f =

@@ -17,6 +17,10 @@ val set_pending : t -> int -> unit
 (** Mark [line] clean (synchronously persisted by an ordered pwb). *)
 val set_clean : t -> int -> unit
 
+(** True when [line] has no un-persisted store in flight: its volatile and
+    persistent copies agree (modulo media faults). *)
+val is_clean : t -> int -> bool
+
 (** [flush_pending t f] calls [f line] for every pending line, marking it
     clean; dirty lines are kept for later. *)
 val flush_pending : t -> (int -> unit) -> unit

@@ -33,13 +33,40 @@ exception Crash_point
 
 exception Snapshot_corrupt of string
 
+exception Media_error of { offset : int; line : int }
+
+(* Media-fault injection policy: every persisted line of the targeted
+   range rots independently with probability [rate], deterministically per
+   [seed]; a rotten line takes a small burst of bit flips. *)
+type rot = Media_rot of { seed : int; rate : float }
+
+(* Media faults live in a per-line metadata layer next to [per]:
+
+   - [sidecar.(l)] is the CRC-32 of line [l]'s persistent bytes as of its
+     last write-back.  It is maintained incrementally: a write-back
+     invalidates the entry ([crc_valid]) and the checksum of the freshly
+     persisted bytes is recomputed at the next verification — the same
+     value an eager update inside {!persist_line} would store, since only
+     write-backs mutate [per], but fences that nobody audits stay cheap.
+   - [tainted] marks lines whose medium has physically degraded
+     (a [corrupt_*] call).  A *full-line* write-back heals the cell and
+     clears the taint; a torn (partial) write-back cannot, so the stale
+     sidecar entry keeps witnessing the fault.
+   - [media_checks] arms CRC verification on loads.  It flips on at the
+     first injected fault (and on loading a snapshot that carries one), so
+     fault-free runs pay nothing. *)
+
 type t = {
   vol : Bytes.t;
   per : Bytes.t;
   line : int;
   line_shift : int;
   lines : Line_set.t;
+  sidecar : int array;
+  crc_valid : Bytes.t;
+  tainted : Bytes.t;
   stats : Stats.t;
+  mutable media_checks : bool;
   mutable fence : Fence.profile;
   mutable trap : int; (* -1 = disabled *)
   mutable dead : bool;
@@ -59,7 +86,11 @@ let create ?(line_size = 64) ?(fence = Fence.dram) ~size () =
     line = line_size;
     line_shift = shift;
     lines = Line_set.create ~lines:(size lsr shift);
+    sidecar = Array.make (size lsr shift) 0;
+    crc_valid = Bytes.make (size lsr shift) '\000';
+    tainted = Bytes.make (size lsr shift) '\000';
     stats = Stats.create ();
+    media_checks = false;
     fence;
     trap = -1;
     dead = false }
@@ -106,11 +137,52 @@ let check_range t off len what =
       (Printf.sprintf "Region.%s: range [%d, %d) outside region of %d bytes"
          what off (off + len) (Bytes.length t.vol))
 
+(* ---- per-line CRC sidecar ---- *)
+
+let line_count t = Bytes.length t.per lsr t.line_shift
+
+let line_crc t line = Crc32.bytes t.per (line lsl t.line_shift) t.line
+
+let refresh_sidecar t line =
+  t.sidecar.(line) <- line_crc t line;
+  Bytes.unsafe_set t.crc_valid line '\001'
+
+(* Does line [line]'s persistent content still match its sidecar CRC?  An
+   invalidated entry (a write-back happened since the last audit) is
+   recomputed from the just-persisted bytes and trivially matches. *)
+let media_ok t ~line =
+  if Bytes.unsafe_get t.crc_valid line = '\001' then
+    t.sidecar.(line) = line_crc t line
+  else begin
+    refresh_sidecar t line;
+    true
+  end
+
+let line_is_clean t ~line = Line_set.is_clean t.lines line
+
+let media_faults_armed t = t.media_checks
+
+(* Verify the sidecar of every *clean* line a load touches (a dirty or
+   pending line legitimately diverges from its persistent copy, and its
+   next write-back supersedes whatever the medium holds). *)
+let media_check t off len =
+  if t.media_checks then begin
+    let first = off lsr t.line_shift in
+    let last = (off + len - 1) lsr t.line_shift in
+    for line = first to last do
+      if Line_set.is_clean t.lines line && not (media_ok t ~line) then begin
+        t.stats.media_errors <- t.stats.media_errors + 1;
+        raise (Media_error { offset = off; line })
+      end
+    done
+  end
+
 (* ---- loads ---- *)
 
 let load t off =
   check_alive t;
   check_range t off 8 "load";
+  media_check t off 8;
   t.stats.loads <- t.stats.loads + 1;
   t.stats.load_bytes <- t.stats.load_bytes + 8;
   Int64.to_int (Bytes.get_int64_le t.vol off)
@@ -118,6 +190,7 @@ let load t off =
 let load_bytes t off len =
   check_alive t;
   check_range t off len "load_bytes";
+  media_check t off len;
   t.stats.loads <- t.stats.loads + 1;
   t.stats.load_bytes <- t.stats.load_bytes + len;
   Bytes.sub_string t.vol off len
@@ -165,7 +238,11 @@ let copy t ~src ~dst ~len =
 
 let persist_line t line =
   let off = line lsl t.line_shift in
-  Bytes.blit t.vol off t.per off t.line
+  Bytes.blit t.vol off t.per off t.line;
+  (* a full-line write-back supersedes whatever the medium held: the
+     sidecar entry is refreshed (lazily) and a degraded cell is healed *)
+  Bytes.unsafe_set t.crc_valid line '\000';
+  Bytes.unsafe_set t.tainted line '\000'
 
 let pwb_line t line =
   step t;
@@ -226,10 +303,23 @@ let word_coin seed line word = line_coin (seed + (word * 0x9e3779b9) + 1) line
    one. *)
 let persist_torn_words t seed line =
   let off = line lsl t.line_shift in
+  let all = ref true in
   for w = 0 to (t.line lsr 3) - 1 do
     if word_coin seed line w then
       Bytes.blit t.vol (off + (8 * w)) t.per (off + (8 * w)) 8
-  done
+    else all := false
+  done;
+  if !all then begin
+    (* every word made it: indistinguishable from a full write-back *)
+    Bytes.unsafe_set t.crc_valid line '\000';
+    Bytes.unsafe_set t.tainted line '\000'
+  end
+  else if Bytes.unsafe_get t.tainted line = '\000' then
+    (* an ordinary torn line is a *crash* artifact, not a media fault: the
+       mixture is what the medium now holds, so the sidecar blesses it *)
+    Bytes.unsafe_set t.crc_valid line '\000'
+  (* else: a torn write-back over degraded media cannot heal the cell; the
+     stale sidecar entry keeps witnessing the fault *)
 
 let crash t policy =
   let decide line was_pending =
@@ -260,6 +350,98 @@ let persistent_load t off =
    checks compare these byte for byte). *)
 let persistent_snapshot t = Bytes.to_string t.per
 
+(* ---- media-fault injection ---- *)
+
+(* Deterministic 62-bit mixer for fault placement (splitmix-style, like
+   [line_coin] but returning the whole word). *)
+let mix seed i =
+  let x = ref ((seed * 0x1e3779b97f4a7c15) + ((i + 1) * 0x3f58476d1ce4e5b9)) in
+  x := !x lxor (!x lsr 30);
+  x := !x * 0x3f58476d1ce4e5b9;
+  x := !x lxor (!x lsr 27);
+  !x land max_int
+
+(* The medium under [line] degrades.  The sidecar must witness the
+   *pre-rot* content — an incrementally maintained checksum was computed
+   when the line was last written back, before the cell decayed — so a
+   lazily invalidated entry is refreshed first. *)
+let degrade t line =
+  if Bytes.unsafe_get t.crc_valid line = '\000' then refresh_sidecar t line;
+  Bytes.unsafe_set t.tainted line '\001';
+  t.media_checks <- true
+
+(* A clean line may be silently refetched from the medium at any moment
+   (its cached copy is not dirty, so the cache is free to drop it); mirror
+   the rot into the volatile image so the next load observes it.  Dirty and
+   pending lines keep their cached data — the program's pending write-back
+   supersedes the medium. *)
+let mirror_if_clean t line =
+  if Line_set.is_clean t.lines line then begin
+    let off = line lsl t.line_shift in
+    Bytes.blit t.per off t.vol off t.line
+  end
+
+let flip_bit t byte bit =
+  Bytes.unsafe_set t.per byte
+    (Char.chr (Char.code (Bytes.unsafe_get t.per byte) lxor (1 lsl bit)))
+
+let corrupt_line ?(seed = 0) t ~line =
+  if line < 0 || line >= line_count t then
+    invalid_arg
+      (Printf.sprintf "Region.corrupt_line: line %d outside region of %d lines"
+         line (line_count t));
+  degrade t line;
+  let off = line lsl t.line_shift in
+  for w = 0 to (t.line lsr 3) - 1 do
+    Bytes.set_int64_le t.per
+      (off + (8 * w))
+      (Int64.of_int (mix (seed + w) line))
+  done;
+  mirror_if_clean t line
+
+let corrupt_bits t ~seed ~off ~len ~flips =
+  check_range t off len "corrupt_bits";
+  if len = 0 || flips <= 0 then
+    invalid_arg "Region.corrupt_bits: need a non-empty range and flips > 0";
+  for i = 0 to flips - 1 do
+    let bit = mix seed i mod (len * 8) in
+    let byte = off + (bit / 8) in
+    degrade t (byte lsr t.line_shift);
+    flip_bit t byte (bit mod 8);
+    mirror_if_clean t (byte lsr t.line_shift)
+  done
+
+let inject_rot ?(off = 0) ?len t (Media_rot { seed; rate }) =
+  let len =
+    match len with Some l -> l | None -> Bytes.length t.per - off
+  in
+  check_range t off len "inject_rot";
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg "Region.inject_rot: rate must be in [0, 1]";
+  if len = 0 then 0
+  else begin
+    let first = off lsr t.line_shift in
+    let last = (off + len - 1) lsr t.line_shift in
+    let rotted = ref 0 in
+    for line = first to last do
+      if float_of_int (mix seed line land 0xFFFFF) /. 1048576.0 < rate
+      then begin
+        incr rotted;
+        degrade t line;
+        (* a burst of 1-3 bit flips, confined to the requested range *)
+        let lo = max off (line lsl t.line_shift) in
+        let hi = min (off + len) ((line + 1) lsl t.line_shift) in
+        let nbits = 1 + (mix (seed + 1) line mod 3) in
+        for i = 0 to nbits - 1 do
+          let bit = mix (seed + 2 + i) line mod ((hi - lo) * 8) in
+          flip_bit t (lo + (bit / 8)) (bit mod 8)
+        done;
+        mirror_if_clean t line
+      end
+    done;
+    !rotted
+  end
+
 (* ---- file persistence ----
 
    The persistent image can be written to / restored from a file, which
@@ -270,24 +452,43 @@ let persistent_snapshot t = Bytes.to_string t.per
 
    Snapshot format (all multi-byte integers big-endian, 4 bytes):
 
-     offset  0  magic       "ROMULUS-PMEM-2\n" (15 bytes)
-     offset 15  version     format version, currently 2
+     offset  0  magic       "ROMULUS-PMEM-3\n" (15 bytes)
+     offset 15  version     format version, currently 3
      offset 19  line_size   cache-line size of the saved region
      offset 23  length      payload bytes
      offset 27  crc32       CRC-32 (IEEE) over the payload
-     offset 31  payload     the persistent image, [length] bytes
+     offset 31  scrc32      CRC-32 (IEEE) over the sidecar section
+     offset 35  payload     the persistent image, [length] bytes
+     then       sidecar     one CRC-32 per line, 4 bytes each
 
    A snapshot that fails any header check — wrong magic, unsupported
    version, nonsensical geometry, file length that disagrees with the
-   header, or a payload whose CRC does not match — is rejected with
-   {!Snapshot_corrupt}.  Nothing of a corrupt file is ever loaded. *)
+   header, or a payload/sidecar whose CRC does not match — is rejected
+   with {!Snapshot_corrupt}.  Nothing of a corrupt file is ever loaded.
 
-let file_magic = "ROMULUS-PMEM-2\n"
+   The sidecar travels with the image, so a *detected-but-unrepaired*
+   media fault survives a save/load round trip: a line whose stored
+   sidecar entry disagrees with its payload bytes is restored tainted,
+   with media checks armed, rather than silently blessed.  (The file
+   itself is still fully validated: the payload CRC and the sidecar-
+   section CRC cover every byte, so any flip *in the file* is a typed
+   {!Snapshot_corrupt}, never a phantom media fault.) *)
+
+let file_magic = "ROMULUS-PMEM-3\n"
 let file_magic_prefix = "ROMULUS-PMEM-"
-let file_version = 2
-let file_header_bytes = String.length file_magic + 16
+let file_version = 3
+let file_header_bytes = String.length file_magic + 20
 
 let save_to_file t path =
+  (* a save is a clean shutdown: every lazily invalidated sidecar entry is
+     brought up to date with the persistent bytes it describes *)
+  for line = 0 to line_count t - 1 do
+    if Bytes.unsafe_get t.crc_valid line = '\000' then refresh_sidecar t line
+  done;
+  let sidecar = Bytes.create (4 * line_count t) in
+  for line = 0 to line_count t - 1 do
+    Bytes.set_int32_be sidecar (4 * line) (Int32.of_int t.sidecar.(line))
+  done;
   let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -297,7 +498,9 @@ let save_to_file t path =
       output_binary_int oc t.line;
       output_binary_int oc (Bytes.length t.per);
       output_binary_int oc (Crc32.bytes t.per 0 (Bytes.length t.per));
-      output_bytes oc t.per)
+      output_binary_int oc (Crc32.bytes sidecar 0 (Bytes.length sidecar));
+      output_bytes oc t.per;
+      output_bytes oc sidecar)
 
 let load_from_file ?fence path =
   let corrupt fmt =
@@ -326,18 +529,47 @@ let load_from_file ?fence path =
         let size = input_binary_int ic in
         if size <= 0 || size land (line_size - 1) <> 0 then
           corrupt "bad region size %d (line size %d)" size line_size;
-        if in_channel_length ic <> file_header_bytes + size then
+        let shift =
+          let rec log2 n acc =
+            if n = 1 then acc else log2 (n lsr 1) (acc + 1)
+          in
+          log2 line_size 0
+        in
+        let nlines = size lsr shift in
+        if in_channel_length ic <> file_header_bytes + size + (4 * nlines)
+        then
           corrupt "truncated or oversized payload: file is %d bytes, want %d"
             (in_channel_length ic)
-            (file_header_bytes + size);
+            (file_header_bytes + size + (4 * nlines));
         (* input_binary_int sign-extends bit 31; normalize to [0, 2^32) *)
         let crc = input_binary_int ic land 0xFFFFFFFF in
+        let scrc = input_binary_int ic land 0xFFFFFFFF in
         let t = create ~line_size ?fence ~size () in
         really_input ic t.per 0 size;
         let actual = Crc32.bytes t.per 0 size in
         if actual <> crc then
           corrupt "payload checksum mismatch (stored %08x, computed %08x)"
             (crc land 0xFFFFFFFF) (actual land 0xFFFFFFFF);
+        let sidecar = Bytes.create (4 * nlines) in
+        really_input ic sidecar 0 (4 * nlines);
+        let sactual = Crc32.bytes sidecar 0 (4 * nlines) in
+        if sactual <> scrc then
+          corrupt "sidecar checksum mismatch (stored %08x, computed %08x)"
+            (scrc land 0xFFFFFFFF) (sactual land 0xFFFFFFFF);
         Bytes.blit t.per 0 t.vol 0 size;
+        for line = 0 to nlines - 1 do
+          let stored =
+            Int32.to_int (Bytes.get_int32_be sidecar (4 * line))
+            land 0xFFFFFFFF
+          in
+          t.sidecar.(line) <- stored;
+          Bytes.unsafe_set t.crc_valid line '\001';
+          if stored <> line_crc t line then begin
+            (* the snapshot faithfully carried a media fault that was
+               detected but not repaired before the save *)
+            Bytes.unsafe_set t.tainted line '\001';
+            t.media_checks <- true
+          end
+        done;
         t
       with End_of_file -> corrupt "truncated header")

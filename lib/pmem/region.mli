@@ -24,9 +24,22 @@ exception Crash_point
 
 (** Raised by {!load_from_file} when a snapshot fails validation (bad
     magic, unsupported version, impossible geometry, truncation, or a
-    payload checksum mismatch).  A corrupt snapshot is never partially
-    loaded. *)
+    payload/sidecar checksum mismatch).  A corrupt snapshot is never
+    partially loaded. *)
 exception Snapshot_corrupt of string
+
+(** Raised by a load that touches a clean line whose persistent content no
+    longer matches its per-line CRC-32 sidecar entry: silent media
+    corruption, detected.  [offset] is the faulting load's byte offset,
+    [line] the bad cache line's index.  Only armed regions check (one of
+    the [corrupt_*] / {!inject_rot} injectors ran, or a loaded snapshot
+    carried a fault); pristine regions pay nothing on loads. *)
+exception Media_error of { offset : int; line : int }
+
+(** Media-fault injection policy: each line of the targeted range rots
+    independently with probability [rate], deterministically per [seed];
+    a rotten line takes a burst of 1-3 bit flips. *)
+type rot = Media_rot of { seed : int; rate : float }
 
 type t
 
@@ -96,10 +109,48 @@ val persistent_load : t -> int -> int
     comparisons (e.g. recovery idempotence). *)
 val persistent_snapshot : t -> string
 
+(** {2 Media faults}
+
+    The region keeps a per-line CRC-32 sidecar of the persistent image,
+    maintained incrementally on write-back.  The injectors below garble
+    the *persistent* bytes of a line while leaving its sidecar entry
+    witnessing the pre-rot content, then arm CRC verification on loads:
+    the next load of an affected clean line raises {!Media_error}.  A
+    degraded line is healed by a full-line write-back (or a scrub repair);
+    a torn, partial write-back cannot heal it. *)
+
+(** Garble every word of line [line] deterministically per [seed]. *)
+val corrupt_line : ?seed:int -> t -> line:int -> unit
+
+(** Flip [flips] seeded bit positions within [off, off+len). *)
+val corrupt_bits : t -> seed:int -> off:int -> len:int -> flips:int -> unit
+
+(** Apply a {!rot} policy to the persisted lines overlapping
+    [off, off+len) (default: the whole region); returns the number of
+    lines degraded. *)
+val inject_rot : ?off:int -> ?len:int -> t -> rot -> int
+
+(** Does line [line]'s persistent content still match its sidecar CRC?
+    Scrubbers call this directly; unlike a load it never raises. *)
+val media_ok : t -> line:int -> bool
+
+(** True when [line] has no un-persisted store in flight, i.e. its
+    persistent copy is authoritative and eligible for scrubbing. *)
+val line_is_clean : t -> line:int -> bool
+
+(** True once any media fault was injected (or restored from a snapshot):
+    loads verify sidecar CRCs. *)
+val media_faults_armed : t -> bool
+
+(** Number of cache lines in the region. *)
+val line_count : t -> int
+
 (** Write the persistent image to a file: equivalent to a clean shutdown.
     Unfenced volatile state is (correctly) not included.  The snapshot
-    carries a versioned header (magic, format version, line size, length)
-    and a CRC-32 over the payload. *)
+    carries a versioned header (magic, format version, line size, length),
+    a CRC-32 over the payload, and the per-line sidecar with its own
+    CRC-32 — so a detected-but-unrepaired media fault survives the round
+    trip instead of being blessed by the save. *)
 val save_to_file : t -> string -> unit
 
 (** Restore a region from a file written by {!save_to_file} — a restart:

@@ -29,19 +29,25 @@ type t = {
   mutable delay_ns : int;
   mutable crashes : int;
   mutable tx_aborts : int;
+  mutable scrubbed_lines : int;
+  mutable repaired_lines : int;
+  mutable unrepairable_lines : int;
+  mutable media_errors : int;
 }
 
 let create () =
   { pwbs = 0; pfences = 0; psyncs = 0; loads = 0; stores = 0;
     nvm_bytes = 0; user_bytes = 0; load_bytes = 0; copy_calls = 0;
     replicated_bytes = 0; commits = 0; delay_ns = 0; crashes = 0;
-    tx_aborts = 0 }
+    tx_aborts = 0; scrubbed_lines = 0; repaired_lines = 0;
+    unrepairable_lines = 0; media_errors = 0 }
 
 let reset t =
   t.pwbs <- 0; t.pfences <- 0; t.psyncs <- 0; t.loads <- 0; t.stores <- 0;
   t.nvm_bytes <- 0; t.user_bytes <- 0; t.load_bytes <- 0; t.copy_calls <- 0;
   t.replicated_bytes <- 0; t.commits <- 0; t.delay_ns <- 0; t.crashes <- 0;
-  t.tx_aborts <- 0
+  t.tx_aborts <- 0; t.scrubbed_lines <- 0; t.repaired_lines <- 0;
+  t.unrepairable_lines <- 0; t.media_errors <- 0
 
 let snapshot t = { t with pwbs = t.pwbs }
 
@@ -60,7 +66,11 @@ let since ~now ~past =
     commits = now.commits - past.commits;
     delay_ns = now.delay_ns - past.delay_ns;
     crashes = now.crashes - past.crashes;
-    tx_aborts = now.tx_aborts - past.tx_aborts }
+    tx_aborts = now.tx_aborts - past.tx_aborts;
+    scrubbed_lines = now.scrubbed_lines - past.scrubbed_lines;
+    repaired_lines = now.repaired_lines - past.repaired_lines;
+    unrepairable_lines = now.unrepairable_lines - past.unrepairable_lines;
+    media_errors = now.media_errors - past.media_errors }
 
 let fences t = t.pfences + t.psyncs
 
@@ -80,7 +90,9 @@ let pp ppf t =
   Format.fprintf ppf
     "pwb=%d pfence=%d psync=%d loads=%d stores=%d nvm=%dB user=%dB \
      loaded=%dB copies=%d replicated=%dB commits=%d amp=%.2f delay=%dns \
-     crashes=%d aborts=%d"
+     crashes=%d aborts=%d scrubbed=%d repaired=%d unrepairable=%d \
+     media_errors=%d"
     t.pwbs t.pfences t.psyncs t.loads t.stores t.nvm_bytes t.user_bytes
     t.load_bytes t.copy_calls t.replicated_bytes t.commits
     (write_amplification t) t.delay_ns t.crashes t.tx_aborts
+    t.scrubbed_lines t.repaired_lines t.unrepairable_lines t.media_errors

@@ -15,6 +15,10 @@ type t = {
   mutable delay_ns : int;    (** virtual latency injected by the fence profile *)
   mutable crashes : int;     (** simulated crashes *)
   mutable tx_aborts : int;   (** transactions aborted and rolled back (ticked by the PTM) *)
+  mutable scrubbed_lines : int;     (** lines whose sidecar CRC a scrub verified *)
+  mutable repaired_lines : int;     (** bad lines a scrub rewrote from their twin *)
+  mutable unrepairable_lines : int; (** bad lines no twin could repair *)
+  mutable media_errors : int;       (** loads that hit a line failing its CRC *)
 }
 
 val create : unit -> t

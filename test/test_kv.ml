@@ -486,6 +486,70 @@ let prop_db_crash_overwrite_delete =
       | Some v -> QCheck.Test.fail_reportf "torn value %S" v
       | None -> do_delete)
 
+(* ---- transient read faults: bounded retry, typed exhaustion ---- *)
+
+let test_disk_sim_read_faults_retry () =
+  let d = Kv.Disk_sim.create ~read_backoff_ns:1_000 () in
+  (* rate 0 (the default): reads never retry and cost exactly [ns] *)
+  Kv.Disk_sim.read d 600;
+  Alcotest.(check int) "clean read cost" 600 (Kv.Disk_sim.vtime_ns d);
+  Alcotest.(check int) "no retries" 0 (Kv.Disk_sim.read_retries d);
+  (* rate 1: every attempt faults, so the read exhausts its budget of 6
+     attempts, charges 5 exponential backoffs, and raises typed *)
+  Kv.Disk_sim.reset_vtime d;
+  Kv.Disk_sim.set_read_faults d ~seed:7 ~rate:1.0;
+  (match Kv.Disk_sim.read d 600 with
+   | () -> Alcotest.fail "rate-1.0 read cannot succeed"
+   | exception Kv.Disk_sim.Read_failed { attempts } ->
+     Alcotest.(check int) "budget exhausted" 6 attempts);
+  let backoffs = 1_000 * (1 + 2 + 4 + 8 + 16) in
+  Alcotest.(check int) "attempts + backoffs charged"
+    ((6 * 600) + backoffs)
+    (Kv.Disk_sim.vtime_ns d);
+  (* a moderate rate: reads keep succeeding, with some retries, and the
+     retry count is deterministic per seed *)
+  let retries_with seed =
+    let d = Kv.Disk_sim.create () in
+    Kv.Disk_sim.set_read_faults d ~seed ~rate:0.3;
+    for _ = 1 to 200 do
+      Kv.Disk_sim.read d 600
+    done;
+    Kv.Disk_sim.read_retries d
+  in
+  let r1 = retries_with 42 in
+  Alcotest.(check bool) "flaky reads retried" true (r1 > 0);
+  Alcotest.(check int) "deterministic per seed" r1 (retries_with 42);
+  (* disarming restores fault-free reads *)
+  Kv.Disk_sim.clear_read_faults d;
+  Kv.Disk_sim.read d 600;
+  Alcotest.(check bool) "invalid rate rejected" true
+    (match Kv.Disk_sim.set_read_faults d ~seed:1 ~rate:1.5 with
+     | () -> false
+     | exception Invalid_argument _ -> true)
+
+let test_leveldb_reads_survive_flaky_disk () =
+  let db = Kv.Level_db.create () in
+  for i = 0 to 49 do
+    Kv.Level_db.put db (Printf.sprintf "k%02d" i) (string_of_int i)
+  done;
+  Kv.Disk_sim.set_read_faults (Kv.Level_db.disk db) ~seed:11 ~rate:0.3;
+  for i = 0 to 49 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "get k%02d" i)
+      (Some (string_of_int i))
+      (Kv.Level_db.get db (Printf.sprintf "k%02d" i))
+  done;
+  let n = ref 0 in
+  Kv.Level_db.iter db (fun _ _ -> incr n);
+  Alcotest.(check int) "scan complete despite faults" 50 !n;
+  Alcotest.(check bool) "faults actually fired" true
+    (Kv.Disk_sim.read_retries (Kv.Level_db.disk db) > 0);
+  (* a dead device surfaces as the typed error, not missing data *)
+  Kv.Disk_sim.set_read_faults (Kv.Level_db.disk db) ~seed:11 ~rate:1.0;
+  match Kv.Level_db.get db "k00" with
+  | exception Kv.Disk_sim.Read_failed { attempts = 6 } -> ()
+  | _ -> Alcotest.fail "dead device must raise Read_failed"
+
 let suite =
   let tc = Alcotest.test_case in
   [ tc "strmap basics" `Quick test_strmap_basics;
@@ -498,6 +562,10 @@ let suite =
     tc "disk sim costs" `Quick test_disk_sim_costs;
     tc "disk sim crash" `Quick test_disk_sim_crash_loses_unsynced;
     tc "disk sim crash edges" `Quick test_disk_sim_crash_edges;
+    tc "disk sim transient read faults" `Quick
+      test_disk_sim_read_faults_retry;
+    tc "leveldb reads survive flaky disk" `Quick
+      test_leveldb_reads_survive_flaky_disk;
     tc "leveldb basics" `Quick test_leveldb_basics;
     tc "leveldb buffered durability" `Quick
       test_leveldb_buffered_durability_loses_writes;

@@ -280,6 +280,147 @@ let prop_torn_words_deterministic =
       in
       run () = run ())
 
+(* ---- CRC-32 known answers ----
+   The sidecar and the snapshot format both stand on this being the real
+   IEEE 802.3 CRC-32, so check it against the published vector, and
+   against an independent bit-at-a-time implementation. *)
+
+let crc32_ref s =
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch ->
+      c := !c lxor Char.code ch;
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then (!c lsr 1) lxor 0xEDB88320 else !c lsr 1
+      done)
+    s;
+  !c lxor 0xFFFFFFFF
+
+let test_crc32_known_answers () =
+  Alcotest.(check int)
+    "IEEE check value" 0xCBF43926
+    (Pmem.Crc32.string "123456789");
+  Alcotest.(check int) "empty string" 0 (Pmem.Crc32.string "");
+  let zero_line = String.make 64 '\000' in
+  Alcotest.(check int)
+    "all-zero line matches bitwise reference" (crc32_ref zero_line)
+    (Pmem.Crc32.string zero_line);
+  Alcotest.(check int)
+    "check value matches bitwise reference" (crc32_ref "123456789")
+    (Pmem.Crc32.string "123456789")
+
+let prop_crc32_incremental =
+  let open QCheck in
+  Test.make ~count:200 ~name:"crc(a ++ b) = streamed crc"
+    (pair string string)
+    (fun (a, b) ->
+      Pmem.Crc32.string (a ^ b)
+      = Pmem.Crc32.string ~crc:(Pmem.Crc32.string a) b
+      && Pmem.Crc32.string (a ^ b) = crc32_ref (a ^ b))
+
+(* ---- media faults ---- *)
+
+(* A fenced line whose persistent bytes rot afterwards: the next load
+   raises the typed Media_error naming the line, and a full write-back
+   heals the cell. *)
+let test_corrupt_line_detected_and_healed () =
+  let r = region () in
+  R.store r 256 1234;
+  R.pwb r 256;
+  R.pfence r;
+  Alcotest.(check bool) "checks off before injection" false
+    (R.media_faults_armed r);
+  R.corrupt_line r ~line:4;
+  Alcotest.(check bool) "checks armed" true (R.media_faults_armed r);
+  Alcotest.(check bool) "sidecar mismatch" false (R.media_ok r ~line:4);
+  (match R.load r 256 with
+   | exception R.Media_error { offset = 256; line = 4 } -> ()
+   | exception e ->
+     Alcotest.failf "expected Media_error{256;4}, got %s"
+       (Printexc.to_string e)
+   | v -> Alcotest.failf "rotten load returned %d" v);
+  (* unrelated lines still load *)
+  Alcotest.(check int) "other lines unaffected" 0 (R.load r 512);
+  (* a full-line write-back heals the cell *)
+  R.store_bytes r 256 (String.make 64 'h');
+  R.pwb r 256;
+  R.pfence r;
+  Alcotest.(check bool) "healed" true (R.media_ok r ~line:4);
+  Alcotest.(check string) "fresh content readable" (String.make 8 'h')
+    (R.load_bytes r 256 8)
+
+let test_corrupt_bits_single_flip () =
+  let r = region () in
+  R.store r 0 77;
+  R.pwb r 0;
+  R.pfence r;
+  R.corrupt_bits r ~seed:3 ~off:0 ~len:8 ~flips:1;
+  (match R.load r 0 with
+   | exception R.Media_error { line = 0; _ } -> ()
+   | v -> Alcotest.failf "single bit flip not detected (read %d)" v)
+
+(* A line with an un-persisted store in flight is not auditable: its
+   volatile content wins, and the pending write-back heals the rot. *)
+let test_dirty_line_not_checked () =
+  let r = region () in
+  R.store r 128 5;
+  R.pwb r 128;
+  R.pfence r;
+  R.store r 128 6; (* dirty again *)
+  R.corrupt_line r ~line:2;
+  Alcotest.(check int) "volatile content wins while dirty" 6 (R.load r 128);
+  R.pwb r 128;
+  R.pfence r;
+  Alcotest.(check bool) "write-back healed the line" true
+    (R.media_ok r ~line:2);
+  Alcotest.(check int) "healed value" 6 (R.load r 128)
+
+let test_inject_rot_deterministic_and_rate () =
+  let rot seed rate =
+    let r = region () in
+    R.inject_rot r (R.Media_rot { seed; rate })
+  in
+  Alcotest.(check int) "rate 0 rots nothing" 0 (rot 7 0.0);
+  Alcotest.(check int) "rate 1 rots every line" 64 (rot 7 1.0);
+  let a = rot 42 0.25 and b = rot 42 0.25 in
+  Alcotest.(check int) "deterministic per seed" a b;
+  Alcotest.(check bool) "a quarter-ish of 64 lines" true (a > 4 && a < 28);
+  (* ranged injection stays inside the range *)
+  let r = region () in
+  let n = R.inject_rot ~off:1024 ~len:1024 r (R.Media_rot { seed = 5; rate = 1.0 }) in
+  Alcotest.(check int) "16 lines in range" 16 n;
+  Alcotest.(check bool) "line outside range untouched" true
+    (R.media_ok r ~line:0)
+
+(* Rot + a torn write-back over the same line: the degraded cell either
+   heals completely (every word of the line was rewritten) or keeps
+   failing its CRC — a partial overwrite can never bless rotten bytes. *)
+let test_torn_write_over_rot () =
+  let survived = ref 0 in
+  for seed = 1 to 40 do
+    let r = region () in
+    R.store_bytes r 0 (String.make 64 'a');
+    R.pwb_range r 0 64;
+    R.pfence r;
+    R.corrupt_line r ~line:0;
+    R.store_bytes r 0 (String.make 64 'b'); (* dirty over the rot *)
+    R.crash r (R.Torn_words seed);
+    if R.media_ok r ~line:0 then begin
+      (* fully healed: all 8 words must have taken the new value *)
+      Alcotest.(check string)
+        (Printf.sprintf "seed %d: healed line is the new content" seed)
+        (String.make 64 'b') (R.load_bytes r 0 64)
+    end
+    else begin
+      incr survived;
+      match R.load_bytes r 0 64 with
+      | exception R.Media_error { line = 0; _ } -> ()
+      | s -> Alcotest.failf "seed %d: rotten mixture served: %S" seed s
+    end
+  done;
+  Alcotest.(check bool) "some torn crash leaves the fault detected" true
+    (!survived > 0)
+
 (* ---- file persistence ---- *)
 
 let test_save_load_file () =
@@ -332,20 +473,23 @@ let make_snapshot path =
   R.pfence r;
   R.save_to_file r path
 
-(* Flip one byte at a time — every header byte plus payload samples — and
-   require a typed rejection every single time.  Header fields fail their
-   own validation; payload flips must be caught by the CRC. *)
+(* Flip one byte at a time — every header byte, payload samples, and the
+   trailing sidecar — and require a typed rejection every single time.
+   Header fields fail their own validation; payload flips are caught by
+   the payload CRC, sidecar flips by the sidecar-section CRC. *)
 let test_snapshot_bitflips_rejected () =
   let path = Filename.temp_file "romulus" ".pmem" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
   make_snapshot path;
   let orig = read_file path in
   let len = String.length orig in
-  let header = 31 in
-  Alcotest.(check int) "snapshot length" (header + 4096) len;
+  let header = 35 in
+  (* v3: header + payload + 4-byte sidecar entry per line *)
+  Alcotest.(check int) "snapshot length" (header + 4096 + (4 * 64)) len;
   let targets =
     List.init header Fun.id          (* every header byte *)
-    @ [ header; header + 64; header + 67; header + 512; len - 1 ]
+    @ [ header; header + 64; header + 67; header + 512;   (* payload *)
+        header + 4096; header + 4096 + 17; len - 1 ]      (* sidecar *)
   in
   List.iter
     (fun i ->
@@ -360,7 +504,8 @@ let test_snapshot_bitflips_rejected () =
   Alcotest.(check int) "intact snapshot loads" 4242 (R.load r 64)
 
 (* Truncate at every interesting boundary: inside the magic, at each
-   header-field edge, mid-payload, and one byte short of complete. *)
+   header-field edge, mid-payload, at the sidecar edge, and one byte
+   short of complete. *)
 let test_snapshot_truncation_rejected () =
   let path = Filename.temp_file "romulus" ".pmem" in
   Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
@@ -371,7 +516,68 @@ let test_snapshot_truncation_rejected () =
     (fun n ->
       write_file path (String.sub orig 0 n);
       expect_corrupt (Printf.sprintf "truncated to %d bytes" n) path)
-    [ 0; 5; 15; 19; 23; 27; 31; 31 + 2048; len - 1 ]
+    [ 0; 5; 15; 19; 23; 27; 31; 35; 35 + 2048; 35 + 4096; len - 1 ]
+
+(* Round trip with a non-default line size: the geometry must travel with
+   the snapshot (the sidecar layout depends on it). *)
+let test_snapshot_nondefault_line_size () =
+  let path = Filename.temp_file "romulus" ".pmem" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let r = R.create ~line_size:128 ~size:8192 () in
+  R.store r 1024 99;
+  R.store_bytes r 2048 "wide lines";
+  R.pwb r 1024;
+  R.pwb_range r 2048 10;
+  R.pfence r;
+  R.save_to_file r path;
+  let r2 = R.load_from_file path in
+  Alcotest.(check int) "line size travels" 128 (R.line_size r2);
+  Alcotest.(check int) "size travels" 8192 (R.size r2);
+  Alcotest.(check int) "word travels" 99 (R.load r2 1024);
+  Alcotest.(check string) "blob travels" "wide lines" (R.load_bytes r2 2048 10);
+  Alcotest.(check string) "images byte-identical" (R.persistent_snapshot r)
+    (R.persistent_snapshot r2)
+
+(* Geometry lies in the header are typed rejections, not crashes or
+   silent misloads: a non-power-of-two line size, and a region size that
+   is not a multiple of the line size. *)
+let test_snapshot_geometry_mismatch_rejected () =
+  let path = Filename.temp_file "romulus" ".pmem" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  make_snapshot path;
+  let orig = read_file path in
+  let patch_be32 off v =
+    let b = Bytes.of_string orig in
+    Bytes.set_int32_be b off (Int32.of_int v);
+    write_file path (Bytes.to_string b)
+  in
+  patch_be32 19 96; (* line_size: not a power of two *)
+  expect_corrupt "line size 96" path;
+  patch_be32 19 4; (* line_size: below the 8-byte floor *)
+  expect_corrupt "line size 4" path;
+  patch_be32 23 4095; (* length: not a multiple of the line size *)
+  expect_corrupt "size 4095" path;
+  patch_be32 19 128; (* valid line size that disagrees with the payload *)
+  expect_corrupt "line size 128 vs 64-line payload" path
+
+(* A detected-but-unrepaired media fault travels with the snapshot: the
+   reloaded region arms its checks and keeps refusing the rotten line,
+   rather than blessing it. *)
+let test_snapshot_carries_media_fault () =
+  let path = Filename.temp_file "romulus" ".pmem" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let r = region () in
+  R.store r 256 31337;
+  R.pwb r 256;
+  R.pfence r;
+  R.corrupt_line r ~line:4;
+  R.save_to_file r path;
+  let r2 = R.load_from_file path in
+  Alcotest.(check bool) "checks armed on load" true (R.media_faults_armed r2);
+  Alcotest.(check bool) "fault still detected" false (R.media_ok r2 ~line:4);
+  match R.load r2 256 with
+  | exception R.Media_error { line = 4; _ } -> ()
+  | v -> Alcotest.failf "rotten line served after reload: %d" v
 
 let suite =
   let tc = Alcotest.test_case in
@@ -397,11 +603,25 @@ let suite =
     tc "save/load file" `Quick test_save_load_file;
     tc "load file bad magic" `Quick test_load_file_bad_magic;
     tc "snapshot bit-flips rejected" `Quick test_snapshot_bitflips_rejected;
-    tc "snapshot truncation rejected" `Quick test_snapshot_truncation_rejected ]
+    tc "snapshot truncation rejected" `Quick test_snapshot_truncation_rejected;
+    tc "crc32 known answers" `Quick test_crc32_known_answers;
+    tc "corrupt_line detected and healed" `Quick
+      test_corrupt_line_detected_and_healed;
+    tc "corrupt_bits single flip" `Quick test_corrupt_bits_single_flip;
+    tc "dirty line not media-checked" `Quick test_dirty_line_not_checked;
+    tc "inject_rot deterministic and rated" `Quick
+      test_inject_rot_deterministic_and_rate;
+    tc "torn write over rot stays detected" `Quick test_torn_write_over_rot;
+    tc "snapshot with non-default line size" `Quick
+      test_snapshot_nondefault_line_size;
+    tc "snapshot geometry mismatch rejected" `Quick
+      test_snapshot_geometry_mismatch_rejected;
+    tc "snapshot carries media fault" `Quick test_snapshot_carries_media_fault ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_crash_values_are_plausible;
         prop_keep_all_equals_volatile;
         prop_random_subset_deterministic;
-        prop_torn_words_deterministic ]
+        prop_torn_words_deterministic;
+        prop_crc32_incremental ]
 
 let () = Alcotest.run "pmem" [ ("region", suite) ]
