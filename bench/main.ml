@@ -16,6 +16,7 @@ let experiments : (string * string * (Common.scale -> unit)) list =
     ("commit_path", "commit-path write-set ablation (BENCH_commit_path.json)",
      Commit_path.run);
     ("scrub", "media-scrub overhead (BENCH_scrub.json)", Scrub.run);
+    ("shards", "Sharded_db shard scaling (BENCH_shards.json)", Shards.run);
     ("micro", "bechamel microbenchmarks", Micro.run) ]
 
 (* Runnable by name (and via the @bench-smoke alias) but excluded from the
@@ -23,7 +24,9 @@ let experiments : (string * string * (Common.scale -> unit)) list =
    overwritten by the tiny smoke parameters. *)
 let hidden : (string * string * (Common.scale -> unit)) list =
   [ ("commit_path_smoke", "commit-path ablation, tiny parameters (CI smoke)",
-     fun _ -> Commit_path.smoke ()) ]
+     fun _ -> Commit_path.smoke ());
+    ("shards_smoke", "shard scaling, tiny parameters (CI smoke)",
+     fun _ -> Shards.smoke ()) ]
 
 let usage () =
   print_endline "usage: main.exe [--full] [EXPERIMENT]...";

@@ -1,0 +1,353 @@
+(* Shard-scaling benchmark for the hash-partitioned Sharded_db: how far
+   does splitting one RomulusDB into N independent per-shard engines
+   lift update throughput, and what does partitioning buy at recovery
+   time?
+
+   Three parts, emitted together to BENCH_shards.json:
+
+   1. Calibration: single-threaded costs measured on the real store —
+      read, single-shard batch fixed/marginal cost, and the extra cost
+      of a cross-shard batch (the persistent intent record).
+   2. Throughput extrapolation: the calibrated costs drive the
+      Fc_sharded DES model (one combiner per shard, cross-shard batches
+      chained through shard 0's combiner) across shard count x writer
+      count, plus a cross-batch-ratio sweep showing where the intent
+      overhead eats the partitioning win.
+   3. Recovery: a real N-shard store is crashed with every shard dirty
+      (a trap fires mid-transaction in each), and each shard's engine
+      recovery is timed separately — per-shard recovery work shrinks
+      with 1/N, which is what the parallel recover fan-out exploits. *)
+
+module S = Kv.Sharded_db.Default
+
+let key i = Printf.sprintf "k%06d" i
+let value i = Printf.sprintf "v%08d" i
+
+let make_store ?(fence = Pmem.Fence.stt) ~region_size nshards =
+  let regions =
+    Array.init nshards (fun _ ->
+        Pmem.Region.create ~fence ~size:region_size ())
+  in
+  (S.open_db ~initial_buckets:1024 regions, regions)
+
+(* first populated key routing to [shard]; the key space is dense enough
+   that every shard owns many *)
+let key_for_shard db ~keys shard =
+  let rec find i =
+    if i >= keys then failwith "no key routes to shard"
+    else if S.shard_of_key db (key i) = shard then key i
+    else find (i + 1)
+  in
+  find 0
+
+(* ---- calibration on the real store ---- *)
+
+type calib = {
+  read_ns : float;
+  update_work_ns : float;   (* marginal cost of one put inside a batch *)
+  batch_fixed_ns : float;   (* per-transaction fixed cost *)
+  intent_fixed_ns : float;  (* extra serialized cost of a 2-shard batch *)
+}
+
+let calibrate ~ops =
+  let keys = 512 in
+  let db1, r1 = make_store ~region_size:(1 lsl 21) 1 in
+  for i = 0 to keys - 1 do
+    S.put db1 (key i) (value i)
+  done;
+  let rng = Workload.Keygen.create ~seed:7 () in
+  let rkey () = key (Workload.Keygen.int rng keys) in
+  let median ?(runs = 3) ~ops f =
+    Workload.Bench_clock.median_ns_per_op ~region:r1.(0) ~runs ~ops f
+  in
+  for _ = 1 to 50 do
+    S.put db1 (rkey ()) "w"
+  done;
+  Gc.full_major ();
+  let read_ns = median ~ops (fun () -> ignore (S.get db1 (rkey ()))) in
+  let batch_of n =
+    median ~ops:(max 8 (ops / (4 * n))) (fun () ->
+        S.write_batch db1 (fun b ->
+            for _ = 1 to n do
+              S.put b (rkey ()) "w"
+            done))
+  in
+  let batch1 = batch_of 1 in
+  let batch16 = batch_of 16 in
+  let update_work_ns =
+    let w = (batch16 -. batch1) /. 15. in
+    if w <= 0. || w > batch1 then batch1 else w
+  in
+  let batch_fixed_ns = Float.max 0. (batch1 -. update_work_ns) in
+  (* a 2-shard batch runs PREPARE + two applies + COMMIT/CLEAR: four
+     engine transactions; what the chain costs beyond those is the
+     intent bookkeeping (payload encoding, undo capture) *)
+  let db2, r2 = make_store ~region_size:(1 lsl 21) 2 in
+  for i = 0 to keys - 1 do
+    S.put db2 (key i) (value i)
+  done;
+  let ka = key_for_shard db2 ~keys 0 in
+  let kb = key_for_shard db2 ~keys 1 in
+  for _ = 1 to 20 do
+    S.write_batch db2 (fun b ->
+        S.put b ka "w";
+        S.put b kb "w")
+  done;
+  Gc.full_major ();
+  let cross_ns =
+    (* virtual fence delays land on both regions; sum them *)
+    let snap r = Pmem.Region.stats r in
+    let s0 = Pmem.Stats.snapshot (snap r2.(0)) in
+    let s1 = Pmem.Stats.snapshot (snap r2.(1)) in
+    let n = max 8 (ops / 8) in
+    let t0 = Workload.Bench_clock.now_ns () in
+    for _ = 1 to n do
+      S.write_batch db2 (fun b ->
+          S.put b ka "w";
+          S.put b kb "w")
+    done;
+    let wall = Workload.Bench_clock.now_ns () -. t0 in
+    let d r past =
+      let d = Pmem.Stats.since ~now:(snap r) ~past in
+      float_of_int d.Pmem.Stats.delay_ns
+    in
+    (wall +. d r2.(0) s0 +. d r2.(1) s1) /. float_of_int n
+  in
+  let four_tx = 4. *. (batch_fixed_ns +. update_work_ns) in
+  let intent_fixed_ns = Float.max 0. (cross_ns -. four_tx) in
+  { read_ns; update_work_ns; batch_fixed_ns; intent_fixed_ns }
+
+(* ---- DES throughput sweep ---- *)
+
+let updates_per_sec ~scale ~calib ~shards ~cross_p writers =
+  let costs =
+    { Simsched.Sync_model.read_ns = calib.read_ns;
+      update_work_ns = calib.update_work_ns;
+      batch_fixed_ns = calib.batch_fixed_ns;
+      think_ns = Float.max Common.think_ns (0.25 *. calib.read_ns) }
+  in
+  let r =
+    Simsched.Sync_model.run
+      { Simsched.Sync_model.model =
+          Fc_sharded
+            { shards; cross_p; intent_fixed_ns = calib.intent_fixed_ns };
+        costs; readers = 0; writers;
+        duration_ns = Common.sim_duration_ns scale; seed = 13 }
+  in
+  Simsched.Sync_model.updates_per_sec r
+
+(* ---- recovery timing on the real store ---- *)
+
+let recovery_measure ~keys nshards =
+  let region_size = ((keys / nshards) * 1024) + (1 lsl 21) in
+  let db, regions =
+    make_store ~fence:Pmem.Fence.clflush ~region_size nshards
+  in
+  for i = 0 to keys - 1 do
+    S.put db (key i) (value i)
+  done;
+  (* crash with real work in flight on every shard *)
+  Array.iteri
+    (fun s r ->
+      let k = key_for_shard db ~keys s in
+      Pmem.Region.set_trap r 12;
+      (match S.put db k "dirty" with
+       | _ -> failwith "trap did not fire"
+       | exception Pmem.Region.Crash_point -> ());
+      Pmem.Region.clear_trap r)
+    regions;
+  Array.iter (fun r -> Pmem.Region.crash r Pmem.Region.Drop_all) regions;
+  let per_shard =
+    Array.mapi
+      (fun s r ->
+        Workload.Bench_clock.time_ns ~region:r (fun () ->
+            S.recover_shard db s))
+      regions
+  in
+  (* sanity: the store is whole again (the in-flight overwrites either
+     took or were rolled back; the key population is unchanged) *)
+  if S.count db <> keys then failwith "recovery lost keys";
+  per_shard
+
+(* ---- output ---- *)
+
+type scaling_row = {
+  shards : int;
+  writers : int;
+  ups : float;
+  ns_per_tx : float;
+}
+
+type cross_row = { c_shards : int; cross_p : float; c_ups : float }
+
+type recovery_row = {
+  r_shards : int;
+  r_keys : int;
+  per_shard_ns : float array;
+}
+
+let emit_json ~scale ~calib ~scaling ~cross ~recovery path =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"bench\": \"shards\",\n";
+  Printf.bprintf b "  \"scale\": \"%s\",\n" scale;
+  Buffer.add_string b "  \"ptm\": \"romL\",\n";
+  Printf.bprintf b
+    "  \"calibration\": {\"read_ns\": %.1f, \"update_work_ns\": %.1f, \
+     \"batch_fixed_ns\": %.1f, \"intent_fixed_ns\": %.1f},\n"
+    calib.read_ns calib.update_work_ns calib.batch_fixed_ns
+    calib.intent_fixed_ns;
+  Buffer.add_string b "  \"scaling\": [\n";
+  let n = List.length scaling in
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    {\"shards\": %d, \"writers\": %d, \"updates_per_sec\": %.0f, \
+         \"ns_per_tx\": %.1f}%s\n"
+        r.shards r.writers r.ups r.ns_per_tx
+        (if i = n - 1 then "" else ","))
+    scaling;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"cross_batch\": [\n";
+  let n = List.length cross in
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "    {\"shards\": %d, \"cross_p\": %.2f, \"updates_per_sec\": \
+         %.0f}%s\n"
+        r.c_shards r.cross_p r.c_ups
+        (if i = n - 1 then "" else ","))
+    cross;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"recovery\": [\n";
+  let n = List.length recovery in
+  List.iteri
+    (fun i r ->
+      let per =
+        String.concat ", "
+          (Array.to_list
+             (Array.map (fun ns -> Printf.sprintf "%.0f" ns) r.per_shard_ns))
+      in
+      let sum = Array.fold_left ( +. ) 0. r.per_shard_ns in
+      let mx = Array.fold_left Float.max 0. r.per_shard_ns in
+      Printf.bprintf b
+        "    {\"shards\": %d, \"keys\": %d, \"per_shard_ns\": [%s], \
+         \"max_shard_ns\": %.0f, \"sum_ns\": %.0f}%s\n"
+        r.r_shards r.r_keys per mx sum
+        (if i = n - 1 then "" else ","))
+    recovery;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc b);
+  Printf.printf "wrote %s\n%!" path
+
+let run_at ~scale_name ~scale ~ops ~recovery_keys ~shard_axis ~writer_axis =
+  Common.section
+    "shard scaling: hash-partitioned Sharded_db (romL per shard)";
+  let calib = calibrate ~ops in
+  Printf.printf
+    "calibrated: read %s  batch fixed %s  per-update %s  intent extra %s\n%!"
+    (Common.ns calib.read_ns)
+    (Common.ns calib.batch_fixed_ns)
+    (Common.ns calib.update_work_ns)
+    (Common.ns calib.intent_fixed_ns);
+  (* throughput vs shard count x writer count *)
+  Common.subsection "update throughput (TX/s), single-key ops";
+  let scaling = ref [] in
+  Common.table ~header:"writers"
+    ~cols:(List.map (fun s -> Printf.sprintf "%d shard" s) shard_axis)
+    ~rows:
+      (List.map
+         (fun w ->
+           ( string_of_int w,
+             List.map
+               (fun s ->
+                 let ups =
+                   updates_per_sec ~scale ~calib ~shards:s ~cross_p:0. w
+                 in
+                 scaling :=
+                   { shards = s; writers = w; ups;
+                     ns_per_tx = 1e9 /. ups }
+                   :: !scaling;
+                 ups)
+               shard_axis ))
+         writer_axis)
+    Common.si;
+  (* the headline scaling factor the partitioning is for *)
+  let at shards writers =
+    match
+      List.find_opt
+        (fun r -> r.shards = shards && r.writers = writers)
+        !scaling
+    with
+    | Some r -> r.ups
+    | None -> nan
+  in
+  let wmax = List.fold_left max 1 writer_axis in
+  let smax = List.fold_left max 1 shard_axis in
+  Printf.printf "%d writers: 1 shard %s TX/s -> %d shards %s TX/s (%.1fx)\n%!"
+    wmax
+    (Common.si (at 1 wmax))
+    smax
+    (Common.si (at smax wmax))
+    (at smax wmax /. at 1 wmax);
+  (* cross-shard batch ratio: where the intent protocol eats the win *)
+  Common.subsection
+    (Printf.sprintf
+       "cross-shard batch ratio (%d shards, %d writers; every cross \
+        batch chains through shard 0)"
+       smax wmax);
+  let cross_axis = [ 0.; 0.05; 0.2; 0.5 ] in
+  let cross =
+    List.map
+      (fun cross_p ->
+        { c_shards = smax; cross_p;
+          c_ups = updates_per_sec ~scale ~calib ~shards:smax ~cross_p wmax })
+      cross_axis
+  in
+  Common.table ~header:"cross_p"
+    ~cols:[ "TX/s"; "vs 1 shard" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           ( Printf.sprintf "%.2f" r.cross_p,
+             [ r.c_ups; r.c_ups /. at 1 wmax ] ))
+         cross)
+    Common.si;
+  (* recovery fan-out: per-shard work drops with 1/N *)
+  Common.subsection
+    (Printf.sprintf "per-shard recovery, %d keys, CLFLUSH pwbs, every \
+                     shard crashed mid-transaction" recovery_keys);
+  Printf.printf "%-8s %14s %14s\n" "shards" "max shard" "sum";
+  let recovery =
+    List.map
+      (fun s ->
+        let per_shard_ns = recovery_measure ~keys:recovery_keys s in
+        let sum = Array.fold_left ( +. ) 0. per_shard_ns in
+        let mx = Array.fold_left Float.max 0. per_shard_ns in
+        Printf.printf "%-8d %14s %14s\n%!" s (Common.ns mx) (Common.ns sum);
+        { r_shards = s; r_keys = recovery_keys; per_shard_ns })
+      shard_axis
+  in
+  emit_json ~scale:scale_name ~calib ~scaling:(List.rev !scaling) ~cross
+    ~recovery "BENCH_shards.json"
+
+let run scale =
+  let ops, recovery_keys =
+    match scale with
+    | Common.Quick -> (1_000, 4_000)
+    | Common.Full -> (8_000, 20_000)
+  in
+  let scale_name =
+    match scale with Common.Quick -> "quick" | Common.Full -> "full"
+  in
+  run_at ~scale_name ~scale ~ops ~recovery_keys
+    ~shard_axis:[ 1; 2; 4; 8 ] ~writer_axis:[ 1; 2; 4; 8; 16; 32 ]
+
+(* Tiny parameters so CI catches bitrot (including the JSON emission)
+   without paying benchmark cost. *)
+let smoke () =
+  run_at ~scale_name:"smoke" ~scale:Common.Quick ~ops:60 ~recovery_keys:256
+    ~shard_axis:[ 1; 2 ] ~writer_axis:[ 1; 4 ]

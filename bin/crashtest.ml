@@ -611,6 +611,170 @@ let run_scrub_campaign (module P : PTM) ~workload ~rounds ~seed ~verbose
     recovery_crashes = !window_crashes;
     failures = !failures }
 
+(* ---- sharded batch-intent campaign ---- *)
+
+(* Differential all-or-nothing campaign for the sharded store's
+   cross-shard batch-intent protocol.  Each round builds fresh
+   [nshards]-shard stores over the selected PTM, seeds them, then
+   crashes a cross-shard write batch three ways — an instruction trap
+   at a random point on every shard's region in turn, failpoint kills
+   inside each protocol window (intent PREPARED, between per-shard
+   commits, after the COMMIT flip), and a crash inside the parallel
+   recovery fan-out — resolving every power-off under the selected
+   line-fate policy.  After each reopen the oracle requires the batch
+   to be exactly all-or-nothing: the PREPARED windows roll back, the
+   post-COMMIT window rolls forward, untouched committed keys always
+   survive, and every shard passes its structural and allocator
+   checks. *)
+let run_sharded_campaign (module P : PTM) ~nshards ~rounds ~seed ~verbose
+    ~policy =
+  let module SD = Kv.Sharded_db.Make (P) in
+  let rng = Workload.Keygen.create ~seed () in
+  let failures = ref [] in
+  let crashes = ref 0 in
+  let rec_crashes = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let pick_policy salt =
+    match policy with
+    | `Drop -> Pmem.Region.Drop_all
+    | `Keep -> Pmem.Region.Keep_all
+    | `Random -> Pmem.Region.Random_subset (seed + salt)
+    | `Torn -> Pmem.Region.Torn_words (seed + salt)
+    | `Mix -> (
+      match Workload.Keygen.int rng 4 with
+      | 0 -> Pmem.Region.Drop_all
+      | 1 -> Pmem.Region.Keep_all
+      | 2 -> Pmem.Region.Torn_words (seed + salt)
+      | _ -> Pmem.Region.Random_subset (seed + salt))
+  in
+  let key i = Printf.sprintf "key%03d" i in
+  let value i = Printf.sprintf "value-%04d" i in
+  (* enough distinct keys that the batch always spans several shards *)
+  let batch_ops =
+    [ ("batch-a", Some "A"); ("batch-b", Some "B"); ("batch-c", Some "C");
+      ("batch-d", Some "D"); ("batch-e", Some "E"); ("batch-f", Some "F");
+      (key 1, Some "overwritten"); (key 2, None) ]
+  in
+  let fresh () =
+    let rs =
+      Array.init nshards (fun _ -> Pmem.Region.create ~size:(1 lsl 19) ())
+    in
+    let db = SD.open_db ~initial_buckets:8 rs in
+    for i = 0 to 11 do
+      SD.put db (key i) (value i)
+    done;
+    (rs, db)
+  in
+  let crash_all rs p = Array.iter (fun r -> Pmem.Region.crash r p) rs in
+  let run_batch db =
+    SD.write_batch db (fun b ->
+        List.iter
+          (fun (k, v) ->
+            match v with
+            | Some v -> SD.put b k v
+            | None -> ignore (SD.delete b k))
+          batch_ops)
+  in
+  (* all-or-nothing oracle; [expect] pins the outcome where the protocol
+     makes it deterministic (kills before the COMMIT flip roll back,
+     kills after it roll forward) *)
+  let oracle what db ~expect =
+    (match SD.check db with
+     | Ok () -> ()
+     | Error e -> fail "%s: check: %s" what e);
+    let applied = SD.get db "batch-a" = Some "A" in
+    (match expect with
+     | Some want when want <> applied ->
+       fail "%s: expected the batch %s, found it %s" what
+         (if want then "applied" else "rolled back")
+         (if applied then "applied" else "rolled back")
+     | _ -> ());
+    List.iter
+      (fun (k, v) ->
+        let got = SD.get db k in
+        let want =
+          if applied then v
+          else if k = key 1 then Some (value 1)
+          else if k = key 2 then Some (value 2)
+          else None
+        in
+        if got <> want then fail "%s: half-applied batch at %s" what k)
+      batch_ops;
+    for i = 3 to 11 do
+      if SD.get db (key i) <> Some (value i) then
+        fail "%s: lost committed key %s" what (key i)
+    done
+  in
+  (* sanity once per campaign: the batch really is cross-shard *)
+  (let _, db = fresh () in
+   let groups =
+     List.sort_uniq compare
+       (List.map (fun (k, _) -> SD.shard_of_key db k) batch_ops)
+   in
+   if List.length groups < 2 then
+     fail "batch spans %d shard(s); campaign needs a cross-shard batch"
+       (List.length groups));
+  for round = 1 to rounds do
+    let salt = round * 31 in
+    (* (a) instruction trap at a random point on each shard's region *)
+    for t = 0 to nshards - 1 do
+      let rs, db = fresh () in
+      Pmem.Region.set_trap rs.(t) (1 + Workload.Keygen.int rng 400);
+      (match run_batch db with
+       | () -> Pmem.Region.clear_trap rs.(t)
+       | exception Pmem.Region.Crash_point -> incr crashes);
+      crash_all rs (pick_policy (salt + t));
+      let db = SD.open_db ~initial_buckets:8 rs in
+      oracle (Printf.sprintf "round %d trap shard %d" round t) db
+        ~expect:None
+    done;
+    (* (b) failpoint kills in each protocol window; the intent always
+       lives in shard 0 *)
+    List.iter
+      (fun (site, skip, expect) ->
+        let rs, db = fresh () in
+        Fault.arm ?skip site (fun () -> Pmem.Region.kill rs.(0));
+        (match run_batch db with
+         | () ->
+           Fault.disarm ();
+           fail "round %d: %s did not fire" round site
+         | exception Pmem.Region.Crash_point ->
+           incr crashes;
+           Fault.disarm ();
+           crash_all rs (pick_policy (salt + 7));
+           let db = SD.open_db ~initial_buckets:8 rs in
+           oracle (Printf.sprintf "round %d %s" round site) db ~expect))
+      [ ("sharded.batch.intent_published", None, Some false);
+        ( "sharded.batch.shard_applied",
+          Some (Workload.Keygen.int rng 2),
+          Some false );
+        ("sharded.batch.committed", None, Some true) ];
+    (* (c) crash inside the parallel recovery fan-out *)
+    let rs, db = fresh () in
+    Pmem.Region.set_trap rs.(0) (1 + Workload.Keygen.int rng 300);
+    (match run_batch db with
+     | () -> Pmem.Region.clear_trap rs.(0)
+     | exception Pmem.Region.Crash_point -> incr crashes);
+    crash_all rs (pick_policy (salt + 11));
+    let t = Workload.Keygen.int rng nshards in
+    Pmem.Region.set_trap rs.(t) (1 + Workload.Keygen.int rng 40);
+    (match SD.recover ~parallel:true db with
+     | () -> Pmem.Region.clear_trap rs.(t)
+     | exception Pmem.Region.Crash_point ->
+       incr rec_crashes;
+       crash_all rs (pick_policy (salt + 13));
+       SD.recover ~parallel:true db);
+    oracle (Printf.sprintf "round %d parallel recovery" round) db
+      ~expect:None;
+    if verbose then
+      Printf.printf "  ... %d/%d rounds, %d crashes (%d during recovery)\n%!"
+        round rounds !crashes !rec_crashes
+  done;
+  { rounds;
+    crashes = !crashes;
+    recovery_crashes = !rec_crashes;
+    failures = !failures }
+
 (* ---- command line ---- *)
 
 let ptm_arg =
@@ -690,6 +854,18 @@ let rot_rates_arg =
     & opt string "0.002,0.01,0.05"
     & info [ "rot-rates" ] ~docv:"R1,R2,.." ~doc)
 
+let shards_arg =
+  let doc =
+    "Sharded-store campaign over $(docv) hash shards (0 disables): crash \
+     a cross-shard write batch with instruction traps on every shard, \
+     failpoint kills inside each batch-intent window (intent PREPARED, \
+     between per-shard commits, after the COMMIT flip), and a crash \
+     inside the parallel recovery fan-out, resolving each power-off \
+     under the selected --policy.  The oracle requires every batch to \
+     be all-or-nothing.  --rounds is the number of seeds swept."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+
 let list_failpoints_arg =
   let doc =
     "Print every registered failpoint site (raise-capable ones marked) \
@@ -702,7 +878,7 @@ let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
 let main ptm workload rounds seed policy recovery_crashes failpoint
-    inject_exn scrub rot_rates_str list_failpoints verbose =
+    inject_exn scrub rot_rates_str nshards list_failpoints verbose =
   if list_failpoints then begin
     List.iter
       (fun s ->
@@ -733,7 +909,26 @@ let main ptm workload rounds seed policy recovery_crashes failpoint
     | w -> failwith ("unknown workload " ^ w)
   in
   let failed = ref false in
-  if scrub then begin
+  if nshards > 0 then
+    (* the sharded campaign has its own cross-shard workload; the
+       --workload selection does not apply *)
+    List.iter
+      (fun (pname, m) ->
+        Printf.printf "%-6s x %d-shard batch-intent: %!" pname nshards;
+        let o =
+          run_sharded_campaign m ~nshards ~rounds ~seed ~verbose ~policy
+        in
+        if o.failures = [] then
+          Printf.printf "OK (%d seeds, %d crash-recoveries, %d crashes \
+                         inside recovery)\n%!"
+            o.rounds o.crashes o.recovery_crashes
+        else begin
+          failed := true;
+          Printf.printf "FAILED (%d issues)\n" (List.length o.failures);
+          List.iter (fun f -> Printf.printf "    %s\n" f) o.failures
+        end)
+      selected_ptms
+  else if scrub then begin
     let rot_rates =
       try
         List.map float_of_string
@@ -843,7 +1038,7 @@ let cmd =
   Cmd.v info
     Term.(const main $ ptm_arg $ workload_arg $ rounds_arg $ seed_arg
           $ policy_arg $ recovery_crashes_arg $ failpoint_arg
-          $ inject_exn_arg $ scrub_arg $ rot_rates_arg
+          $ inject_exn_arg $ scrub_arg $ rot_rates_arg $ shards_arg
           $ list_failpoints_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

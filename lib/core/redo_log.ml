@@ -2,9 +2,16 @@
    current transaction — never the data itself, and never persisted.  At
    commit, only these ranges are copied from main to back.
 
-   Word-sized entries (the common case) are deduplicated with a hash table
-   so that a loop storing to the same field logs one range, not thousands;
-   ranges from blob stores are appended as-is. *)
+   Word-sized entries (the common case) are deduplicated so that a loop
+   storing to the same field logs one range, not thousands; ranges from
+   blob stores are appended as-is.
+
+   The dedup structure is an open-addressed table in a flat [int array]
+   — no boxing, no bucket lists, and no allocation on the per-store fast
+   path (a boxed [Hashtbl] allocated a bucket cell on every insert,
+   which showed up directly in the per-store cost).  Slots hold
+   [offset + 1] so that 0 can mean "empty" without special-casing
+   offset 0. *)
 
 exception Overflow of { capacity : int }
 
@@ -13,18 +20,22 @@ exception Overflow of { capacity : int }
    abortable error instead of unbounded DRAM growth. *)
 let default_capacity = 1 lsl 20
 
+let initial_table_size = 128 (* power of two *)
+
 type t = {
   mutable offs : int array;
   mutable lens : int array;
   mutable n : int;
   mutable capacity : int;   (* max entries before {!Overflow} *)
-  words : (int, unit) Hashtbl.t;
+  (* open-addressed word-dedup table: 0 = empty slot *)
+  mutable words : int array;
+  mutable word_count : int;
 }
 
 let create ?(capacity = default_capacity) () =
   if capacity < 1 then invalid_arg "Redo_log.create: capacity < 1";
   { offs = Array.make 64 0; lens = Array.make 64 0; n = 0; capacity;
-    words = Hashtbl.create 64 }
+    words = Array.make initial_table_size 0; word_count = 0 }
 
 let capacity t = t.capacity
 
@@ -34,7 +45,60 @@ let set_capacity t c =
 
 let clear t =
   t.n <- 0;
-  Hashtbl.reset t.words
+  if t.word_count > 0 then begin
+    (* a pathological transaction can balloon the table; don't make every
+       later small transaction pay an O(high-water) fill to reset it *)
+    if Array.length t.words > 8 * initial_table_size
+       && 8 * t.word_count < Array.length t.words
+    then t.words <- Array.make initial_table_size 0
+    else Array.fill t.words 0 (Array.length t.words) 0;
+    t.word_count <- 0
+  end
+
+(* Multiplicative hash (splitmix-style odd constant): word offsets are
+   8-aligned and clustered, so the low bits alone would collide
+   pathologically. *)
+let hash_off off =
+  let h = off * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land max_int
+
+let word_insert words mask key =
+  let rec probe i =
+    let v = Array.unsafe_get words i in
+    if v = 0 then Array.unsafe_set words i key
+    else if v <> key then probe ((i + 1) land mask)
+  in
+  probe (hash_off key land mask)
+
+let grow_words t =
+  let old = t.words in
+  let size = 2 * Array.length old in
+  let words = Array.make size 0 in
+  let mask = size - 1 in
+  for i = 0 to Array.length old - 1 do
+    let v = Array.unsafe_get old i in
+    if v <> 0 then word_insert words mask v
+  done;
+  t.words <- words
+
+(* Membership test + insert in one probe sequence; returns [true] iff
+   [off] was newly inserted.  Load factor kept below 1/2. *)
+let word_add t off =
+  if 2 * (t.word_count + 1) > Array.length t.words then grow_words t;
+  let key = off + 1 in
+  let words = t.words in
+  let mask = Array.length words - 1 in
+  let rec probe i =
+    let v = Array.unsafe_get words i in
+    if v = 0 then begin
+      Array.unsafe_set words i key;
+      t.word_count <- t.word_count + 1;
+      true
+    end
+    else if v = key then false
+    else probe ((i + 1) land mask)
+  in
+  probe (hash_off key land mask)
 
 let append t off len =
   (* raised before anything is recorded: the log still covers exactly the
@@ -54,10 +118,7 @@ let append t off len =
 
 let add t ~off ~len =
   if len = 8 then begin
-    if not (Hashtbl.mem t.words off) then begin
-      Hashtbl.replace t.words off ();
-      append t off len
-    end
+    if word_add t off then append t off len
   end
   else if len > 0 then append t off len
 

@@ -7,6 +7,11 @@
    The functor runs on any PTM; the paper's RomulusDB uses RomulusLog,
    which is what {!Default} instantiates. *)
 
+(* A non-positive bucket count would silently corrupt the map layout
+   (zero-length bucket array, modulo by zero on the first lookup); reject
+   it with a typed error before anything touches the region. *)
+exception Invalid_buckets of int
+
 module Make (P : Romulus.Ptm_intf.S) = struct
   module Map_ = Str_hash_map.Make (P)
 
@@ -16,6 +21,7 @@ module Make (P : Romulus.Ptm_intf.S) = struct
 
   (* Open (or create) the database stored in [region]. *)
   let open_db ?(initial_buckets = 1024) region =
+    if initial_buckets <= 0 then raise (Invalid_buckets initial_buckets);
     let p = P.open_region region in
     let map = Map_.open_or_create ~initial_buckets p ~root:db_root in
     { p; map }

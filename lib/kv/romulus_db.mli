@@ -2,10 +2,14 @@
     interface.  Every write is a durable transaction; write batches are
     real all-or-nothing transactions. *)
 
+(** Raised by [open_db] when [initial_buckets] is not positive. *)
+exception Invalid_buckets of int
+
 module Make (P : Romulus.Ptm_intf.S) : sig
   type t
 
-  (** Open (or create) the database stored in the region. *)
+  (** Open (or create) the database stored in the region.  Raises
+      {!Invalid_buckets} when [initial_buckets] is not positive. *)
   val open_db : ?initial_buckets:int -> Pmem.Region.t -> t
 
   val put : t -> string -> string -> unit

@@ -1,0 +1,521 @@
+(* Sharded RomulusDB: the LevelDB interface of Romulus_db, hash-
+   partitioned across N independent per-shard PTM instances.  One engine
+   means one C-RW-WP writer lock and one flat-combining array, so update
+   throughput is flat no matter how many domains run; with a shard per
+   partition, unrelated updates commit concurrently and each shard
+   amortizes its own batch under one set of persistence fences, while
+   every shard keeps the paper's twin-copy 4-fence protocol intact.
+
+   Cross-shard write batches are made all-or-nothing by a persistent
+   batch-intent record in shard 0 (root slot [intent_slot]):
+
+     1. PREPARE   one shard-0 transaction allocates the intent record —
+                  status word PREPARED, the buffered operations, and a
+                  pre-batch undo image per distinct key — and publishes
+                  it in the root slot.
+     2. APPLY     one ordinary durable transaction per touched shard
+                  replays that shard's operations.
+     3. COMMIT    one shard-0 transaction flips the status to COMMITTED:
+                  this is the batch's durability point.
+     4. CLEAR     one shard-0 transaction unhooks and frees the record.
+
+   Recovery (after every shard's engine recovery has restored per-shard
+   consistency) reconciles from the intent: a PREPARED record rolls the
+   batch *back* by replaying the undo images, a COMMITTED record rolls it
+   *forward* by replaying the operations — both idempotent at the KV
+   level, so a crash inside reconciliation itself just reconverges on the
+   next recovery.  A batch that touches a single shard (always the case
+   with one shard) skips the protocol entirely and runs as that shard's
+   lone transaction, exactly as in Romulus_db. *)
+
+exception Invalid_shards of int
+
+module type SHARD_PTM = sig
+  include Romulus.Ptm_intf.S
+
+  val recover : t -> unit
+  val scrub : t -> Romulus.Engine.scrub_report
+  val media_spans : t -> (int * int) list
+  val allocator_check : t -> (unit, string) result
+end
+
+(* Crash-window failpoints: the campaign arms one of these with a
+   simulated power-off to kill inside the intent window, between the
+   per-shard commits, and around recovery's fan-out. *)
+let fp_intent_published = Fault.site "sharded.batch.intent_published"
+let fp_shard_applied = Fault.site "sharded.batch.shard_applied"
+let fp_committed = Fault.site "sharded.batch.committed"
+let fp_cleared = Fault.site "sharded.batch.cleared"
+let fp_recover_shard_done = Fault.site "sharded.recover.shard_done"
+let fp_recover_reconciled = Fault.site "sharded.recover.reconciled"
+
+module Make (P : SHARD_PTM) = struct
+  module Map_ = Str_hash_map.Make (P)
+
+  type shard = { p : P.t; map : Map_.t; region : Pmem.Region.t }
+
+  (* A batch handle is a shallow copy of the store with [batch = Some _]:
+     operations on it are buffered (newest first) instead of applied, so
+     concurrent batches never share mutable state. *)
+  type batch = { mutable ops : (string * string option) list }
+
+  type t = { shard_arr : shard array; batch : batch option }
+
+  let db_root = 0 (* same slot as Romulus_db: the map's anchor *)
+
+  (* Last root slot, far from the map's anchor: the batch-intent record
+     of the cross-shard protocol, in shard 0.  Never touched before the
+     first cross-shard batch, so a 1-shard store stays bit-for-bit
+     identical to Romulus_db. *)
+  let intent_slot = Romulus.Ptm_intf.root_slots - 1
+
+  let status_prepared = 1
+  let status_committed = 2
+
+  (* FNV-1a core as the map's bucket hash, plus an avalanche step so the
+     shard route is independent of the bucket index even when the shard
+     count shares factors with the bucket count. *)
+  let route_hash s =
+    let h = ref 0x4bf29ce484222325 in
+    String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) s;
+    let h = !h in
+    let h = h lxor (h lsr 33) in
+    let h = h * 0x2545F4914F6CDD1D in
+    (h lxor (h lsr 29)) land max_int
+
+  let shards t = Array.length t.shard_arr
+  let shard_of_key t k = route_hash k mod shards t
+  let shard_for t k = t.shard_arr.(shard_of_key t k)
+  let regions t = Array.map (fun s -> s.region) t.shard_arr
+
+  let stats t =
+    Pmem.Stats.aggregate
+      (Array.to_list
+         (Array.map (fun s -> Pmem.Region.stats s.region) t.shard_arr))
+
+  (* ---- intent-record serialization ----
+
+     Volatile encoding of the batch (operations oldest-first, then the
+     undo images), stored as one blob inside the intent record.  All
+     lengths are 64-bit little-endian; a value option carries a presence
+     tag so "put empty string" and "delete" stay distinct. *)
+
+  let add_str b s =
+    Buffer.add_int64_le b (Int64.of_int (String.length s));
+    Buffer.add_string b s
+
+  let add_kv_list b l =
+    Buffer.add_int64_le b (Int64.of_int (List.length l));
+    List.iter
+      (fun (k, v) ->
+        add_str b k;
+        match v with
+        | None -> Buffer.add_char b '\000'
+        | Some v ->
+          Buffer.add_char b '\001';
+          add_str b v)
+      l
+
+  let encode ~nshards ~ops ~undo =
+    let b = Buffer.create 256 in
+    Buffer.add_int64_le b (Int64.of_int nshards);
+    add_kv_list b ops;
+    add_kv_list b undo;
+    Buffer.contents b
+
+  let decode payload =
+    let pos = ref 0 in
+    let bad what =
+      raise
+        (Romulus.Engine.Recovery_error
+           (Printf.sprintf "sharded batch intent: truncated %s record" what))
+    in
+    let take_int what =
+      if !pos + 8 > String.length payload then bad what;
+      let v = Int64.to_int (String.get_int64_le payload !pos) in
+      pos := !pos + 8;
+      if v < 0 then bad what;
+      v
+    in
+    let take_str what =
+      let len = take_int what in
+      if !pos + len > String.length payload then bad what;
+      let s = String.sub payload !pos len in
+      pos := !pos + len;
+      s
+    in
+    let take_kv_list what =
+      let n = take_int what in
+      List.init n (fun _ ->
+          let k = take_str what in
+          if !pos >= String.length payload then bad what;
+          let tag = payload.[!pos] in
+          incr pos;
+          match tag with
+          | '\000' -> (k, None)
+          | '\001' -> (k, Some (take_str what))
+          | _ -> bad what)
+    in
+    let nshards = take_int "shard-count" in
+    let ops = take_kv_list "operation" in
+    let undo = take_kv_list "undo" in
+    (nshards, ops, undo)
+
+  (* ---- plain (non-batch) operations ---- *)
+
+  let underlying_get t k = Map_.get (shard_for t k).map k
+  let underlying_mem t k = Map_.mem (shard_for t k).map k
+
+  let apply_op s (k, v) =
+    match v with
+    | Some v -> ignore (Map_.put s.map k v : bool)
+    | None -> ignore (Map_.remove s.map k : bool)
+
+  (* newest-first scan of the buffered operations *)
+  let rec lookup_ops k = function
+    | [] -> None
+    | (k', v) :: _ when String.equal k' k -> Some v
+    | _ :: rest -> lookup_ops k rest
+
+  (* net effect of the buffer: the newest operation per key *)
+  let net_ops b =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (k, v) -> if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k v)
+      b.ops;
+    tbl
+
+  let get t k =
+    match t.batch with
+    | None -> underlying_get t k
+    | Some b -> (
+      match lookup_ops k b.ops with
+      | Some v -> v
+      | None -> underlying_get t k)
+
+  let put t k v =
+    match t.batch with
+    | None -> ignore (Map_.put (shard_for t k).map k v : bool)
+    | Some b -> b.ops <- (k, Some v) :: b.ops
+
+  let delete t k =
+    match t.batch with
+    | None -> Map_.remove (shard_for t k).map k
+    | Some b ->
+      let existed =
+        match lookup_ops k b.ops with
+        | Some v -> Option.is_some v
+        | None -> underlying_mem t k
+      in
+      b.ops <- (k, None) :: b.ops;
+      existed
+
+  let count t =
+    let base =
+      Array.fold_left (fun n s -> n + Map_.length s.map) 0 t.shard_arr
+    in
+    match t.batch with
+    | None -> base
+    | Some b ->
+      Hashtbl.fold
+        (fun k v acc ->
+          let before = underlying_mem t k in
+          let after = Option.is_some v in
+          acc + Bool.to_int after - Bool.to_int before)
+        (net_ops b) base
+
+  (* Shards visited in index order, hash order within a shard.  Under a
+     batch handle the buffered writes are overlaid: overwritten keys are
+     filtered from the underlying pass, buffered puts appended last
+     (oldest first) — order inside a batch is unspecified anyway. *)
+  let iter_dir ~reverse t f =
+    let emit map = Map_.iter ~reverse map f in
+    let shard_seq g =
+      let n = Array.length t.shard_arr in
+      if reverse then
+        for i = n - 1 downto 0 do
+          g t.shard_arr.(i)
+        done
+      else
+        for i = 0 to n - 1 do
+          g t.shard_arr.(i)
+        done
+    in
+    match t.batch with
+    | None -> shard_seq (fun s -> emit s.map)
+    | Some b ->
+      let net = net_ops b in
+      shard_seq (fun s ->
+          Map_.iter ~reverse s.map (fun k v ->
+              if not (Hashtbl.mem net k) then f k v));
+      List.iter
+        (fun (k, _) ->
+          match Hashtbl.find_opt net k with
+          | Some (Some v) ->
+            f k v;
+            Hashtbl.remove net k (* emit each net put once *)
+          | Some None | None -> ())
+        (List.rev b.ops)
+
+  let iter t f = iter_dir ~reverse:false t f
+  let iter_reverse t f = iter_dir ~reverse:true t f
+
+  let check t =
+    let n = Array.length t.shard_arr in
+    let rec go i =
+      if i = n then Ok ()
+      else
+        match Map_.check t.shard_arr.(i).map with
+        | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
+        | Ok () -> (
+          match P.allocator_check t.shard_arr.(i).p with
+          | Error e -> Error (Printf.sprintf "shard %d allocator: %s" i e)
+          | Ok () -> go (i + 1))
+    in
+    go 0
+
+  (* ---- the cross-shard batch protocol ---- *)
+
+  (* stable split of [ops] (oldest first) into per-shard groups,
+     ascending shard index, preserving operation order within a shard *)
+  let group_by_shard t ops =
+    let n = Array.length t.shard_arr in
+    let groups = Array.make n [] in
+    List.iter
+      (fun ((k, _) as op) ->
+        let i = shard_of_key t k in
+        groups.(i) <- op :: groups.(i))
+      ops;
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      if groups.(i) <> [] then out := (i, List.rev groups.(i)) :: !out
+    done;
+    !out
+
+  let read_intent_root t =
+    let s0 = t.shard_arr.(0) in
+    P.read_tx s0.p (fun () -> P.get_root s0.p intent_slot)
+
+  let clear_intent t off =
+    let s0 = t.shard_arr.(0) in
+    P.update_tx s0.p (fun () ->
+        P.set_root s0.p intent_slot 0;
+        P.free s0.p off)
+
+  (* one durable transaction per shard, replaying that shard's slice *)
+  let apply_groups t groups =
+    List.iter
+      (fun (i, sops) ->
+        let s = t.shard_arr.(i) in
+        P.update_tx s.p (fun () -> List.iter (apply_op s) sops))
+      groups
+
+  let cross_shard_batch t groups ops =
+    let s0 = t.shard_arr.(0) in
+    (* pre-batch image of every distinct key, for rollback *)
+    let seen = Hashtbl.create 16 in
+    let undo =
+      List.filter_map
+        (fun (k, _) ->
+          if Hashtbl.mem seen k then None
+          else begin
+            Hashtbl.add seen k ();
+            Some (k, underlying_get t k)
+          end)
+        ops
+    in
+    let payload =
+      encode ~nshards:(Array.length t.shard_arr) ~ops ~undo
+    in
+    (* PREPARE: the intent record becomes durable before any shard's data
+       changes — from here a crash is reconciled from the record *)
+    let off =
+      P.update_tx s0.p (fun () ->
+          let o = P.alloc s0.p (16 + String.length payload) in
+          P.store s0.p o status_prepared;
+          P.store s0.p (o + 8) (String.length payload);
+          P.store_bytes s0.p (o + 16) payload;
+          P.set_root s0.p intent_slot o;
+          o)
+    in
+    Fault.hit fp_intent_published;
+    let applied = ref [] in
+    match
+      List.iter
+        (fun (i, sops) ->
+          let s = t.shard_arr.(i) in
+          P.update_tx s.p (fun () -> List.iter (apply_op s) sops);
+          applied := i :: !applied;
+          Fault.hit fp_shard_applied)
+        groups
+    with
+    | () ->
+      (* COMMIT: the batch's durability point *)
+      P.update_tx s0.p (fun () -> P.store s0.p off status_committed);
+      Fault.hit fp_committed;
+      clear_intent t off;
+      Fault.hit fp_cleared
+    | exception Pmem.Region.Crash_point ->
+      (* dead machine: recovery rolls back from the PREPARED intent *)
+      raise Pmem.Region.Crash_point
+    | exception e ->
+      (* Runtime abort: the failing shard's own transaction already
+         rolled back; restore the pre-batch images on the shards that
+         committed, then withdraw the intent.  A crash inside this
+         rollback leaves the PREPARED record for recovery to finish the
+         same rollback idempotently.  As in the engine, the cause is
+         re-raised wrapped in Tx_aborted (once). *)
+      let backtrace = Printexc.get_backtrace () in
+      let rolled = !applied in
+      List.iter
+        (fun i ->
+          let s = t.shard_arr.(i) in
+          let slice =
+            List.filter (fun (k, _) -> shard_of_key t k = i) undo
+          in
+          P.update_tx s.p (fun () -> List.iter (apply_op s) slice))
+        rolled;
+      clear_intent t off;
+      (match e with
+       | Romulus.Engine.Tx_aborted _ -> raise e
+       | e -> raise (Romulus.Engine.Tx_aborted { cause = e; backtrace }))
+
+  let commit_batch t b =
+    let ops = List.rev b.ops in
+    if ops <> [] then begin
+      match group_by_shard t ops with
+      | [] -> ()
+      | [ (i, sops) ] ->
+        (* one shard: a single ordinary transaction, no intent — exact
+           Romulus_db semantics (and the only path with one shard) *)
+        let s = t.shard_arr.(i) in
+        P.update_tx s.p (fun () -> List.iter (apply_op s) sops)
+      | groups -> cross_shard_batch t groups ops
+    end
+
+  let write_batch t f =
+    match t.batch with
+    | Some _ -> f t (* nested batch flattens, like a nested update_tx *)
+    | None -> (
+      let b = { ops = [] } in
+      match f { t with batch = Some b } with
+      | () -> commit_batch t b
+      | exception ((Romulus.Engine.Tx_aborted _ | Pmem.Region.Crash_point) as e)
+        ->
+        raise e
+      | exception e ->
+        (* the buffered operations are simply discarded; surface the same
+           typed abort a Romulus_db batch (one update_tx) would *)
+        let backtrace = Printexc.get_backtrace () in
+        raise (Romulus.Engine.Tx_aborted { cause = e; backtrace }))
+
+  (* ---- recovery, reconciliation, scrub ---- *)
+
+  (* Replay a reconciliation slice on every shard it touches.  Both
+     directions replay plain put/delete lists, so a repeated replay (a
+     crash inside reconciliation, then another recovery) is a no-op. *)
+  let reconcile t =
+    let off = read_intent_root t in
+    if off <> 0 then begin
+      let s0 = t.shard_arr.(0) in
+      let status, payload =
+        P.read_tx s0.p (fun () ->
+            let status = P.load s0.p off in
+            let len = P.load s0.p (off + 8) in
+            (status, P.load_bytes s0.p (off + 16) len))
+      in
+      let nshards, ops, undo = decode payload in
+      if nshards <> Array.length t.shard_arr then
+        raise
+          (Romulus.Engine.Recovery_error
+             (Printf.sprintf
+                "sharded batch intent names %d shards, store has %d" nshards
+                (Array.length t.shard_arr)));
+      if status = status_prepared then
+        (* batch never reached its durability point: roll back *)
+        apply_groups t (group_by_shard t undo)
+      else if status = status_committed then
+        (* batch committed: roll forward *)
+        apply_groups t (group_by_shard t ops)
+      else
+        raise
+          (Romulus.Engine.Recovery_error
+             (Printf.sprintf "sharded batch intent has bad status %d" status));
+      clear_intent t off
+    end
+
+  let recover_shard t i = P.recover t.shard_arr.(i).p
+
+  let recover ?(parallel = true) t =
+    let n = Array.length t.shard_arr in
+    if parallel && n > 1 then begin
+      let doms =
+        Array.map (fun s -> Domain.spawn (fun () -> P.recover s.p)) t.shard_arr
+      in
+      let first_err = ref None in
+      Array.iter
+        (fun d ->
+          match Domain.join d with
+          | () -> Fault.hit fp_recover_shard_done
+          | exception e ->
+            if Option.is_none !first_err then first_err := Some e)
+        doms;
+      match !first_err with Some e -> raise e | None -> ()
+    end
+    else
+      Array.iter
+        (fun s ->
+          P.recover s.p;
+          Fault.hit fp_recover_shard_done)
+        t.shard_arr;
+    reconcile t;
+    Fault.hit fp_recover_reconciled
+
+  let media_spans t = Array.map (fun s -> P.media_spans s.p) t.shard_arr
+
+  let scrub t =
+    Array.fold_left
+      (fun (acc : Romulus.Engine.scrub_report) s ->
+        let r = P.scrub s.p in
+        { Romulus.Engine.scrubbed = acc.scrubbed + r.scrubbed;
+          repaired = acc.repaired + r.repaired })
+      { Romulus.Engine.scrubbed = 0; repaired = 0 }
+      t.shard_arr
+
+  (* ---- construction, snapshots ---- *)
+
+  let open_db ?(initial_buckets = 1024) regions =
+    if Array.length regions = 0 then raise (Invalid_shards 0);
+    if initial_buckets <= 0 then
+      raise (Romulus_db.Invalid_buckets initial_buckets);
+    let shard_arr =
+      Array.map
+        (fun region ->
+          let p = P.open_region region in
+          let map = Map_.open_or_create ~initial_buckets p ~root:db_root in
+          { p; map; region })
+        regions
+    in
+    let t = { shard_arr; batch = None } in
+    reconcile t;
+    t
+
+  let save_to_files t base =
+    Array.iteri
+      (fun i s ->
+        Pmem.Region.save_to_file s.region
+          (Pmem.Region.shard_snapshot_path base ~shard:i))
+      t.shard_arr
+
+  let open_from_files ?fence ?initial_buckets ~shards base =
+    if shards <= 0 then raise (Invalid_shards shards);
+    let regions =
+      Array.init shards (fun i ->
+          Pmem.Region.load_from_file ?fence
+            (Pmem.Region.shard_snapshot_path base ~shard:i))
+    in
+    open_db ?initial_buckets regions
+end
+
+(* The default sharded store: RomulusLog per shard, as in RomulusDB. *)
+module Default = Make (Romulus.Logged)

@@ -1,0 +1,116 @@
+(** Sharded RomulusDB: the LevelDB interface of {!Romulus_db}, hash-
+    partitioned across N independent per-shard PTM instances.  Each shard
+    owns its own region, twin-copy engine, C-RW-WP lock and flat-combining
+    array, so updates to different shards commit concurrently and each
+    shard amortizes its own batch under one set of persistence fences.
+
+    Single-key operations and batches that touch one shard keep exact
+    Romulus semantics (with one shard the store is bit-for-bit equivalent
+    to {!Romulus_db} over the same operations).  A cross-shard
+    [write_batch] is made all-or-nothing by a persistent batch-intent
+    record in shard 0: the buffered operations (with per-key undo images)
+    are written durably before any per-shard transaction runs, marked
+    committed once every shard has applied, and cleared last.  Recovery
+    reconciles a half-applied batch from the intent — rollback while it is
+    still PREPARED, roll-forward once it is COMMITTED.
+
+    Isolation caveat: a cross-shard batch is crash-atomic and its shards
+    individually linearizable, but concurrent readers may observe the
+    batch half-applied across shards (there is no cross-shard snapshot
+    isolation), and a concurrent single-key write that races an aborting
+    batch on the same key can be overwritten by the batch's rollback. *)
+
+(** Raised by [open_db] when given an empty shard array. *)
+exception Invalid_shards of int
+
+(** Any of the Romulus front-ends: the PTM signature plus the recovery /
+    scrub / diagnostics hooks every shard needs. *)
+module type SHARD_PTM = sig
+  include Romulus.Ptm_intf.S
+
+  val recover : t -> unit
+  val scrub : t -> Romulus.Engine.scrub_report
+  val media_spans : t -> (int * int) list
+  val allocator_check : t -> (unit, string) result
+end
+
+module Make (P : SHARD_PTM) : sig
+  type t
+
+  (** Open (or create) the database over one region per shard; the shard
+      count is the array length, fixed for the life of the store (keys
+      are routed by hash modulo that count).  Each region is formatted or
+      recovered as usual, then any batch intent left by a crash is
+      reconciled.  Raises {!Invalid_shards} on an empty array and
+      {!Romulus_db.Invalid_buckets} when [initial_buckets] is not
+      positive. *)
+  val open_db : ?initial_buckets:int -> Pmem.Region.t array -> t
+
+  val put : t -> string -> string -> unit
+  val get : t -> string -> string option
+  val delete : t -> string -> bool
+  val count : t -> int
+
+  (** LevelDB's write batch, upgraded to an all-or-nothing transaction
+      even across shards.  Operations performed on the handle passed to
+      [f] are buffered (reads see the buffered writes) and applied when
+      [f] returns: a batch touching one shard runs as that shard's single
+      durable transaction, exactly as in {!Romulus_db}; a cross-shard
+      batch runs under the persistent intent protocol described above. *)
+  val write_batch : t -> (t -> unit) -> unit
+
+  (** Full scans; keys are hash-ordered within a shard and shards are
+      visited in index order.  With one shard the order matches
+      {!Romulus_db}. *)
+  val iter : t -> (string -> string -> unit) -> unit
+
+  val iter_reverse : t -> (string -> string -> unit) -> unit
+
+  (** Structural invariant check of every shard's map and allocator. *)
+  val check : t -> (unit, string) result
+
+  (** Number of shards. *)
+  val shards : t -> int
+
+  (** The shard a key routes to (deterministic, stable across runs). *)
+  val shard_of_key : t -> string -> int
+
+  (** The per-shard regions, in shard order (shared, not copies). *)
+  val regions : t -> Pmem.Region.t array
+
+  (** Aggregated instrumentation counters across every shard's region. *)
+  val stats : t -> Pmem.Stats.t
+
+  (** Re-run crash recovery on every shard — in parallel (one domain per
+      shard) by default — then reconcile any pending batch intent.
+      Idempotent, like the single-engine recovery it fans out. *)
+  val recover : ?parallel:bool -> t -> unit
+
+  (** Engine-level recovery of one shard only (no intent reconciliation);
+      exposed so recovery latency can be measured per shard. *)
+  val recover_shard : t -> int -> unit
+
+  (** Scrub every shard's twins; the report sums the per-shard reports.
+      Raises [Romulus.Engine.Unrepairable] as the per-shard scrub does. *)
+  val scrub : t -> Romulus.Engine.scrub_report
+
+  (** Per-shard media-fault target spans, in shard order (offsets are
+      relative to that shard's own region). *)
+  val media_spans : t -> (int * int) list array
+
+  (** Save one snapshot file per shard under
+      [Pmem.Region.shard_snapshot_path base ~shard]. *)
+  val save_to_files : t -> string -> unit
+
+  (** Reopen a store from the file family written by {!save_to_files}
+      ([shards] must match the saved shard count). *)
+  val open_from_files :
+    ?fence:Pmem.Fence.profile ->
+    ?initial_buckets:int ->
+    shards:int ->
+    string ->
+    t
+end
+
+(** Sharded RomulusDB over the paper's default PTM (RomulusLog). *)
+module Default : module type of Make (Romulus.Logged)

@@ -573,3 +573,11 @@ let load_from_file ?fence path =
         done;
         t
       with End_of_file -> corrupt "truncated header")
+
+(* One file per shard region under a common base path: keeps a sharded
+   store's snapshot a predictable family ("db.shard0", "db.shard1", ...)
+   instead of an ad-hoc scheme per caller. *)
+let shard_snapshot_path base ~shard =
+  if shard < 0 then
+    invalid_arg "Region.shard_snapshot_path: negative shard index";
+  Printf.sprintf "%s.shard%d" base shard

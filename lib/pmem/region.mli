@@ -158,3 +158,10 @@ val save_to_file : t -> string -> unit
     [open_region] then runs recovery as usual.  Raises {!Snapshot_corrupt}
     if the file fails any header or checksum validation. *)
 val load_from_file : ?fence:Fence.profile -> string -> t
+
+(** Conventional file name for one region of a multi-region (sharded)
+    store saved under [base]: ["<base>.shard<k>"].  Shards save and load
+    their regions under this name so that a store's snapshot is a
+    predictable file family rather than an ad-hoc naming scheme per
+    caller.  Raises [Invalid_argument] on a negative shard index. *)
+val shard_snapshot_path : string -> shard:int -> string

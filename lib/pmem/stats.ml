@@ -72,6 +72,33 @@ let since ~now ~past =
     unrepairable_lines = now.unrepairable_lines - past.unrepairable_lines;
     media_errors = now.media_errors - past.media_errors }
 
+(* Field-wise sum, as a fresh independent record: the cross-shard view of
+   a store whose shards each meter their own region. *)
+let aggregate ts =
+  let a = create () in
+  List.iter
+    (fun t ->
+      a.pwbs <- a.pwbs + t.pwbs;
+      a.pfences <- a.pfences + t.pfences;
+      a.psyncs <- a.psyncs + t.psyncs;
+      a.loads <- a.loads + t.loads;
+      a.stores <- a.stores + t.stores;
+      a.nvm_bytes <- a.nvm_bytes + t.nvm_bytes;
+      a.user_bytes <- a.user_bytes + t.user_bytes;
+      a.load_bytes <- a.load_bytes + t.load_bytes;
+      a.copy_calls <- a.copy_calls + t.copy_calls;
+      a.replicated_bytes <- a.replicated_bytes + t.replicated_bytes;
+      a.commits <- a.commits + t.commits;
+      a.delay_ns <- a.delay_ns + t.delay_ns;
+      a.crashes <- a.crashes + t.crashes;
+      a.tx_aborts <- a.tx_aborts + t.tx_aborts;
+      a.scrubbed_lines <- a.scrubbed_lines + t.scrubbed_lines;
+      a.repaired_lines <- a.repaired_lines + t.repaired_lines;
+      a.unrepairable_lines <- a.unrepairable_lines + t.unrepairable_lines;
+      a.media_errors <- a.media_errors + t.media_errors)
+    ts;
+  a
+
 let fences t = t.pfences + t.psyncs
 
 let write_amplification t =

@@ -30,6 +30,10 @@ val snapshot : t -> t
 (** Counters accumulated between [past] and [now]. *)
 val since : now:t -> past:t -> t
 
+(** Field-wise sum of the given counter records, as a fresh independent
+    record — the aggregate view of a multi-region (sharded) store. *)
+val aggregate : t list -> t
+
 (** [pfences + psyncs] — the persistence-fence count the paper reports. *)
 val fences : t -> int
 

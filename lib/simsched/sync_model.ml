@@ -10,6 +10,15 @@
    - Fc_left_right: same single combiner, but readers never block; the
      writer pays up to one read duration per toggle (twice per batch) to
      drain readers (RomulusLR).
+   - Fc_sharded: N independent Fc_crwwp instances, one per hash shard
+     of the sharded store.  Each operation routes to a uniformly random
+     shard, so single-key updates on different shards combine and commit
+     concurrently.  A cross-shard batch (probability cross_p) follows
+     the batch-intent protocol: a PREPARE transaction through shard 0's
+     combiner, one apply per participating shard, then a COMMIT+CLEAR
+     transaction through shard 0 again, plus a fixed intent cost for
+     serializing the payload — shard 0 is the protocol's serial
+     bottleneck, which is the crossover the shards bench demonstrates.
    - Rw_reader_pref: a plain reader-preference RW lock, one transaction
      per lock acquisition (the paper's PMDK setup).  Writers wait for a
      moment with zero active readers, which becomes rarer as readers are
@@ -34,6 +43,15 @@ type costs = {
 type model =
   | Fc_crwwp
   | Fc_left_right
+  | Fc_sharded of {
+      shards : int;
+      cross_p : float;
+      (** probability that a writer's operation is a cross-shard batch
+          (two participating shards) rather than a single-key update *)
+      intent_fixed_ns : float;
+      (** serialized extra cost of the batch intent: payload encoding,
+          the undo capture, and the CLEAR transaction's tail *)
+    }
   | Rw_reader_pref of { atomic_ns : float }
     (** [atomic_ns]: serialized cost of one RMW on the lock's shared
         reader counter — the cache line bounces between cores, so total
@@ -155,6 +173,108 @@ let run_fc ~left_right cfg =
     Des.schedule sim (jitter sim c.think_ns) (fun () ->
         Queue.add (fun () -> writer_loop ()) pending_updates;
         try_start_batch ())
+  in
+  for _ = 1 to cfg.readers do
+    reader_loop ()
+  done;
+  for _ = 1 to cfg.writers do
+    writer_loop ()
+  done;
+  Des.run sim ~until:cfg.duration_ns;
+  { reads_done = !reads_done; updates_done = !updates_done;
+    elapsed_ns = cfg.duration_ns }
+
+(* ---- sharded flat combining (Sharded_db) ---- *)
+
+(* N independent Fc_crwwp instances.  Single-key operations route to a
+   uniformly random shard and follow exactly the run_fc machinery, just
+   per shard.  A cross-shard batch is a dependency chain of sub-requests
+   — PREPARE through shard 0's combiner, an apply on each of its two
+   participating shards, COMMIT+CLEAR through shard 0 — each riding the
+   target shard's ordinary combining queue, plus [intent_fixed_ns] of
+   serialized intent bookkeeping.  The chain counts as one update. *)
+let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns cfg =
+  if shards < 1 then invalid_arg "Sync_model: shards < 1";
+  let sim = Des.create ~seed:cfg.seed () in
+  let c = cfg.costs in
+  let reads_done = ref 0 and updates_done = ref 0 in
+  (* per-shard C-RW-WP + flat-combining state *)
+  let combiner_active = Array.make shards false in
+  let writer_pending = Array.make shards false in
+  let readers_active = Array.make shards 0 in
+  let pending = Array.init shards (fun _ -> Queue.create ()) in
+  let waiting_readers = Array.init shards (fun _ -> Queue.create ()) in
+  let rec try_start_batch s =
+    if (not combiner_active.(s)) && not (Queue.is_empty pending.(s)) then begin
+      writer_pending.(s) <- true;
+      if readers_active.(s) = 0 then start_batch s
+      (* else: the last departing reader calls [reader_departed] *)
+    end
+  and start_batch s =
+    combiner_active.(s) <- true;
+    writer_pending.(s) <- false;
+    let batch = Queue.create () in
+    Queue.transfer pending.(s) batch;
+    let b = float_of_int (Queue.length batch) in
+    let cost = c.batch_fixed_ns +. (b *. c.update_work_ns) in
+    Des.schedule sim cost (fun () ->
+        Queue.iter (fun finish -> finish ()) batch;
+        combiner_active.(s) <- false;
+        Queue.iter (fun resume -> resume ()) waiting_readers.(s);
+        Queue.clear waiting_readers.(s);
+        try_start_batch s)
+  and reader_departed s =
+    readers_active.(s) <- readers_active.(s) - 1;
+    if readers_active.(s) = 0 && writer_pending.(s)
+       && not combiner_active.(s)
+    then start_batch s
+  in
+  (* enqueue one sub-request on shard [s]; [finish] runs when the shard's
+     combiner has durably applied it *)
+  let submit s finish =
+    Queue.add finish pending.(s);
+    try_start_batch s
+  in
+  let pick_shard () =
+    min (shards - 1) (int_of_float (Des.random sim *. float_of_int shards))
+  in
+  let rec reader_loop () =
+    Des.schedule sim (jitter sim c.think_ns) (fun () ->
+        let s = pick_shard () in
+        if combiner_active.(s) || writer_pending.(s) then
+          (* writer preference: stand aside until the combiner releases *)
+          Queue.add (fun () -> start_read s) waiting_readers.(s)
+        else start_read s)
+  and start_read s =
+    readers_active.(s) <- readers_active.(s) + 1;
+    Des.schedule sim c.read_ns (fun () ->
+        incr reads_done;
+        reader_departed s;
+        reader_loop ())
+  in
+  let rec writer_loop () =
+    Des.schedule sim (jitter sim c.think_ns) (fun () ->
+        if shards > 1 && cross_p > 0. && Des.random sim < cross_p then begin
+          (* cross-shard batch over two distinct shards *)
+          let a = pick_shard () in
+          let b =
+            (a + 1
+             + min (shards - 2)
+                 (int_of_float (Des.random sim *. float_of_int (shards - 1))))
+            mod shards
+          in
+          submit 0 (fun () ->                 (* PREPARE intent *)
+              submit a (fun () ->             (* apply on shard a *)
+                  submit b (fun () ->         (* apply on shard b *)
+                      submit 0 (fun () ->     (* COMMIT flip + CLEAR *)
+                          Des.schedule sim intent_fixed_ns (fun () ->
+                              incr updates_done;
+                              writer_loop ())))))
+        end
+        else
+          submit (pick_shard ()) (fun () ->
+              incr updates_done;
+              writer_loop ()))
   in
   for _ = 1 to cfg.readers do
     reader_loop ()
@@ -306,6 +426,8 @@ let run cfg =
   match cfg.model with
   | Fc_crwwp -> run_fc ~left_right:false cfg
   | Fc_left_right -> run_fc ~left_right:true cfg
+  | Fc_sharded { shards; cross_p; intent_fixed_ns } ->
+    run_fc_sharded ~shards ~cross_p ~intent_fixed_ns cfg
   | Rw_reader_pref { atomic_ns } -> run_rw_reader_pref ~atomic_ns cfg
   | Stm { conflict_p; read_conflict_p; commit_serial_ns } ->
     run_stm ~conflict_p ~read_conflict_p ~commit_serial_ns cfg

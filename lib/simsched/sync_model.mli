@@ -19,6 +19,18 @@ type model =
   | Fc_left_right
       (** same single combiner, but readers never block; the writer
           drains readers on each of its two toggles (RomLR) *)
+  | Fc_sharded of {
+      shards : int;
+      cross_p : float;
+      intent_fixed_ns : float;
+    }
+      (** [shards] independent {!Fc_crwwp} instances (Sharded_db): each
+          operation routes to a uniformly random shard, so updates on
+          different shards combine and commit concurrently.  With
+          probability [cross_p] a writer runs a cross-shard batch
+          instead: PREPARE through shard 0's combiner, one apply per
+          participating shard, COMMIT+CLEAR through shard 0, plus
+          [intent_fixed_ns] of serialized intent bookkeeping *)
   | Rw_reader_pref of { atomic_ns : float }
       (** plain reader-preference RW lock (the paper's PMDK setup).
           [atomic_ns] is the serialized cost of one RMW on the shared

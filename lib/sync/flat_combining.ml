@@ -18,6 +18,12 @@ type state =
 type t = {
   slots : state Atomic.t array;
   hi : int Atomic.t;        (* 1 + highest tid that ever published here *)
+  (* published-but-not-yet-collected requests.  Incremented before the
+     slot is set to [Request] and decremented by the combiner as it
+     collects, so it never under-counts the visible requests: a scan may
+     stop as soon as it has collected [pending] of them instead of
+     walking every empty slot up to the watermark. *)
+  pending : int Atomic.t;
   lock : Spinlock.t;
   mutable combines : int;   (* batches executed (stats) *)
   mutable combined : int;   (* total requests executed (stats) *)
@@ -27,6 +33,7 @@ type t = {
 let create () =
   { slots = Array.init Tid.max_threads (fun _ -> Atomic.make Empty);
     hi = Atomic.make 0;
+    pending = Atomic.make 0;
     lock = Spinlock.create ();
     combines = 0;
     combined = 0;
@@ -42,15 +49,27 @@ let rec cover t tid =
 
 let combine t ~exec =
   Fun.protect ~finally:(fun () -> Spinlock.unlock t.lock) @@ fun () ->
-  (* only slots below the registration watermark can hold requests *)
+  (* Only slots below the registration watermark can hold requests, and
+     at most [pending] of them do: stop as soon as that many have been
+     collected instead of walking the remaining empty slots.  A request
+     published after its slot was passed (or after the early exit) is
+     simply left for the next batch — its owner self-combines once this
+     round releases the lock, exactly as with a full scan. *)
   let limit = Atomic.get t.hi in
   let batch = ref [] in
-  for i = limit - 1 downto 0 do
-    match Atomic.get t.slots.(i) with
-    | Request f -> batch := (i, f) :: !batch
-    | Empty | Done _ -> ()
+  let examined = ref 0 in
+  let i = ref 0 in
+  while !i < limit && Atomic.get t.pending > 0 do
+    incr examined;
+    (match Atomic.get t.slots.(!i) with
+     | Request f ->
+       batch := (!i, f) :: !batch;
+       Atomic.decr t.pending
+     | Empty | Done _ -> ());
+    incr i
   done;
-  t.scanned <- t.scanned + limit;
+  let batch = ref (List.rev !batch) in
+  t.scanned <- t.scanned + !examined;
   t.combines <- t.combines + 1;
   t.combined <- t.combined + List.length !batch;
   (* Rounds: run the pending requests inside one [exec] call.  A request
@@ -91,6 +110,9 @@ let apply t f ~exec =
   let tid = Tid.current () in
   let slot = t.slots.(tid) in
   cover t tid;
+  (* incremented before the request becomes visible, so a combiner that
+     sees the request has also seen the count (never under-counts) *)
+  Atomic.incr t.pending;
   Atomic.set slot (Request f);
   let rec wait () =
     match Atomic.get slot with

@@ -30,5 +30,8 @@ val requests_served : t -> int
     array, not all [Tid.max_threads] entries. *)
 val scan_length : t -> int
 
-(** Total slots examined across all batches. *)
+(** Total slots examined across all batches.  A combiner stops its scan
+    once it has collected every pending request, so this can be far
+    below [batches * scan_length] when the watermark is high but few
+    requests are in flight. *)
 val slots_scanned : t -> int

@@ -1,0 +1,517 @@
+(* Conformance matrix for the sharded RomulusDB, mirroring the PTM
+   suite's categories at the KV level: abort semantics, crash sweeps at
+   every instruction boundary under all four crash policies, recovery
+   idempotence (including crashes during recovery), scrub
+   repair-or-refuse — against shards=1 (which must be bit-for-bit
+   equivalent to Romulus_db over the same operations) and shards=4 —
+   plus the cross-shard batch-intent protocol's own crash windows. *)
+
+module R = Pmem.Region
+module Db = Kv.Romulus_db.Default
+module Sd = Kv.Sharded_db.Default
+
+let region ?(size = 1 lsl 18) () = R.create ~size ()
+
+let regions ?size n = Array.init n (fun _ -> region ?size ())
+
+let open_sharded ?(shards = 4) ?(initial_buckets = 8) ?size () =
+  let rs = regions ?size shards in
+  (rs, Sd.open_db ~initial_buckets rs)
+
+let crash_all rs policy = Array.iter (fun r -> R.crash r policy) rs
+
+(* every test must leave the global failpoint registry clean *)
+let with_disarm f =
+  Fun.protect ~finally:(fun () -> Fault.disarm ()) f
+
+let check_ok what db =
+  match Sd.check db with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" what e
+
+let key i = Printf.sprintf "key%03d" i
+let value i = Printf.sprintf "value-%04d" i
+
+(* seed [n] keys through individual durable puts *)
+let seed db n =
+  for i = 0 to n - 1 do
+    Sd.put db (key i) (value i)
+  done
+
+(* a batch guaranteed to span several shards: enough distinct keys that
+   4 shards cannot all collide *)
+let batch_ops =
+  [ ("batch-a", Some "A"); ("batch-b", Some "B"); ("batch-c", Some "C");
+    ("batch-d", Some "D"); (key 1, Some "overwritten"); (key 2, None) ]
+
+let run_batch db =
+  Sd.write_batch db (fun b ->
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Some v -> Sd.put b k v
+          | None -> ignore (Sd.delete b k))
+        batch_ops)
+
+(* all-or-nothing oracle after a crashed [run_batch] over [seed db 12] *)
+let assert_all_or_nothing what db =
+  check_ok what db;
+  let applied = Sd.get db "batch-a" = Some "A" in
+  List.iter
+    (fun (k, v) ->
+      let got = Sd.get db k in
+      let want =
+        if applied then v
+        else if k = key 1 then Some (value 1)
+        else if k = key 2 then Some (value 2)
+        else None
+      in
+      if got <> want then
+        Alcotest.failf "%s: half-applied batch at %s (%s)" what k
+          (if applied then "expected applied" else "expected rolled back"))
+    batch_ops;
+  (* untouched committed keys always survive *)
+  for i = 3 to 11 do
+    if Sd.get db (key i) <> Some (value i) then
+      Alcotest.failf "%s: lost committed key %s" what (key i)
+  done;
+  applied
+
+(* ---- basics ---- *)
+
+let test_basics () =
+  let _, db = open_sharded () in
+  Alcotest.(check int) "shards" 4 (Sd.shards db);
+  seed db 100;
+  Alcotest.(check int) "count" 100 (Sd.count db);
+  (* the route must actually spread keys over all four shards *)
+  let used = Array.make 4 0 in
+  for i = 0 to 99 do
+    let s = Sd.shard_of_key db (key i) in
+    used.(s) <- used.(s) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      if n = 0 then Alcotest.failf "shard %d received no keys" i)
+    used;
+  Alcotest.(check (option string)) "get" (Some (value 42)) (Sd.get db (key 42));
+  Alcotest.(check bool) "delete" true (Sd.delete db (key 42));
+  Alcotest.(check (option string)) "gone" None (Sd.get db (key 42));
+  Alcotest.(check int) "count after delete" 99 (Sd.count db);
+  let fwd = ref [] and rev = ref [] in
+  Sd.iter db (fun k v -> fwd := (k, v) :: !fwd);
+  Sd.iter_reverse db (fun k v -> rev := (k, v) :: !rev);
+  Alcotest.(check int) "iter complete" 99 (List.length !fwd);
+  Alcotest.(check bool) "iter orders agree" true
+    (List.sort compare !fwd = List.sort compare !rev);
+  check_ok "basics" db
+
+let test_invalid_args () =
+  (* satellite fix: non-positive initial_buckets is a typed error in both
+     stores, and an empty shard array is one too *)
+  let check_invalid name f =
+    match f () with
+    | _ -> Alcotest.failf "%s: accepted invalid argument" name
+    | exception Kv.Romulus_db.Invalid_buckets b ->
+      Alcotest.(check bool) (name ^ " reports the bad value") true (b <= 0)
+  in
+  check_invalid "romulus_db zero buckets" (fun () ->
+      Db.open_db ~initial_buckets:0 (region ()));
+  check_invalid "romulus_db negative buckets" (fun () ->
+      Db.open_db ~initial_buckets:(-3) (region ()));
+  check_invalid "sharded zero buckets" (fun () ->
+      Sd.open_db ~initial_buckets:0 (regions 2));
+  check_invalid "sharded negative buckets" (fun () ->
+      Sd.open_db ~initial_buckets:(-1) (regions 2));
+  (match Sd.open_db [||] with
+   | _ -> Alcotest.fail "accepted an empty shard array"
+   | exception Kv.Sharded_db.Invalid_shards 0 -> ());
+  (* the boundary value works *)
+  let db = Sd.open_db ~initial_buckets:1 (regions 2) in
+  Sd.put db "k" "v";
+  Alcotest.(check (option string)) "buckets=1 usable" (Some "v")
+    (Sd.get db "k")
+
+(* ---- shards=1: bit-for-bit Romulus_db equivalence ---- *)
+
+(* The same operation script drives a plain RomulusDB and a 1-shard
+   sharded store over separate fresh regions; the persistent images must
+   be byte-identical at every synchronisation point.  With one shard no
+   batch can be cross-shard, so the intent machinery must never touch
+   the region. *)
+let test_shard1_bitwise_equivalence () =
+  let ra = region () and rb = region () in
+  let a = Db.open_db ~initial_buckets:8 ra in
+  let b = Sd.open_db ~initial_buckets:8 [| rb |] in
+  let sync what =
+    Alcotest.(check bool)
+      (what ^ ": persistent images identical") true
+      (String.equal (R.persistent_snapshot ra) (R.persistent_snapshot rb))
+  in
+  sync "after open";
+  for i = 0 to 30 do
+    Db.put a (key i) (value i);
+    Sd.put b (key i) (value i)
+  done;
+  sync "after puts";
+  ignore (Db.delete a (key 7));
+  ignore (Sd.delete b (key 7));
+  Db.put a (key 3) "overwrite";
+  Sd.put b (key 3) "overwrite";
+  sync "after delete+overwrite";
+  (* a write batch with read-your-writes inside *)
+  let saw_a = ref [] and saw_b = ref [] in
+  Db.write_batch a (fun d ->
+      Db.put d "wb1" "x";
+      saw_a := [ Db.get d "wb1"; Db.get d (key 5) ];
+      ignore (Db.delete d (key 5));
+      Db.put d "wb2" "y");
+  Sd.write_batch b (fun d ->
+      Sd.put d "wb1" "x";
+      saw_b := [ Sd.get d "wb1"; Sd.get d (key 5) ];
+      ignore (Sd.delete d (key 5));
+      Sd.put d "wb2" "y");
+  Alcotest.(check (list (option string)))
+    "batch read-your-writes agree" !saw_a !saw_b;
+  sync "after write batch";
+  (* a raising batch aborts with the same typed error and no effects *)
+  let abort_of f =
+    match f () with
+    | () -> Alcotest.fail "raising batch did not raise"
+    | exception Romulus.Engine.Tx_aborted { cause = Failure m; _ } -> m
+    | exception e -> Alcotest.failf "wrong abort: %s" (Printexc.to_string e)
+  in
+  let ma =
+    abort_of (fun () ->
+        Db.write_batch a (fun d ->
+            Db.put d "doomed" "1";
+            failwith "poison"))
+  in
+  let mb =
+    abort_of (fun () ->
+        Sd.write_batch b (fun d ->
+            Sd.put d "doomed" "1";
+            failwith "poison"))
+  in
+  Alcotest.(check string) "same abort cause" ma mb;
+  Alcotest.(check (option string)) "abort left nothing (db)" None
+    (Db.get a "doomed");
+  Alcotest.(check (option string)) "abort left nothing (sharded)" None
+    (Sd.get b "doomed");
+  (* Immediately after the aborted batch the images differ in exactly the
+     lazily-published state word: Romulus_db ran begin+abort (forcing a
+     durable IDL), the sharded store never started an engine transaction.
+     The divergence is transient — the next crash/recovery converges both
+     sides, which the sync below witnesses. *)
+  (* a crash replays identically *)
+  R.crash ra R.Drop_all;
+  R.crash rb R.Drop_all;
+  let a = Db.open_db ra and b = Sd.open_db [| rb |] in
+  sync "after crash+reopen";
+  Alcotest.(check int) "same count" (Db.count a) (Sd.count b);
+  Db.iter a (fun k v ->
+      if Sd.get b k <> Some v then Alcotest.failf "diverged at %s" k)
+
+(* ---- abort semantics (shards=4) ---- *)
+
+let test_cross_shard_runtime_abort () =
+  with_disarm @@ fun () ->
+  let _, db = open_sharded () in
+  seed db 12;
+  (* inject a software fault after the first per-shard transaction of a
+     cross-shard batch commits: the batch must roll back to the pre-batch
+     image, surface a typed abort, and leave no intent behind *)
+  Fault.arm "sharded.batch.shard_applied" (fun () ->
+      raise (Fault.Injected "sharded.batch.shard_applied"));
+  (match run_batch db with
+   | () -> Alcotest.fail "injected fault did not surface"
+   | exception Romulus.Engine.Tx_aborted { cause = Fault.Injected _; _ } -> ()
+   | exception e ->
+     Alcotest.failf "expected Tx_aborted(Injected), got %s"
+       (Printexc.to_string e));
+  let applied = assert_all_or_nothing "runtime abort" db in
+  Alcotest.(check bool) "rolled back, not applied" false applied;
+  (* the store keeps working, and recovery finds nothing to reconcile *)
+  Sd.recover ~parallel:false db;
+  let applied = assert_all_or_nothing "after recover" db in
+  Alcotest.(check bool) "still rolled back" false applied;
+  run_batch db;
+  Alcotest.(check bool) "batch applies cleanly afterwards" true
+    (assert_all_or_nothing "clean retry" db)
+
+let test_raising_closure_discards_buffer () =
+  let _, db = open_sharded () in
+  seed db 4;
+  (match
+     Sd.write_batch db (fun b ->
+         Sd.put b "x" "1";
+         raise Exit)
+   with
+   | () -> Alcotest.fail "no raise"
+   | exception Romulus.Engine.Tx_aborted { cause = Exit; _ } -> ());
+  Alcotest.(check (option string)) "buffered op discarded" None
+    (Sd.get db "x");
+  check_ok "raising closure" db
+
+(* ---- crash sweeps: every instruction boundary, all 4 policies ---- *)
+
+(* Sweep a trap over every instruction of every shard's region while a
+   cross-shard batch runs, under each crash policy; after the crash, a
+   reopened store must show the batch all-or-nothing and pass its
+   checks.  This is the KV-level analogue of the PTM suite's
+   crash_at_every_point. *)
+let crash_sweep_policy policy =
+  let crashes = ref 0 in
+  for target = 0 to 3 do
+    let continue = ref true in
+    let trap = ref 1 in
+    while !continue do
+      let rs, db = open_sharded () in
+      seed db 12;
+      R.set_trap rs.(target) !trap;
+      (match run_batch db with
+       | () ->
+         R.clear_trap rs.(target);
+         continue := false
+       | exception R.Crash_point -> incr crashes);
+      crash_all rs policy;
+      let db = Sd.open_db ~initial_buckets:8 rs in
+      ignore (assert_all_or_nothing "crash sweep" db : bool);
+      trap := !trap + 1
+    done
+  done;
+  !crashes
+
+let test_crash_sweep_drop_all () =
+  let n = crash_sweep_policy R.Drop_all in
+  Alcotest.(check bool) "sweep crossed the batch" true (n > 50)
+
+let test_crash_sweep_keep_all () =
+  ignore (crash_sweep_policy R.Keep_all : int)
+
+let test_crash_sweep_random_subset () =
+  ignore (crash_sweep_policy (R.Random_subset 41) : int)
+
+let test_crash_sweep_torn_words () =
+  ignore (crash_sweep_policy (R.Torn_words 17) : int)
+
+(* ---- the intent protocol's own windows ---- *)
+
+let test_intent_window_rollback () =
+  with_disarm @@ fun () ->
+  let rs, db = open_sharded () in
+  seed db 12;
+  (* power off right after the intent record becomes durable: no shard
+     has applied anything, recovery must roll the batch back *)
+  Fault.arm "sharded.batch.intent_published" (fun () -> R.kill rs.(0));
+  (match run_batch db with
+   | () -> Alcotest.fail "kill did not fire"
+   | exception R.Crash_point -> ());
+  crash_all rs R.Drop_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  Alcotest.(check bool) "rolled back from PREPARED" false
+    (assert_all_or_nothing "intent window" db)
+
+let test_inter_commit_window () =
+  with_disarm @@ fun () ->
+  let rs, db = open_sharded () in
+  seed db 12;
+  (* power off between two per-shard commits: some shards applied, the
+     intent is still PREPARED, recovery must roll every shard back *)
+  Fault.arm ~skip:1 "sharded.batch.shard_applied" (fun () -> R.kill rs.(0));
+  (match run_batch db with
+   | () -> Alcotest.fail "kill did not fire"
+   | exception R.Crash_point -> ());
+  crash_all rs R.Keep_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  Alcotest.(check bool) "half-applied batch rolled back" false
+    (assert_all_or_nothing "inter-commit window" db)
+
+let test_committed_window_rolls_forward () =
+  with_disarm @@ fun () ->
+  let rs, db = open_sharded () in
+  seed db 12;
+  (* power off after the COMMITTED flip but before the record is cleared:
+     the batch reached its durability point, recovery must roll forward *)
+  Fault.arm "sharded.batch.committed" (fun () -> R.kill rs.(0));
+  (match run_batch db with
+   | () -> Alcotest.fail "kill did not fire"
+   | exception R.Crash_point -> ());
+  crash_all rs R.Keep_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  Alcotest.(check bool) "rolled forward from COMMITTED" true
+    (assert_all_or_nothing "committed window" db);
+  (* the intent was cleared: another reconciliation changes nothing *)
+  Sd.recover ~parallel:false db;
+  Alcotest.(check bool) "idempotent after roll-forward" true
+    (assert_all_or_nothing "post-recover" db)
+
+(* ---- recovery: parallel fan-out, idempotence, crashes within ---- *)
+
+let test_parallel_recovery () =
+  let rs, db = open_sharded () in
+  seed db 12;
+  (* leave a mid-commit wreck on one shard and a PREPARED intent *)
+  R.set_trap rs.(2) 40;
+  (match run_batch db with
+   | () -> Alcotest.fail "trap did not fire"
+   | exception R.Crash_point -> ());
+  crash_all rs (R.Random_subset 7);
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  ignore (assert_all_or_nothing "after reopen" db : bool);
+  (* recovery over an already-consistent store, parallel and sequential,
+     is a no-op — run both and compare full contents *)
+  let dump db =
+    let l = ref [] in
+    Sd.iter db (fun k v -> l := (k, v) :: !l);
+    List.sort compare !l
+  in
+  let before = dump db in
+  Sd.recover ~parallel:true db;
+  Alcotest.(check bool) "parallel recover is idempotent" true
+    (dump db = before);
+  Sd.recover ~parallel:false db;
+  Alcotest.(check bool) "sequential recover agrees" true (dump db = before);
+  check_ok "parallel recovery" db
+
+let test_crash_during_recovery () =
+  let rs, db = open_sharded () in
+  seed db 12;
+  (* shard 0 always participates in a cross-shard batch (intent record) *)
+  R.set_trap rs.(0) 30;
+  (match run_batch db with
+   | () -> Alcotest.fail "trap did not fire"
+   | exception R.Crash_point -> ());
+  crash_all rs R.Drop_all;
+  (* now crash again in the middle of recovery itself: the second
+     recovery must still converge (recovery is idempotent) *)
+  R.set_trap rs.(3) 10;
+  (match Sd.open_db ~initial_buckets:8 rs with
+   | _ -> R.clear_trap rs.(3)
+   | exception R.Crash_point -> ());
+  crash_all rs R.Drop_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  ignore (assert_all_or_nothing "crashed recovery" db : bool)
+
+(* ---- scrub: repair-or-refuse per shard, aggregated report ---- *)
+
+let test_scrub_repairs_shard () =
+  let rs, db = open_sharded () in
+  seed db 24;
+  (* settle to durably-IDL (the engine publishes IDL lazily) *)
+  crash_all rs R.Drop_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  let clean = Array.map R.persistent_snapshot rs in
+  (* rot one line deep in shard 2's used span *)
+  let spans = Sd.media_spans db in
+  let base, span = List.hd spans.(2) in
+  let line = (base + span - 1) / R.line_size rs.(2) in
+  R.corrupt_line rs.(2) ~line;
+  let rep = Sd.scrub db in
+  Alcotest.(check bool) "scrub repaired the rot" true
+    (rep.Romulus.Engine.repaired >= 1);
+  Alcotest.(check bool) "scrub walked every shard" true
+    (rep.Romulus.Engine.scrubbed > 0);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d image restored" i)
+        true
+        (String.equal clean.(i) (R.persistent_snapshot r)))
+    rs;
+  Alcotest.(check int) "second scrub finds nothing" 0
+    (Sd.scrub db).Romulus.Engine.repaired;
+  check_ok "scrub repair" db
+
+(* rot the same line in both twins of one shard: no copy can vouch *)
+let test_scrub_refuses_double_fault () =
+  let rs, db = open_sharded () in
+  seed db 24;
+  crash_all rs R.Drop_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  let spans = (Sd.media_spans db).(1) in
+  (match spans with
+   | (mbase, mspan) :: (bbase, _) :: _ ->
+     let delta = mspan - R.line_size rs.(1) in
+     R.corrupt_line rs.(1) ~line:((mbase + delta) / R.line_size rs.(1));
+     R.corrupt_line rs.(1) ~seed:99 ~line:((bbase + delta) / R.line_size rs.(1))
+   | _ -> Alcotest.fail "expected twin spans");
+  match Sd.scrub db with
+  | exception Romulus.Engine.Unrepairable _ -> ()
+  | (_ : Romulus.Engine.scrub_report) ->
+    Alcotest.fail "both twins rotten: scrub must refuse"
+
+(* ---- qcheck: random crash points over cross-shard batches ---- *)
+
+let prop_sharded_crash_batch =
+  let open QCheck in
+  Test.make ~count:40 ~name:"sharded: crashed cross-shard batch is atomic"
+    (triple small_nat (int_bound 3) (int_bound 3))
+    (fun (trap, pol, target) ->
+      let rs, db = open_sharded () in
+      seed db 12;
+      R.set_trap rs.(target) (trap + 1);
+      (match run_batch db with
+       | () -> R.clear_trap rs.(target)
+       | exception R.Crash_point -> ());
+      let policy =
+        match pol with
+        | 0 -> R.Drop_all
+        | 1 -> R.Keep_all
+        | 2 -> R.Random_subset (trap + 3)
+        | _ -> R.Torn_words (trap + 13)
+      in
+      crash_all rs policy;
+      let db = Sd.open_db ~initial_buckets:8 rs in
+      ignore (assert_all_or_nothing "qcheck sweep" db : bool);
+      true)
+
+(* ---- snapshots ---- *)
+
+let test_snapshot_roundtrip () =
+  let dir = Filename.temp_file "sharded" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let _, db = open_sharded () in
+      seed db 30;
+      run_batch db;
+      let base = Filename.concat dir "db" in
+      Sd.save_to_files db base;
+      let db2 = Sd.open_from_files ~shards:4 base in
+      Alcotest.(check int) "count survives" (Sd.count db) (Sd.count db2);
+      Sd.iter db (fun k v ->
+          if Sd.get db2 k <> Some v then
+            Alcotest.failf "snapshot diverged at %s" k);
+      check_ok "snapshot" db2)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [ tc "sharded basics" `Quick test_basics;
+    tc "invalid arguments typed" `Quick test_invalid_args;
+    tc "shards=1 bitwise equivalence" `Quick test_shard1_bitwise_equivalence;
+    tc "cross-shard runtime abort" `Quick test_cross_shard_runtime_abort;
+    tc "raising closure discards buffer" `Quick
+      test_raising_closure_discards_buffer;
+    tc "crash sweep drop-all" `Slow test_crash_sweep_drop_all;
+    tc "crash sweep keep-all" `Slow test_crash_sweep_keep_all;
+    tc "crash sweep random-subset" `Slow test_crash_sweep_random_subset;
+    tc "crash sweep torn-words" `Slow test_crash_sweep_torn_words;
+    tc "intent window rollback" `Quick test_intent_window_rollback;
+    tc "inter-commit window rollback" `Quick test_inter_commit_window;
+    tc "committed window rolls forward" `Quick
+      test_committed_window_rolls_forward;
+    tc "parallel recovery" `Quick test_parallel_recovery;
+    tc "crash during recovery" `Quick test_crash_during_recovery;
+    tc "scrub repairs a shard" `Quick test_scrub_repairs_shard;
+    tc "scrub refuses double fault" `Quick test_scrub_refuses_double_fault;
+    tc "snapshot round trip" `Quick test_snapshot_roundtrip ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_sharded_crash_batch ]
+
+let () = Alcotest.run "sharded" [ ("sharded", suite) ]

@@ -174,7 +174,32 @@ let test_flat_combining_scan_watermark () =
       let batches = Flat_combining.batches fc - b0 in
       Alcotest.(check int) "each batch scans only the live prefix"
         (s0 + (batches * expect))
-        (Flat_combining.slots_scanned fc))
+        (Flat_combining.slots_scanned fc);
+      (* A high watermark with a single pending request: the pending
+         counter stops the combiner's scan at the lone request instead
+         of walking every empty slot up to the watermark. *)
+      let ready = Atomic.make 0 and release = Atomic.make false in
+      let holders =
+        List.init 6 (fun _ ->
+            Domain.spawn (fun () ->
+                Tid.with_slot (fun _ ->
+                    Flat_combining.apply fc (fun () -> ()) ~exec;
+                    Atomic.incr ready;
+                    while not (Atomic.get release) do
+                      Domain.cpu_relax ()
+                    done)))
+      in
+      while Atomic.get ready < 6 do Domain.cpu_relax () done;
+      let wm = Flat_combining.scan_length fc in
+      Alcotest.(check bool) "watermark raised by the helpers" true
+        (wm > expect);
+      let s1 = Flat_combining.slots_scanned fc in
+      Flat_combining.apply fc (fun () -> ()) ~exec;
+      let delta = Flat_combining.slots_scanned fc - s1 in
+      Alcotest.(check bool) "empty-slot scan stops early" true (delta < wm);
+      Alcotest.(check int) "scanned only up to the lone request" expect delta;
+      Atomic.set release true;
+      List.iter Domain.join holders)
 
 (* ---- Left-Right ---- *)
 

@@ -54,6 +54,61 @@ let test_redo_log_zero_len_ignored () =
   Alcotest.(check bool) "zero-length ranges dropped" true
     (Romulus.Redo_log.is_empty l)
 
+(* The open-addressed dedup table: grows past its initial size without
+   losing membership, handles offset 0, and forgets everything on clear
+   (including after a transaction large enough to force a shrink). *)
+let test_redo_log_dedup_table_growth () =
+  let l = Romulus.Redo_log.create () in
+  let n = 5_000 in
+  for i = 0 to n - 1 do
+    Romulus.Redo_log.add l ~off:(8 * i) ~len:8
+  done;
+  Alcotest.(check int) "all distinct words logged" n
+    (Romulus.Redo_log.entries l);
+  (* a second pass over every offset is fully deduplicated, across the
+     table resizes the first pass forced *)
+  for i = 0 to n - 1 do
+    Romulus.Redo_log.add l ~off:(8 * i) ~len:8
+  done;
+  Alcotest.(check int) "second pass fully deduplicated" n
+    (Romulus.Redo_log.entries l);
+  Romulus.Redo_log.clear l;
+  Alcotest.(check bool) "cleared" true (Romulus.Redo_log.is_empty l);
+  (* after the clear (which may shrink the table) dedup still works *)
+  for _ = 1 to 3 do
+    Romulus.Redo_log.add l ~off:0 ~len:8;
+    Romulus.Redo_log.add l ~off:8 ~len:8
+  done;
+  Alcotest.(check (list (pair int int))) "offset 0 deduplicates too"
+    [ (0, 8); (8, 8) ] (entries_of l)
+
+(* Random word/range adds behave exactly like a Hashtbl-based model. *)
+let prop_redo_log_dedup_model =
+  let open QCheck in
+  Test.make ~count:300 ~name:"redo log: dedup matches hashtable model"
+    (list (pair (int_bound 2_000) (int_bound 3)))
+    (fun adds ->
+      let l = Romulus.Redo_log.create () in
+      let model = Hashtbl.create 64 in
+      let expected = ref [] in
+      List.iter
+        (fun (word, kind) ->
+          let off = 8 * word in
+          match kind with
+          | 0 | 1 ->
+            Romulus.Redo_log.add l ~off ~len:8;
+            if not (Hashtbl.mem model off) then begin
+              Hashtbl.add model off ();
+              expected := (off, 8) :: !expected
+            end
+          | 2 ->
+            Romulus.Redo_log.add l ~off ~len:24;
+            expected := (off, 24) :: !expected
+          | _ ->
+            Romulus.Redo_log.add l ~off ~len:0)
+        adds;
+      entries_of l = List.rev !expected)
+
 (* ---- Redo_log.coalesce ---- *)
 
 let test_coalesce_merges_adjacent () =
@@ -472,6 +527,9 @@ let suite =
     tc "redo log: clear resets dedup" `Quick test_redo_log_clear_resets_dedup;
     tc "redo log: growth" `Quick test_redo_log_growth;
     tc "redo log: zero-length ignored" `Quick test_redo_log_zero_len_ignored;
+    tc "redo log: dedup table growth" `Quick
+      test_redo_log_dedup_table_growth;
+    QCheck_alcotest.to_alcotest prop_redo_log_dedup_model;
     tc "redo log: coalesce merges adjacent" `Quick
       test_coalesce_merges_adjacent;
     tc "redo log: coalesce merges overlaps" `Quick
