@@ -26,7 +26,9 @@ let hidden : (string * string * (Common.scale -> unit)) list =
   [ ("commit_path_smoke", "commit-path ablation, tiny parameters (CI smoke)",
      fun _ -> Commit_path.smoke ());
     ("shards_smoke", "shard scaling, tiny parameters (CI smoke)",
-     fun _ -> Shards.smoke ()) ]
+     fun _ -> Shards.smoke ());
+    ("shards_cross", "cross-batch commit-protocol regression check (CI smoke)",
+     fun _ -> Shards.cross_smoke ()) ]
 
 let usage () =
   print_endline "usage: main.exe [--full] [EXPERIMENT]...";

@@ -611,23 +611,32 @@ let run_scrub_campaign (module P : PTM) ~workload ~rounds ~seed ~verbose
     recovery_crashes = !window_crashes;
     failures = !failures }
 
-(* ---- sharded batch-intent campaign ---- *)
+(* ---- sharded cross-shard commit campaign ---- *)
 
 (* Differential all-or-nothing campaign for the sharded store's
-   cross-shard batch-intent protocol.  Each round builds fresh
+   cross-shard commit protocols.  Each round builds fresh
    [nshards]-shard stores over the selected PTM, seeds them, then
-   crashes a cross-shard write batch three ways — an instruction trap
+   crashes a cross-shard write batch several ways — an instruction trap
    at a random point on every shard's region in turn, failpoint kills
-   inside each protocol window (intent PREPARED, between per-shard
-   commits, after the COMMIT flip), and a crash inside the parallel
+   inside each protocol window, and a crash inside the parallel
    recovery fan-out — resolving every power-off under the selected
    line-fate policy.  After each reopen the oracle requires the batch
-   to be exactly all-or-nothing: the PREPARED windows roll back, the
-   post-COMMIT window rolls forward, untouched committed keys always
-   survive, and every shard passes its structural and allocator
-   checks. *)
+   to be exactly all-or-nothing, untouched committed keys to survive,
+   and every shard to pass its structural and allocator checks.
+
+   Without [decentralized] the campaign drives the legacy centralized
+   protocol (windows: intent PREPARED, between per-shard commits, after
+   the COMMIT flip, killing shard 0).  With [decentralized] it drives
+   the presumed-abort protocol, alternating lazy and eager CLEAR per
+   round: kills after each mirror+apply (expect presumed abort), after
+   the coordinator flip (expect roll-forward), inside the lazy CLEAR
+   piggyback of a *second* batch (the first batch must stay applied),
+   and inside recovery's mirror-resolution loop (reconciliation must be
+   idempotent) — always killing the coordinator's own region for the
+   flip windows, the adversarial case.  The Stats protocol counters are
+   asserted so the campaign proves the protocol actually ran. *)
 let run_sharded_campaign (module P : PTM) ~nshards ~rounds ~seed ~verbose
-    ~policy =
+    ~policy ~decentralized =
   let module SD = Kv.Sharded_db.Make (P) in
   let rng = Workload.Keygen.create ~seed () in
   let failures = ref [] in
@@ -655,15 +664,22 @@ let run_sharded_campaign (module P : PTM) ~nshards ~rounds ~seed ~verbose
       ("batch-d", Some "D"); ("batch-e", Some "E"); ("batch-f", Some "F");
       (key 1, Some "overwritten"); (key 2, None) ]
   in
-  let fresh () =
+  let fresh ?(protocol = Kv.Sharded_db.Centralized) () =
     let rs =
       Array.init nshards (fun _ -> Pmem.Region.create ~size:(1 lsl 19) ())
     in
-    let db = SD.open_db ~initial_buckets:8 rs in
+    let db = SD.open_db ~protocol ~initial_buckets:8 rs in
     for i = 0 to 11 do
       SD.put db (key i) (value i)
     done;
     (rs, db)
+  in
+  (* lazy and eager CLEAR alternate across rounds of the decentralized
+     campaign so both reclamation paths face every policy *)
+  let proto_for round =
+    if decentralized then
+      Kv.Sharded_db.Decentralized { lazy_clear = round mod 2 = 0 }
+    else Kv.Sharded_db.Centralized
   in
   let crash_all rs p = Array.iter (fun r -> Pmem.Region.crash r p) rs in
   let run_batch db =
@@ -705,52 +721,111 @@ let run_sharded_campaign (module P : PTM) ~nshards ~rounds ~seed ~verbose
         fail "%s: lost committed key %s" what (key i)
     done
   in
-  (* sanity once per campaign: the batch really is cross-shard *)
-  (let _, db = fresh () in
-   let groups =
-     List.sort_uniq compare
-       (List.map (fun (k, _) -> SD.shard_of_key db k) batch_ops)
-   in
-   if List.length groups < 2 then
-     fail "batch spans %d shard(s); campaign needs a cross-shard batch"
-       (List.length groups));
+  (* sanity once per campaign: the batch really is cross-shard, and a
+     clean run ticks the protocol counters *)
+  let coordinator =
+    let _, db = fresh ~protocol:(proto_for 0) () in
+    let groups =
+      List.sort_uniq compare
+        (List.map (fun (k, _) -> SD.shard_of_key db k) batch_ops)
+    in
+    if List.length groups < 2 then
+      fail "batch spans %d shard(s); campaign needs a cross-shard batch"
+        (List.length groups);
+    run_batch db;
+    let st = SD.stats db in
+    if st.Pmem.Stats.intent_prepares = 0 then
+      fail "clean batch ticked no intent PREPAREs";
+    if st.Pmem.Stats.coordinator_flips = 0 then
+      fail "clean batch ticked no COMMIT flips";
+    List.hd groups
+  in
   for round = 1 to rounds do
     let salt = round * 31 in
+    let protocol = proto_for round in
     (* (a) instruction trap at a random point on each shard's region *)
     for t = 0 to nshards - 1 do
-      let rs, db = fresh () in
+      let rs, db = fresh ~protocol () in
       Pmem.Region.set_trap rs.(t) (1 + Workload.Keygen.int rng 400);
       (match run_batch db with
        | () -> Pmem.Region.clear_trap rs.(t)
        | exception Pmem.Region.Crash_point -> incr crashes);
       crash_all rs (pick_policy (salt + t));
-      let db = SD.open_db ~initial_buckets:8 rs in
+      let db = SD.open_db ~protocol ~initial_buckets:8 rs in
       oracle (Printf.sprintf "round %d trap shard %d" round t) db
         ~expect:None
     done;
-    (* (b) failpoint kills in each protocol window; the intent always
-       lives in shard 0 *)
+    (* (b) failpoint kills in each protocol window.  [prep] runs before
+       the site is armed (the lazy-CLEAR window needs a committed batch
+       already parked); [victim] picks the killed region — the
+       centralized windows kill shard 0 (the intent's home), the
+       decentralized ones the batch coordinator.  [check_stats] asserts
+       the reopened store's protocol counters. *)
+    let windows =
+      if decentralized then
+        [ ( "sharded.d.mirror_applied",
+            Some (Workload.Keygen.int rng 2),
+            (fun _ -> ()), coordinator, Some false,
+            fun st -> st.Pmem.Stats.rolled_back > 0 );
+          ( "sharded.d.flip_written", None,
+            (fun _ -> ()), coordinator, Some true,
+            fun st -> st.Pmem.Stats.rolled_forward > 0 );
+          ( "sharded.d.mirror_cleared", None,
+            (* park a committed batch first, then kill inside the next
+               batch's piggybacked (or eager) reclamation: the committed
+               batch must stay applied *)
+            (fun db -> run_batch db), coordinator, Some true,
+            fun st -> st.Pmem.Stats.intent_prepares > 0 ) ]
+      else
+        [ ( "sharded.batch.intent_published", None,
+            (fun _ -> ()), 0, Some false,
+            fun st -> st.Pmem.Stats.rolled_back > 0 );
+          ( "sharded.batch.shard_applied",
+            Some (Workload.Keygen.int rng 2),
+            (fun _ -> ()), 0, Some false,
+            fun st -> st.Pmem.Stats.rolled_back > 0 );
+          ( "sharded.batch.committed", None,
+            (fun _ -> ()), 0, Some true,
+            fun st -> st.Pmem.Stats.rolled_forward > 0 ) ]
+    in
     List.iter
-      (fun (site, skip, expect) ->
-        let rs, db = fresh () in
-        Fault.arm ?skip site (fun () -> Pmem.Region.kill rs.(0));
-        (match run_batch db with
-         | () ->
-           Fault.disarm ();
-           fail "round %d: %s did not fire" round site
-         | exception Pmem.Region.Crash_point ->
-           incr crashes;
-           Fault.disarm ();
-           crash_all rs (pick_policy (salt + 7));
-           let db = SD.open_db ~initial_buckets:8 rs in
-           oracle (Printf.sprintf "round %d %s" round site) db ~expect))
-      [ ("sharded.batch.intent_published", None, Some false);
-        ( "sharded.batch.shard_applied",
-          Some (Workload.Keygen.int rng 2),
-          Some false );
-        ("sharded.batch.committed", None, Some true) ];
+      (fun (site, skip, prep, victim, expect, check_stats) ->
+        let rs, db = fresh ~protocol () in
+        prep db;
+        let fired = ref false in
+        Fault.arm ?skip site (fun () ->
+            fired := true;
+            Pmem.Region.kill rs.(victim));
+        let completed =
+          match run_batch db with
+          | () ->
+            Fault.disarm ();
+            true
+          | exception Pmem.Region.Crash_point ->
+            incr crashes;
+            Fault.disarm ();
+            false
+        in
+        if not !fired then
+          fail "round %d: %s did not fire" round site
+        else begin
+          (* a post-durability-point kill may let run_batch return
+             normally (the lazy flip window ends the protocol on the
+             coordinator); the power-off still happened, so the same
+             crash + reopen + oracle applies *)
+          ignore completed;
+          crash_all rs (pick_policy (salt + 7));
+          let db = SD.open_db ~protocol ~initial_buckets:8 rs in
+          oracle (Printf.sprintf "round %d %s" round site) db ~expect;
+          if SD.pending_intents db <> 0 then
+            fail "round %d %s: records left hooked after recovery" round
+              site;
+          if not (check_stats (SD.stats db)) then
+            fail "round %d %s: protocol counters did not move" round site
+        end)
+      windows;
     (* (c) crash inside the parallel recovery fan-out *)
-    let rs, db = fresh () in
+    let rs, db = fresh ~protocol () in
     Pmem.Region.set_trap rs.(0) (1 + Workload.Keygen.int rng 300);
     (match run_batch db with
      | () -> Pmem.Region.clear_trap rs.(0)
@@ -766,6 +841,32 @@ let run_sharded_campaign (module P : PTM) ~nshards ~rounds ~seed ~verbose
        SD.recover ~parallel:true db);
     oracle (Printf.sprintf "round %d parallel recovery" round) db
       ~expect:None;
+    (* (d) crash inside the reconciliation pass itself: wreck a batch,
+       then kill a shard right as recovery resolves a mirror; the next
+       recovery must converge (decentralized only — the centralized
+       reconciliation is a single shard-0 transaction) *)
+    if decentralized then begin
+      let rs, db = fresh ~protocol () in
+      Pmem.Region.set_trap rs.(coordinator) (1 + Workload.Keygen.int rng 300);
+      (match run_batch db with
+       | () -> Pmem.Region.clear_trap rs.(coordinator)
+       | exception Pmem.Region.Crash_point -> incr crashes);
+      crash_all rs (pick_policy (salt + 17));
+      let t = Workload.Keygen.int rng nshards in
+      Fault.arm "sharded.recover.mirror_resolved" (fun () ->
+          Pmem.Region.kill rs.(t));
+      (match SD.recover ~parallel:false db with
+       | () -> Fault.disarm ()
+       | exception Pmem.Region.Crash_point ->
+         incr rec_crashes;
+         Fault.disarm ();
+         crash_all rs (pick_policy (salt + 19));
+         SD.recover ~parallel:false db);
+      oracle (Printf.sprintf "round %d reconciliation crash" round) db
+        ~expect:None;
+      if SD.pending_intents db <> 0 then
+        fail "round %d: reconciliation crash left records hooked" round
+    end;
     if verbose then
       Printf.printf "  ... %d/%d rounds, %d crashes (%d during recovery)\n%!"
         round rounds !crashes !rec_crashes
@@ -866,6 +967,19 @@ let shards_arg =
   in
   Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
 
+let decentralized_arg =
+  let doc =
+    "With --shards, drive the decentralized presumed-abort commit \
+     protocol instead of the legacy centralized batch intent: per-round \
+     windows kill the coordinator's region after a participant's \
+     mirror+apply (expect presumed abort), after the COMMIT flip \
+     (expect roll-forward), inside the lazy-CLEAR piggyback of a second \
+     batch (the first must stay applied), and inside recovery's \
+     mirror-resolution loop (reconciliation must converge when crashed \
+     and rerun).  Lazy and eager CLEAR alternate across rounds."
+  in
+  Arg.(value & flag & info [ "decentralized" ] ~doc)
+
 let list_failpoints_arg =
   let doc =
     "Print every registered failpoint site (raise-capable ones marked) \
@@ -878,7 +992,8 @@ let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
 let main ptm workload rounds seed policy recovery_crashes failpoint
-    inject_exn scrub rot_rates_str nshards list_failpoints verbose =
+    inject_exn scrub rot_rates_str nshards decentralized list_failpoints
+    verbose =
   if list_failpoints then begin
     List.iter
       (fun s ->
@@ -914,9 +1029,11 @@ let main ptm workload rounds seed policy recovery_crashes failpoint
        --workload selection does not apply *)
     List.iter
       (fun (pname, m) ->
-        Printf.printf "%-6s x %d-shard batch-intent: %!" pname nshards;
+        Printf.printf "%-6s x %d-shard %s: %!" pname nshards
+          (if decentralized then "presumed-abort" else "batch-intent");
         let o =
           run_sharded_campaign m ~nshards ~rounds ~seed ~verbose ~policy
+            ~decentralized
         in
         if o.failures = [] then
           Printf.printf "OK (%d seeds, %d crash-recoveries, %d crashes \
@@ -1039,6 +1156,6 @@ let cmd =
     Term.(const main $ ptm_arg $ workload_arg $ rounds_arg $ seed_arg
           $ policy_arg $ recovery_crashes_arg $ failpoint_arg
           $ inject_exn_arg $ scrub_arg $ rot_rates_arg $ shards_arg
-          $ list_failpoints_arg $ verbose_arg)
+          $ decentralized_arg $ list_failpoints_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

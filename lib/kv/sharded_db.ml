@@ -7,28 +7,62 @@
    every shard keeps the paper's twin-copy 4-fence protocol intact.
 
    Cross-shard write batches are made all-or-nothing by a persistent
-   batch-intent record in shard 0 (root slot [intent_slot]):
+   commit protocol.  The default is the *decentralized presumed-abort*
+   protocol:
 
-     1. PREPARE   one shard-0 transaction allocates the intent record —
-                  status word PREPARED, the buffered operations, and a
-                  pre-batch undo image per distinct key — and publishes
-                  it in the root slot.
-     2. APPLY     one ordinary durable transaction per touched shard
-                  replays that shard's operations.
-     3. COMMIT    one shard-0 transaction flips the status to COMMITTED:
-                  this is the batch's durability point.
-     4. CLEAR     one shard-0 transaction unhooks and frees the record.
+     PREPARE+APPLY  one ordinary durable transaction per participant
+                    shard writes that shard's own *intent mirror*
+                    (batch id, coordinator, participant set, its slice
+                    of ops + per-key undo images) into the shard's
+                    mirror list and, in the same transaction, applies
+                    the slice.  Mirror durable <=> slice applied.
+     COMMIT         one transaction on the *coordinator* shard (the
+                    minimum participant index — different batches pick
+                    different coordinators, so no fixed shard serializes
+                    the protocol) hooks a flip record carrying the batch
+                    id.  The flip is the batch's durability point.
+     CLEAR (lazy)   nothing is unhooked eagerly: a shard reclaims its
+                    stale mirrors piggybacked on its next PREPARE (or
+                    flip) transaction, and the coordinator's flip is
+                    reclaimed once every mirror of its batch is gone —
+                    a flip may never be removed while a mirror of its
+                    batch survives anywhere, or presumed abort would
+                    roll a committed batch back.
 
    Recovery (after every shard's engine recovery has restored per-shard
-   consistency) reconciles from the intent: a PREPARED record rolls the
-   batch *back* by replaying the undo images, a COMMITTED record rolls it
-   *forward* by replaying the operations — both idempotent at the KV
-   level, so a crash inside reconciliation itself just reconverges on the
-   next recovery.  A batch that touches a single shard (always the case
-   with one shard) skips the protocol entirely and runs as that shard's
-   lone transaction, exactly as in Romulus_db. *)
+   consistency) runs a reconciliation pass: collect the intent mirrors
+   across shards and resolve each by querying its coordinator's flip
+   list — flip present => the batch committed, the mirror's slice is
+   already applied (PREPARE and APPLY are one transaction), so the
+   mirror is only unhooked; flip absent => presumed abort, the mirror's
+   still-valid undo images are replayed and the mirror unhooked, both
+   in one per-shard transaction.  Flips are cleared in a second phase
+   once no mirror remains.  Every step is idempotent at the KV level,
+   so a crash inside reconciliation reconverges on the next recovery.
+
+   A concurrent single-key write racing an in-flight batch on the same
+   key *invalidates the batch's undo entry for that key* inside its own
+   transaction (a one-byte flip in the mirror), so neither a runtime
+   abort nor crash recovery can overwrite the racing committed write
+   with the batch's stale pre-image (the CORRECTNESS.md §10 lost-update
+   gap).
+
+   The legacy centralized protocol (single batch-intent record in shard
+   0: PREPARE / per-shard APPLY / COMMIT flip / eager CLEAR, three
+   extra shard-0 transactions per batch) is retained behind
+   [Centralized] for ablation and for reopening stores that crashed
+   under it; recovery always reconciles both protocols' state.  A batch
+   that touches a single shard (always the case with one shard) skips
+   every protocol and runs as that shard's lone transaction, exactly as
+   in Romulus_db. *)
 
 exception Invalid_shards of int
+
+type commit_protocol =
+  | Centralized
+  | Decentralized of { lazy_clear : bool }
+
+let default_protocol = Decentralized { lazy_clear = true }
 
 module type SHARD_PTM = sig
   include Romulus.Ptm_intf.S
@@ -39,15 +73,144 @@ module type SHARD_PTM = sig
   val allocator_check : t -> (unit, string) result
 end
 
-(* Crash-window failpoints: the campaign arms one of these with a
-   simulated power-off to kill inside the intent window, between the
-   per-shard commits, and around recovery's fan-out. *)
+(* Crash-window failpoints.  The campaign arms one of these with a
+   simulated power-off to kill inside a protocol window, between the
+   per-shard commits, and around recovery's fan-out.  The sharded.batch.*
+   sites belong to the centralized protocol, the sharded.d.* sites to the
+   decentralized one. *)
 let fp_intent_published = Fault.site "sharded.batch.intent_published"
 let fp_shard_applied = Fault.site "sharded.batch.shard_applied"
 let fp_committed = Fault.site "sharded.batch.committed"
 let fp_cleared = Fault.site "sharded.batch.cleared"
+let fp_mirror_applied = Fault.site "sharded.d.mirror_applied"
+let fp_flip_written = Fault.site "sharded.d.flip_written"
+let fp_mirror_cleared = Fault.site "sharded.d.mirror_cleared"
+let fp_rollback_undone = Fault.site "sharded.d.rollback_undone"
 let fp_recover_shard_done = Fault.site "sharded.recover.shard_done"
+let fp_recover_resolved = Fault.site "sharded.recover.mirror_resolved"
 let fp_recover_reconciled = Fault.site "sharded.recover.reconciled"
+
+(* ---- record serialization (PTM-independent) ----
+
+   All lengths are 64-bit little-endian; a value option carries a
+   presence tag so "put empty string" and "delete" stay distinct.  The
+   centralized intent stores one blob for the whole batch; a
+   decentralized mirror stores one blob per shard slice whose undo
+   entries each carry a leading validity byte ('\001' live, '\000'
+   invalidated by a racing single-key write). *)
+
+let add_str b s =
+  Buffer.add_int64_le b (Int64.of_int (String.length s));
+  Buffer.add_string b s
+
+let add_opt b v =
+  match v with
+  | None -> Buffer.add_char b '\000'
+  | Some v ->
+    Buffer.add_char b '\001';
+    add_str b v
+
+let add_kv_list b l =
+  Buffer.add_int64_le b (Int64.of_int (List.length l));
+  List.iter
+    (fun (k, v) ->
+      add_str b k;
+      add_opt b v)
+    l
+
+let encode ~nshards ~ops ~undo =
+  let b = Buffer.create 256 in
+  Buffer.add_int64_le b (Int64.of_int nshards);
+  add_kv_list b ops;
+  add_kv_list b undo;
+  Buffer.contents b
+
+(* Mirror payload: shard count, the slice's ops, then undo entries with
+   a per-entry validity byte.  Returns the payload plus each undo key's
+   validity-byte offset *relative to the payload start*, so a racing
+   write can invalidate its entry with a one-byte durable store. *)
+let encode_mirror ~nshards ~ops ~undo =
+  let b = Buffer.create 256 in
+  Buffer.add_int64_le b (Int64.of_int nshards);
+  add_kv_list b ops;
+  Buffer.add_int64_le b (Int64.of_int (List.length undo));
+  let valid_offs =
+    List.map
+      (fun (k, v) ->
+        let off = Buffer.length b in
+        Buffer.add_char b '\001';
+        add_str b k;
+        add_opt b v;
+        (k, off))
+      undo
+  in
+  (Buffer.contents b, valid_offs)
+
+type parser_ = { payload : string; mutable pos : int }
+
+let bad what =
+  raise
+    (Romulus.Engine.Recovery_error
+       (Printf.sprintf "sharded batch intent: truncated %s record" what))
+
+let take_int pr what =
+  if pr.pos + 8 > String.length pr.payload then bad what;
+  let v = Int64.to_int (String.get_int64_le pr.payload pr.pos) in
+  pr.pos <- pr.pos + 8;
+  if v < 0 then bad what;
+  v
+
+let take_str pr what =
+  let len = take_int pr what in
+  if pr.pos + len > String.length pr.payload then bad what;
+  let s = String.sub pr.payload pr.pos len in
+  pr.pos <- pr.pos + len;
+  s
+
+let take_byte pr what =
+  if pr.pos >= String.length pr.payload then bad what;
+  let c = pr.payload.[pr.pos] in
+  pr.pos <- pr.pos + 1;
+  c
+
+let take_opt pr what =
+  match take_byte pr what with
+  | '\000' -> None
+  | '\001' -> Some (take_str pr what)
+  | _ -> bad what
+
+let take_kv_list pr what =
+  let n = take_int pr what in
+  List.init n (fun _ ->
+      let k = take_str pr what in
+      (k, take_opt pr what))
+
+let decode payload =
+  let pr = { payload; pos = 0 } in
+  let nshards = take_int pr "shard-count" in
+  let ops = take_kv_list pr "operation" in
+  let undo = take_kv_list pr "undo" in
+  (nshards, ops, undo)
+
+(* Returns (nshards, ops, undo) where each undo entry carries its
+   validity flag. *)
+let decode_mirror payload =
+  let pr = { payload; pos = 0 } in
+  let nshards = take_int pr "shard-count" in
+  let ops = take_kv_list pr "operation" in
+  let n = take_int pr "undo" in
+  let undo =
+    List.init n (fun _ ->
+        let valid =
+          match take_byte pr "undo-validity" with
+          | '\000' -> false
+          | '\001' -> true
+          | _ -> bad "undo-validity"
+        in
+        let k = take_str pr "undo" in
+        (valid, (k, take_opt pr "undo")))
+  in
+  (nshards, ops, undo)
 
 module Make (P : SHARD_PTM) = struct
   module Map_ = Str_hash_map.Make (P)
@@ -59,18 +222,50 @@ module Make (P : SHARD_PTM) = struct
      concurrent batches never share mutable state. *)
   type batch = { mutable ops : (string * string option) list }
 
-  type t = { shard_arr : shard array; batch : batch option }
+  (* A still-valid undo entry of an in-flight batch, consulted by racing
+     single-key writes: [pu_valid] is the absolute offset of the entry's
+     validity byte inside shard [pu_shard]'s mirror record. *)
+  type pending_undo = { pu_shard : int; pu_mirror : int; pu_valid : int }
+
+  (* Volatile protocol state, shared by every handle of one store (batch
+     handles are shallow copies).  Lost at a crash by definition — the
+     recovery reconciliation pass rebuilds the persistent truth and this
+     record is reset. *)
+  type proto = {
+    protocol : commit_protocol;
+    mutable next_batch_id : int;
+    pending : (string, pending_undo) Hashtbl.t;
+    (* per shard: committed-batch mirrors awaiting a piggybacked unhook *)
+    clearable_mirrors : (int * int) list array; (* (mirror_off, batch id) *)
+    (* per coordinator shard: flips whose batches have no mirror left *)
+    clearable_flips : int list array; (* flip_off *)
+    (* batch id -> (coordinator, flip_off, mirrors still hooked) *)
+    live_flips : (int, int * int * int ref) Hashtbl.t;
+  }
+
+  type t = { shard_arr : shard array; batch : batch option; proto : proto }
 
   let db_root = 0 (* same slot as Romulus_db: the map's anchor *)
 
-  (* Last root slot, far from the map's anchor: the batch-intent record
-     of the cross-shard protocol, in shard 0.  Never touched before the
-     first cross-shard batch, so a 1-shard store stays bit-for-bit
-     identical to Romulus_db. *)
+  (* Reserved root slots, far from the map's anchor.  None is touched
+     before the first cross-shard batch, so a 1-shard store stays
+     bit-for-bit identical to Romulus_db.  [intent_slot] holds the
+     centralized protocol's single record (shard 0 only); [mirror_slot]
+     and [flip_slot] head each shard's decentralized mirror and flip
+     lists. *)
   let intent_slot = Romulus.Ptm_intf.root_slots - 1
+  let mirror_slot = Romulus.Ptm_intf.root_slots - 2
+  let flip_slot = Romulus.Ptm_intf.root_slots - 3
 
   let status_prepared = 1
   let status_committed = 2
+
+  (* mirror record: next | batch id | coordinator | participant mask |
+     payload length | payload bytes *)
+  let mirror_hdr = 40
+
+  (* flip record: next | batch id | participant mask *)
+  let flip_size = 24
 
   (* FNV-1a core as the map's bucket hash, plus an avalanche step so the
      shard route is independent of the bucket index even when the shard
@@ -93,73 +288,29 @@ module Make (P : SHARD_PTM) = struct
       (Array.to_list
          (Array.map (fun s -> Pmem.Region.stats s.region) t.shard_arr))
 
-  (* ---- intent-record serialization ----
+  let tick s f =
+    let st = Pmem.Region.stats s.region in
+    f st
 
-     Volatile encoding of the batch (operations oldest-first, then the
-     undo images), stored as one blob inside the intent record.  All
-     lengths are 64-bit little-endian; a value option carries a presence
-     tag so "put empty string" and "delete" stay distinct. *)
+  let tick_prepare s =
+    tick s (fun st ->
+        st.Pmem.Stats.intent_prepares <- st.Pmem.Stats.intent_prepares + 1)
 
-  let add_str b s =
-    Buffer.add_int64_le b (Int64.of_int (String.length s));
-    Buffer.add_string b s
+  let tick_flip s =
+    tick s (fun st ->
+        st.Pmem.Stats.coordinator_flips <- st.Pmem.Stats.coordinator_flips + 1)
 
-  let add_kv_list b l =
-    Buffer.add_int64_le b (Int64.of_int (List.length l));
-    List.iter
-      (fun (k, v) ->
-        add_str b k;
-        match v with
-        | None -> Buffer.add_char b '\000'
-        | Some v ->
-          Buffer.add_char b '\001';
-          add_str b v)
-      l
+  let tick_lazy_clear s n =
+    tick s (fun st ->
+        st.Pmem.Stats.lazy_clears <- st.Pmem.Stats.lazy_clears + n)
 
-  let encode ~nshards ~ops ~undo =
-    let b = Buffer.create 256 in
-    Buffer.add_int64_le b (Int64.of_int nshards);
-    add_kv_list b ops;
-    add_kv_list b undo;
-    Buffer.contents b
+  let tick_forward s =
+    tick s (fun st ->
+        st.Pmem.Stats.rolled_forward <- st.Pmem.Stats.rolled_forward + 1)
 
-  let decode payload =
-    let pos = ref 0 in
-    let bad what =
-      raise
-        (Romulus.Engine.Recovery_error
-           (Printf.sprintf "sharded batch intent: truncated %s record" what))
-    in
-    let take_int what =
-      if !pos + 8 > String.length payload then bad what;
-      let v = Int64.to_int (String.get_int64_le payload !pos) in
-      pos := !pos + 8;
-      if v < 0 then bad what;
-      v
-    in
-    let take_str what =
-      let len = take_int what in
-      if !pos + len > String.length payload then bad what;
-      let s = String.sub payload !pos len in
-      pos := !pos + len;
-      s
-    in
-    let take_kv_list what =
-      let n = take_int what in
-      List.init n (fun _ ->
-          let k = take_str what in
-          if !pos >= String.length payload then bad what;
-          let tag = payload.[!pos] in
-          incr pos;
-          match tag with
-          | '\000' -> (k, None)
-          | '\001' -> (k, Some (take_str what))
-          | _ -> bad what)
-    in
-    let nshards = take_int "shard-count" in
-    let ops = take_kv_list "operation" in
-    let undo = take_kv_list "undo" in
-    (nshards, ops, undo)
+  let tick_back s =
+    tick s (fun st ->
+        st.Pmem.Stats.rolled_back <- st.Pmem.Stats.rolled_back + 1)
 
   (* ---- plain (non-batch) operations ---- *)
 
@@ -170,6 +321,22 @@ module Make (P : SHARD_PTM) = struct
     match v with
     | Some v -> ignore (Map_.put s.map k v : bool)
     | None -> ignore (Map_.remove s.map k : bool)
+
+  (* A single-key write that races an in-flight cross-shard batch on the
+     same key must not be overwritten by that batch's rollback: inside
+     the write's own transaction the batch's undo entry for the key is
+     invalidated (one byte in the mirror), so neither the inline abort
+     path nor crash recovery will replay the stale pre-image. *)
+  let write_direct t k v =
+    let s = shard_for t k in
+    match Hashtbl.find_opt t.proto.pending k with
+    | None -> apply_op s (k, v)
+    | Some pu ->
+      let sp = t.shard_arr.(pu.pu_shard).p in
+      P.update_tx sp (fun () ->
+          P.store_bytes sp pu.pu_valid "\000";
+          apply_op s (k, v));
+      Hashtbl.remove t.proto.pending k
 
   (* newest-first scan of the buffered operations *)
   let rec lookup_ops k = function
@@ -195,12 +362,15 @@ module Make (P : SHARD_PTM) = struct
 
   let put t k v =
     match t.batch with
-    | None -> ignore (Map_.put (shard_for t k).map k v : bool)
+    | None -> write_direct t k (Some v)
     | Some b -> b.ops <- (k, Some v) :: b.ops
 
   let delete t k =
     match t.batch with
-    | None -> Map_.remove (shard_for t k).map k
+    | None ->
+      let existed = underlying_mem t k in
+      write_direct t k None;
+      existed
     | Some b ->
       let existed =
         match lookup_ops k b.ops with
@@ -274,7 +444,7 @@ module Make (P : SHARD_PTM) = struct
     in
     go 0
 
-  (* ---- the cross-shard batch protocol ---- *)
+  (* ---- shared cross-shard protocol helpers ---- *)
 
   (* stable split of [ops] (oldest first) into per-shard groups,
      ascending shard index, preserving operation order within a shard *)
@@ -292,6 +462,47 @@ module Make (P : SHARD_PTM) = struct
     done;
     !out
 
+  (* pre-batch image of every distinct key of [slice], oldest first *)
+  let undo_of t slice =
+    let seen = Hashtbl.create 16 in
+    List.filter_map
+      (fun (k, _) ->
+        if Hashtbl.mem seen k then None
+        else begin
+          Hashtbl.add seen k ();
+          Some (k, underlying_get t k)
+        end)
+      slice
+
+  (* splice [off] out of the linked list headed at root [slot] and free
+     it; a no-op when the record is already gone (inside an update tx) *)
+  let unhook p ~slot off =
+    let rec go prev cur =
+      if cur = 0 then ()
+      else if cur = off then begin
+        let next = P.load p cur in
+        if prev = 0 then P.set_root p slot next else P.store p prev next;
+        P.free p cur
+      end
+      else go cur (P.load p cur)
+    in
+    go 0 (P.get_root p slot)
+
+  (* one durable transaction per shard, replaying that shard's slice *)
+  let apply_groups t groups =
+    List.iter
+      (fun (i, sops) ->
+        let s = t.shard_arr.(i) in
+        P.update_tx s.p (fun () -> List.iter (apply_op s) sops))
+      groups
+
+  let wrap_abort e backtrace =
+    match e with
+    | Romulus.Engine.Tx_aborted _ -> raise e
+    | e -> raise (Romulus.Engine.Tx_aborted { cause = e; backtrace })
+
+  (* ---- the centralized (legacy) batch-intent protocol ---- *)
+
   let read_intent_root t =
     let s0 = t.shard_arr.(0) in
     P.read_tx s0.p (fun () -> P.get_root s0.p intent_slot)
@@ -302,31 +513,10 @@ module Make (P : SHARD_PTM) = struct
         P.set_root s0.p intent_slot 0;
         P.free s0.p off)
 
-  (* one durable transaction per shard, replaying that shard's slice *)
-  let apply_groups t groups =
-    List.iter
-      (fun (i, sops) ->
-        let s = t.shard_arr.(i) in
-        P.update_tx s.p (fun () -> List.iter (apply_op s) sops))
-      groups
-
-  let cross_shard_batch t groups ops =
+  let cross_shard_batch_centralized t groups ops =
     let s0 = t.shard_arr.(0) in
-    (* pre-batch image of every distinct key, for rollback *)
-    let seen = Hashtbl.create 16 in
-    let undo =
-      List.filter_map
-        (fun (k, _) ->
-          if Hashtbl.mem seen k then None
-          else begin
-            Hashtbl.add seen k ();
-            Some (k, underlying_get t k)
-          end)
-        ops
-    in
-    let payload =
-      encode ~nshards:(Array.length t.shard_arr) ~ops ~undo
-    in
+    let undo = undo_of t ops in
+    let payload = encode ~nshards:(Array.length t.shard_arr) ~ops ~undo in
     (* PREPARE: the intent record becomes durable before any shard's data
        changes — from here a crash is reconciled from the record *)
     let off =
@@ -338,6 +528,7 @@ module Make (P : SHARD_PTM) = struct
           P.set_root s0.p intent_slot o;
           o)
     in
+    tick_prepare s0;
     Fault.hit fp_intent_published;
     let applied = ref [] in
     match
@@ -352,6 +543,7 @@ module Make (P : SHARD_PTM) = struct
     | () ->
       (* COMMIT: the batch's durability point *)
       P.update_tx s0.p (fun () -> P.store s0.p off status_committed);
+      tick_flip s0;
       Fault.hit fp_committed;
       clear_intent t off;
       Fault.hit fp_cleared
@@ -373,12 +565,182 @@ module Make (P : SHARD_PTM) = struct
           let slice =
             List.filter (fun (k, _) -> shard_of_key t k = i) undo
           in
-          P.update_tx s.p (fun () -> List.iter (apply_op s) slice))
+          P.update_tx s.p (fun () -> List.iter (apply_op s) slice);
+          tick_back s)
         rolled;
       clear_intent t off;
-      (match e with
-       | Romulus.Engine.Tx_aborted _ -> raise e
-       | e -> raise (Romulus.Engine.Tx_aborted { cause = e; backtrace }))
+      wrap_abort e backtrace
+
+  (* ---- the decentralized presumed-abort protocol ---- *)
+
+  (* Unhook every clearable record of shard [i] inside the caller's
+     already-open transaction; the volatile bookkeeping is committed only
+     by [finish_drain] after the transaction returns, so an abort (or a
+     re-executing STM closure) leaves the plan intact. *)
+  let drain_plan t i =
+    (t.proto.clearable_mirrors.(i), t.proto.clearable_flips.(i))
+
+  let drain_in_tx t i (mirrors, flips) =
+    let p = t.shard_arr.(i).p in
+    List.iter (fun (off, _) -> unhook p ~slot:mirror_slot off) mirrors;
+    List.iter (fun off -> unhook p ~slot:flip_slot off) flips
+
+  let finish_drain t i (mirrors, flips) =
+    let pr = t.proto in
+    pr.clearable_mirrors.(i) <- [];
+    pr.clearable_flips.(i) <- [];
+    let n = List.length mirrors + List.length flips in
+    if n > 0 then tick_lazy_clear t.shard_arr.(i) n;
+    (* a batch whose last mirror is gone frees its flip for reclamation *)
+    List.iter
+      (fun (_, id) ->
+        match Hashtbl.find_opt pr.live_flips id with
+        | None -> ()
+        | Some (coord, flip_off, remaining) ->
+          decr remaining;
+          if !remaining = 0 then begin
+            Hashtbl.remove pr.live_flips id;
+            pr.clearable_flips.(coord) <-
+              flip_off :: pr.clearable_flips.(coord)
+          end)
+      mirrors;
+    if n > 0 then Fault.hit fp_mirror_cleared
+
+  (* replay the still-valid undo entries of the mirror at [off] and
+     unhook it, inside one transaction on shard [i]; reads the validity
+     bytes from the region so racing invalidations are honored *)
+  let rollback_mirror_tx t i off =
+    let s = t.shard_arr.(i) in
+    P.update_tx s.p (fun () ->
+        let plen = P.load s.p (off + 32) in
+        let payload = P.load_bytes s.p (off + mirror_hdr) plen in
+        let _, _, undo = decode_mirror payload in
+        List.iter
+          (fun (valid, kv) -> if valid then apply_op s kv)
+          undo;
+        unhook s.p ~slot:mirror_slot off)
+
+  let cross_shard_batch_decentralized t ~lazy_clear groups =
+    let pr = t.proto in
+    let nshards = Array.length t.shard_arr in
+    let id = pr.next_batch_id in
+    pr.next_batch_id <- id + 1;
+    let coord = fst (List.hd groups) in
+    let mask =
+      List.fold_left (fun m (i, _) -> m lor (1 lsl (i land 61))) 0 groups
+    in
+    let applied = ref [] in
+    (* keys whose pending-undo entries this batch registered *)
+    let registered = ref [] in
+    let unregister () =
+      List.iter (fun k -> Hashtbl.remove pr.pending k) !registered;
+      registered := []
+    in
+    match
+      (* PREPARE+APPLY: one transaction per participant writes the
+         shard's intent mirror and applies its slice — atomic per shard,
+         so a durable mirror always means an applied slice.  Stale
+         mirrors of earlier committed batches are reclaimed inside the
+         same transaction (the lazy CLEAR). *)
+      List.iter
+        (fun (i, slice) ->
+          let s = t.shard_arr.(i) in
+          let undo = undo_of t slice in
+          let payload, valid_offs =
+            encode_mirror ~nshards ~ops:slice ~undo
+          in
+          let plan = drain_plan t i in
+          let off =
+            P.update_tx s.p (fun () ->
+                let o = P.alloc s.p (mirror_hdr + String.length payload) in
+                P.store s.p o (P.get_root s.p mirror_slot);
+                P.store s.p (o + 8) id;
+                P.store s.p (o + 16) coord;
+                P.store s.p (o + 24) mask;
+                P.store s.p (o + 32) (String.length payload);
+                P.store_bytes s.p (o + mirror_hdr) payload;
+                P.set_root s.p mirror_slot o;
+                drain_in_tx t i plan;
+                List.iter (apply_op s) slice;
+                o)
+          in
+          applied := (i, off) :: !applied;
+          tick_prepare s;
+          finish_drain t i plan;
+          (* expose the undo entries to racing single-key writes *)
+          List.iter
+            (fun (k, rel) ->
+              Hashtbl.replace pr.pending k
+                { pu_shard = i; pu_mirror = off;
+                  pu_valid = off + mirror_hdr + rel };
+              registered := k :: !registered)
+            valid_offs;
+          Fault.hit fp_mirror_applied)
+        groups
+    with
+    | () -> (
+      (* COMMIT: one flip transaction on the coordinator — the batch's
+         durability point.  Also a piggyback opportunity for the
+         coordinator's own stale records. *)
+      let sc = t.shard_arr.(coord) in
+      let plan = drain_plan t coord in
+      let flip_off =
+        P.update_tx sc.p (fun () ->
+            let o = P.alloc sc.p flip_size in
+            P.store sc.p o (P.get_root sc.p flip_slot);
+            P.store sc.p (o + 8) id;
+            P.store sc.p (o + 16) mask;
+            P.set_root sc.p flip_slot o;
+            drain_in_tx t coord plan;
+            o)
+      in
+      tick_flip sc;
+      finish_drain t coord plan;
+      unregister ();
+      Fault.hit fp_flip_written;
+      let participants = !applied in
+      if lazy_clear then begin
+        (* CLEAR is deferred: each mirror rides its shard's next PREPARE;
+           the flip follows once every mirror is gone *)
+        Hashtbl.replace pr.live_flips id
+          (coord, flip_off, ref (List.length participants));
+        List.iter
+          (fun (i, off) ->
+            pr.clearable_mirrors.(i) <-
+              (off, id) :: pr.clearable_mirrors.(i))
+          participants
+      end
+      else begin
+        (* eager CLEAR: one transaction per participant, then the flip *)
+        List.iter
+          (fun (i, off) ->
+            let s = t.shard_arr.(i) in
+            P.update_tx s.p (fun () -> unhook s.p ~slot:mirror_slot off);
+            Fault.hit fp_mirror_cleared)
+          (List.rev participants);
+        P.update_tx sc.p (fun () -> unhook sc.p ~slot:flip_slot flip_off);
+        Fault.hit fp_cleared
+      end)
+    | exception Pmem.Region.Crash_point ->
+      (* dead machine: recovery presumed-aborts the hooked mirrors *)
+      raise Pmem.Region.Crash_point
+    | exception e ->
+      (* Runtime abort: the failing shard's own transaction already
+         rolled back (mirror and slice together); the shards that did
+         apply are rolled back from their own mirrors — honoring undo
+         entries invalidated by racing writes — and the mirror unhooked,
+         atomically per shard.  A crash inside this rollback leaves the
+         remaining mirrors, with no flip, for recovery to presumed-abort
+         idempotently. *)
+      let backtrace = Printexc.get_backtrace () in
+      List.iter
+        (fun (i, off) ->
+          rollback_mirror_tx t i off;
+          tick_back t.shard_arr.(i);
+          Fault.hit fp_rollback_undone)
+        !applied;
+      unregister ();
+      wrap_abort e backtrace
 
   let commit_batch t b =
     let ops = List.rev b.ops in
@@ -390,7 +752,11 @@ module Make (P : SHARD_PTM) = struct
            Romulus_db semantics (and the only path with one shard) *)
         let s = t.shard_arr.(i) in
         P.update_tx s.p (fun () -> List.iter (apply_op s) sops)
-      | groups -> cross_shard_batch t groups ops
+      | groups -> (
+        match t.proto.protocol with
+        | Centralized -> cross_shard_batch_centralized t groups ops
+        | Decentralized { lazy_clear } ->
+          cross_shard_batch_decentralized t ~lazy_clear groups)
     end
 
   let write_batch t f =
@@ -411,10 +777,10 @@ module Make (P : SHARD_PTM) = struct
 
   (* ---- recovery, reconciliation, scrub ---- *)
 
-  (* Replay a reconciliation slice on every shard it touches.  Both
+  (* Centralized reconciliation: replay the single shard-0 record.  Both
      directions replay plain put/delete lists, so a repeated replay (a
      crash inside reconciliation, then another recovery) is a no-op. *)
-  let reconcile t =
+  let reconcile_centralized t =
     let off = read_intent_root t in
     if off <> 0 then begin
       let s0 = t.shard_arr.(0) in
@@ -431,18 +797,118 @@ module Make (P : SHARD_PTM) = struct
              (Printf.sprintf
                 "sharded batch intent names %d shards, store has %d" nshards
                 (Array.length t.shard_arr)));
-      if status = status_prepared then
+      if status = status_prepared then begin
         (* batch never reached its durability point: roll back *)
-        apply_groups t (group_by_shard t undo)
-      else if status = status_committed then
+        apply_groups t (group_by_shard t undo);
+        tick_back s0
+      end
+      else if status = status_committed then begin
         (* batch committed: roll forward *)
-        apply_groups t (group_by_shard t ops)
+        apply_groups t (group_by_shard t ops);
+        tick_forward s0
+      end
       else
         raise
           (Romulus.Engine.Recovery_error
              (Printf.sprintf "sharded batch intent has bad status %d" status));
       clear_intent t off
     end
+
+  (* Decentralized reconciliation: resolve every hooked mirror against
+     its coordinator's flip list, then clear the flips.  Phase order
+     matters — a flip may only be removed once no mirror of its batch
+     remains anywhere, or a crash between the two phases would turn a
+     committed batch into a presumed abort.
+
+     Flip present  => the batch committed; the mirror's slice was
+                      applied in the same transaction that wrote the
+                      mirror, so resolution just unhooks it.
+     Flip absent   => presumed abort; replay the mirror's still-valid
+                      undo images and unhook, one transaction per
+                      mirror.  Idempotent: every step is an absolute
+                      put/delete plus a list splice. *)
+  let reconcile_decentralized t =
+    let n = Array.length t.shard_arr in
+    (* all durable flips, keyed by (coordinator shard, batch id) *)
+    let flips = Hashtbl.create 8 in
+    for c = 0 to n - 1 do
+      let p = t.shard_arr.(c).p in
+      P.read_tx p (fun () ->
+          let rec go off =
+            if off <> 0 then begin
+              Hashtbl.replace flips (c, P.load p (off + 8)) off;
+              go (P.load p off)
+            end
+          in
+          go (P.get_root p flip_slot))
+    done;
+    (* phase 1: resolve and unhook every mirror, head first *)
+    for i = 0 to n - 1 do
+      let s = t.shard_arr.(i) in
+      let rec resolve_head () =
+        let head = P.read_tx s.p (fun () -> P.get_root s.p mirror_slot) in
+        if head <> 0 then begin
+          let id, coord, plen =
+            P.read_tx s.p (fun () ->
+                (P.load s.p (head + 8), P.load s.p (head + 16),
+                 P.load s.p (head + 32)))
+          in
+          let payload =
+            P.read_tx s.p (fun () ->
+                P.load_bytes s.p (head + mirror_hdr) plen)
+          in
+          let nshards, _, _ = decode_mirror payload in
+          if nshards <> n then
+            raise
+              (Romulus.Engine.Recovery_error
+                 (Printf.sprintf
+                    "sharded mirror names %d shards, store has %d" nshards n));
+          if coord < 0 || coord >= n then
+            raise
+              (Romulus.Engine.Recovery_error
+                 (Printf.sprintf "sharded mirror names coordinator %d of %d"
+                    coord n));
+          if Hashtbl.mem flips (coord, id) then begin
+            (* committed: the slice is already applied; reclaim only *)
+            P.update_tx s.p (fun () -> unhook s.p ~slot:mirror_slot head);
+            tick_forward s
+          end
+          else begin
+            rollback_mirror_tx t i head;
+            tick_back s
+          end;
+          Fault.hit fp_recover_resolved;
+          resolve_head ()
+        end
+      in
+      resolve_head ()
+    done;
+    (* phase 2: no mirror survives, so every flip is reclaimable *)
+    for c = 0 to n - 1 do
+      let s = t.shard_arr.(c) in
+      let rec clear_head () =
+        let head = P.read_tx s.p (fun () -> P.get_root s.p flip_slot) in
+        if head <> 0 then begin
+          P.update_tx s.p (fun () ->
+              P.set_root s.p flip_slot (P.load s.p head);
+              P.free s.p head);
+          clear_head ()
+        end
+      in
+      clear_head ()
+    done
+
+  (* Reconciliation rebuilds the persistent truth, so the volatile
+     protocol bookkeeping (which may hold offsets of records the pass
+     just freed) is reset first. *)
+  let reconcile t =
+    let pr = t.proto in
+    Hashtbl.reset pr.pending;
+    Hashtbl.reset pr.live_flips;
+    Array.fill pr.clearable_mirrors 0 (Array.length pr.clearable_mirrors) [];
+    Array.fill pr.clearable_flips 0 (Array.length pr.clearable_flips) [];
+    reconcile_centralized t;
+    reconcile_decentralized t
 
   let recover_shard t i = P.recover t.shard_arr.(i).p
 
@@ -471,6 +937,21 @@ module Make (P : SHARD_PTM) = struct
     reconcile t;
     Fault.hit fp_recover_reconciled
 
+  (* Hooked protocol records across the whole store: the centralized
+     intent (if any) plus every decentralized mirror and flip.  Zero on
+     a quiescent store with eager CLEAR; with lazy CLEAR, committed
+     batches leave mirrors and flips here until reclaimed. *)
+  let pending_intents t =
+    let count p slot =
+      P.read_tx p (fun () ->
+          let rec go n off = if off = 0 then n else go (n + 1) (P.load p off) in
+          go 0 (P.get_root p slot))
+    in
+    Array.fold_left
+      (fun acc s -> acc + count s.p mirror_slot + count s.p flip_slot)
+      (if read_intent_root t <> 0 then 1 else 0)
+      t.shard_arr
+
   let media_spans t = Array.map (fun s -> P.media_spans s.p) t.shard_arr
 
   let scrub t =
@@ -484,7 +965,8 @@ module Make (P : SHARD_PTM) = struct
 
   (* ---- construction, snapshots ---- *)
 
-  let open_db ?(initial_buckets = 1024) regions =
+  let open_db ?(protocol = default_protocol) ?(initial_buckets = 1024)
+      regions =
     if Array.length regions = 0 then raise (Invalid_shards 0);
     if initial_buckets <= 0 then
       raise (Romulus_db.Invalid_buckets initial_buckets);
@@ -496,7 +978,13 @@ module Make (P : SHARD_PTM) = struct
           { p; map; region })
         regions
     in
-    let t = { shard_arr; batch = None } in
+    let n = Array.length shard_arr in
+    let proto =
+      { protocol; next_batch_id = 1; pending = Hashtbl.create 16;
+        clearable_mirrors = Array.make n []; clearable_flips = Array.make n [];
+        live_flips = Hashtbl.create 8 }
+    in
+    let t = { shard_arr; batch = None; proto } in
     reconcile t;
     t
 
@@ -507,14 +995,14 @@ module Make (P : SHARD_PTM) = struct
           (Pmem.Region.shard_snapshot_path base ~shard:i))
       t.shard_arr
 
-  let open_from_files ?fence ?initial_buckets ~shards base =
+  let open_from_files ?fence ?protocol ?initial_buckets ~shards base =
     if shards <= 0 then raise (Invalid_shards shards);
     let regions =
       Array.init shards (fun i ->
           Pmem.Region.load_from_file ?fence
             (Pmem.Region.shard_snapshot_path base ~shard:i))
     in
-    open_db ?initial_buckets regions
+    open_db ?protocol ?initial_buckets regions
 end
 
 (* The default sharded store: RomulusLog per shard, as in RomulusDB. *)

@@ -7,21 +7,55 @@
     Single-key operations and batches that touch one shard keep exact
     Romulus semantics (with one shard the store is bit-for-bit equivalent
     to {!Romulus_db} over the same operations).  A cross-shard
-    [write_batch] is made all-or-nothing by a persistent batch-intent
-    record in shard 0: the buffered operations (with per-key undo images)
-    are written durably before any per-shard transaction runs, marked
-    committed once every shard has applied, and cleared last.  Recovery
-    reconciles a half-applied batch from the intent — rollback while it is
-    still PREPARED, roll-forward once it is COMMITTED.
+    [write_batch] is made all-or-nothing by a persistent commit protocol;
+    the default is the decentralized presumed-abort protocol:
+
+    - PREPARE+APPLY: each participant shard, in one durable transaction,
+      writes its own {e intent mirror} (batch id, coordinator, participant
+      set, its slice of operations with per-key undo images) and applies
+      the slice — mirror durable iff slice applied.
+    - COMMIT: one transaction on the {e coordinator} shard (the minimum
+      participant) hooks a flip record carrying the batch id; the flip is
+      the batch's durability point.  No fixed shard serializes the
+      protocol.
+    - CLEAR (lazy by default): stale mirrors are reclaimed piggybacked on
+      the shard's next protocol transaction, and a flip once every mirror
+      of its batch is gone.  [Decentralized {lazy_clear = false}] clears
+      eagerly instead (one extra transaction per participant plus one on
+      the coordinator).
+
+    Recovery reconciles by presumed abort: every surviving mirror is
+    resolved against its coordinator's flip — flip present means the
+    batch committed (the slice is already applied, the mirror is just
+    reclaimed); flip absent means the batch aborted, and the mirror's
+    still-valid undo images are rolled back.  Crash-during-recovery is
+    idempotent.  The legacy [Centralized] shard-0 intent protocol is kept
+    for ablation; recovery reconciles both protocols' state regardless of
+    the protocol the store was opened with.
 
     Isolation caveat: a cross-shard batch is crash-atomic and its shards
     individually linearizable, but concurrent readers may observe the
     batch half-applied across shards (there is no cross-shard snapshot
-    isolation), and a concurrent single-key write that races an aborting
-    batch on the same key can be overwritten by the batch's rollback. *)
+    isolation).  A concurrent single-key write racing a batch on the same
+    key is {e not} lost on abort: the write durably invalidates the
+    batch's undo image for that key, so neither a runtime rollback nor
+    crash recovery overwrites it. *)
 
 (** Raised by [open_db] when given an empty shard array. *)
 exception Invalid_shards of int
+
+(** How a cross-shard [write_batch] reaches durability.  [Centralized] is
+    the legacy single-record protocol in shard 0 (PREPARE / APPLY /
+    COMMIT flip / eager CLEAR: three extra shard-0 transactions per
+    batch).  [Decentralized] is the presumed-abort protocol described
+    above; with [lazy_clear] the steady-state extra cost per cross-shard
+    batch is the single coordinator flip. *)
+type commit_protocol =
+  | Centralized
+  | Decentralized of { lazy_clear : bool }
+
+(** [Decentralized { lazy_clear = true }]. *)
+val default_protocol : commit_protocol
 
 (** Any of the Romulus front-ends: the PTM signature plus the recovery /
     scrub / diagnostics hooks every shard needs. *)
@@ -40,11 +74,18 @@ module Make (P : SHARD_PTM) : sig
   (** Open (or create) the database over one region per shard; the shard
       count is the array length, fixed for the life of the store (keys
       are routed by hash modulo that count).  Each region is formatted or
-      recovered as usual, then any batch intent left by a crash is
-      reconciled.  Raises {!Invalid_shards} on an empty array and
+      recovered as usual, then any protocol state left by a crash is
+      reconciled.  [protocol] (default {!default_protocol}) selects the
+      cross-shard commit protocol for batches issued through this handle;
+      reconciliation always covers both protocols.  Raises
+      {!Invalid_shards} on an empty array and
       {!Romulus_db.Invalid_buckets} when [initial_buckets] is not
       positive. *)
-  val open_db : ?initial_buckets:int -> Pmem.Region.t array -> t
+  val open_db :
+    ?protocol:commit_protocol ->
+    ?initial_buckets:int ->
+    Pmem.Region.t array ->
+    t
 
   val put : t -> string -> string -> unit
   val get : t -> string -> string option
@@ -56,7 +97,7 @@ module Make (P : SHARD_PTM) : sig
       [f] are buffered (reads see the buffered writes) and applied when
       [f] returns: a batch touching one shard runs as that shard's single
       durable transaction, exactly as in {!Romulus_db}; a cross-shard
-      batch runs under the persistent intent protocol described above. *)
+      batch runs under the store's commit protocol. *)
   val write_batch : t -> (t -> unit) -> unit
 
   (** Full scans; keys are hash-ordered within a shard and shards are
@@ -82,13 +123,21 @@ module Make (P : SHARD_PTM) : sig
   val stats : t -> Pmem.Stats.t
 
   (** Re-run crash recovery on every shard — in parallel (one domain per
-      shard) by default — then reconcile any pending batch intent.
-      Idempotent, like the single-engine recovery it fans out. *)
+      shard) by default — then run the reconciliation pass over both
+      protocols' surviving records.  Idempotent, like the single-engine
+      recovery it fans out. *)
   val recover : ?parallel:bool -> t -> unit
 
-  (** Engine-level recovery of one shard only (no intent reconciliation);
+  (** Engine-level recovery of one shard only (no reconciliation);
       exposed so recovery latency can be measured per shard. *)
   val recover_shard : t -> int -> unit
+
+  (** Protocol records currently hooked across the store: the centralized
+      intent (if any) plus every decentralized mirror and flip.  Zero on
+      a quiescent store under eager CLEAR; under lazy CLEAR, committed
+      batches park their records here until a later protocol transaction
+      (or recovery) reclaims them. *)
+  val pending_intents : t -> int
 
   (** Scrub every shard's twins; the report sums the per-shard reports.
       Raises [Romulus.Engine.Unrepairable] as the per-shard scrub does. *)
@@ -106,6 +155,7 @@ module Make (P : SHARD_PTM) : sig
       ([shards] must match the saved shard count). *)
   val open_from_files :
     ?fence:Pmem.Fence.profile ->
+    ?protocol:commit_protocol ->
     ?initial_buckets:int ->
     shards:int ->
     string ->

@@ -33,6 +33,11 @@ type t = {
   mutable repaired_lines : int;
   mutable unrepairable_lines : int;
   mutable media_errors : int;
+  mutable intent_prepares : int;
+  mutable coordinator_flips : int;
+  mutable lazy_clears : int;
+  mutable rolled_forward : int;
+  mutable rolled_back : int;
 }
 
 let create () =
@@ -40,14 +45,18 @@ let create () =
     nvm_bytes = 0; user_bytes = 0; load_bytes = 0; copy_calls = 0;
     replicated_bytes = 0; commits = 0; delay_ns = 0; crashes = 0;
     tx_aborts = 0; scrubbed_lines = 0; repaired_lines = 0;
-    unrepairable_lines = 0; media_errors = 0 }
+    unrepairable_lines = 0; media_errors = 0; intent_prepares = 0;
+    coordinator_flips = 0; lazy_clears = 0; rolled_forward = 0;
+    rolled_back = 0 }
 
 let reset t =
   t.pwbs <- 0; t.pfences <- 0; t.psyncs <- 0; t.loads <- 0; t.stores <- 0;
   t.nvm_bytes <- 0; t.user_bytes <- 0; t.load_bytes <- 0; t.copy_calls <- 0;
   t.replicated_bytes <- 0; t.commits <- 0; t.delay_ns <- 0; t.crashes <- 0;
   t.tx_aborts <- 0; t.scrubbed_lines <- 0; t.repaired_lines <- 0;
-  t.unrepairable_lines <- 0; t.media_errors <- 0
+  t.unrepairable_lines <- 0; t.media_errors <- 0; t.intent_prepares <- 0;
+  t.coordinator_flips <- 0; t.lazy_clears <- 0; t.rolled_forward <- 0;
+  t.rolled_back <- 0
 
 let snapshot t = { t with pwbs = t.pwbs }
 
@@ -70,7 +79,12 @@ let since ~now ~past =
     scrubbed_lines = now.scrubbed_lines - past.scrubbed_lines;
     repaired_lines = now.repaired_lines - past.repaired_lines;
     unrepairable_lines = now.unrepairable_lines - past.unrepairable_lines;
-    media_errors = now.media_errors - past.media_errors }
+    media_errors = now.media_errors - past.media_errors;
+    intent_prepares = now.intent_prepares - past.intent_prepares;
+    coordinator_flips = now.coordinator_flips - past.coordinator_flips;
+    lazy_clears = now.lazy_clears - past.lazy_clears;
+    rolled_forward = now.rolled_forward - past.rolled_forward;
+    rolled_back = now.rolled_back - past.rolled_back }
 
 (* Field-wise sum, as a fresh independent record: the cross-shard view of
    a store whose shards each meter their own region. *)
@@ -95,7 +109,12 @@ let aggregate ts =
       a.scrubbed_lines <- a.scrubbed_lines + t.scrubbed_lines;
       a.repaired_lines <- a.repaired_lines + t.repaired_lines;
       a.unrepairable_lines <- a.unrepairable_lines + t.unrepairable_lines;
-      a.media_errors <- a.media_errors + t.media_errors)
+      a.media_errors <- a.media_errors + t.media_errors;
+      a.intent_prepares <- a.intent_prepares + t.intent_prepares;
+      a.coordinator_flips <- a.coordinator_flips + t.coordinator_flips;
+      a.lazy_clears <- a.lazy_clears + t.lazy_clears;
+      a.rolled_forward <- a.rolled_forward + t.rolled_forward;
+      a.rolled_back <- a.rolled_back + t.rolled_back)
     ts;
   a
 
@@ -118,8 +137,10 @@ let pp ppf t =
     "pwb=%d pfence=%d psync=%d loads=%d stores=%d nvm=%dB user=%dB \
      loaded=%dB copies=%d replicated=%dB commits=%d amp=%.2f delay=%dns \
      crashes=%d aborts=%d scrubbed=%d repaired=%d unrepairable=%d \
-     media_errors=%d"
+     media_errors=%d prepares=%d flips=%d lazy_clears=%d fwd=%d back=%d"
     t.pwbs t.pfences t.psyncs t.loads t.stores t.nvm_bytes t.user_bytes
     t.load_bytes t.copy_calls t.replicated_bytes t.commits
     (write_amplification t) t.delay_ns t.crashes t.tx_aborts
     t.scrubbed_lines t.repaired_lines t.unrepairable_lines t.media_errors
+    t.intent_prepares t.coordinator_flips t.lazy_clears t.rolled_forward
+    t.rolled_back

@@ -14,11 +14,22 @@
      of the sharded store.  Each operation routes to a uniformly random
      shard, so single-key updates on different shards combine and commit
      concurrently.  A cross-shard batch (probability cross_p) follows
-     the batch-intent protocol: a PREPARE transaction through shard 0's
-     combiner, one apply per participating shard, then a COMMIT+CLEAR
-     transaction through shard 0 again, plus a fixed intent cost for
-     serializing the payload — shard 0 is the protocol's serial
-     bottleneck, which is the crossover the shards bench demonstrates.
+     the store's commit protocol:
+       Proto_centralized — a PREPARE transaction through shard 0's
+       combiner, one apply per participating shard, then a COMMIT+CLEAR
+       transaction through shard 0 again: four dependent combiner slots,
+       two of them through shard 0, which makes shard 0 the serial
+       bottleneck the shards bench demonstrates.
+       Proto_decentralized — the per-shard intent mirrors are written
+       *concurrently* (each participant's mirror+apply is one ordinary
+       transaction on its own shard), then one COMMIT flip rides the
+       coordinator's combiner (the min participant).  With lazy_clear
+       the chain ends there — stale records are reclaimed inside later
+       protocol transactions at no extra slot; with eager clear each
+       participant pays one more concurrent transaction and the
+       coordinator a final flip-clear.
+     Either way the chain carries a protocol-specific fixed cost
+     (payload encoding, undo capture) and counts as one update.
    - Rw_reader_pref: a plain reader-preference RW lock, one transaction
      per lock acquisition (the paper's PMDK setup).  Writers wait for a
      moment with zero active readers, which becomes rarer as readers are
@@ -40,6 +51,10 @@ type costs = {
   think_ns : float;        (* gap between operations of a thread *)
 }
 
+type sharded_protocol =
+  | Proto_centralized
+  | Proto_decentralized of { lazy_clear : bool }
+
 type model =
   | Fc_crwwp
   | Fc_left_right
@@ -49,8 +64,10 @@ type model =
       (** probability that a writer's operation is a cross-shard batch
           (two participating shards) rather than a single-key update *)
       intent_fixed_ns : float;
-      (** serialized extra cost of the batch intent: payload encoding,
-          the undo capture, and the CLEAR transaction's tail *)
+      (** serialized extra cost of the commit protocol's bookkeeping:
+          payload encoding, undo capture, record management — measured
+          per protocol by the bench calibration *)
+      protocol : sharded_protocol;
     }
   | Rw_reader_pref of { atomic_ns : float }
     (** [atomic_ns]: serialized cost of one RMW on the lock's shared
@@ -188,12 +205,12 @@ let run_fc ~left_right cfg =
 
 (* N independent Fc_crwwp instances.  Single-key operations route to a
    uniformly random shard and follow exactly the run_fc machinery, just
-   per shard.  A cross-shard batch is a dependency chain of sub-requests
-   — PREPARE through shard 0's combiner, an apply on each of its two
-   participating shards, COMMIT+CLEAR through shard 0 — each riding the
-   target shard's ordinary combining queue, plus [intent_fixed_ns] of
-   serialized intent bookkeeping.  The chain counts as one update. *)
-let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns cfg =
+   per shard.  A cross-shard batch is a dependency graph of sub-requests,
+   each riding the target shard's ordinary combining queue, plus
+   [intent_fixed_ns] of serialized protocol bookkeeping; the graph's
+   shape depends on the commit protocol (see the header).  The whole
+   graph counts as one update. *)
+let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol cfg =
   if shards < 1 then invalid_arg "Sync_model: shards < 1";
   let sim = Des.create ~seed:cfg.seed () in
   let c = cfg.costs in
@@ -263,13 +280,43 @@ let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns cfg =
                  (int_of_float (Des.random sim *. float_of_int (shards - 1))))
             mod shards
           in
-          submit 0 (fun () ->                 (* PREPARE intent *)
-              submit a (fun () ->             (* apply on shard a *)
-                  submit b (fun () ->         (* apply on shard b *)
-                      submit 0 (fun () ->     (* COMMIT flip + CLEAR *)
-                          Des.schedule sim intent_fixed_ns (fun () ->
-                              incr updates_done;
-                              writer_loop ())))))
+          let finish () =
+            Des.schedule sim intent_fixed_ns (fun () ->
+                incr updates_done;
+                writer_loop ())
+          in
+          (* a barrier over the two participants' concurrent requests *)
+          let join n k =
+            let left = ref n in
+            fun () ->
+              decr left;
+              if !left = 0 then k ()
+          in
+          match protocol with
+          | Proto_centralized ->
+            submit 0 (fun () ->                 (* PREPARE intent *)
+                submit a (fun () ->             (* apply on shard a *)
+                    submit b (fun () ->         (* apply on shard b *)
+                        submit 0 (fun () ->     (* COMMIT flip + CLEAR *)
+                            finish ()))))
+          | Proto_decentralized { lazy_clear } ->
+            let coord = min a b in
+            (* mirrors+applies run concurrently, one tx per participant *)
+            let mirrors_done =
+              join 2 (fun () ->
+                  submit coord (fun () ->       (* COMMIT flip *)
+                      if lazy_clear then finish ()
+                      else
+                        (* eager CLEAR: concurrent mirror unhooks, then
+                           the coordinator reclaims its flip *)
+                        let clears_done =
+                          join 2 (fun () -> submit coord finish)
+                        in
+                        submit a clears_done;
+                        submit b clears_done))
+            in
+            submit a mirrors_done;
+            submit b mirrors_done
         end
         else
           submit (pick_shard ()) (fun () ->
@@ -426,8 +473,8 @@ let run cfg =
   match cfg.model with
   | Fc_crwwp -> run_fc ~left_right:false cfg
   | Fc_left_right -> run_fc ~left_right:true cfg
-  | Fc_sharded { shards; cross_p; intent_fixed_ns } ->
-    run_fc_sharded ~shards ~cross_p ~intent_fixed_ns cfg
+  | Fc_sharded { shards; cross_p; intent_fixed_ns; protocol } ->
+    run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol cfg
   | Rw_reader_pref { atomic_ns } -> run_rw_reader_pref ~atomic_ns cfg
   | Stm { conflict_p; read_conflict_p; commit_serial_ns } ->
     run_stm ~conflict_p ~read_conflict_p ~commit_serial_ns cfg

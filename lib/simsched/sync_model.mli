@@ -11,6 +11,19 @@ type costs = {
   think_ns : float;        (** gap between operations of a thread *)
 }
 
+(** How {!Fc_sharded} commits a cross-shard batch.
+    [Proto_centralized]: PREPARE through shard 0, one apply per
+    participant, COMMIT+CLEAR through shard 0 — four dependent combiner
+    slots, two serialized through shard 0.  [Proto_decentralized]: the
+    participants' mirror+apply transactions run concurrently, then one
+    COMMIT flip through the coordinator (the min participant); with
+    [lazy_clear] the chain ends there, otherwise each participant pays a
+    concurrent CLEAR transaction and the coordinator a final
+    flip-clear. *)
+type sharded_protocol =
+  | Proto_centralized
+  | Proto_decentralized of { lazy_clear : bool }
+
 type model =
   | Fc_crwwp
       (** flat combining + C-RW-WP writer-preference lock (Rom, RomL):
@@ -23,14 +36,14 @@ type model =
       shards : int;
       cross_p : float;
       intent_fixed_ns : float;
+      protocol : sharded_protocol;
     }
       (** [shards] independent {!Fc_crwwp} instances (Sharded_db): each
           operation routes to a uniformly random shard, so updates on
           different shards combine and commit concurrently.  With
           probability [cross_p] a writer runs a cross-shard batch
-          instead: PREPARE through shard 0's combiner, one apply per
-          participating shard, COMMIT+CLEAR through shard 0, plus
-          [intent_fixed_ns] of serialized intent bookkeeping *)
+          instead, following [protocol] with [intent_fixed_ns] of
+          serialized protocol bookkeeping *)
   | Rw_reader_pref of { atomic_ns : float }
       (** plain reader-preference RW lock (the paper's PMDK setup).
           [atomic_ns] is the serialized cost of one RMW on the shared

@@ -4,7 +4,12 @@
    idempotence (including crashes during recovery), scrub
    repair-or-refuse — against shards=1 (which must be bit-for-bit
    equivalent to Romulus_db over the same operations) and shards=4 —
-   plus the cross-shard batch-intent protocol's own crash windows. *)
+   plus the cross-shard commit protocols' own crash windows: the legacy
+   centralized batch-intent record (pinned with ~protocol:Centralized)
+   and the default decentralized presumed-abort protocol (per-shard
+   intent mirrors, coordinator flip, lazy CLEAR), including the
+   CORRECTNESS.md §10 lost-update regression where a single-key write
+   races an aborting batch on the same key. *)
 
 module R = Pmem.Region
 module Db = Kv.Romulus_db.Default
@@ -14,9 +19,9 @@ let region ?(size = 1 lsl 18) () = R.create ~size ()
 
 let regions ?size n = Array.init n (fun _ -> region ?size ())
 
-let open_sharded ?(shards = 4) ?(initial_buckets = 8) ?size () =
+let open_sharded ?protocol ?(shards = 4) ?(initial_buckets = 8) ?size () =
   let rs = regions ?size shards in
-  (rs, Sd.open_db ~initial_buckets rs)
+  (rs, Sd.open_db ?protocol ~initial_buckets rs)
 
 let crash_all rs policy = Array.iter (fun r -> R.crash r policy) rs
 
@@ -216,7 +221,7 @@ let test_shard1_bitwise_equivalence () =
 
 let test_cross_shard_runtime_abort () =
   with_disarm @@ fun () ->
-  let _, db = open_sharded () in
+  let _, db = open_sharded ~protocol:Kv.Sharded_db.Centralized () in
   seed db 12;
   (* inject a software fault after the first per-shard transaction of a
      cross-shard batch commits: the batch must roll back to the pre-batch
@@ -295,11 +300,11 @@ let test_crash_sweep_random_subset () =
 let test_crash_sweep_torn_words () =
   ignore (crash_sweep_policy (R.Torn_words 17) : int)
 
-(* ---- the intent protocol's own windows ---- *)
+(* ---- the centralized intent protocol's own windows (legacy) ---- *)
 
 let test_intent_window_rollback () =
   with_disarm @@ fun () ->
-  let rs, db = open_sharded () in
+  let rs, db = open_sharded ~protocol:Kv.Sharded_db.Centralized () in
   seed db 12;
   (* power off right after the intent record becomes durable: no shard
      has applied anything, recovery must roll the batch back *)
@@ -314,7 +319,7 @@ let test_intent_window_rollback () =
 
 let test_inter_commit_window () =
   with_disarm @@ fun () ->
-  let rs, db = open_sharded () in
+  let rs, db = open_sharded ~protocol:Kv.Sharded_db.Centralized () in
   seed db 12;
   (* power off between two per-shard commits: some shards applied, the
      intent is still PREPARED, recovery must roll every shard back *)
@@ -329,7 +334,7 @@ let test_inter_commit_window () =
 
 let test_committed_window_rolls_forward () =
   with_disarm @@ fun () ->
-  let rs, db = open_sharded () in
+  let rs, db = open_sharded ~protocol:Kv.Sharded_db.Centralized () in
   seed db 12;
   (* power off after the COMMITTED flip but before the record is cleared:
      the batch reached its durability point, recovery must roll forward *)
@@ -345,6 +350,213 @@ let test_committed_window_rolls_forward () =
   Sd.recover ~parallel:false db;
   Alcotest.(check bool) "idempotent after roll-forward" true
     (assert_all_or_nothing "post-recover" db)
+
+(* ---- the decentralized presumed-abort protocol's windows ---- *)
+
+(* participant shards of [batch_ops], ascending; the coordinator is the
+   minimum (first) participant *)
+let d_participants db =
+  List.sort_uniq compare
+    (List.map (fun (k, _) -> Sd.shard_of_key db k) batch_ops)
+
+let test_d_runtime_abort () =
+  with_disarm @@ fun () ->
+  let _, db = open_sharded () in
+  seed db 12;
+  (* software fault after the first mirror+apply transaction: the batch
+     must roll back from its own mirrors and leave no record hooked *)
+  Fault.arm "sharded.d.mirror_applied" (fun () ->
+      raise (Fault.Injected "sharded.d.mirror_applied"));
+  (match run_batch db with
+   | () -> Alcotest.fail "injected fault did not surface"
+   | exception Romulus.Engine.Tx_aborted { cause = Fault.Injected _; _ } -> ()
+   | exception e ->
+     Alcotest.failf "expected Tx_aborted(Injected), got %s"
+       (Printexc.to_string e));
+  let applied = assert_all_or_nothing "d runtime abort" db in
+  Alcotest.(check bool) "rolled back, not applied" false applied;
+  Alcotest.(check int) "no record left hooked" 0 (Sd.pending_intents db);
+  let st = Sd.stats db in
+  Alcotest.(check bool) "prepares counted" true
+    (st.Pmem.Stats.intent_prepares > 0);
+  Alcotest.(check bool) "rollbacks counted" true
+    (st.Pmem.Stats.rolled_back > 0);
+  run_batch db;
+  Alcotest.(check bool) "batch applies cleanly afterwards" true
+    (assert_all_or_nothing "clean retry" db)
+
+(* kill the coordinator before its flip is written — after the first
+   mirror and after the last: surviving mirrors with a clean coordinator
+   flip list are a presumed abort, recovery rolls them back *)
+let test_d_preflip_presumed_abort () =
+  with_disarm @@ fun () ->
+  let parts = snd (open_sharded ()) |> d_participants in
+  let nparts = List.length parts in
+  Alcotest.(check bool) "batch spans shards" true (nparts >= 2);
+  List.iter
+    (fun skip ->
+      let rs, db = open_sharded () in
+      seed db 12;
+      let coord = List.hd (d_participants db) in
+      Fault.arm ~skip "sharded.d.mirror_applied" (fun () ->
+          R.kill rs.(coord));
+      (match run_batch db with
+       | () -> Alcotest.fail "kill did not fire"
+       | exception R.Crash_point -> ());
+      crash_all rs R.Keep_all;
+      let db = Sd.open_db ~initial_buckets:8 rs in
+      Alcotest.(check bool)
+        (Printf.sprintf "presumed abort (skip=%d)" skip)
+        false
+        (assert_all_or_nothing "preflip window" db);
+      Alcotest.(check int) "mirrors reclaimed" 0 (Sd.pending_intents db);
+      Alcotest.(check bool) "rollbacks counted" true
+        ((Sd.stats db).Pmem.Stats.rolled_back > 0))
+    [ 0; nparts - 1 ]
+
+let test_d_postflip_rolls_forward () =
+  with_disarm @@ fun () ->
+  let rs, db = open_sharded () in
+  seed db 12;
+  (* power off the coordinator right after the flip becomes durable: the
+     batch reached its durability point with every mirror still hooked
+     (lazy CLEAR), recovery must keep the applied slices *)
+  let coord = List.hd (d_participants db) in
+  Fault.arm "sharded.d.flip_written" (fun () -> R.kill rs.(coord));
+  (match run_batch db with
+   | () -> ()
+   | exception R.Crash_point -> ());
+  crash_all rs R.Drop_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  Alcotest.(check bool) "rolled forward from the flip" true
+    (assert_all_or_nothing "postflip window" db);
+  Alcotest.(check int) "mirrors and flip reclaimed" 0 (Sd.pending_intents db);
+  Alcotest.(check bool) "roll-forwards counted" true
+    ((Sd.stats db).Pmem.Stats.rolled_forward > 0);
+  (* reconciliation already converged: another pass changes nothing *)
+  Sd.recover ~parallel:false db;
+  Alcotest.(check bool) "idempotent after roll-forward" true
+    (assert_all_or_nothing "post-recover" db)
+
+(* lazy CLEAR: a committed batch parks its mirrors and flip; the next
+   batch over the same shards reclaims all of them piggybacked on its
+   own protocol transactions *)
+let test_d_lazy_clear_reclamation () =
+  let _, db = open_sharded () in
+  seed db 12;
+  let footprint = List.length (d_participants db) + 1 in
+  run_batch db;
+  Alcotest.(check int) "committed batch parks its records" footprint
+    (Sd.pending_intents db);
+  run_batch db;
+  (* batch 1's mirrors rode batch 2's PREPAREs, its flip batch 2's flip
+     transaction: only batch 2's own records remain *)
+  Alcotest.(check int) "previous batch fully reclaimed" footprint
+    (Sd.pending_intents db);
+  Alcotest.(check bool) "lazy clears counted" true
+    ((Sd.stats db).Pmem.Stats.lazy_clears >= footprint);
+  Alcotest.(check bool) "batch applied" true
+    (assert_all_or_nothing "lazy clear" db);
+  (* recovery reclaims the rest without touching data *)
+  Sd.recover ~parallel:false db;
+  Alcotest.(check int) "recovery drains the parked records" 0
+    (Sd.pending_intents db);
+  Alcotest.(check bool) "data untouched" true
+    (assert_all_or_nothing "after drain" db)
+
+let test_d_eager_clear () =
+  let _, db =
+    open_sharded ~protocol:(Kv.Sharded_db.Decentralized { lazy_clear = false })
+      ()
+  in
+  seed db 12;
+  run_batch db;
+  Alcotest.(check bool) "batch applied" true
+    (assert_all_or_nothing "eager clear" db);
+  Alcotest.(check int) "eager CLEAR leaves nothing hooked" 0
+    (Sd.pending_intents db)
+
+(* crash in the middle of the reconciliation pass itself: the next
+   recovery must converge to the same all-or-nothing verdict *)
+let test_d_crash_during_reconciliation () =
+  with_disarm @@ fun () ->
+  let rs, db = open_sharded () in
+  seed db 12;
+  let target = Sd.shard_of_key db "batch-a" in
+  R.set_trap rs.(target) 40;
+  (match run_batch db with
+   | () -> Alcotest.fail "trap did not fire"
+   | exception R.Crash_point -> ());
+  crash_all rs R.Drop_all;
+  (* kill a shard right after recovery resolves the first mirror *)
+  Fault.arm "sharded.recover.mirror_resolved" (fun () -> R.kill rs.(target));
+  (match Sd.open_db ~initial_buckets:8 rs with
+   | (_ : Sd.t) -> ()
+   | exception R.Crash_point -> ());
+  Fault.disarm ();
+  crash_all rs R.Drop_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  ignore (assert_all_or_nothing "crashed reconciliation" db : bool);
+  Alcotest.(check int) "reconciliation converged" 0 (Sd.pending_intents db)
+
+(* ---- §10 regression: a single-key write racing an aborting batch ----
+
+   The racing put durably invalidates the batch's undo image for the key
+   inside its own transaction, so neither the inline rollback (runtime
+   abort) nor recovery (crash) may overwrite it with the stale
+   pre-image. *)
+
+let assert_raced_rollback what db =
+  check_ok what db;
+  Alcotest.(check (option string)) (what ^ ": racing write survives")
+    (Some "raced") (Sd.get db (key 1));
+  List.iter
+    (fun (k, _) ->
+      if k <> key 1 then begin
+        let want = if k = key 2 then Some (value 2) else None in
+        if Sd.get db k <> want then
+          Alcotest.failf "%s: batch key %s not rolled back" what k
+      end)
+    batch_ops;
+  for i = 3 to 11 do
+    if Sd.get db (key i) <> Some (value i) then
+      Alcotest.failf "%s: lost committed key %s" what (key i)
+  done
+
+let test_d_lost_update_runtime_abort () =
+  with_disarm @@ fun () ->
+  let _, db = open_sharded () in
+  seed db 12;
+  let nparts = List.length (d_participants db) in
+  (* once every mirror is hooked (all undo images pending), overwrite
+     key 1 from outside the batch, then poison the batch *)
+  Fault.arm ~skip:(nparts - 1) "sharded.d.mirror_applied" (fun () ->
+      Sd.put db (key 1) "raced";
+      raise (Fault.Injected "raced"));
+  (match run_batch db with
+   | () -> Alcotest.fail "injected fault did not surface"
+   | exception Romulus.Engine.Tx_aborted { cause = Fault.Injected _; _ } -> ());
+  assert_raced_rollback "lost-update (runtime abort)" db;
+  Alcotest.(check int) "no record left hooked" 0 (Sd.pending_intents db)
+
+let test_d_lost_update_crash_recovery () =
+  with_disarm @@ fun () ->
+  let rs, db = open_sharded () in
+  seed db 12;
+  let nparts = List.length (d_participants db) in
+  let coord = List.hd (d_participants db) in
+  (* same race, but the batch dies before its flip: recovery's presumed
+     abort must honor the invalidated undo entry *)
+  Fault.arm ~skip:(nparts - 1) "sharded.d.mirror_applied" (fun () ->
+      Sd.put db (key 1) "raced";
+      R.kill rs.(coord));
+  (match run_batch db with
+   | () -> Alcotest.fail "kill did not fire"
+   | exception R.Crash_point -> ());
+  crash_all rs R.Drop_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  assert_raced_rollback "lost-update (crash recovery)" db;
+  Alcotest.(check int) "mirrors reclaimed" 0 (Sd.pending_intents db)
 
 (* ---- recovery: parallel fan-out, idempotence, crashes within ---- *)
 
@@ -466,6 +678,59 @@ let prop_sharded_crash_batch =
       ignore (assert_all_or_nothing "qcheck sweep" db : bool);
       true)
 
+(* Mixing a racing single-key write with a crashing cross-shard batch
+   under all four policies: the coordinator is killed in a random mirror
+   window (so the batch always presumed-aborts), optionally after a
+   single-key put to key 1 from outside the batch.  Whatever the
+   interleaving, the raced key must end up at the racing value (the put
+   committed durably before the kill) and every other batch key must
+   roll back; the seed keys must survive untouched. *)
+let prop_d_racing_mix =
+  let open QCheck in
+  Test.make ~count:40
+    ~name:"sharded: racing write vs crashed decentralized batch"
+    (triple small_nat (int_bound 3) bool)
+    (fun (skip, pol, raced) ->
+      with_disarm @@ fun () ->
+      let rs, db = open_sharded () in
+      seed db 12;
+      let parts = d_participants db in
+      let coord = List.hd parts in
+      Fault.arm ~skip:(skip mod List.length parts) "sharded.d.mirror_applied"
+        (fun () ->
+          if raced then Sd.put db (key 1) "raced";
+          R.kill rs.(coord));
+      (match run_batch db with
+       | () -> Alcotest.fail "kill did not fire"
+       | exception R.Crash_point -> ());
+      let policy =
+        match pol with
+        | 0 -> R.Drop_all
+        | 1 -> R.Keep_all
+        | 2 -> R.Random_subset (skip + 3)
+        | _ -> R.Torn_words (skip + 13)
+      in
+      crash_all rs policy;
+      let db = Sd.open_db ~initial_buckets:8 rs in
+      check_ok "racing mix" db;
+      let want_key1 = if raced then Some "raced" else Some (value 1) in
+      if Sd.get db (key 1) <> want_key1 then
+        Alcotest.failf "raced key diverged (raced=%b)" raced;
+      List.iter
+        (fun (k, _) ->
+          if k <> key 1 then begin
+            let want = if k = key 2 then Some (value 2) else None in
+            if Sd.get db k <> want then
+              Alcotest.failf "batch key %s not rolled back" k
+          end)
+        batch_ops;
+      for i = 3 to 11 do
+        if Sd.get db (key i) <> Some (value i) then
+          Alcotest.failf "lost committed key %s" (key i)
+      done;
+      Alcotest.(check int) "reconciled clean" 0 (Sd.pending_intents db);
+      true)
+
 (* ---- snapshots ---- *)
 
 let test_snapshot_roundtrip () =
@@ -507,11 +772,25 @@ let suite =
     tc "inter-commit window rollback" `Quick test_inter_commit_window;
     tc "committed window rolls forward" `Quick
       test_committed_window_rolls_forward;
+    tc "decentralized runtime abort" `Quick test_d_runtime_abort;
+    tc "decentralized pre-flip presumed abort" `Quick
+      test_d_preflip_presumed_abort;
+    tc "decentralized post-flip rolls forward" `Quick
+      test_d_postflip_rolls_forward;
+    tc "lazy CLEAR reclamation" `Quick test_d_lazy_clear_reclamation;
+    tc "eager CLEAR leaves nothing" `Quick test_d_eager_clear;
+    tc "crash during reconciliation" `Quick
+      test_d_crash_during_reconciliation;
+    tc "lost update: runtime abort race" `Quick
+      test_d_lost_update_runtime_abort;
+    tc "lost update: crash recovery race" `Quick
+      test_d_lost_update_crash_recovery;
     tc "parallel recovery" `Quick test_parallel_recovery;
     tc "crash during recovery" `Quick test_crash_during_recovery;
     tc "scrub repairs a shard" `Quick test_scrub_repairs_shard;
     tc "scrub refuses double fault" `Quick test_scrub_refuses_double_fault;
     tc "snapshot round trip" `Quick test_snapshot_roundtrip ]
-  @ List.map QCheck_alcotest.to_alcotest [ prop_sharded_crash_batch ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_sharded_crash_batch; prop_d_racing_mix ]
 
 let () = Alcotest.run "sharded" [ ("sharded", suite) ]
