@@ -28,7 +28,9 @@ let hidden : (string * string * (Common.scale -> unit)) list =
     ("shards_smoke", "shard scaling, tiny parameters (CI smoke)",
      fun _ -> Shards.smoke ());
     ("shards_cross", "cross-batch commit-protocol regression check (CI smoke)",
-     fun _ -> Shards.cross_smoke ()) ]
+     fun _ -> Shards.cross_smoke ());
+    ("shards_large", "chunked large-batch regression check (CI smoke)",
+     fun _ -> Shards.large_smoke ()) ]
 
 let usage () =
   print_endline "usage: main.exe [--full] [EXPERIMENT]...";

@@ -158,7 +158,7 @@ let calibrate ~ops =
 
 (* ---- DES throughput sweep ---- *)
 
-let updates_per_sec ~scale ~calib ~shards ~cross_p ~proto_name ~proto
+let sharded_run ~scale ~calib ~shards ~cross_p ~proto_name ~proto ~large
     writers =
   let costs =
     { Simsched.Sync_model.read_ns = calib.read_ns;
@@ -166,17 +166,129 @@ let updates_per_sec ~scale ~calib ~shards ~cross_p ~proto_name ~proto
       batch_fixed_ns = calib.batch_fixed_ns;
       think_ns = Float.max Common.think_ns (0.25 *. calib.read_ns) }
   in
-  let r =
-    Simsched.Sync_model.run
-      { Simsched.Sync_model.model =
-          Fc_sharded
-            { shards; cross_p;
-              intent_fixed_ns = intent_of calib proto_name;
-              protocol = des_protocol proto };
-        costs; readers = 0; writers;
-        duration_ns = Common.sim_duration_ns scale; seed = 13 }
+  Simsched.Sync_model.run
+    { Simsched.Sync_model.model =
+        Fc_sharded
+          { shards; cross_p;
+            intent_fixed_ns = intent_of calib proto_name;
+            protocol = des_protocol proto; large };
+      costs; readers = 0; writers;
+      duration_ns = Common.sim_duration_ns scale; seed = 13 }
+
+let updates_per_sec ~scale ~calib ~shards ~cross_p ~proto_name ~proto
+    writers =
+  Simsched.Sync_model.updates_per_sec
+    (sharded_run ~scale ~calib ~shards ~cross_p ~proto_name ~proto
+       ~large:None writers)
+
+(* ---- large-batch chunking ablation ---- *)
+
+(* Real store: a cross-shard batch overwriting multi-KB values (large
+   enough that every undo image spills) is run at several [chunk_bytes]
+   settings — the cost of streaming the mirror as many small chunk
+   transactions versus few large ones, with the chunk/spill counts that
+   prove the chains actually streamed. *)
+type large_real_row = {
+  lb_chunk_bytes : int;
+  lb_ns : float;      (* one large cross-shard batch *)
+  lb_chunks : float;  (* chunk records per batch *)
+  lb_spills : float;  (* spilled undo images per batch *)
+}
+
+(* DES: the same store under a mixed workload where a fraction of the
+   cross-shard batches carry a multi-chunk payload, streamed (the chunk
+   chain: small updates interleave between chunks) versus monolithic
+   (the payload holds one combiner slot and the queue waits).  The
+   figure of merit is the small-update completion tail. *)
+type large_des_row = {
+  ld_arm : string;  (* "none" | "monolithic" | "streamed" *)
+  ld_ups : float;
+  ld_small_mean_ns : float;
+  ld_small_max_ns : float;
+}
+
+let large_value tag len =
+  String.init len (fun i -> Char.chr ((tag + (3 * i)) land 0xff))
+
+let large_batch_real ~ops ~chunk_axis =
+  let keys = 16 in
+  let vlen = 6 * 1024 in
+  List.map
+    (fun chunk_bytes ->
+      let regions =
+        Array.init 2 (fun _ ->
+            Pmem.Region.create ~fence:Pmem.Fence.stt ~size:(1 lsl 22) ())
+      in
+      let db = S.open_db ~initial_buckets:64 ~chunk_bytes regions in
+      for i = 0 to keys - 1 do
+        S.put db (key i) (large_value i vlen)
+      done;
+      (match
+         List.sort_uniq compare
+           (List.init keys (fun i -> S.shard_of_key db (key i)))
+       with
+       | [ _; _ ] -> ()
+       | l ->
+         failwith
+           (Printf.sprintf "large batch spans %d shard(s)" (List.length l)));
+      let round = ref 0 in
+      let batch () =
+        incr round;
+        let r = !round in
+        S.write_batch db (fun b ->
+            for i = 0 to keys - 1 do
+              S.put b (key i) (large_value (i + r) vlen)
+            done)
+      in
+      for _ = 1 to 5 do
+        batch ()
+      done;
+      Gc.full_major ();
+      let snap () =
+        Pmem.Stats.aggregate
+          (Array.to_list (Array.map Pmem.Region.stats regions))
+      in
+      let s0 = snap () in
+      let n = max 4 (ops / 16) in
+      let t0 = Workload.Bench_clock.now_ns () in
+      for _ = 1 to n do
+        batch ()
+      done;
+      let wall = Workload.Bench_clock.now_ns () -. t0 in
+      let d = Pmem.Stats.since ~now:(snap ()) ~past:s0 in
+      (* the batches really committed, unchunked readers see whole values *)
+      for i = 0 to keys - 1 do
+        if S.get db (key i) <> Some (large_value (i + !round) vlen) then
+          failwith (Printf.sprintf "large batch lost %s" (key i))
+      done;
+      let per x = float_of_int x /. float_of_int n in
+      { lb_chunk_bytes = chunk_bytes;
+        lb_ns =
+          (wall +. float_of_int d.Pmem.Stats.delay_ns) /. float_of_int n;
+        lb_chunks = per d.Pmem.Stats.chunks_written;
+        lb_spills = per d.Pmem.Stats.chunks_spilled })
+    chunk_axis
+
+let large_batch_des ~scale ~calib ~shards ~writers =
+  let tx_unit = calib.batch_fixed_ns +. calib.update_work_ns in
+  let mk streamed =
+    { Simsched.Sync_model.large_p = 0.1; chunks = 16; chunk_tx_ns = tx_unit;
+      streamed }
   in
-  Simsched.Sync_model.updates_per_sec r
+  List.map
+    (fun (arm, large) ->
+      let r =
+        sharded_run ~scale ~calib ~shards ~cross_p:0.2
+          ~proto_name:"decentralized_lazy"
+          ~proto:Kv.Sharded_db.default_protocol ~large writers
+      in
+      { ld_arm = arm;
+        ld_ups = Simsched.Sync_model.updates_per_sec r;
+        ld_small_mean_ns = r.Simsched.Sync_model.small_mean_ns;
+        ld_small_max_ns = r.Simsched.Sync_model.small_max_ns })
+    [ ("none", None);
+      ("monolithic", Some (mk false));
+      ("streamed", Some (mk true)) ]
 
 (* ---- recovery timing on the real store ---- *)
 
@@ -233,7 +345,8 @@ type recovery_row = {
   per_shard_ns : float array;
 }
 
-let emit_json ~scale ~calib ~scaling ~cross ~recovery path =
+let emit_json ~scale ~calib ~scaling ~cross ~large_real ~large_des
+    ~recovery path =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"bench\": \"shards\",\n";
@@ -269,6 +382,27 @@ let emit_json ~scale ~calib ~scaling ~cross ~recovery path =
         (if i = n - 1 then "" else ","))
     cross;
   Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"large_batch\": {\n    \"real\": [\n";
+  let n = List.length large_real in
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "      {\"chunk_bytes\": %d, \"batch_ns\": %.0f, \
+         \"chunks_per_batch\": %.1f, \"spills_per_batch\": %.1f}%s\n"
+        r.lb_chunk_bytes r.lb_ns r.lb_chunks r.lb_spills
+        (if i = n - 1 then "" else ","))
+    large_real;
+  Buffer.add_string b "    ],\n    \"des\": [\n";
+  let n = List.length large_des in
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "      {\"arm\": \"%s\", \"updates_per_sec\": %.0f, \
+         \"small_mean_ns\": %.0f, \"small_max_ns\": %.0f}%s\n"
+        r.ld_arm r.ld_ups r.ld_small_mean_ns r.ld_small_max_ns
+        (if i = n - 1 then "" else ","))
+    large_des;
+  Buffer.add_string b "    ]\n  },\n";
   Buffer.add_string b "  \"recovery\": [\n";
   let n = List.length recovery in
   List.iteri
@@ -399,6 +533,37 @@ let run_at ~scale_name ~scale ~ops ~recovery_keys ~shard_axis ~writer_axis =
      (target >= 0.50x); centralized: %s TX/s\n%!"
     (Common.si at02) (at02 /. base)
     (Common.si (ups_of "centralized" 0.2));
+  (* large batches: chunk-size sweep on the real store, plus the DES
+     streamed-vs-monolithic tail-latency ablation *)
+  Common.subsection "large cross-shard batches: chunked mirror streaming";
+  let large_real =
+    large_batch_real ~ops ~chunk_axis:[ 512; 2048; 8192; 16384 ]
+  in
+  Printf.printf "%-12s %14s %14s %14s\n" "chunk_bytes" "batch"
+    "chunks/batch" "spills/batch";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12d %14s %14.1f %14.1f\n%!" r.lb_chunk_bytes
+        (Common.ns r.lb_ns) r.lb_chunks r.lb_spills)
+    large_real;
+  let large_des =
+    large_batch_des ~scale ~calib ~shards:smax ~writers:wmax
+  in
+  Printf.printf
+    "%-12s %12s %14s %14s   (%d shards, %d writers, cross_p=0.20, 10%% \
+     large)\n"
+    "payload" "TX/s" "small mean" "small max" smax wmax;
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %12s %14s %14s\n%!" r.ld_arm (Common.si r.ld_ups)
+        (Common.ns r.ld_small_mean_ns)
+        (Common.ns r.ld_small_max_ns))
+    large_des;
+  (let find a = List.find (fun r -> r.ld_arm = a) large_des in
+   let st = find "streamed" and mono = find "monolithic" in
+   Printf.printf
+     "streaming cuts the small-update tail %.1fx under 10%% large batches\n%!"
+     (mono.ld_small_max_ns /. st.ld_small_max_ns));
   (* recovery fan-out: per-shard work drops with 1/N *)
   Common.subsection
     (Printf.sprintf "per-shard recovery, %d keys, CLFLUSH pwbs, every \
@@ -415,7 +580,7 @@ let run_at ~scale_name ~scale ~ops ~recovery_keys ~shard_axis ~writer_axis =
       shard_axis
   in
   emit_json ~scale:scale_name ~calib ~scaling:(List.rev !scaling) ~cross
-    ~recovery "BENCH_shards.json"
+    ~large_real ~large_des ~recovery "BENCH_shards.json"
 
 let run scale =
   let ops, recovery_keys =
@@ -501,3 +666,52 @@ let cross_smoke () =
          dl c);
   Printf.printf "shards_cross ok: decentralized_lazy %.2fx centralized\n%!"
     (dl /. c)
+
+(* Quick regression check of the large-batch path for @bench-smoke: a
+   real cross-shard batch of multi-KB values must stream more chunks at
+   a smaller chunk_bytes (with its oversized undo images spilled) and
+   commit intact, and in the calibrated DES the streamed chunk chain
+   must show a smaller worst-case small-update latency than the same
+   payload held as one monolithic combiner slot — the degradation
+   property the chunked PREPARE exists to buy.  Fails loudly so the
+   alias catches a regression. *)
+let large_smoke () =
+  Common.section "shards_large: chunked large-batch regression check";
+  let rows = large_batch_real ~ops:48 ~chunk_axis:[ 512; 8192 ] in
+  (match rows with
+   | [ small; big ] ->
+     Printf.printf
+       "  chunk_bytes=%d: %.1f chunks/batch, %.1f spills; chunk_bytes=%d: \
+        %.1f chunks/batch\n%!"
+       small.lb_chunk_bytes small.lb_chunks small.lb_spills
+       big.lb_chunk_bytes big.lb_chunks;
+     if small.lb_chunks <= big.lb_chunks then
+       failwith
+         (Printf.sprintf
+            "shards_large: %d-byte chunks streamed %.1f chunks/batch, not \
+             more than %d-byte chunks' %.1f"
+            small.lb_chunk_bytes small.lb_chunks big.lb_chunk_bytes
+            big.lb_chunks);
+     if small.lb_spills < 1. then
+       failwith "shards_large: no undo images spilled for multi-KB values"
+   | _ -> assert false);
+  let calib = calibrate ~ops:60 in
+  let des = large_batch_des ~scale:Common.Quick ~calib ~shards:8 ~writers:32 in
+  List.iter
+    (fun r ->
+      Printf.printf "  %-10s %s TX/s  small mean %s  max %s\n%!" r.ld_arm
+        (Common.si r.ld_ups)
+        (Common.ns r.ld_small_mean_ns)
+        (Common.ns r.ld_small_max_ns))
+    des;
+  let find a = List.find (fun r -> r.ld_arm = a) des in
+  let st = find "streamed" and mono = find "monolithic" in
+  if not (st.ld_small_max_ns < mono.ld_small_max_ns) then
+    failwith
+      (Printf.sprintf
+         "shards_large: streamed small-update tail (%.0f ns) not below \
+          monolithic (%.0f ns)"
+         st.ld_small_max_ns mono.ld_small_max_ns);
+  Printf.printf
+    "shards_large ok: streaming cuts the small-update tail %.1fx\n%!"
+    (mono.ld_small_max_ns /. st.ld_small_max_ns)

@@ -876,6 +876,250 @@ let run_sharded_campaign (module P : PTM) ~nshards ~rounds ~seed ~verbose
     recovery_crashes = !rec_crashes;
     failures = !failures }
 
+(* ---- chunked intent-streaming campaign ---- *)
+
+(* Crash campaign for the chunked mirror chains.  Stores run with
+   deliberately small [chunk_bytes]/[spill_threshold] and the cross-shard
+   batch overwrites ~700-byte values with ~900-byte ones, so every
+   PREPARE streams a multi-chunk CRC-protected chain and spills every
+   undo image.  Per round (lazy and eager CLEAR alternating): an
+   instruction trap at a random point on every shard in turn; failpoint
+   kills mid-chain, at a spill, in the seal window (a complete but
+   unsealed chain must be collected as presumed-abort garbage), and
+   after the coordinator flip (roll-forward with parked chains); and a
+   kill inside recovery's chain GC itself, which must converge when
+   recovery is crashed and rerun.  The oracle requires the batch to be
+   exactly all-or-nothing — a torn large value is the failure this
+   campaign exists to catch — and every reopen to leave zero hooked
+   records.  A sanity pass per campaign asserts the degradation
+   counters actually move: chunks_written, chunks_spilled,
+   clear_flushes (via an explicit drain) and overload_rejections (via
+   an undersized admission budget refusing the batch with the typed
+   Overloaded and no persistent effect). *)
+let run_chunked_campaign (module P : PTM) ~nshards ~rounds ~seed ~verbose
+    ~policy =
+  let module SD = Kv.Sharded_db.Make (P) in
+  let rng = Workload.Keygen.create ~seed () in
+  let failures = ref [] in
+  let crashes = ref 0 in
+  let rec_crashes = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let pick_policy salt =
+    match policy with
+    | `Drop -> Pmem.Region.Drop_all
+    | `Keep -> Pmem.Region.Keep_all
+    | `Random -> Pmem.Region.Random_subset (seed + salt)
+    | `Torn -> Pmem.Region.Torn_words (seed + salt)
+    | `Mix -> (
+      match Workload.Keygen.int rng 4 with
+      | 0 -> Pmem.Region.Drop_all
+      | 1 -> Pmem.Region.Keep_all
+      | 2 -> Pmem.Region.Torn_words (seed + salt)
+      | _ -> Pmem.Region.Random_subset (seed + salt))
+  in
+  let chunk_bytes = 256 in
+  let spill_threshold = 192 in
+  let nkeys = 8 in
+  let key i = Printf.sprintf "blob%02d" i in
+  let big tag len =
+    String.init len (fun i -> Char.chr ((tag + (7 * i)) land 0xff))
+  in
+  let old_v i = big (3 + i) 700 in
+  let new_v i = big (101 + i) 900 in
+  let fresh_v = big 77 700 in
+  let fresh ?admission_budget ~protocol () =
+    let rs =
+      Array.init nshards (fun _ -> Pmem.Region.create ~size:(1 lsl 19) ())
+    in
+    let db =
+      SD.open_db ~protocol ~initial_buckets:8 ~chunk_bytes ~spill_threshold
+        ?admission_budget rs
+    in
+    for i = 0 to nkeys - 1 do
+      SD.put db (key i) (old_v i)
+    done;
+    (rs, db)
+  in
+  let reopen ~protocol rs =
+    SD.open_db ~protocol ~initial_buckets:8 ~chunk_bytes ~spill_threshold rs
+  in
+  let crash_all rs p = Array.iter (fun r -> Pmem.Region.crash r p) rs in
+  let run_batch db =
+    SD.write_batch db (fun b ->
+        for i = 0 to nkeys - 1 do
+          SD.put b (key i) (new_v i)
+        done;
+        SD.put b "fresh-blob" fresh_v)
+  in
+  let proto_for round =
+    Kv.Sharded_db.Decentralized { lazy_clear = round mod 2 = 0 }
+  in
+  (* all-or-nothing over large values: any torn byte fails the equality *)
+  let oracle what db ~expect =
+    (match SD.check db with
+     | Ok () -> ()
+     | Error e -> fail "%s: check: %s" what e);
+    let applied = SD.get db (key 0) = Some (new_v 0) in
+    (match expect with
+     | Some want when want <> applied ->
+       fail "%s: expected the batch %s, found it %s" what
+         (if want then "applied" else "rolled back")
+         (if applied then "applied" else "rolled back")
+     | _ -> ());
+    for i = 0 to nkeys - 1 do
+      let want = if applied then new_v i else old_v i in
+      if SD.get db (key i) <> Some want then
+        fail "%s: torn or half-applied value at %s" what (key i)
+    done;
+    (match (SD.get db "fresh-blob", applied) with
+     | Some v, true when v = fresh_v -> ()
+     | None, false -> ()
+     | _, _ -> fail "%s: fresh key disagrees with the batch outcome" what);
+    if SD.pending_intents db <> 0 then
+      fail "%s: records left hooked after recovery" what
+  in
+  (* sanity once per campaign: the batch crosses shards, chains really
+     stream and spill, an explicit drain ticks clear_flushes, and an
+     undersized admission budget refuses the batch typed and untouched *)
+  let coordinator =
+    let _, db = fresh ~protocol:(proto_for 0) () in
+    let groups =
+      List.sort_uniq compare
+        (SD.shard_of_key db "fresh-blob"
+         :: List.init nkeys (fun i -> SD.shard_of_key db (key i)))
+    in
+    if List.length groups < 2 then
+      fail "batch spans %d shard(s); campaign needs a cross-shard batch"
+        (List.length groups);
+    run_batch db;
+    let st = SD.stats db in
+    if st.Pmem.Stats.chunks_written < 2 * List.length groups then
+      fail "clean batch streamed only %d chunks over %d shards"
+        st.Pmem.Stats.chunks_written (List.length groups);
+    if st.Pmem.Stats.chunks_spilled < nkeys then
+      fail "clean batch spilled only %d undo images (want >= %d)"
+        st.Pmem.Stats.chunks_spilled nkeys;
+    SD.flush_clears db;
+    let st = SD.stats db in
+    if st.Pmem.Stats.clear_flushes = 0 then
+      fail "explicit drain ticked no clear_flushes";
+    if SD.pending_intents db <> 0 then
+      fail "flush_clears left %d records parked" (SD.pending_intents db);
+    for i = 0 to nkeys - 1 do
+      if SD.get db (key i) <> Some (new_v i) then
+        fail "clean chunked batch lost %s" (key i)
+    done;
+    let _, db = fresh ~admission_budget:256 ~protocol:(proto_for 0) () in
+    (match run_batch db with
+     | () -> fail "a 256-byte admission budget admitted a multi-KB batch"
+     | exception Kv.Sharded_db.Overloaded _ -> ()
+     | exception e ->
+       fail "admission refusal escaped untyped: %s" (Printexc.to_string e));
+    if (SD.stats db).Pmem.Stats.overload_rejections = 0 then
+      fail "refused batch ticked no overload_rejections";
+    for i = 0 to nkeys - 1 do
+      if SD.get db (key i) <> Some (old_v i) then
+        fail "refused batch touched %s" (key i)
+    done;
+    if SD.pending_intents db <> 0 then
+      fail "refused batch left records hooked";
+    List.hd groups
+  in
+  for round = 1 to rounds do
+    let salt = round * 41 in
+    let protocol = proto_for round in
+    (* (a) instruction trap at a random point on each shard's region *)
+    for t = 0 to nshards - 1 do
+      let rs, db = fresh ~protocol () in
+      Pmem.Region.set_trap rs.(t) (1 + Workload.Keygen.int rng 1200);
+      (match run_batch db with
+       | () -> Pmem.Region.clear_trap rs.(t)
+       | exception Pmem.Region.Crash_point -> incr crashes);
+      crash_all rs (pick_policy (salt + t));
+      let db = reopen ~protocol rs in
+      oracle (Printf.sprintf "round %d trap shard %d" round t) db
+        ~expect:None
+    done;
+    (* (b) failpoint kills: the coordinator's region is powered off from
+       inside the window; every pre-flip kill must roll back, the
+       post-flip one must roll forward.  The skip on the streaming sites
+       moves the kill along the chain (and across participants — the
+       counter is global), so torn chains of every length face every
+       policy over the rounds. *)
+    let windows =
+      [ ( "sharded.chunk.written", Some (Workload.Keygen.int rng 4),
+          Some false, fun st -> st.Pmem.Stats.rolled_back > 0 );
+        ( "sharded.chunk.spilled", Some (Workload.Keygen.int rng 3),
+          Some false, fun st -> st.Pmem.Stats.rolled_back > 0 );
+        ( "sharded.chunk.seal_window", Some (Workload.Keygen.int rng 2),
+          Some false, fun st -> st.Pmem.Stats.rolled_back > 0 );
+        ( "sharded.d.flip_written", None, Some true,
+          fun st -> st.Pmem.Stats.rolled_forward > 0 ) ]
+    in
+    List.iter
+      (fun (site, skip, expect, check_stats) ->
+        let rs, db = fresh ~protocol () in
+        let fired = ref false in
+        Fault.arm ?skip site (fun () ->
+            fired := true;
+            Pmem.Region.kill rs.(coordinator));
+        (match run_batch db with
+         | () -> Fault.disarm ()
+         | exception Pmem.Region.Crash_point ->
+           incr crashes;
+           Fault.disarm ());
+        if not !fired then fail "round %d: %s did not fire" round site
+        else begin
+          crash_all rs (pick_policy (salt + 7));
+          let db = reopen ~protocol rs in
+          oracle (Printf.sprintf "round %d %s" round site) db ~expect;
+          if not (check_stats (SD.stats db)) then
+            fail "round %d %s: protocol counters did not move" round site
+        end)
+      windows;
+    (* (c) a complete-but-unsealed chain (seal-window kill), then a
+       crash inside recovery's chain GC itself: the rerun must converge
+       on the rolled-back image — collection is idempotent *)
+    let rs, db = fresh ~protocol () in
+    Fault.arm "sharded.chunk.seal_window" (fun () ->
+        Pmem.Region.kill rs.(coordinator));
+    (match run_batch db with
+     | () ->
+       Fault.disarm ();
+       fail "round %d: seal-window kill did not fire" round
+     | exception Pmem.Region.Crash_point ->
+       incr crashes;
+       Fault.disarm ());
+    crash_all rs (pick_policy (salt + 11));
+    let gc_fired = ref false in
+    let t = Workload.Keygen.int rng nshards in
+    Fault.arm "sharded.chunk.gc" (fun () ->
+        gc_fired := true;
+        Pmem.Region.kill rs.(t));
+    let db =
+      match reopen ~protocol rs with
+      | db ->
+        Fault.disarm ();
+        db
+      | exception Pmem.Region.Crash_point ->
+        incr rec_crashes;
+        Fault.disarm ();
+        crash_all rs (pick_policy (salt + 13));
+        reopen ~protocol rs
+    in
+    if not !gc_fired then
+      fail "round %d: chain-GC window did not fire" round;
+    oracle (Printf.sprintf "round %d chain-GC crash" round) db
+      ~expect:(Some false);
+    if verbose then
+      Printf.printf "  ... %d/%d rounds, %d crashes (%d during recovery)\n%!"
+        round rounds !crashes !rec_crashes
+  done;
+  { rounds;
+    crashes = !crashes;
+    recovery_crashes = !rec_crashes;
+    failures = !failures }
+
 (* ---- command line ---- *)
 
 let ptm_arg =
@@ -980,6 +1224,20 @@ let decentralized_arg =
   in
   Arg.(value & flag & info [ "decentralized" ] ~doc)
 
+let chunked_arg =
+  let doc =
+    "With --shards, drive the chunked intent-streaming campaign instead: \
+     stores run with deliberately small chunk/spill knobs so every \
+     cross-shard PREPARE streams a multi-chunk CRC-protected mirror \
+     chain and spills its undo images, and the windows kill mid-chain, \
+     at a spill, in the seal window (a complete but unsealed chain is \
+     presumed-abort garbage), after the coordinator flip (roll-forward \
+     with parked chains), and inside recovery's chain GC itself.  \
+     Implies the decentralized protocol; lazy and eager CLEAR \
+     alternate across rounds."
+  in
+  Arg.(value & flag & info [ "chunked" ] ~doc)
+
 let list_failpoints_arg =
   let doc =
     "Print every registered failpoint site (raise-capable ones marked) \
@@ -992,8 +1250,8 @@ let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
 let main ptm workload rounds seed policy recovery_crashes failpoint
-    inject_exn scrub rot_rates_str nshards decentralized list_failpoints
-    verbose =
+    inject_exn scrub rot_rates_str nshards decentralized chunked
+    list_failpoints verbose =
   if list_failpoints then begin
     List.iter
       (fun s ->
@@ -1029,11 +1287,17 @@ let main ptm workload rounds seed policy recovery_crashes failpoint
        --workload selection does not apply *)
     List.iter
       (fun (pname, m) ->
-        Printf.printf "%-6s x %d-shard %s: %!" pname nshards
-          (if decentralized then "presumed-abort" else "batch-intent");
         let o =
-          run_sharded_campaign m ~nshards ~rounds ~seed ~verbose ~policy
-            ~decentralized
+          if chunked then begin
+            Printf.printf "%-6s x %d-shard chunked-stream: %!" pname nshards;
+            run_chunked_campaign m ~nshards ~rounds ~seed ~verbose ~policy
+          end
+          else begin
+            Printf.printf "%-6s x %d-shard %s: %!" pname nshards
+              (if decentralized then "presumed-abort" else "batch-intent");
+            run_sharded_campaign m ~nshards ~rounds ~seed ~verbose ~policy
+              ~decentralized
+          end
         in
         if o.failures = [] then
           Printf.printf "OK (%d seeds, %d crash-recoveries, %d crashes \
@@ -1156,6 +1420,7 @@ let cmd =
     Term.(const main $ ptm_arg $ workload_arg $ rounds_arg $ seed_arg
           $ policy_arg $ recovery_crashes_arg $ failpoint_arg
           $ inject_exn_arg $ scrub_arg $ rot_rates_arg $ shards_arg
-          $ decentralized_arg $ list_failpoints_arg $ verbose_arg)
+          $ decentralized_arg $ chunked_arg $ list_failpoints_arg
+          $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -58,11 +58,29 @@
 
 exception Invalid_shards of int
 
+exception Overloaded of { shard : int; in_flight : int; budget : int }
+
 type commit_protocol =
   | Centralized
   | Decentralized of { lazy_clear : bool }
 
 let default_protocol = Decentralized { lazy_clear = true }
+
+(* Chunked mirror streaming: a mirror whose payload exceeds [chunk_bytes]
+   is written as a linked chain of CRC-protected chunks, one engine
+   transaction each, and only becomes meaningful when a final seal
+   transaction flips the mirror's [sealed] word and applies the slice —
+   unsealed chains are garbage-collected as presumed abort. *)
+let min_chunk_bytes = 128
+
+let default_chunk_bytes = 16 * 1024
+let default_spill_threshold = 4 * 1024
+let default_admission_budget = 4 * 1024 * 1024
+let default_clear_flush_threshold = 32
+
+(* attempts a batch makes to get under the per-shard in-flight budget
+   before raising [Overloaded] *)
+let admission_retries = 6
 
 module type SHARD_PTM = sig
   include Romulus.Ptm_intf.S
@@ -89,6 +107,14 @@ let fp_rollback_undone = Fault.site "sharded.d.rollback_undone"
 let fp_recover_shard_done = Fault.site "sharded.recover.shard_done"
 let fp_recover_resolved = Fault.site "sharded.recover.mirror_resolved"
 let fp_recover_reconciled = Fault.site "sharded.recover.reconciled"
+
+(* chunk-chain windows: after each streamed chunk commit, after each
+   spilled undo image, between the last chunk and the seal transaction,
+   and after recovery garbage-collects an unsealed chain *)
+let fp_chunk_written = Fault.site "sharded.chunk.written"
+let fp_chunk_spilled = Fault.site "sharded.chunk.spilled"
+let fp_seal_window = Fault.site "sharded.chunk.seal_window"
+let fp_chunk_gc = Fault.site "sharded.chunk.gc"
 
 (* ---- record serialization (PTM-independent) ----
 
@@ -125,6 +151,27 @@ let encode ~nshards ~ops ~undo =
   add_kv_list b undo;
   Buffer.contents b
 
+(* An undo image inside a mirror payload: the key's pre-batch value
+   either did not exist, is stored inline, or — when larger than the
+   spill threshold — was spilled into its own CRC-protected record and
+   the payload carries only the (offset, length) reference. *)
+type undo_image =
+  | U_absent
+  | U_inline of string
+  | U_spilled of { off : int; len : int }
+
+let image_of_opt = function None -> U_absent | Some v -> U_inline v
+
+let add_image b = function
+  | U_absent -> Buffer.add_char b '\000'
+  | U_inline v ->
+    Buffer.add_char b '\001';
+    add_str b v
+  | U_spilled { off; len } ->
+    Buffer.add_char b '\002';
+    Buffer.add_int64_le b (Int64.of_int off);
+    Buffer.add_int64_le b (Int64.of_int len)
+
 (* Mirror payload: shard count, the slice's ops, then undo entries with
    a per-entry validity byte.  Returns the payload plus each undo key's
    validity-byte offset *relative to the payload start*, so a racing
@@ -136,15 +183,30 @@ let encode_mirror ~nshards ~ops ~undo =
   Buffer.add_int64_le b (Int64.of_int (List.length undo));
   let valid_offs =
     List.map
-      (fun (k, v) ->
+      (fun (k, img) ->
         let off = Buffer.length b in
         Buffer.add_char b '\001';
         add_str b k;
-        add_opt b v;
+        add_image b img;
         (k, off))
       undo
   in
   (Buffer.contents b, valid_offs)
+
+(* Exact length of the payload [encode_mirror] would produce with every
+   undo image inline — the admission-control charge of a mirror, and the
+   chunked-vs-fast-path decision, without building the string. *)
+let opt_len = function None -> 1 | Some v -> 1 + 8 + String.length v
+
+let mirror_payload_len ~ops ~undo =
+  let kv_list l =
+    8 + List.fold_left (fun a (k, v) -> a + 8 + String.length k + opt_len v) 0 l
+  in
+  8 + kv_list ops
+  + 8
+  + List.fold_left
+      (fun a (k, v) -> a + 1 + 8 + String.length k + opt_len v)
+      0 undo
 
 type parser_ = { payload : string; mutable pos : int }
 
@@ -192,6 +254,16 @@ let decode payload =
   let undo = take_kv_list pr "undo" in
   (nshards, ops, undo)
 
+let take_image pr what =
+  match take_byte pr what with
+  | '\000' -> U_absent
+  | '\001' -> U_inline (take_str pr what)
+  | '\002' ->
+    let off = take_int pr what in
+    let len = take_int pr what in
+    U_spilled { off; len }
+  | _ -> bad what
+
 (* Returns (nshards, ops, undo) where each undo entry carries its
    validity flag. *)
 let decode_mirror payload =
@@ -208,9 +280,65 @@ let decode_mirror payload =
           | _ -> bad "undo-validity"
         in
         let k = take_str pr "undo" in
-        (valid, (k, take_opt pr "undo")))
+        (valid, k, take_image pr "undo"))
   in
   (nshards, ops, undo)
+
+(* ---- chunk chains (PTM-independent) ----
+
+   A payload too large for one allocation is cut into bounded pieces;
+   each piece is stored in its own record with a CRC-32 and reassembled
+   on read with every CRC re-verified and the total length checked
+   against the mirror header.  Pure, so the round-trip and the
+   rejection of truncated / corrupted chains are testable without a
+   store. *)
+module Chunk = struct
+  let crc s = Pmem.Crc32.string s
+
+  (* cut [payload] into pieces of at most [chunk_bytes] (the last piece
+     may be shorter); the empty payload is one empty piece *)
+  let split ~chunk_bytes payload =
+    if chunk_bytes <= 0 then invalid_arg "Chunk.split: chunk_bytes <= 0";
+    let n = String.length payload in
+    if n = 0 then [ "" ]
+    else begin
+      let rec go pos acc =
+        if pos >= n then List.rev acc
+        else
+          let len = min chunk_bytes (n - pos) in
+          go (pos + len) (String.sub payload pos len :: acc)
+      in
+      go 0 []
+    end
+
+  (* reassemble a chain read back as (piece, stored_crc) pairs in chain
+     order; every piece must pass its CRC and the total must be exactly
+     [expect_len] *)
+  let join ~expect_len pieces =
+    let b = Buffer.create expect_len in
+    let rec go = function
+      | [] ->
+        if Buffer.length b <> expect_len then
+          Error
+            (Printf.sprintf "chunk chain holds %d bytes, mirror declares %d"
+               (Buffer.length b) expect_len)
+        else Ok (Buffer.contents b)
+      | (piece, stored) :: rest ->
+        if crc piece <> stored then
+          Error
+            (Printf.sprintf "chunk CRC mismatch at payload byte %d"
+               (Buffer.length b))
+        else if Buffer.length b + String.length piece > expect_len then
+          Error
+            (Printf.sprintf "chunk chain exceeds declared length %d"
+               expect_len)
+        else begin
+          Buffer.add_string b piece;
+          go rest
+        end
+    in
+    go pieces
+end
 
 module Make (P : SHARD_PTM) = struct
   module Map_ = Str_hash_map.Make (P)
@@ -224,15 +352,31 @@ module Make (P : SHARD_PTM) = struct
 
   (* A still-valid undo entry of an in-flight batch, consulted by racing
      single-key writes: [pu_valid] is the absolute offset of the entry's
-     validity byte inside shard [pu_shard]'s mirror record. *)
-  type pending_undo = { pu_shard : int; pu_mirror : int; pu_valid : int }
+     validity byte, which lives inside the payload chunk at [pu_chunk]
+     of shard [pu_shard]'s mirror — the chunk whose CRC an invalidation
+     must refresh. *)
+  type pending_undo = {
+    pu_shard : int;
+    pu_mirror : int;
+    pu_chunk : int;
+    pu_valid : int;
+  }
 
   (* Volatile protocol state, shared by every handle of one store (batch
      handles are shallow copies).  Lost at a crash by definition — the
      recovery reconciliation pass rebuilds the persistent truth and this
      record is reset. *)
+  (* Resource-governance knobs, fixed at [open_db]. *)
+  type config = {
+    chunk_bytes : int;
+    spill_threshold : int;
+    admission_budget : int;
+    clear_flush_threshold : int;
+  }
+
   type proto = {
     protocol : commit_protocol;
+    config : config;
     mutable next_batch_id : int;
     pending : (string, pending_undo) Hashtbl.t;
     (* per shard: committed-batch mirrors awaiting a piggybacked unhook *)
@@ -241,6 +385,10 @@ module Make (P : SHARD_PTM) = struct
     clearable_flips : int list array; (* flip_off *)
     (* batch id -> (coordinator, flip_off, mirrors still hooked) *)
     live_flips : (int, int * int * int ref) Hashtbl.t;
+    (* per shard: payload bytes of batches currently inside the commit
+       protocol, charged by admission control (volatile by design — a
+       crash empties the protocol) *)
+    in_flight : int array;
   }
 
   type t = { shard_arr : shard array; batch : batch option; proto : proto }
@@ -261,8 +409,28 @@ module Make (P : SHARD_PTM) = struct
   let status_committed = 2
 
   (* mirror record: next | batch id | coordinator | participant mask |
-     payload length | payload bytes *)
-  let mirror_hdr = 40
+     sealed | payload length | chunk-chain head | spill-list head.
+     The payload itself always lives in the chunk chain (a single chunk
+     on the fast path); [sealed] is 0 while the chain is streaming and
+     flipped to 1 in the transaction that applies the slice, so
+     sealed <=> slice applied and an unsealed chain is garbage for
+     recovery to collect. *)
+  let mirror_hdr = 64
+
+  let m_next = 0
+  let m_id = 8
+  let m_coord = 16
+  let m_mask = 24
+  let m_sealed = 32
+  let m_plen = 40
+  let m_chunks = 48
+  let m_spills = 56
+
+  (* chunk / spill record: next | byte length | crc32 | bytes *)
+  let chunk_hdr = 24
+
+  let c_len = 8
+  let c_crc = 16
 
   (* flip record: next | batch id | participant mask *)
   let flip_size = 24
@@ -312,6 +480,23 @@ module Make (P : SHARD_PTM) = struct
     tick s (fun st ->
         st.Pmem.Stats.rolled_back <- st.Pmem.Stats.rolled_back + 1)
 
+  let tick_chunk s =
+    tick s (fun st ->
+        st.Pmem.Stats.chunks_written <- st.Pmem.Stats.chunks_written + 1)
+
+  let tick_spill s =
+    tick s (fun st ->
+        st.Pmem.Stats.chunks_spilled <- st.Pmem.Stats.chunks_spilled + 1)
+
+  let tick_overload s =
+    tick s (fun st ->
+        st.Pmem.Stats.overload_rejections <-
+          st.Pmem.Stats.overload_rejections + 1)
+
+  let tick_clear_flush s =
+    tick s (fun st ->
+        st.Pmem.Stats.clear_flushes <- st.Pmem.Stats.clear_flushes + 1)
+
   (* ---- plain (non-batch) operations ---- *)
 
   let underlying_get t k = Map_.get (shard_for t k).map k
@@ -335,6 +520,12 @@ module Make (P : SHARD_PTM) = struct
       let sp = t.shard_arr.(pu.pu_shard).p in
       P.update_tx sp (fun () ->
           P.store_bytes sp pu.pu_valid "\000";
+          (* the validity byte lives inside a CRC-protected chunk:
+             refresh the chunk's CRC in the same transaction so a later
+             rollback read of the chain still verifies *)
+          let len = P.load sp (pu.pu_chunk + c_len) in
+          let bytes = P.load_bytes sp (pu.pu_chunk + chunk_hdr) len in
+          P.store sp (pu.pu_chunk + c_crc) (Chunk.crc bytes);
           apply_op s (k, v));
       Hashtbl.remove t.proto.pending k
 
@@ -488,6 +679,26 @@ module Make (P : SHARD_PTM) = struct
     in
     go 0 (P.get_root p slot)
 
+  (* free every record of a chunk or spill chain headed at [head]
+     (inside an update tx) *)
+  let free_chain p head =
+    let rec go c =
+      if c <> 0 then begin
+        let next = P.load p c in
+        P.free p c;
+        go next
+      end
+    in
+    go head
+
+  (* reclaim a mirror together with its chunk chain and spilled undo
+     images, and splice it out of the mirror list (inside an update tx);
+     never reads payload bytes, so it is safe on unsealed chains *)
+  let unhook_mirror p off =
+    free_chain p (P.load p (off + m_chunks));
+    free_chain p (P.load p (off + m_spills));
+    unhook p ~slot:mirror_slot off
+
   (* one durable transaction per shard, replaying that shard's slice *)
   let apply_groups t groups =
     List.iter
@@ -582,7 +793,7 @@ module Make (P : SHARD_PTM) = struct
 
   let drain_in_tx t i (mirrors, flips) =
     let p = t.shard_arr.(i).p in
-    List.iter (fun (off, _) -> unhook p ~slot:mirror_slot off) mirrors;
+    List.iter (fun (off, _) -> unhook_mirror p off) mirrors;
     List.iter (fun off -> unhook p ~slot:flip_slot off) flips
 
   let finish_drain t i (mirrors, flips) =
@@ -606,23 +817,301 @@ module Make (P : SHARD_PTM) = struct
       mirrors;
     if n > 0 then Fault.hit fp_mirror_cleared
 
-  (* replay the still-valid undo entries of the mirror at [off] and
-     unhook it, inside one transaction on shard [i]; reads the validity
-     bytes from the region so racing invalidations are honored *)
+  (* Run a protocol transaction that piggybacks shard [i]'s parked
+     lazy-CLEAR drain.  If the combined transaction overflows the redo
+     log, retry [f] alone — the records stay parked for a later flush —
+     so reclamation can never fail a batch that would fit by itself
+     (shrinking the chunk size cannot shrink the drain). *)
+  let tx_with_drain t i f =
+    let s = t.shard_arr.(i) in
+    let (mirrors, flips) as plan = drain_plan t i in
+    match
+      P.update_tx s.p (fun () ->
+          let r = f () in
+          drain_in_tx t i plan;
+          r)
+    with
+    | r ->
+      finish_drain t i plan;
+      r
+    | exception
+        Romulus.Engine.Tx_aborted { cause = Romulus.Redo_log.Overflow _; _ }
+      when mirrors <> [] || flips <> [] ->
+      P.update_tx s.p f
+
+  (* Dedicated reclamation transaction for one shard's parked records —
+     the bound on the lazy-CLEAR queues.  Unlike the piggybacked drain,
+     this pays its own transaction, so it only runs when asked
+     ([flush_clears]) or when a queue crosses the flush threshold. *)
+  let flush_shard_clears t i =
+    let (mirrors, flips) as plan = drain_plan t i in
+    if mirrors <> [] || flips <> [] then begin
+      let s = t.shard_arr.(i) in
+      P.update_tx s.p (fun () -> drain_in_tx t i plan);
+      tick_clear_flush s;
+      finish_drain t i plan
+    end
+
+  let flush_clears t =
+    let n = Array.length t.shard_arr in
+    for i = 0 to n - 1 do
+      flush_shard_clears t i
+    done;
+    (* draining a batch's last mirror releases its flip into the
+       coordinator's queue, which the first pass may already have
+       visited — a second pass leaves the store fully reclaimed *)
+    for i = 0 to n - 1 do
+      flush_shard_clears t i
+    done
+
+  (* After a commit, flush any shard whose parked queue crossed the
+     threshold — including shards the batch never touched, so a
+     write-quiet shard's stale mirrors are still reclaimed. *)
+  let maybe_flush_clears t =
+    let threshold = t.proto.config.clear_flush_threshold in
+    let n = Array.length t.shard_arr in
+    for i = 0 to n - 1 do
+      if
+        List.length t.proto.clearable_mirrors.(i)
+        + List.length t.proto.clearable_flips.(i)
+        >= threshold
+      then flush_shard_clears t i
+    done
+
+  (* ---- validated chunk-chain reads ---- *)
+
+  let chain_error msg =
+    raise (Romulus.Engine.Recovery_error ("sharded mirror: " ^ msg))
+
+  (* read and reassemble the payload of the *sealed* mirror at [off]
+     (inside a transaction on shard [s]); every chunk's CRC and the
+     total length are verified against the header *)
+  let read_payload_in_tx s off =
+    let p = s.p in
+    let plen = P.load p (off + m_plen) in
+    if plen < 0 then chain_error "negative payload length";
+    let rec pieces acc c =
+      if c = 0 then List.rev acc
+      else begin
+        let next = P.load p c in
+        let len = P.load p (c + c_len) in
+        if len < 0 || len > plen then
+          chain_error "chunk length out of range";
+        let stored = P.load p (c + c_crc) in
+        let bytes = P.load_bytes p (c + chunk_hdr) len in
+        pieces ((bytes, stored) :: acc) next
+      end
+    in
+    match
+      Chunk.join ~expect_len:plen (pieces [] (P.load p (off + m_chunks)))
+    with
+    | Ok payload -> payload
+    | Error msg -> chain_error msg
+
+  (* resolve a spilled undo image reference (CRC-checked) *)
+  let read_spill_in_tx s ~off ~len =
+    let p = s.p in
+    let slen = P.load p (off + c_len) in
+    if slen <> len then chain_error "spilled undo image length mismatch";
+    let stored = P.load p (off + c_crc) in
+    let bytes = P.load_bytes p (off + chunk_hdr) slen in
+    if Chunk.crc bytes <> stored then
+      chain_error "spilled undo image CRC mismatch";
+    bytes
+
+  (* replay the still-valid undo entries of the sealed mirror at [off]
+     and reclaim it (chunk chain and spills included), inside one
+     transaction on shard [i]; reads the validity bytes back from the
+     chain so racing invalidations are honored *)
   let rollback_mirror_tx t i off =
     let s = t.shard_arr.(i) in
     P.update_tx s.p (fun () ->
-        let plen = P.load s.p (off + 32) in
-        let payload = P.load_bytes s.p (off + mirror_hdr) plen in
+        let payload = read_payload_in_tx s off in
         let _, _, undo = decode_mirror payload in
         List.iter
-          (fun (valid, kv) -> if valid then apply_op s kv)
+          (fun (valid, k, img) ->
+            if valid then
+              match img with
+              | U_absent -> apply_op s (k, None)
+              | U_inline v -> apply_op s (k, Some v)
+              | U_spilled { off = soff; len } ->
+                apply_op s (k, Some (read_spill_in_tx s ~off:soff ~len)))
           undo;
-        unhook s.p ~slot:mirror_slot off)
+        unhook_mirror s.p off)
 
-  let cross_shard_batch_decentralized t ~lazy_clear groups =
-    let pr = t.proto in
+  (* collect a partially-streamed (unsealed) chain: nothing of its slice
+     was applied, so this only frees records — payload bytes are never
+     decoded, which is what makes it safe on arbitrary chain prefixes *)
+  let gc_mirror_tx t i off =
+    let s = t.shard_arr.(i) in
+    P.update_tx s.p (fun () -> unhook_mirror s.p off)
+
+  (* ---- PREPARE: one mirror per participant, fast or streamed ----
+
+     Fast path (payload fits one chunk, nothing to spill): one
+     transaction allocates chunk and sealed mirror, hooks it, reclaims
+     stale records and applies the slice — exactly one protocol
+     transaction per participant, as before chunking.
+
+     Streamed path: an *unsealed* mirror shell is hooked first; each
+     spilled undo image and each payload chunk then commits in its own
+     bounded transaction, linked into the shell as it goes; a final seal
+     transaction flips [sealed] and applies the slice.  A crash anywhere
+     before the seal leaves an unsealed chain that recovery collects as
+     presumed abort; a runtime abort collects it inline.  Sealed <=>
+     slice applied — the PR 6 invariant at chain granularity. *)
+  let prepare_shard t ~chunk_bytes i ~id ~coord ~mask slice =
+    let s = t.shard_arr.(i) in
+    let cfg = t.proto.config in
     let nshards = Array.length t.shard_arr in
+    let undo = undo_of t slice in
+    let inline_len = mirror_payload_len ~ops:slice ~undo in
+    let needs_spill =
+      List.exists
+        (fun (_, v) ->
+          match v with
+          | Some v -> String.length v > cfg.spill_threshold
+          | None -> false)
+        undo
+    in
+    if (not needs_spill) && inline_len <= chunk_bytes then begin
+      let payload, rel_offs =
+        encode_mirror ~nshards ~ops:slice
+          ~undo:(List.map (fun (k, v) -> (k, image_of_opt v)) undo)
+      in
+      let plen = String.length payload in
+      let moff, coff =
+        tx_with_drain t i (fun () ->
+            let c = P.alloc s.p (chunk_hdr + plen) in
+            P.store s.p c 0;
+            P.store s.p (c + c_len) plen;
+            P.store s.p (c + c_crc) (Chunk.crc payload);
+            P.store_bytes s.p (c + chunk_hdr) payload;
+            let o = P.alloc s.p mirror_hdr in
+            P.store s.p (o + m_next) (P.get_root s.p mirror_slot);
+            P.store s.p (o + m_id) id;
+            P.store s.p (o + m_coord) coord;
+            P.store s.p (o + m_mask) mask;
+            P.store s.p (o + m_sealed) 1;
+            P.store s.p (o + m_plen) plen;
+            P.store s.p (o + m_chunks) c;
+            P.store s.p (o + m_spills) 0;
+            P.set_root s.p mirror_slot o;
+            List.iter (apply_op s) slice;
+            (o, c))
+      in
+      tick_chunk s;
+      ( moff,
+        List.map (fun (k, rel) -> (k, coff, coff + chunk_hdr + rel)) rel_offs
+      )
+    end
+    else begin
+      (* unsealed shell first: from here the chain is crash-visible and
+         recovery (or the inline abort path) can always collect it *)
+      let moff =
+        tx_with_drain t i (fun () ->
+            let o = P.alloc s.p mirror_hdr in
+            P.store s.p (o + m_next) (P.get_root s.p mirror_slot);
+            P.store s.p (o + m_id) id;
+            P.store s.p (o + m_coord) coord;
+            P.store s.p (o + m_mask) mask;
+            P.store s.p (o + m_sealed) 0;
+            P.store s.p (o + m_plen) 0;
+            P.store s.p (o + m_chunks) 0;
+            P.store s.p (o + m_spills) 0;
+            P.set_root s.p mirror_slot o;
+            o)
+      in
+      try
+        (* oversized undo images leave the payload: one record each,
+           linked into the shell's spill list *)
+        let images =
+          List.map
+            (fun (k, v) ->
+              match v with
+              | Some v when String.length v > cfg.spill_threshold ->
+                let len = String.length v in
+                let soff =
+                  P.update_tx s.p (fun () ->
+                      let o = P.alloc s.p (chunk_hdr + len) in
+                      P.store s.p o (P.load s.p (moff + m_spills));
+                      P.store s.p (o + c_len) len;
+                      P.store s.p (o + c_crc) (Chunk.crc v);
+                      P.store_bytes s.p (o + chunk_hdr) v;
+                      P.store s.p (moff + m_spills) o;
+                      o)
+                in
+                tick_spill s;
+                Fault.hit fp_chunk_spilled;
+                (k, U_spilled { off = soff; len })
+              | v -> (k, image_of_opt v))
+            undo
+        in
+        let payload, rel_offs =
+          encode_mirror ~nshards ~ops:slice ~undo:images
+        in
+        (* stream the chain, tracking each piece's payload interval so
+           validity-byte offsets can be mapped into their chunks *)
+        let segs = ref [] in
+        let prev = ref 0 in
+        let pos = ref 0 in
+        List.iter
+          (fun piece ->
+            let at = !pos and prev_off = !prev in
+            let plen = String.length piece in
+            let coff =
+              P.update_tx s.p (fun () ->
+                  let c = P.alloc s.p (chunk_hdr + plen) in
+                  P.store s.p c 0;
+                  P.store s.p (c + c_len) plen;
+                  P.store s.p (c + c_crc) (Chunk.crc piece);
+                  P.store_bytes s.p (c + chunk_hdr) piece;
+                  if prev_off = 0 then P.store s.p (moff + m_chunks) c
+                  else P.store s.p prev_off c;
+                  c)
+            in
+            segs := (coff, at, plen) :: !segs;
+            prev := coff;
+            pos := at + plen;
+            tick_chunk s;
+            Fault.hit fp_chunk_written)
+          (Chunk.split ~chunk_bytes payload);
+        let segs = List.rev !segs in
+        Fault.hit fp_seal_window;
+        (* the seal: sealed <=> slice applied, atomically *)
+        P.update_tx s.p (fun () ->
+            P.store s.p (moff + m_plen) (String.length payload);
+            P.store s.p (moff + m_sealed) 1;
+            List.iter (apply_op s) slice);
+        let abs_of rel =
+          let rec find = function
+            | (c, st, ln) :: rest ->
+              if rel >= st && rel < st + ln then
+                (c, c + chunk_hdr + (rel - st))
+              else find rest
+            | [] -> assert false
+          in
+          find segs
+        in
+        ( moff,
+          List.map
+            (fun (k, rel) ->
+              let c, a = abs_of rel in
+              (k, c, a))
+            rel_offs )
+      with
+      | Pmem.Region.Crash_point ->
+        (* dead machine: recovery collects the unsealed chain *)
+        raise Pmem.Region.Crash_point
+      | e ->
+        (* runtime abort mid-stream: collect our own unsealed chain
+           before re-raising to the batch-level abort handler *)
+        gc_mirror_tx t i moff;
+        raise e
+    end
+
+  let cross_shard_batch_decentralized t ~lazy_clear ~chunk_bytes groups =
+    let pr = t.proto in
     let id = pr.next_batch_id in
     pr.next_batch_id <- id + 1;
     let coord = fst (List.hd groups) in
@@ -637,44 +1126,27 @@ module Make (P : SHARD_PTM) = struct
       registered := []
     in
     match
-      (* PREPARE+APPLY: one transaction per participant writes the
-         shard's intent mirror and applies its slice — atomic per shard,
-         so a durable mirror always means an applied slice.  Stale
-         mirrors of earlier committed batches are reclaimed inside the
-         same transaction (the lazy CLEAR). *)
+      (* PREPARE+APPLY: each participant's mirror becomes durable-and-
+         sealed in the same transaction that applies its slice (the fast
+         path), or via a streamed chain whose seal transaction applies
+         the slice — either way a sealed mirror always means an applied
+         slice.  Stale records of earlier committed batches are
+         reclaimed inside the protocol transactions (the lazy CLEAR). *)
       List.iter
         (fun (i, slice) ->
-          let s = t.shard_arr.(i) in
-          let undo = undo_of t slice in
-          let payload, valid_offs =
-            encode_mirror ~nshards ~ops:slice ~undo
+          let moff, valids =
+            prepare_shard t ~chunk_bytes i ~id ~coord ~mask slice
           in
-          let plan = drain_plan t i in
-          let off =
-            P.update_tx s.p (fun () ->
-                let o = P.alloc s.p (mirror_hdr + String.length payload) in
-                P.store s.p o (P.get_root s.p mirror_slot);
-                P.store s.p (o + 8) id;
-                P.store s.p (o + 16) coord;
-                P.store s.p (o + 24) mask;
-                P.store s.p (o + 32) (String.length payload);
-                P.store_bytes s.p (o + mirror_hdr) payload;
-                P.set_root s.p mirror_slot o;
-                drain_in_tx t i plan;
-                List.iter (apply_op s) slice;
-                o)
-          in
-          applied := (i, off) :: !applied;
-          tick_prepare s;
-          finish_drain t i plan;
+          applied := (i, moff) :: !applied;
+          tick_prepare t.shard_arr.(i);
           (* expose the undo entries to racing single-key writes *)
           List.iter
-            (fun (k, rel) ->
+            (fun (k, coff, aoff) ->
               Hashtbl.replace pr.pending k
-                { pu_shard = i; pu_mirror = off;
-                  pu_valid = off + mirror_hdr + rel };
+                { pu_shard = i; pu_mirror = moff; pu_chunk = coff;
+                  pu_valid = aoff };
               registered := k :: !registered)
-            valid_offs;
+            valids;
           Fault.hit fp_mirror_applied)
         groups
     with
@@ -683,32 +1155,32 @@ module Make (P : SHARD_PTM) = struct
          durability point.  Also a piggyback opportunity for the
          coordinator's own stale records. *)
       let sc = t.shard_arr.(coord) in
-      let plan = drain_plan t coord in
       let flip_off =
-        P.update_tx sc.p (fun () ->
+        tx_with_drain t coord (fun () ->
             let o = P.alloc sc.p flip_size in
             P.store sc.p o (P.get_root sc.p flip_slot);
             P.store sc.p (o + 8) id;
             P.store sc.p (o + 16) mask;
             P.set_root sc.p flip_slot o;
-            drain_in_tx t coord plan;
             o)
       in
       tick_flip sc;
-      finish_drain t coord plan;
       unregister ();
       Fault.hit fp_flip_written;
       let participants = !applied in
       if lazy_clear then begin
         (* CLEAR is deferred: each mirror rides its shard's next PREPARE;
-           the flip follows once every mirror is gone *)
+           the flip follows once every mirror is gone.  Queues are
+           bounded: any shard past the flush threshold is drained by a
+           dedicated transaction right away. *)
         Hashtbl.replace pr.live_flips id
           (coord, flip_off, ref (List.length participants));
         List.iter
           (fun (i, off) ->
             pr.clearable_mirrors.(i) <-
               (off, id) :: pr.clearable_mirrors.(i))
-          participants
+          participants;
+        maybe_flush_clears t
       end
       else begin
         (* eager CLEAR: one transaction per participant, then the flip *)
@@ -742,6 +1214,45 @@ module Make (P : SHARD_PTM) = struct
       unregister ();
       wrap_abort e backtrace
 
+  (* ---- admission control ----
+
+     Every decentralized batch is charged its per-shard mirror footprint
+     (the exact inline-encoded payload length) against a volatile
+     per-shard in-flight budget *before any persistent effect*.  A batch
+     that cannot fit spins through a bounded backoff and then fails with
+     the typed [Overloaded] — raised directly, not wrapped in
+     [Tx_aborted], because nothing was written.  A single batch larger
+     than the whole budget fails immediately: no backoff can help it. *)
+
+  let backoff_spin round =
+    for _ = 1 to (round + 1) * 64 do
+      Domain.cpu_relax ()
+    done
+
+  let admit t charges =
+    let budget = t.proto.config.admission_budget in
+    let infl = t.proto.in_flight in
+    let rec attempt round =
+      match
+        List.find_opt (fun (i, c) -> infl.(i) + c > budget) charges
+      with
+      | None -> List.iter (fun (i, c) -> infl.(i) <- infl.(i) + c) charges
+      | Some (i, c) ->
+        if round < admission_retries && c <= budget then begin
+          backoff_spin round;
+          attempt (round + 1)
+        end
+        else begin
+          tick_overload t.shard_arr.(i);
+          raise (Overloaded { shard = i; in_flight = infl.(i); budget })
+        end
+    in
+    attempt 0
+
+  let release t charges =
+    let infl = t.proto.in_flight in
+    List.iter (fun (i, c) -> infl.(i) <- infl.(i) - c) charges
+
   let commit_batch t b =
     let ops = List.rev b.ops in
     if ops <> [] then begin
@@ -756,7 +1267,34 @@ module Make (P : SHARD_PTM) = struct
         match t.proto.protocol with
         | Centralized -> cross_shard_batch_centralized t groups ops
         | Decentralized { lazy_clear } ->
-          cross_shard_batch_decentralized t ~lazy_clear groups)
+          let charges =
+            List.map
+              (fun (i, slice) ->
+                (i, mirror_payload_len ~ops:slice ~undo:(undo_of t slice)))
+              groups
+          in
+          admit t charges;
+          Fun.protect
+            ~finally:(fun () -> release t charges)
+            (fun () ->
+              (* A redo-log overflow inside PREPARE aborts cleanly (the
+                 batch-level handler already rolled every applied mirror
+                 back), so re-enter the chunked path with smaller chunks
+                 — bounding each protocol transaction — instead of
+                 surfacing the overflow.  When even [min_chunk_bytes]
+                 overflows (the slice itself is too wide for the redo
+                 log) the typed [Tx_aborted] carries the cause. *)
+              let rec attempt chunk_bytes =
+                try
+                  cross_shard_batch_decentralized t ~lazy_clear
+                    ~chunk_bytes groups
+                with
+                | Romulus.Engine.Tx_aborted
+                    { cause = Romulus.Redo_log.Overflow _; _ }
+                  when chunk_bytes > min_chunk_bytes ->
+                  attempt (max min_chunk_bytes (chunk_bytes / 4))
+              in
+              attempt t.proto.config.chunk_bytes))
     end
 
   let write_batch t f =
@@ -848,34 +1386,48 @@ module Make (P : SHARD_PTM) = struct
       let rec resolve_head () =
         let head = P.read_tx s.p (fun () -> P.get_root s.p mirror_slot) in
         if head <> 0 then begin
-          let id, coord, plen =
+          let id, coord, sealed =
             P.read_tx s.p (fun () ->
-                (P.load s.p (head + 8), P.load s.p (head + 16),
-                 P.load s.p (head + 32)))
+                (P.load s.p (head + m_id), P.load s.p (head + m_coord),
+                 P.load s.p (head + m_sealed)))
           in
-          let payload =
-            P.read_tx s.p (fun () ->
-                P.load_bytes s.p (head + mirror_hdr) plen)
-          in
-          let nshards, _, _ = decode_mirror payload in
-          if nshards <> n then
-            raise
-              (Romulus.Engine.Recovery_error
-                 (Printf.sprintf
-                    "sharded mirror names %d shards, store has %d" nshards n));
           if coord < 0 || coord >= n then
             raise
               (Romulus.Engine.Recovery_error
                  (Printf.sprintf "sharded mirror names coordinator %d of %d"
                     coord n));
-          if Hashtbl.mem flips (coord, id) then begin
-            (* committed: the slice is already applied; reclaim only *)
-            P.update_tx s.p (fun () -> unhook s.p ~slot:mirror_slot head);
-            tick_forward s
+          if sealed <> 0 && sealed <> 1 then
+            raise
+              (Romulus.Engine.Recovery_error
+                 (Printf.sprintf "sharded mirror has bad seal word %d" sealed));
+          if sealed = 0 then begin
+            (* partially-streamed chain, never sealed: the slice was
+               never applied, so the whole chain is presumed-abort
+               garbage — collected without decoding a byte *)
+            gc_mirror_tx t i head;
+            tick_back s;
+            Fault.hit fp_chunk_gc
           end
           else begin
-            rollback_mirror_tx t i head;
-            tick_back s
+            let payload =
+              P.read_tx s.p (fun () -> read_payload_in_tx s head)
+            in
+            let nshards, _, _ = decode_mirror payload in
+            if nshards <> n then
+              raise
+                (Romulus.Engine.Recovery_error
+                   (Printf.sprintf
+                      "sharded mirror names %d shards, store has %d" nshards
+                      n));
+            if Hashtbl.mem flips (coord, id) then begin
+              (* committed: the slice is already applied; reclaim only *)
+              P.update_tx s.p (fun () -> unhook_mirror s.p head);
+              tick_forward s
+            end
+            else begin
+              rollback_mirror_tx t i head;
+              tick_back s
+            end
           end;
           Fault.hit fp_recover_resolved;
           resolve_head ()
@@ -907,6 +1459,7 @@ module Make (P : SHARD_PTM) = struct
     Hashtbl.reset pr.live_flips;
     Array.fill pr.clearable_mirrors 0 (Array.length pr.clearable_mirrors) [];
     Array.fill pr.clearable_flips 0 (Array.length pr.clearable_flips) [];
+    Array.fill pr.in_flight 0 (Array.length pr.in_flight) 0;
     reconcile_centralized t;
     reconcile_decentralized t
 
@@ -966,10 +1519,23 @@ module Make (P : SHARD_PTM) = struct
   (* ---- construction, snapshots ---- *)
 
   let open_db ?(protocol = default_protocol) ?(initial_buckets = 1024)
-      regions =
+      ?(chunk_bytes = default_chunk_bytes)
+      ?(spill_threshold = default_spill_threshold)
+      ?(admission_budget = default_admission_budget)
+      ?(clear_flush_threshold = default_clear_flush_threshold) regions =
     if Array.length regions = 0 then raise (Invalid_shards 0);
     if initial_buckets <= 0 then
       raise (Romulus_db.Invalid_buckets initial_buckets);
+    if chunk_bytes < min_chunk_bytes then
+      invalid_arg
+        (Printf.sprintf "Sharded_db.open_db: chunk_bytes %d < minimum %d"
+           chunk_bytes min_chunk_bytes);
+    if spill_threshold <= 0 then
+      invalid_arg "Sharded_db.open_db: spill_threshold must be positive";
+    if admission_budget <= 0 then
+      invalid_arg "Sharded_db.open_db: admission_budget must be positive";
+    if clear_flush_threshold <= 0 then
+      invalid_arg "Sharded_db.open_db: clear_flush_threshold must be positive";
     let shard_arr =
       Array.map
         (fun region ->
@@ -979,10 +1545,13 @@ module Make (P : SHARD_PTM) = struct
         regions
     in
     let n = Array.length shard_arr in
+    let config =
+      { chunk_bytes; spill_threshold; admission_budget; clear_flush_threshold }
+    in
     let proto =
-      { protocol; next_batch_id = 1; pending = Hashtbl.create 16;
+      { protocol; config; next_batch_id = 1; pending = Hashtbl.create 16;
         clearable_mirrors = Array.make n []; clearable_flips = Array.make n [];
-        live_flips = Hashtbl.create 8 }
+        live_flips = Hashtbl.create 8; in_flight = Array.make n 0 }
     in
     let t = { shard_arr; batch = None; proto } in
     reconcile t;
@@ -995,14 +1564,16 @@ module Make (P : SHARD_PTM) = struct
           (Pmem.Region.shard_snapshot_path base ~shard:i))
       t.shard_arr
 
-  let open_from_files ?fence ?protocol ?initial_buckets ~shards base =
+  let open_from_files ?fence ?protocol ?initial_buckets ?chunk_bytes
+      ?spill_threshold ?admission_budget ?clear_flush_threshold ~shards base =
     if shards <= 0 then raise (Invalid_shards shards);
     let regions =
       Array.init shards (fun i ->
           Pmem.Region.load_from_file ?fence
             (Pmem.Region.shard_snapshot_path base ~shard:i))
     in
-    open_db ?protocol ?initial_buckets regions
+    open_db ?protocol ?initial_buckets ?chunk_bytes ?spill_threshold
+      ?admission_budget ?clear_flush_threshold regions
 end
 
 (* The default sharded store: RomulusLog per shard, as in RomulusDB. *)

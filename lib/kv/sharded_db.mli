@@ -24,14 +24,37 @@
       eagerly instead (one extra transaction per participant plus one on
       the coordinator).
 
+    Mirror payloads are {e chunked}: a payload that fits one
+    [chunk_bytes] allocation rides the single PREPARE transaction as
+    before, while a larger one streams as a linked chain of bounded,
+    CRC-32-protected chunk records — one engine transaction each — made
+    valid only by a final {e seal} transaction that flips the mirror's
+    seal word and applies the slice in the same transaction.  Unsealed
+    chains are presumed-abort garbage that recovery (or the inline abort
+    path) collects without decoding a byte.  Undo images larger than
+    [spill_threshold] are spilled into their own CRC-protected records
+    and referenced from the payload, so rollback data for very large
+    values never inflates the payload chain.  Graceful degradation is
+    governed by per-shard admission control: each cross-shard batch is
+    charged its encoded payload bytes against [admission_budget] before
+    any persistent effect, and an overloaded shard fails the batch with
+    the typed {!Overloaded} (after a bounded backoff) rather than
+    surfacing [Palloc.Out_of_memory]; a redo-log overflow mid-PREPARE
+    aborts cleanly and retries the batch with smaller chunks (and a
+    piggybacked lazy-CLEAR drain that overflows a protocol transaction
+    is dropped from it — the records stay parked — rather than failing
+    a batch that would fit alone).
+
     Recovery reconciles by presumed abort: every surviving mirror is
     resolved against its coordinator's flip — flip present means the
     batch committed (the slice is already applied, the mirror is just
     reclaimed); flip absent means the batch aborted, and the mirror's
-    still-valid undo images are rolled back.  Crash-during-recovery is
-    idempotent.  The legacy [Centralized] shard-0 intent protocol is kept
-    for ablation; recovery reconciles both protocols' state regardless of
-    the protocol the store was opened with.
+    still-valid undo images are rolled back (chunk chain and spilled
+    images re-verified against their CRCs; unsealed chains collected).
+    Crash-during-recovery is idempotent.  The legacy [Centralized]
+    shard-0 intent protocol is kept for ablation; recovery reconciles
+    both protocols' state regardless of the protocol the store was
+    opened with.
 
     Isolation caveat: a cross-shard batch is crash-atomic and its shards
     individually linearizable, but concurrent readers may observe the
@@ -43,6 +66,14 @@
 
 (** Raised by [open_db] when given an empty shard array. *)
 exception Invalid_shards of int
+
+(** Raised by a cross-shard batch refused by admission control: shard
+    [shard] already has [in_flight] payload bytes inside the commit
+    protocol and the batch's charge would exceed [budget].  Raised
+    before any persistent effect (never wrapped in [Tx_aborted]), after
+    a bounded backoff — immediately when the batch alone exceeds the
+    budget. *)
+exception Overloaded of { shard : int; in_flight : int; budget : int }
 
 (** How a cross-shard [write_batch] reaches durability.  [Centralized] is
     the legacy single-record protocol in shard 0 (PREPARE / APPLY /
@@ -56,6 +87,34 @@ type commit_protocol =
 
 (** [Decentralized { lazy_clear = true }]. *)
 val default_protocol : commit_protocol
+
+(** Smallest accepted [chunk_bytes] (the floor the redo-log-overflow
+    retry shrinks toward). *)
+val min_chunk_bytes : int
+
+val default_chunk_bytes : int
+val default_spill_threshold : int
+val default_admission_budget : int
+val default_clear_flush_threshold : int
+
+(** Pure chunk-chain codec used for mirror payloads; exposed so the
+    round-trip and corruption-rejection properties are testable without
+    a store. *)
+module Chunk : sig
+  (** CRC-32 of a piece, as stored in its chunk record. *)
+  val crc : string -> int
+
+  (** Cut a payload into pieces of at most [chunk_bytes] bytes, in
+      order; the last piece may be shorter and an empty payload is one
+      empty piece.  Raises [Invalid_argument] when [chunk_bytes <= 0]. *)
+  val split : chunk_bytes:int -> string -> string list
+
+  (** Reassemble a chain read back as [(piece, stored_crc)] pairs in
+      chain order.  [Error] when any piece fails its CRC or the total
+      length differs from [expect_len] (truncated or over-long chain). *)
+  val join :
+    expect_len:int -> (string * int) list -> (string, string) result
+end
 
 (** Any of the Romulus front-ends: the PTM signature plus the recovery /
     scrub / diagnostics hooks every shard needs. *)
@@ -77,13 +136,29 @@ module Make (P : SHARD_PTM) : sig
       recovered as usual, then any protocol state left by a crash is
       reconciled.  [protocol] (default {!default_protocol}) selects the
       cross-shard commit protocol for batches issued through this handle;
-      reconciliation always covers both protocols.  Raises
-      {!Invalid_shards} on an empty array and
+      reconciliation always covers both protocols.
+
+      [chunk_bytes] (default {!default_chunk_bytes}) bounds each mirror
+      payload chunk — and therefore each streamed PREPARE transaction;
+      [spill_threshold] (default {!default_spill_threshold}) is the
+      undo-image size above which the pre-image is spilled into its own
+      record; [admission_budget] (default {!default_admission_budget})
+      caps each shard's in-flight cross-shard payload bytes (see
+      {!Overloaded}); [clear_flush_threshold] (default
+      {!default_clear_flush_threshold}) bounds the lazy-CLEAR queues
+      (see {!val-flush_clears}).
+
+      Raises {!Invalid_shards} on an empty array,
       {!Romulus_db.Invalid_buckets} when [initial_buckets] is not
-      positive. *)
+      positive, and [Invalid_argument] when [chunk_bytes] is below
+      {!min_chunk_bytes} or another knob is not positive. *)
   val open_db :
     ?protocol:commit_protocol ->
     ?initial_buckets:int ->
+    ?chunk_bytes:int ->
+    ?spill_threshold:int ->
+    ?admission_budget:int ->
+    ?clear_flush_threshold:int ->
     Pmem.Region.t array ->
     t
 
@@ -139,6 +214,15 @@ module Make (P : SHARD_PTM) : sig
       (or recovery) reclaims them. *)
   val pending_intents : t -> int
 
+  (** Reclaim every parked lazy-CLEAR record now, in dedicated
+      transactions (one per shard with a non-empty queue, counted in
+      [Stats.clear_flushes]).  The same drain runs automatically for any
+      shard whose queue reaches [clear_flush_threshold], so a
+      write-quiet shard's stale mirrors are reclaimed without waiting
+      for its next protocol transaction.  After this, a quiescent store
+      reports zero {!pending_intents} even under lazy CLEAR. *)
+  val flush_clears : t -> unit
+
   (** Scrub every shard's twins; the report sums the per-shard reports.
       Raises [Romulus.Engine.Unrepairable] as the per-shard scrub does. *)
   val scrub : t -> Romulus.Engine.scrub_report
@@ -157,6 +241,10 @@ module Make (P : SHARD_PTM) : sig
     ?fence:Pmem.Fence.profile ->
     ?protocol:commit_protocol ->
     ?initial_buckets:int ->
+    ?chunk_bytes:int ->
+    ?spill_threshold:int ->
+    ?admission_budget:int ->
+    ?clear_flush_threshold:int ->
     shards:int ->
     string ->
     t

@@ -38,6 +38,10 @@ type t = {
   mutable lazy_clears : int;
   mutable rolled_forward : int;
   mutable rolled_back : int;
+  mutable chunks_written : int;
+  mutable chunks_spilled : int;
+  mutable overload_rejections : int;
+  mutable clear_flushes : int;
 }
 
 let create () =
@@ -47,7 +51,8 @@ let create () =
     tx_aborts = 0; scrubbed_lines = 0; repaired_lines = 0;
     unrepairable_lines = 0; media_errors = 0; intent_prepares = 0;
     coordinator_flips = 0; lazy_clears = 0; rolled_forward = 0;
-    rolled_back = 0 }
+    rolled_back = 0; chunks_written = 0; chunks_spilled = 0;
+    overload_rejections = 0; clear_flushes = 0 }
 
 let reset t =
   t.pwbs <- 0; t.pfences <- 0; t.psyncs <- 0; t.loads <- 0; t.stores <- 0;
@@ -56,7 +61,8 @@ let reset t =
   t.tx_aborts <- 0; t.scrubbed_lines <- 0; t.repaired_lines <- 0;
   t.unrepairable_lines <- 0; t.media_errors <- 0; t.intent_prepares <- 0;
   t.coordinator_flips <- 0; t.lazy_clears <- 0; t.rolled_forward <- 0;
-  t.rolled_back <- 0
+  t.rolled_back <- 0; t.chunks_written <- 0; t.chunks_spilled <- 0;
+  t.overload_rejections <- 0; t.clear_flushes <- 0
 
 let snapshot t = { t with pwbs = t.pwbs }
 
@@ -84,7 +90,11 @@ let since ~now ~past =
     coordinator_flips = now.coordinator_flips - past.coordinator_flips;
     lazy_clears = now.lazy_clears - past.lazy_clears;
     rolled_forward = now.rolled_forward - past.rolled_forward;
-    rolled_back = now.rolled_back - past.rolled_back }
+    rolled_back = now.rolled_back - past.rolled_back;
+    chunks_written = now.chunks_written - past.chunks_written;
+    chunks_spilled = now.chunks_spilled - past.chunks_spilled;
+    overload_rejections = now.overload_rejections - past.overload_rejections;
+    clear_flushes = now.clear_flushes - past.clear_flushes }
 
 (* Field-wise sum, as a fresh independent record: the cross-shard view of
    a store whose shards each meter their own region. *)
@@ -114,7 +124,11 @@ let aggregate ts =
       a.coordinator_flips <- a.coordinator_flips + t.coordinator_flips;
       a.lazy_clears <- a.lazy_clears + t.lazy_clears;
       a.rolled_forward <- a.rolled_forward + t.rolled_forward;
-      a.rolled_back <- a.rolled_back + t.rolled_back)
+      a.rolled_back <- a.rolled_back + t.rolled_back;
+      a.chunks_written <- a.chunks_written + t.chunks_written;
+      a.chunks_spilled <- a.chunks_spilled + t.chunks_spilled;
+      a.overload_rejections <- a.overload_rejections + t.overload_rejections;
+      a.clear_flushes <- a.clear_flushes + t.clear_flushes)
     ts;
   a
 
@@ -137,10 +151,12 @@ let pp ppf t =
     "pwb=%d pfence=%d psync=%d loads=%d stores=%d nvm=%dB user=%dB \
      loaded=%dB copies=%d replicated=%dB commits=%d amp=%.2f delay=%dns \
      crashes=%d aborts=%d scrubbed=%d repaired=%d unrepairable=%d \
-     media_errors=%d prepares=%d flips=%d lazy_clears=%d fwd=%d back=%d"
+     media_errors=%d prepares=%d flips=%d lazy_clears=%d fwd=%d back=%d \
+     chunks=%d spilled=%d overloads=%d clear_flushes=%d"
     t.pwbs t.pfences t.psyncs t.loads t.stores t.nvm_bytes t.user_bytes
     t.load_bytes t.copy_calls t.replicated_bytes t.commits
     (write_amplification t) t.delay_ns t.crashes t.tx_aborts
     t.scrubbed_lines t.repaired_lines t.unrepairable_lines t.media_errors
     t.intent_prepares t.coordinator_flips t.lazy_clears t.rolled_forward
-    t.rolled_back
+    t.rolled_back t.chunks_written t.chunks_spilled t.overload_rejections
+    t.clear_flushes

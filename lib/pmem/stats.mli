@@ -24,6 +24,10 @@ type t = {
   mutable lazy_clears : int;        (** intent records reclaimed lazily (piggybacked on a later protocol transaction) *)
   mutable rolled_forward : int;     (** intents resolved as committed during reconciliation *)
   mutable rolled_back : int;        (** intents resolved by presumed-abort rollback (recovery or runtime abort) *)
+  mutable chunks_written : int;      (** mirror payload chunks made durable (incl. the single-chunk fast path) *)
+  mutable chunks_spilled : int;      (** oversized undo images spilled out of the inline payload *)
+  mutable overload_rejections : int; (** batches refused by per-shard admission control *)
+  mutable clear_flushes : int;       (** dedicated lazy-CLEAR flush transactions (threshold or explicit) *)
 }
 
 val create : unit -> t

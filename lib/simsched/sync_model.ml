@@ -55,6 +55,13 @@ type sharded_protocol =
   | Proto_centralized
   | Proto_decentralized of { lazy_clear : bool }
 
+type large_batch = {
+  large_p : float;
+  chunks : int;
+  chunk_tx_ns : float;
+  streamed : bool;
+}
+
 type model =
   | Fc_crwwp
   | Fc_left_right
@@ -68,6 +75,13 @@ type model =
           payload encoding, undo capture, record management — measured
           per protocol by the bench calibration *)
       protocol : sharded_protocol;
+      large : large_batch option;
+      (** multi-chunk payload element: with probability [large_p] a
+          cross-shard batch carries [chunks] chunk transactions per
+          participant, [chunk_tx_ns] each.  [streamed] runs them as
+          separate dependent combiner slots (the chunked PREPARE
+          chain); otherwise the whole payload holds one monolithic
+          combiner slot and everything queued behind it waits *)
     }
   | Rw_reader_pref of { atomic_ns : float }
     (** [atomic_ns]: serialized cost of one RMW on the lock's shared
@@ -95,6 +109,8 @@ type result = {
   reads_done : int;
   updates_done : int;
   elapsed_ns : float;
+  small_mean_ns : float;
+  small_max_ns : float;
 }
 
 (* Uniform jitter in [0.5, 1.5) x base, mean-preserving: without it the
@@ -199,7 +215,7 @@ let run_fc ~left_right cfg =
   done;
   Des.run sim ~until:cfg.duration_ns;
   { reads_done = !reads_done; updates_done = !updates_done;
-    elapsed_ns = cfg.duration_ns }
+    elapsed_ns = cfg.duration_ns; small_mean_ns = 0.; small_max_ns = 0. }
 
 (* ---- sharded flat combining (Sharded_db) ---- *)
 
@@ -210,12 +226,19 @@ let run_fc ~left_right cfg =
    [intent_fixed_ns] of serialized protocol bookkeeping; the graph's
    shape depends on the commit protocol (see the header).  The whole
    graph counts as one update. *)
-let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol cfg =
+let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol ~large cfg =
   if shards < 1 then invalid_arg "Sync_model: shards < 1";
   let sim = Des.create ~seed:cfg.seed () in
   let c = cfg.costs in
   let reads_done = ref 0 and updates_done = ref 0 in
-  (* per-shard C-RW-WP + flat-combining state *)
+  (* single-key update completion latency (submission to durable finish):
+     the figure the streamed-vs-monolithic large-batch ablation is about *)
+  let small_n = ref 0 in
+  let small_sum = ref 0. in
+  let small_max = ref 0. in
+  (* per-shard C-RW-WP + flat-combining state; a pending sub-request is
+     (extra_ns, finish) — extra_ns is payload work beyond the uniform
+     per-update cost (chunk streaming, monolithic payloads) *)
   let combiner_active = Array.make shards false in
   let writer_pending = Array.make shards false in
   let readers_active = Array.make shards 0 in
@@ -233,9 +256,10 @@ let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol cfg =
     let batch = Queue.create () in
     Queue.transfer pending.(s) batch;
     let b = float_of_int (Queue.length batch) in
-    let cost = c.batch_fixed_ns +. (b *. c.update_work_ns) in
+    let extra = Queue.fold (fun acc (e, _) -> acc +. e) 0. batch in
+    let cost = c.batch_fixed_ns +. (b *. c.update_work_ns) +. extra in
     Des.schedule sim cost (fun () ->
-        Queue.iter (fun finish -> finish ()) batch;
+        Queue.iter (fun (_, finish) -> finish ()) batch;
         combiner_active.(s) <- false;
         Queue.iter (fun resume -> resume ()) waiting_readers.(s);
         Queue.clear waiting_readers.(s);
@@ -248,9 +272,26 @@ let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol cfg =
   in
   (* enqueue one sub-request on shard [s]; [finish] runs when the shard's
      combiner has durably applied it *)
-  let submit s finish =
-    Queue.add finish pending.(s);
+  let submit ?(extra = 0.) s finish =
+    Queue.add (extra, finish) pending.(s);
     try_start_batch s
+  in
+  (* one participant's PREPARE when the batch carries a large payload:
+     streamed — [chunks] dependent combiner slots, one chunk each, so
+     other requests on the shard interleave between them (the last slot
+     is the seal+apply); monolithic — the whole payload holds a single
+     slot and everything queued behind it waits the payload out *)
+  let prepare_large l s k =
+    if l.streamed then begin
+      let rec chain n =
+        if n = 0 then k ()
+        else submit ~extra:l.chunk_tx_ns s (fun () -> chain (n - 1))
+      in
+      chain l.chunks
+    end
+    else
+      submit ~extra:(float_of_int l.chunks *. l.chunk_tx_ns) s (fun () ->
+          k ())
   in
   let pick_shard () =
     min (shards - 1) (int_of_float (Des.random sim *. float_of_int shards))
@@ -285,6 +326,14 @@ let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol cfg =
                 incr updates_done;
                 writer_loop ())
           in
+          (* the payload size is a property of the batch, not of one
+             participant: decide once *)
+          let batch_large =
+            match large with
+            | Some l when l.large_p > 0. && Des.random sim < l.large_p ->
+              Some l
+            | _ -> None
+          in
           (* a barrier over the two participants' concurrent requests *)
           let join n k =
             let left = ref n in
@@ -294,14 +343,28 @@ let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol cfg =
           in
           match protocol with
           | Proto_centralized ->
-            submit 0 (fun () ->                 (* PREPARE intent *)
+            (* the centralized intent has no streaming: the whole
+               payload (both slices) rides shard 0's single PREPARE *)
+            let prep_extra =
+              match batch_large with
+              | Some l -> 2. *. float_of_int l.chunks *. l.chunk_tx_ns
+              | None -> 0.
+            in
+            submit ~extra:prep_extra 0 (fun () -> (* PREPARE intent *)
                 submit a (fun () ->             (* apply on shard a *)
                     submit b (fun () ->         (* apply on shard b *)
                         submit 0 (fun () ->     (* COMMIT flip + CLEAR *)
                             finish ()))))
           | Proto_decentralized { lazy_clear } ->
             let coord = min a b in
-            (* mirrors+applies run concurrently, one tx per participant *)
+            let prepare s k =
+              match batch_large with
+              | Some l -> prepare_large l s k
+              | None -> submit s (fun () -> k ())
+            in
+            (* mirrors+applies run concurrently, one tx per participant
+               (a chain of chunk transactions when the batch is large
+               and streamed) *)
             let mirrors_done =
               join 2 (fun () ->
                   submit coord (fun () ->       (* COMMIT flip *)
@@ -315,13 +378,19 @@ let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol cfg =
                         submit a clears_done;
                         submit b clears_done))
             in
-            submit a mirrors_done;
-            submit b mirrors_done
+            prepare a (fun () -> mirrors_done ());
+            prepare b (fun () -> mirrors_done ())
         end
-        else
+        else begin
+          let t0 = Des.now sim in
           submit (pick_shard ()) (fun () ->
+              let lat = Des.now sim -. t0 in
+              incr small_n;
+              small_sum := !small_sum +. lat;
+              if lat > !small_max then small_max := lat;
               incr updates_done;
-              writer_loop ()))
+              writer_loop ())
+        end)
   in
   for _ = 1 to cfg.readers do
     reader_loop ()
@@ -331,7 +400,10 @@ let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol cfg =
   done;
   Des.run sim ~until:cfg.duration_ns;
   { reads_done = !reads_done; updates_done = !updates_done;
-    elapsed_ns = cfg.duration_ns }
+    elapsed_ns = cfg.duration_ns;
+    small_mean_ns =
+      (if !small_n = 0 then 0. else !small_sum /. float_of_int !small_n);
+    small_max_ns = !small_max }
 
 (* ---- reader-preference RW lock (PMDK setup) ---- *)
 
@@ -402,7 +474,7 @@ let run_rw_reader_pref ~atomic_ns cfg =
   done;
   Des.run sim ~until:cfg.duration_ns;
   { reads_done = !reads_done; updates_done = !updates_done;
-    elapsed_ns = cfg.duration_ns }
+    elapsed_ns = cfg.duration_ns; small_mean_ns = 0.; small_max_ns = 0. }
 
 (* ---- optimistic STM (Mnemosyne setup) ---- *)
 
@@ -467,14 +539,14 @@ let run_stm ~conflict_p ~read_conflict_p ~commit_serial_ns cfg =
   done;
   Des.run sim ~until:cfg.duration_ns;
   { reads_done = !reads_done; updates_done = !updates_done;
-    elapsed_ns = cfg.duration_ns }
+    elapsed_ns = cfg.duration_ns; small_mean_ns = 0.; small_max_ns = 0. }
 
 let run cfg =
   match cfg.model with
   | Fc_crwwp -> run_fc ~left_right:false cfg
   | Fc_left_right -> run_fc ~left_right:true cfg
-  | Fc_sharded { shards; cross_p; intent_fixed_ns; protocol } ->
-    run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol cfg
+  | Fc_sharded { shards; cross_p; intent_fixed_ns; protocol; large } ->
+    run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol ~large cfg
   | Rw_reader_pref { atomic_ns } -> run_rw_reader_pref ~atomic_ns cfg
   | Stm { conflict_p; read_conflict_p; commit_serial_ns } ->
     run_stm ~conflict_p ~read_conflict_p ~commit_serial_ns cfg

@@ -24,6 +24,24 @@ type sharded_protocol =
   | Proto_centralized
   | Proto_decentralized of { lazy_clear : bool }
 
+(** Multi-chunk payload element for {!Fc_sharded}: with probability
+    [large_p] a cross-shard batch carries a large payload of [chunks]
+    chunk transactions per participant, [chunk_tx_ns] each, beyond the
+    uniform per-update work.  With [streamed] the chunks run as
+    separate dependent combiner slots (the chunked PREPARE chain of the
+    sharded store), so small updates on the same shard interleave
+    between them; without it the whole payload occupies one monolithic
+    combiner slot and every request queued behind it waits the payload
+    out — the occupancy the streamed chain exists to break up.  Under
+    {!Proto_centralized} the payload always rides shard 0's single
+    PREPARE monolithically (that protocol has no streaming). *)
+type large_batch = {
+  large_p : float;
+  chunks : int;
+  chunk_tx_ns : float;
+  streamed : bool;
+}
+
 type model =
   | Fc_crwwp
       (** flat combining + C-RW-WP writer-preference lock (Rom, RomL):
@@ -37,13 +55,16 @@ type model =
       cross_p : float;
       intent_fixed_ns : float;
       protocol : sharded_protocol;
+      large : large_batch option;
     }
       (** [shards] independent {!Fc_crwwp} instances (Sharded_db): each
           operation routes to a uniformly random shard, so updates on
           different shards combine and commit concurrently.  With
           probability [cross_p] a writer runs a cross-shard batch
           instead, following [protocol] with [intent_fixed_ns] of
-          serialized protocol bookkeeping *)
+          serialized protocol bookkeeping; [large] optionally gives a
+          fraction of those batches a multi-chunk payload (see
+          {!large_batch}) *)
   | Rw_reader_pref of { atomic_ns : float }
       (** plain reader-preference RW lock (the paper's PMDK setup).
           [atomic_ns] is the serialized cost of one RMW on the shared
@@ -72,6 +93,12 @@ type result = {
   reads_done : int;
   updates_done : int;
   elapsed_ns : float;
+  small_mean_ns : float;
+      (** mean single-key-update completion latency (submission to
+          durable finish); tracked by {!Fc_sharded} only, 0 elsewhere *)
+  small_max_ns : float;
+      (** worst single-key-update completion latency — the tail the
+          streamed-vs-monolithic large-batch ablation measures *)
 }
 
 val run : config -> result

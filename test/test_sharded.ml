@@ -19,9 +19,12 @@ let region ?(size = 1 lsl 18) () = R.create ~size ()
 
 let regions ?size n = Array.init n (fun _ -> region ?size ())
 
-let open_sharded ?protocol ?(shards = 4) ?(initial_buckets = 8) ?size () =
+let open_sharded ?protocol ?(shards = 4) ?(initial_buckets = 8) ?size
+    ?chunk_bytes ?spill_threshold ?admission_budget ?clear_flush_threshold () =
   let rs = regions ?size shards in
-  (rs, Sd.open_db ?protocol ~initial_buckets rs)
+  ( rs,
+    Sd.open_db ?protocol ~initial_buckets ?chunk_bytes ?spill_threshold
+      ?admission_budget ?clear_flush_threshold rs )
 
 let crash_all rs policy = Array.iter (fun r -> R.crash r policy) rs
 
@@ -756,6 +759,504 @@ let test_snapshot_roundtrip () =
             Alcotest.failf "snapshot diverged at %s" k);
       check_ok "snapshot" db2)
 
+(* ---- chunked mirror streaming, spills, admission control ---- *)
+
+module Ck = Kv.Sharded_db.Chunk
+
+let big_value tag n = String.init n (fun i -> Char.chr ((tag + i) land 0xff))
+
+(* two keys guaranteed to route to different shards of [shard_of_key] *)
+let span_keys shard_of_key =
+  let k0 = "span000" in
+  let s0 = shard_of_key k0 in
+  let rec find i =
+    let k = Printf.sprintf "span%03d" i in
+    if shard_of_key k <> s0 then k else find (i + 1)
+  in
+  (k0, find 1)
+
+let prop_chunk_roundtrip =
+  let open QCheck in
+  let sizes = [| 1; 2; 3; 7; 64; 256; 4096 |] in
+  Test.make ~count:200
+    ~name:"chunk codec: split/join round-trips at every chunk size"
+    (pair (string_of_size Gen.(0 -- 1024)) (int_bound (Array.length sizes - 1)))
+    (fun (payload, si) ->
+      let chunk_bytes = sizes.(si) in
+      let pieces = Ck.split ~chunk_bytes payload in
+      List.iter
+        (fun p ->
+          if String.length p > chunk_bytes then
+            Test.fail_reportf "piece of %d bytes exceeds chunk_bytes %d"
+              (String.length p) chunk_bytes)
+        pieces;
+      if payload = "" && pieces <> [ "" ] then
+        Test.fail_reportf "empty payload is not one empty piece";
+      if String.concat "" pieces <> payload then
+        Test.fail_reportf "pieces lost bytes";
+      match
+        Ck.join ~expect_len:(String.length payload)
+          (List.map (fun p -> (p, Ck.crc p)) pieces)
+      with
+      | Ok p -> String.equal p payload
+      | Error e -> Test.fail_reportf "join rejected a clean chain: %s" e)
+
+let test_chunk_chain_rejections () =
+  let payload = String.init 1000 (fun i -> Char.chr (i * 7 land 0xff)) in
+  let plen = String.length payload in
+  let chain () =
+    List.map (fun p -> (p, Ck.crc p)) (Ck.split ~chunk_bytes:64 payload)
+  in
+  let expect_reject what pieces =
+    match Ck.join ~expect_len:plen pieces with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: corrupt chain accepted" what
+  in
+  (match Ck.join ~expect_len:plen (chain ()) with
+   | Ok p -> Alcotest.(check string) "clean chain reassembles" payload p
+   | Error e -> Alcotest.failf "clean chain rejected: %s" e);
+  expect_reject "missing head chunk" (List.tl (chain ()));
+  expect_reject "truncated tail"
+    (List.filteri (fun i _ -> i < 15) (chain ()));
+  expect_reject "flipped CRC word"
+    (match chain () with
+     | (p, c) :: rest -> (p, c lxor 1) :: rest
+     | [] -> assert false);
+  expect_reject "corrupted payload byte"
+    (match chain () with
+     | (p, c) :: rest ->
+       (String.map (fun ch -> Char.chr (Char.code ch lxor 0x40)) p, c) :: rest
+     | [] -> assert false);
+  expect_reject "over-long chain" (chain () @ [ ("extra", Ck.crc "extra") ]);
+  (match Ck.join ~expect_len:(plen - 1) (chain ()) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "declared-length mismatch accepted");
+  match Ck.split ~chunk_bytes:0 payload with
+  | _ -> Alcotest.fail "chunk_bytes = 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* six keys whose 700-byte pre-images force both streaming (payload >
+   chunk_bytes) and spilling (undo image > spill_threshold) at the
+   256/128 test configuration *)
+let big_keys = List.init 6 (fun i -> Printf.sprintf "big%02d" i)
+
+let seed_big db = List.iter (fun k -> Sd.put db k (big_value 3 700)) big_keys
+
+let overwrite_big_batch db =
+  Sd.write_batch db (fun b ->
+      List.iter (fun k -> Sd.put b k (big_value 9 900)) big_keys)
+
+let big_participants db =
+  List.sort_uniq compare (List.map (Sd.shard_of_key db) big_keys)
+
+let test_chunked_batch_commits () =
+  let _, db = open_sharded ~chunk_bytes:256 ~spill_threshold:128 () in
+  seed db 12;
+  seed_big db;
+  let parts = big_participants db in
+  Alcotest.(check bool) "big keys span shards" true (List.length parts >= 2);
+  overwrite_big_batch db;
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string)) k (Some (big_value 9 900))
+        (Sd.get db k))
+    big_keys;
+  let st = Sd.stats db in
+  Alcotest.(check bool) "payloads streamed as multiple chunks" true
+    (st.Pmem.Stats.chunks_written > List.length parts);
+  Alcotest.(check bool) "every oversized undo image spilled" true
+    (st.Pmem.Stats.chunks_spilled >= List.length big_keys);
+  check_ok "chunked batch" db;
+  (* chains, spills, mirrors and the flip are all reclaimable *)
+  Sd.flush_clears db;
+  Alcotest.(check int) "records reclaimed" 0 (Sd.pending_intents db);
+  for i = 0 to 11 do
+    if Sd.get db (key i) <> Some (value i) then
+      Alcotest.failf "lost committed key %s" (key i)
+  done
+
+(* a racing single-key write invalidates an undo entry that lives inside
+   a CRC-protected chunk: the invalidation must refresh the chunk's CRC
+   or the rollback's chain read would reject its own mirror *)
+let test_chunked_racing_invalidation () =
+  with_disarm @@ fun () ->
+  let _, db = open_sharded ~chunk_bytes:256 ~spill_threshold:128 () in
+  seed db 12;
+  seed_big db;
+  let parts = big_participants db in
+  let raced = List.hd big_keys in
+  Fault.arm ~skip:(List.length parts - 1) "sharded.d.mirror_applied"
+    (fun () ->
+      Sd.put db raced "raced";
+      raise (Fault.Injected "raced"));
+  (match overwrite_big_batch db with
+   | () -> Alcotest.fail "injected fault did not surface"
+   | exception Romulus.Engine.Tx_aborted { cause = Fault.Injected _; _ } -> ());
+  Alcotest.(check (option string)) "racing write survives the rollback"
+    (Some "raced") (Sd.get db raced);
+  List.iter
+    (fun k ->
+      if k <> raced && Sd.get db k <> Some (big_value 3 700) then
+        Alcotest.failf "%s not restored from its spilled image" k)
+    big_keys;
+  check_ok "chunked racing invalidation" db;
+  Alcotest.(check int) "no record left hooked" 0 (Sd.pending_intents db)
+
+(* a batch of fresh 700-byte values at chunk_bytes=256: every
+   participant streams a multi-chunk chain *)
+let fresh_big_batch db =
+  Sd.write_batch db (fun b ->
+      for i = 0 to 7 do
+        Sd.put b (Printf.sprintf "cb%02d" i) (big_value 5 700)
+      done)
+
+let fresh_big_coord db =
+  List.fold_left min max_int
+    (List.init 8 (fun i -> Sd.shard_of_key db (Printf.sprintf "cb%02d" i)))
+
+let assert_fresh_big_rolled_back what db =
+  for i = 0 to 7 do
+    if Sd.get db (Printf.sprintf "cb%02d" i) <> None then
+      Alcotest.failf "%s: cb%02d leaked from an unsealed chain" what i
+  done;
+  for i = 0 to 11 do
+    if Sd.get db (key i) <> Some (value i) then
+      Alcotest.failf "%s: lost committed key %s" what (key i)
+  done;
+  Alcotest.(check int) (what ^ ": nothing left hooked") 0
+    (Sd.pending_intents db);
+  check_ok what db
+
+let test_chunk_midchain_kill () =
+  with_disarm @@ fun () ->
+  let rs, db = open_sharded ~chunk_bytes:256 () in
+  seed db 12;
+  let coord = fresh_big_coord db in
+  (* power off after the second streamed chunk commits: the crash leaves
+     an unsealed chain for recovery to collect as presumed abort *)
+  Fault.arm ~skip:1 "sharded.chunk.written" (fun () -> R.kill rs.(coord));
+  (match fresh_big_batch db with
+   | () -> Alcotest.fail "kill did not fire"
+   | exception R.Crash_point -> ());
+  crash_all rs R.Keep_all;
+  let db = Sd.open_db ~initial_buckets:8 ~chunk_bytes:256 rs in
+  assert_fresh_big_rolled_back "mid-chain kill" db;
+  Alcotest.(check bool) "chain GC counted as presumed abort" true
+    ((Sd.stats db).Pmem.Stats.rolled_back > 0)
+
+let test_chunk_seal_window_kill () =
+  with_disarm @@ fun () ->
+  let rs, db = open_sharded ~chunk_bytes:256 () in
+  seed db 12;
+  let coord = fresh_big_coord db in
+  (* the whole chain is durable but the seal never runs: without the
+     seal the chain is invalid and must be collected, not replayed *)
+  Fault.arm "sharded.chunk.seal_window" (fun () -> R.kill rs.(coord));
+  (match fresh_big_batch db with
+   | () -> Alcotest.fail "kill did not fire"
+   | exception R.Crash_point -> ());
+  crash_all rs R.Keep_all;
+  let db = Sd.open_db ~initial_buckets:8 ~chunk_bytes:256 rs in
+  assert_fresh_big_rolled_back "seal-window kill" db
+
+let test_crash_during_chain_gc () =
+  with_disarm @@ fun () ->
+  let rs, db = open_sharded ~chunk_bytes:256 () in
+  seed db 12;
+  let coord = fresh_big_coord db in
+  Fault.arm "sharded.chunk.seal_window" (fun () -> R.kill rs.(coord));
+  (match fresh_big_batch db with
+   | () -> Alcotest.fail "kill did not fire"
+   | exception R.Crash_point -> ());
+  crash_all rs R.Keep_all;
+  (* recovery dies right after collecting the unsealed chain; the next
+     recovery must converge on the same verdict *)
+  Fault.arm "sharded.chunk.gc" (fun () -> R.kill rs.(coord));
+  (match Sd.open_db ~initial_buckets:8 ~chunk_bytes:256 rs with
+   | (_ : Sd.t) -> Alcotest.fail "chain-GC kill did not fire"
+   | exception R.Crash_point -> ());
+  Fault.disarm ();
+  crash_all rs R.Keep_all;
+  let db = Sd.open_db ~initial_buckets:8 ~chunk_bytes:256 rs in
+  assert_fresh_big_rolled_back "crash during chain GC" db
+
+let test_admission_overload_immediate () =
+  let _, db = open_sharded ~admission_budget:256 () in
+  seed db 12;
+  let ka, kb = span_keys (Sd.shard_of_key db) in
+  (* a batch whose charge alone exceeds the budget is refused before any
+     persistent effect, with the typed error raised raw *)
+  (match
+     Sd.write_batch db (fun b ->
+         Sd.put b ka (big_value 1 400);
+         Sd.put b kb (big_value 1 400))
+   with
+   | () -> Alcotest.fail "over-budget batch admitted"
+   | exception Kv.Sharded_db.Overloaded { in_flight; budget; _ } ->
+     Alcotest.(check int) "budget reported" 256 budget;
+     Alcotest.(check int) "shard was idle" 0 in_flight
+   | exception e ->
+     Alcotest.failf "expected Overloaded, got %s" (Printexc.to_string e));
+  Alcotest.(check (option string)) "nothing applied" None (Sd.get db ka);
+  Alcotest.(check int) "nothing hooked" 0 (Sd.pending_intents db);
+  Alcotest.(check bool) "rejection counted" true
+    ((Sd.stats db).Pmem.Stats.overload_rejections > 0);
+  (* a batch under the budget is unaffected *)
+  run_batch db;
+  Alcotest.(check bool) "small batch commits" true
+    (assert_all_or_nothing "post-overload" db);
+  check_ok "overload" db
+
+let test_admission_overload_concurrent () =
+  with_disarm @@ fun () ->
+  let _, db = open_sharded ~admission_budget:2048 () in
+  seed db 12;
+  let ka, kb = span_keys (Sd.shard_of_key db) in
+  let inner = ref None in
+  (* while the outer batch holds ~650 in-flight bytes per shard, a
+     second batch needing ~1650 more must be refused after its bounded
+     backoff — typed Overloaded, never Out_of_memory *)
+  Fault.arm "sharded.d.mirror_applied" (fun () ->
+      (match
+         Sd.write_batch db (fun b ->
+             Sd.put b ka (big_value 2 1600);
+             Sd.put b kb (big_value 2 1600))
+       with
+       | () -> Alcotest.fail "inner batch admitted over the budget"
+       | exception Kv.Sharded_db.Overloaded { in_flight; budget; _ } ->
+         inner := Some (in_flight, budget));
+      raise (Fault.Injected "after inner"));
+  (match
+     Sd.write_batch db (fun b ->
+         Sd.put b ka (big_value 1 600);
+         Sd.put b kb (big_value 1 600))
+   with
+   | () -> Alcotest.fail "outer batch survived the injected fault"
+   | exception Romulus.Engine.Tx_aborted { cause = Fault.Injected _; _ } -> ());
+  (match !inner with
+   | None -> Alcotest.fail "inner batch never ran"
+   | Some (in_flight, budget) ->
+     Alcotest.(check int) "budget reported" 2048 budget;
+     Alcotest.(check bool) "outer charge visible to the inner batch" true
+       (in_flight > 0));
+  Alcotest.(check bool) "rejection counted" true
+    ((Sd.stats db).Pmem.Stats.overload_rejections > 0);
+  (* the aborted outer batch released its charge: the big batch fits now *)
+  Sd.write_batch db (fun b ->
+      Sd.put b ka (big_value 2 1600);
+      Sd.put b kb (big_value 2 1600));
+  Alcotest.(check (option string)) "charge released after the abort"
+    (Some (big_value 2 1600)) (Sd.get db ka);
+  check_ok "concurrent overload" db
+
+(* Two identical stores whose arenas are filled and then fragmented
+   (every other key freed): plenty of total free space, no large
+   contiguous run.  A monolithic mirror (huge chunk_bytes) needs one
+   contiguous allocation for the whole payload and dies with the
+   allocator's typed Out_of_memory; bounded chunks drop into the freed
+   bins and the same batch commits. *)
+let test_chunking_survives_fragmentation () =
+  let fragmented chunk_bytes =
+    let rs = regions ~size:(1 lsl 18) 2 in
+    let db = Sd.open_db ~initial_buckets:256 ~chunk_bytes rs in
+    let filled = ref [] in
+    let try_put k v =
+      match Sd.put db k v with
+      | () -> true
+      | exception Romulus.Engine.Tx_aborted
+          { cause = Palloc.Out_of_memory _; _ } ->
+        false
+    in
+    (* fill with 2 KB values until the first shard's bump frontier is
+       exhausted, then keep trying so the other shard fills too *)
+    (try
+       for i = 0 to 4096 do
+         let k = Printf.sprintf "frag%04d" i in
+         Sd.put db k (big_value 4 2048);
+         filled := k :: !filled
+       done
+     with Romulus.Engine.Tx_aborted { cause = Palloc.Out_of_memory _; _ } ->
+       ());
+    for i = 0 to 95 do
+      let k = Printf.sprintf "fragx%03d" i in
+      if try_put k (big_value 4 2048) then filled := k :: !filled
+    done;
+    (* pack the remaining slack with ever smaller values: no shard keeps
+       a usable contiguous run at its frontier *)
+    List.iter
+      (fun size ->
+        for i = 0 to 95 do
+          ignore
+            (try_put (Printf.sprintf "pack%d-%03d" size i) (big_value 4 size)
+              : bool)
+        done)
+      [ 512; 128; 32 ];
+    if List.length !filled < 16 then
+      Alcotest.fail "fragmentation seed too small";
+    List.iteri
+      (fun i k -> if i mod 2 = 0 then ignore (Sd.delete db k : bool))
+      !filled;
+    db
+  in
+  let batch db =
+    Sd.write_batch db (fun b ->
+        for i = 0 to 11 do
+          Sd.put b (Printf.sprintf "post%02d" i) (big_value 6 2048)
+        done)
+  in
+  let db = fragmented (1 lsl 22) in
+  (match batch db with
+   | () -> Alcotest.fail "monolithic mirror fit a fragmented arena"
+   | exception Romulus.Engine.Tx_aborted
+       { cause = Palloc.Out_of_memory _; _ } ->
+     ());
+  check_ok "monolithic abort left the store consistent" db;
+  (* chunks comparable to the freed bins: each drops into one hole *)
+  let db = fragmented 1024 in
+  (match batch db with
+   | () -> ()
+   | exception e ->
+     Alcotest.failf "chunked batch failed on the same arena: %s"
+       (Printexc.to_string e));
+  for i = 0 to 11 do
+    let k = Printf.sprintf "post%02d" i in
+    if Sd.get db k <> Some (big_value 6 2048) then
+      Alcotest.failf "%s lost after the chunked commit" k
+  done;
+  check_ok "chunked commit on a fragmented arena" db
+
+(* a redo-log overflow surfacing mid-PREPARE is retried with smaller
+   chunks instead of reaching the caller — here injected once, so the
+   first attempt aborts (and rolls back) and the retry commits *)
+let test_overflow_retry_injected () =
+  with_disarm @@ fun () ->
+  let _, db = open_sharded () in
+  seed db 12;
+  Fault.arm "sharded.d.mirror_applied" (fun () ->
+      raise (Romulus.Redo_log.Overflow { capacity = 42 }));
+  run_batch db;
+  Alcotest.(check bool) "batch committed through the retry" true
+    (assert_all_or_nothing "overflow retry" db);
+  Alcotest.(check int) "nothing stranded by the aborted attempt"
+    (List.length (d_participants db) + 1)
+    (Sd.pending_intents db)
+
+(* the same degradation against a genuinely tight redo log: the
+   single-transaction fast path exceeds the capacity, the streamed
+   chunks fit *)
+module TightLogged = struct
+  include Romulus.Logged
+
+  let tight_capacity = 24
+
+  let open_region r =
+    let t = open_region r in
+    Romulus.Engine.configure ~redo_capacity:tight_capacity (engine t);
+    t
+end
+
+module Tsd = Kv.Sharded_db.Make (TightLogged)
+
+let test_overflow_retry_real () =
+  let rs = regions 2 in
+  let db = Tsd.open_db ~initial_buckets:8 rs in
+  let ka, kb = span_keys (Tsd.shard_of_key db) in
+  Tsd.write_batch db (fun b ->
+      Tsd.put b ka (big_value 1 600);
+      Tsd.put b kb (big_value 1 600));
+  Alcotest.(check (option string)) "first key committed"
+    (Some (big_value 1 600)) (Tsd.get db ka);
+  Alcotest.(check (option string)) "second key committed"
+    (Some (big_value 1 600)) (Tsd.get db kb);
+  let st = Tsd.stats db in
+  Alcotest.(check bool) "fast path overflowed and aborted" true
+    (st.Pmem.Stats.tx_aborts > 0);
+  Alcotest.(check bool) "payload streamed in bounded chunks" true
+    (st.Pmem.Stats.chunks_written > 2);
+  (match Tsd.check db with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "tight redo log: %s" e);
+  (* the store stays usable at the shrunken chunk size *)
+  Tsd.write_batch db (fun b ->
+      Tsd.put b ka "small";
+      Tsd.put b kb "small");
+  Alcotest.(check (option string)) "later batch fine" (Some "small")
+    (Tsd.get db ka)
+
+let test_flush_clears () =
+  (* explicit flush: a committed batch parks mirrors + flip; flush_clears
+     reclaims them in dedicated transactions without waiting for the
+     next batch *)
+  let _, db = open_sharded () in
+  seed db 12;
+  run_batch db;
+  let footprint = List.length (d_participants db) + 1 in
+  Alcotest.(check int) "committed batch parks its records" footprint
+    (Sd.pending_intents db);
+  Sd.flush_clears db;
+  Alcotest.(check int) "explicit flush reclaims everything" 0
+    (Sd.pending_intents db);
+  Alcotest.(check bool) "flush transactions counted" true
+    ((Sd.stats db).Pmem.Stats.clear_flushes >= 1);
+  Alcotest.(check bool) "data intact" true
+    (assert_all_or_nothing "flush_clears" db);
+  (* threshold 1: every parked mirror is drained right after the commit;
+     only the flip (released by the last mirror's drain, behind the
+     sweep) can remain, and an explicit flush clears it too *)
+  let _, db2 = open_sharded ~clear_flush_threshold:1 () in
+  seed db2 12;
+  run_batch db2;
+  Alcotest.(check int) "threshold 1 leaves at most the flip" 1
+    (Sd.pending_intents db2);
+  Sd.flush_clears db2;
+  Alcotest.(check int) "flip flushed" 0 (Sd.pending_intents db2);
+  Alcotest.(check bool) "auto-flushes counted" true
+    ((Sd.stats db2).Pmem.Stats.clear_flushes
+     >= List.length (d_participants db2));
+  Alcotest.(check bool) "data intact after auto-flush" true
+    (assert_all_or_nothing "auto flush" db2)
+
+(* random crash points over a chunked+spilled cross-shard batch: the
+   chain-level all-or-nothing must hold under every policy *)
+let prop_chunked_crash_batch =
+  let open QCheck in
+  Test.make ~count:25
+    ~name:"sharded: crashed chunked batch is atomic"
+    (triple small_nat (int_bound 3) (int_bound 3))
+    (fun (trap, pol, target) ->
+      let rs, db = open_sharded ~chunk_bytes:256 ~spill_threshold:128 () in
+      seed db 12;
+      seed_big db;
+      R.set_trap rs.(target) ((trap * 7) + 1);
+      (match overwrite_big_batch db with
+       | () -> R.clear_trap rs.(target)
+       | exception R.Crash_point -> ());
+      let policy =
+        match pol with
+        | 0 -> R.Drop_all
+        | 1 -> R.Keep_all
+        | 2 -> R.Random_subset (trap + 3)
+        | _ -> R.Torn_words (trap + 13)
+      in
+      crash_all rs policy;
+      let db =
+        Sd.open_db ~initial_buckets:8 ~chunk_bytes:256 ~spill_threshold:128 rs
+      in
+      check_ok "chunked qcheck" db;
+      let applied = Sd.get db (List.hd big_keys) = Some (big_value 9 900) in
+      List.iter
+        (fun k ->
+          let want = if applied then big_value 9 900 else big_value 3 700 in
+          if Sd.get db k <> Some want then
+            Alcotest.failf "half-applied chunked batch at %s (applied=%b)" k
+              applied)
+        big_keys;
+      for i = 0 to 11 do
+        if Sd.get db (key i) <> Some (value i) then
+          Alcotest.failf "lost committed key %s" (key i)
+      done;
+      true)
+
 let suite =
   let tc = Alcotest.test_case in
   [ tc "sharded basics" `Quick test_basics;
@@ -789,8 +1290,30 @@ let suite =
     tc "crash during recovery" `Quick test_crash_during_recovery;
     tc "scrub repairs a shard" `Quick test_scrub_repairs_shard;
     tc "scrub refuses double fault" `Quick test_scrub_refuses_double_fault;
-    tc "snapshot round trip" `Quick test_snapshot_roundtrip ]
+    tc "snapshot round trip" `Quick test_snapshot_roundtrip;
+    tc "chunk chain rejections" `Quick test_chunk_chain_rejections;
+    tc "chunked batch commits with spilled undo" `Quick
+      test_chunked_batch_commits;
+    tc "chunked racing invalidation refreshes CRC" `Quick
+      test_chunked_racing_invalidation;
+    tc "mid-chain kill collects unsealed chain" `Quick
+      test_chunk_midchain_kill;
+    tc "seal-window kill is presumed abort" `Quick
+      test_chunk_seal_window_kill;
+    tc "crash during chain GC converges" `Quick test_crash_during_chain_gc;
+    tc "admission: over-budget batch refused" `Quick
+      test_admission_overload_immediate;
+    tc "admission: concurrent batches degrade" `Quick
+      test_admission_overload_concurrent;
+    tc "chunking survives a fragmented arena" `Quick
+      test_chunking_survives_fragmentation;
+    tc "redo overflow retried with smaller chunks (injected)" `Quick
+      test_overflow_retry_injected;
+    tc "redo overflow retried with smaller chunks (tight log)" `Quick
+      test_overflow_retry_real;
+    tc "flush_clears bounds the lazy queues" `Quick test_flush_clears ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_sharded_crash_batch; prop_d_racing_mix ]
+      [ prop_sharded_crash_batch; prop_d_racing_mix; prop_chunk_roundtrip;
+        prop_chunked_crash_batch ]
 
 let () = Alcotest.run "sharded" [ ("sharded", suite) ]
