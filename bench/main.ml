@@ -30,7 +30,9 @@ let hidden : (string * string * (Common.scale -> unit)) list =
     ("shards_cross", "cross-batch commit-protocol regression check (CI smoke)",
      fun _ -> Shards.cross_smoke ());
     ("shards_large", "chunked large-batch regression check (CI smoke)",
-     fun _ -> Shards.large_smoke ()) ]
+     fun _ -> Shards.large_smoke ());
+    ("shards_elastic", "online split/merge regression check (CI smoke)",
+     fun _ -> Shards.elastic_smoke ()) ]
 
 let usage () =
   print_endline "usage: main.exe [--full] [EXPERIMENT]...";

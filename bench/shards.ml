@@ -158,8 +158,8 @@ let calibrate ~ops =
 
 (* ---- DES throughput sweep ---- *)
 
-let sharded_run ~scale ~calib ~shards ~cross_p ~proto_name ~proto ~large
-    writers =
+let sharded_run ?resize ~scale ~calib ~shards ~cross_p ~proto_name ~proto
+    ~large writers =
   let costs =
     { Simsched.Sync_model.read_ns = calib.read_ns;
       update_work_ns = calib.update_work_ns;
@@ -171,7 +171,7 @@ let sharded_run ~scale ~calib ~shards ~cross_p ~proto_name ~proto ~large
         Fc_sharded
           { shards; cross_p;
             intent_fixed_ns = intent_of calib proto_name;
-            protocol = des_protocol proto; large };
+            protocol = des_protocol proto; large; resize };
       costs; readers = 0; writers;
       duration_ns = Common.sim_duration_ns scale; seed = 13 }
 
@@ -290,6 +290,89 @@ let large_batch_des ~scale ~calib ~shards ~writers =
       ("monolithic", Some (mk false));
       ("streamed", Some (mk true)) ]
 
+(* ---- elastic resize: online split/merge under load ---- *)
+
+(* Real store: a populated 2-shard store is split online (shard 0's odd
+   slots stream to a freshly attached shard) and later merged back.  The
+   figures are the migration wall time, the keys it moved, and the
+   single-key put cost before and after — the steady-state price of the
+   extra routing-table hop plus the extra shard.  The split call is
+   synchronous here, so the foreground dip itself is the DES's job. *)
+type elastic_real = {
+  e_keys : int;
+  e_migrated : int;        (* keys the split streamed to the target *)
+  e_split_ns : float;
+  e_merge_ns : float;
+  e_put_before_ns : float; (* single-key put, 2 shards, epoch 0 *)
+  e_put_after_ns : float;  (* single-key put, 3 shards, epoch 1 *)
+}
+
+let elastic_real ~ops ~keys =
+  let region_size = (keys * 256) + (1 lsl 21) in
+  let db, regions = make_store ~region_size 2 in
+  for i = 0 to keys - 1 do
+    S.put db (key i) (value i)
+  done;
+  let rng = Workload.Keygen.create ~seed:19 () in
+  let rkey () = key (Workload.Keygen.int rng keys) in
+  let put_ns () =
+    Gc.full_major ();
+    Workload.Bench_clock.median_ns_per_op ~region:regions.(0) ~ops
+      (fun () -> S.put db (rkey ()) "w")
+  in
+  let e_put_before_ns = put_ns () in
+  let target = Pmem.Region.create ~fence:Pmem.Fence.stt ~size:region_size () in
+  let s0 = Pmem.Stats.snapshot (S.stats db) in
+  let born = ref (-1) in
+  let e_split_ns =
+    Workload.Bench_clock.time_ns ~region:regions.(0) (fun () ->
+        born := S.split_shard db ~source:0 target)
+  in
+  let d = Pmem.Stats.since ~now:(S.stats db) ~past:s0 in
+  let e_migrated = d.Pmem.Stats.keys_migrated in
+  if S.count db <> keys then failwith "elastic: split lost keys";
+  if S.migration_pending db then failwith "elastic: split left intent";
+  let e_put_after_ns = put_ns () in
+  let e_merge_ns =
+    Workload.Bench_clock.time_ns ~region:regions.(0) (fun () ->
+        S.merge_shards db ~source:!born ~target:0)
+  in
+  if S.count db <> keys then failwith "elastic: merge lost keys";
+  { e_keys = keys; e_migrated; e_split_ns; e_merge_ns; e_put_before_ns;
+    e_put_after_ns }
+
+(* DES: the same foreground workload with and without a background
+   migration streaming through the combiners mid-run.  The move batches
+   occupy the source combiner alongside foreground updates, so the
+   resize arm completes fewer of them — the resize-under-load dip. *)
+type elastic_des = {
+  ed_move_batches : int;
+  ed_base_ups : float;
+  ed_resize_ups : float;   (* same run with the background migration *)
+}
+
+let elastic_des ~scale ~calib ~shards ~writers =
+  let base =
+    updates_per_sec ~scale ~calib ~shards ~cross_p:0.05
+      ~proto_name:"decentralized_lazy"
+      ~proto:Kv.Sharded_db.default_protocol writers
+  in
+  (* a move batch is one source-side chunk transaction's worth of work:
+     the batch-fixed cost plus eight per-pair payload units *)
+  let move_batches = 64 in
+  let resize =
+    { Simsched.Sync_model.move_batches;
+      move_tx_ns = calib.batch_fixed_ns +. (8. *. calib.update_work_ns);
+      start_frac = 0.25 }
+  in
+  let r =
+    sharded_run ~resize ~scale ~calib ~shards ~cross_p:0.05
+      ~proto_name:"decentralized_lazy"
+      ~proto:Kv.Sharded_db.default_protocol ~large:None writers
+  in
+  { ed_move_batches = move_batches; ed_base_ups = base;
+    ed_resize_ups = Simsched.Sync_model.updates_per_sec r }
+
 (* ---- recovery timing on the real store ---- *)
 
 let recovery_measure ~keys nshards =
@@ -346,7 +429,7 @@ type recovery_row = {
 }
 
 let emit_json ~scale ~calib ~scaling ~cross ~large_real ~large_des
-    ~recovery path =
+    ~elastic_r ~elastic_d ~recovery path =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"bench\": \"shards\",\n";
@@ -403,6 +486,19 @@ let emit_json ~scale ~calib ~scaling ~cross ~large_real ~large_des
         (if i = n - 1 then "" else ","))
     large_des;
   Buffer.add_string b "    ]\n  },\n";
+  Buffer.add_string b "  \"elastic\": {\n";
+  Printf.bprintf b
+    "    \"real\": {\"keys\": %d, \"keys_migrated\": %d, \"split_ns\": \
+     %.0f, \"merge_ns\": %.0f, \"put_ns_before\": %.1f, \
+     \"put_ns_after\": %.1f},\n"
+    elastic_r.e_keys elastic_r.e_migrated elastic_r.e_split_ns
+    elastic_r.e_merge_ns elastic_r.e_put_before_ns elastic_r.e_put_after_ns;
+  Printf.bprintf b
+    "    \"des\": {\"move_batches\": %d, \"updates_per_sec_baseline\": \
+     %.0f, \"updates_per_sec_resize\": %.0f, \"dip_ratio\": %.3f}\n"
+    elastic_d.ed_move_batches elastic_d.ed_base_ups elastic_d.ed_resize_ups
+    (elastic_d.ed_resize_ups /. elastic_d.ed_base_ups);
+  Buffer.add_string b "  },\n";
   Buffer.add_string b "  \"recovery\": [\n";
   let n = List.length recovery in
   List.iteri
@@ -564,6 +660,24 @@ let run_at ~scale_name ~scale ~ops ~recovery_keys ~shard_axis ~writer_axis =
    Printf.printf
      "streaming cuts the small-update tail %.1fx under 10%% large batches\n%!"
      (mono.ld_small_max_ns /. st.ld_small_max_ns));
+  (* elastic resize: the real split/merge plus the DES under-load dip *)
+  Common.subsection "elastic resize: online shard split/merge";
+  let elastic_r = elastic_real ~ops ~keys:(recovery_keys / 4) in
+  Printf.printf
+    "split moved %d/%d keys in %s; merge back in %s; put %s -> %s\n%!"
+    elastic_r.e_migrated elastic_r.e_keys
+    (Common.ns elastic_r.e_split_ns)
+    (Common.ns elastic_r.e_merge_ns)
+    (Common.ns elastic_r.e_put_before_ns)
+    (Common.ns elastic_r.e_put_after_ns);
+  let elastic_d = elastic_des ~scale ~calib ~shards:smax ~writers:wmax in
+  Printf.printf
+    "resize under load (%d shards, %d writers, %d move batches): %s -> %s \
+     TX/s (%.2fx)\n%!"
+    smax wmax elastic_d.ed_move_batches
+    (Common.si elastic_d.ed_base_ups)
+    (Common.si elastic_d.ed_resize_ups)
+    (elastic_d.ed_resize_ups /. elastic_d.ed_base_ups);
   (* recovery fan-out: per-shard work drops with 1/N *)
   Common.subsection
     (Printf.sprintf "per-shard recovery, %d keys, CLFLUSH pwbs, every \
@@ -580,7 +694,8 @@ let run_at ~scale_name ~scale ~ops ~recovery_keys ~shard_axis ~writer_axis =
       shard_axis
   in
   emit_json ~scale:scale_name ~calib ~scaling:(List.rev !scaling) ~cross
-    ~large_real ~large_des ~recovery "BENCH_shards.json"
+    ~large_real ~large_des ~elastic_r ~elastic_d ~recovery
+    "BENCH_shards.json"
 
 let run scale =
   let ops, recovery_keys =
@@ -715,3 +830,67 @@ let large_smoke () =
   Printf.printf
     "shards_large ok: streaming cuts the small-update tail %.1fx\n%!"
     (mono.ld_small_max_ns /. st.ld_small_max_ns)
+
+(* Quick regression check of the elastic-resize path for @bench-smoke: a
+   real online split must bump the epoch, actually stream keys to the
+   freshly attached shard, and leave every key readable exactly once;
+   the merge back must do the same in reverse.  In the calibrated DES
+   the run carrying the background migration must complete fewer
+   foreground updates than the identical run without it — the
+   resize-under-load dip the bench section quantifies.  Fails loudly so
+   the alias catches a regression. *)
+let elastic_smoke () =
+  Common.section "shards_elastic: online split/merge regression check";
+  let keys = 192 in
+  let db, regions = make_store ~region_size:(1 lsl 21) 2 in
+  for i = 0 to keys - 1 do
+    S.put db (key i) (value i)
+  done;
+  let fail what = failwith ("shards_elastic: " ^ what) in
+  let target =
+    Pmem.Region.create ~fence:Pmem.Fence.stt ~size:(1 lsl 21) ()
+  in
+  let born = S.split_shard db ~source:0 target in
+  let st = S.stats db in
+  if S.epoch db <> 1 then fail "split did not bump the epoch";
+  if st.Pmem.Stats.migrations_completed <> 1 then
+    fail "split did not tick migrations_completed";
+  if st.Pmem.Stats.keys_migrated = 0 then fail "split moved no keys";
+  if S.migration_pending db then fail "split left the intent hooked";
+  let on_born = ref 0 in
+  for i = 0 to keys - 1 do
+    if S.get db (key i) <> Some (value i) then fail "split lost a key";
+    if S.shard_of_key db (key i) = born then incr on_born
+  done;
+  if S.count db <> keys then fail "split changed the key count";
+  if !on_born = 0 then fail "no key routes to the new shard";
+  S.merge_shards db ~source:born ~target:0;
+  let st = S.stats db in
+  if S.epoch db <> 2 then fail "merge did not bump the epoch";
+  if st.Pmem.Stats.migrations_completed <> 2 then
+    fail "merge did not tick migrations_completed";
+  if S.count db <> keys then fail "merge changed the key count";
+  for i = 0 to keys - 1 do
+    if S.get db (key i) <> Some (value i) then fail "merge lost a key"
+  done;
+  ignore (Sys.opaque_identity regions);
+  Printf.printf
+    "  split+merge streamed %d keys (%d were on shard %d), epoch %d\n%!"
+    st.Pmem.Stats.keys_migrated !on_born born (S.epoch db);
+  let calib = calibrate ~ops:60 in
+  let d = elastic_des ~scale:Common.Quick ~calib ~shards:4 ~writers:16 in
+  Printf.printf
+    "  DES resize dip: %s -> %s TX/s (%.2fx over %d move batches)\n%!"
+    (Common.si d.ed_base_ups) (Common.si d.ed_resize_ups)
+    (d.ed_resize_ups /. d.ed_base_ups)
+    d.ed_move_batches;
+  if not (d.ed_resize_ups > 0.) then
+    fail "DES resize arm completed no updates";
+  if not (d.ed_resize_ups <= d.ed_base_ups) then
+    failwith
+      (Printf.sprintf
+         "shards_elastic: background migration sped the run up (%.0f -> \
+          %.0f TX/s)"
+         d.ed_base_ups d.ed_resize_ups);
+  Printf.printf "shards_elastic ok: dip %.2fx\n%!"
+    (d.ed_resize_ups /. d.ed_base_ups)

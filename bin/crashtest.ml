@@ -1120,6 +1120,308 @@ let run_chunked_campaign (module P : PTM) ~nshards ~rounds ~seed ~verbose
     recovery_crashes = !rec_crashes;
     failures = !failures }
 
+(* ---- the elastic-sharding migration campaign ----
+
+   Crash-safe online split/merge: every round seeds an [nshards]-store,
+   then kills it mid-resize — with an instruction trap at a random
+   primitive on every region (including the split's target), with
+   failpoint kills inside each sharded.migrate.* window (intent durable,
+   after a move batch's source transaction — the keys' only home is the
+   CRC-protected cursor — after its target transaction, after the epoch
+   flip, and after reclamation), with a second crash inside recovery's
+   migration resume, and with a racing single-key write fired between
+   the two halves of a move batch.  The oracle after every reopen:
+   [check] passes, every seeded key is present exactly once (the raced
+   key at the racing value), no migration intent is left hooked, and a
+   durable intent implies the resize completed (epoch advanced,
+   exactly one completion ever counted). *)
+
+let run_migrate_campaign (module P : PTM) ~nshards ~rounds ~seed ~verbose
+    ~policy =
+  let module SD = Kv.Sharded_db.Make (P) in
+  let rng = Workload.Keygen.create ~seed () in
+  let failures = ref [] in
+  let crashes = ref 0 in
+  let rec_crashes = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let pick_policy salt =
+    match policy with
+    | `Drop -> Pmem.Region.Drop_all
+    | `Keep -> Pmem.Region.Keep_all
+    | `Random -> Pmem.Region.Random_subset (seed + salt)
+    | `Torn -> Pmem.Region.Torn_words (seed + salt)
+    | `Mix -> (
+      match Workload.Keygen.int rng 4 with
+      | 0 -> Pmem.Region.Drop_all
+      | 1 -> Pmem.Region.Keep_all
+      | 2 -> Pmem.Region.Torn_words (seed + salt)
+      | _ -> Pmem.Region.Random_subset (seed + salt))
+  in
+  let nkeys = 48 in
+  let key i = Printf.sprintf "mig%03d" i in
+  let value i = Printf.sprintf "v-%04d-%s" i (String.make (i mod 40) 'x') in
+  (* the chunk floor forces every split into a multi-batch move stream *)
+  let chunk_bytes = Kv.Sharded_db.min_chunk_bytes in
+  let region () = Pmem.Region.create ~size:(1 lsl 19) () in
+  let fresh () =
+    let rs = Array.init nshards (fun _ -> region ()) in
+    let db = SD.open_db ~initial_buckets:8 ~chunk_bytes rs in
+    for i = 0 to nkeys - 1 do
+      SD.put db (key i) (value i)
+    done;
+    (rs, db)
+  in
+  let reopen rs = SD.open_db ~initial_buckets:8 ~chunk_bytes rs in
+  let crash_all rs p = Array.iter (fun r -> Pmem.Region.crash r p) rs in
+  (* [racing]: the raced key and the value its durable racing write must
+     have pinned; [epoch]: the exact post-recovery epoch when the crash
+     window guarantees one (a trap may land before the intent commits,
+     so trap sweeps accept either outcome) *)
+  let oracle what db ?epoch ?racing () =
+    (match SD.check db with
+     | Ok () -> ()
+     | Error e -> fail "%s: check: %s" what e);
+    let seen = Hashtbl.create 64 in
+    SD.iter db (fun k v ->
+        if Hashtbl.mem seen k then fail "%s: key %s present twice" what k;
+        Hashtbl.replace seen k v);
+    for i = 0 to nkeys - 1 do
+      let want =
+        match racing with
+        | Some (rk, rv) when rk = key i -> rv
+        | _ -> Some (value i)
+      in
+      match (want, Hashtbl.find_opt seen (key i)) with
+      | Some w, Some got when got = w -> ()
+      | None, None -> ()
+      | Some _, None -> fail "%s: lost key %s" what (key i)
+      | None, Some _ -> fail "%s: raced delete of %s resurrected" what (key i)
+      | Some _, Some got ->
+        fail "%s: wrong value at %s (%d bytes)" what (key i)
+          (String.length got)
+    done;
+    if SD.migration_pending db then
+      fail "%s: migration intent left hooked after recovery" what;
+    (match epoch with
+     | Some e when SD.epoch db <> e ->
+       fail "%s: epoch %d after recovery, want %d" what (SD.epoch db) e
+     | _ ->
+       if SD.epoch db < 0 || SD.migration_pending db then
+         fail "%s: inconsistent routing after recovery" what)
+  in
+  let mig_sites =
+    [ "sharded.migrate.intent_open"; "sharded.migrate.batch_moved";
+      "sharded.migrate.batch_applied"; "sharded.migrate.epoch_flip";
+      "sharded.migrate.reclaimed" ]
+  in
+  (* kill inside the named window of [resize ()]; the victim region is
+     the one every pre-reclaim phase touches promptly, so arming it is
+     guaranteed to land — the reclaimed site is the resize's last region
+     access and crashes at the site itself *)
+  let kill_in_window ~site ~skip ~victim resize =
+    let fired = ref false in
+    if site = "sharded.migrate.reclaimed" then
+      Fault.arm ~skip:0 site (fun () ->
+          fired := true;
+          raise Pmem.Region.Crash_point)
+    else
+      Fault.arm ~skip site (fun () ->
+          fired := true;
+          Pmem.Region.kill victim);
+    (match resize () with
+     | () -> Fault.disarm ()
+     | exception Pmem.Region.Crash_point -> incr crashes);
+    !fired
+  in
+  for round = 1 to rounds do
+    let salt = round * 53 in
+    (* (a) instruction trap at a random primitive on every region, the
+       split's freshly-formatted target included *)
+    for t = 0 to nshards do
+      let rs, db = fresh () in
+      let r2 = region () in
+      let all = Array.append rs [| r2 |] in
+      let src = Workload.Keygen.int rng nshards in
+      Pmem.Region.set_trap all.(t) (1 + Workload.Keygen.int rng 2500);
+      (match SD.split_shard db ~source:src r2 with
+       | (_ : int) -> Pmem.Region.clear_trap all.(t)
+       | exception Pmem.Region.Crash_point -> incr crashes);
+      crash_all all (pick_policy (salt + t));
+      let db = reopen all in
+      oracle (Printf.sprintf "round %d trap region %d" round t) db ()
+    done;
+    (* (b) failpoint kills across the migration windows, with a skip
+       that walks the kill along the move stream; pre-flip windows also
+       face a second crash inside recovery's resume.  The stream's
+       length depends on how many keys sit on the source's moving
+       slots, so when a batch-site skip outlives the stream the split
+       just completes — hold it to the clean-split oracle and re-arm
+       shallower (then on other sources) instead of failing; the
+       unconditional windows must still fire first try *)
+    List.iter
+      (fun site ->
+        let batch_site =
+          site = "sharded.migrate.batch_moved"
+          || site = "sharded.migrate.batch_applied"
+        in
+        let rec attempt skip tries =
+        let rs, db = fresh () in
+        let r2 = region () in
+        let all = Array.append rs [| r2 |] in
+        let src = Workload.Keygen.int rng nshards in
+        let fired =
+          kill_in_window ~site ~skip ~victim:all.(src) (fun () ->
+              ignore (SD.split_shard db ~source:src r2 : int))
+        in
+        if not fired then begin
+          oracle
+            (Printf.sprintf "round %d %s unfired at skip %d" round site skip)
+            db ~epoch:1 ();
+          if skip > 0 then attempt (skip - 1) tries
+          else if batch_site && tries < nshards then attempt 0 (tries + 1)
+          else fail "round %d: %s did not fire" round site
+        end
+        else begin
+          crash_all all (pick_policy (salt + 7));
+          let resumes =
+            site = "sharded.migrate.intent_open"
+            || site = "sharded.migrate.batch_moved"
+            || site = "sharded.migrate.batch_applied"
+          in
+          let crash_recovery = resumes && Workload.Keygen.int rng 2 = 0 in
+          let db =
+            if crash_recovery then begin
+              Fault.arm "sharded.migrate.resumed" (fun () ->
+                  Pmem.Region.kill all.(src));
+              match reopen all with
+              | db ->
+                Fault.disarm ();
+                fail "round %d %s: recovery resume window did not fire"
+                  round site;
+                db
+              | exception Pmem.Region.Crash_point ->
+                incr rec_crashes;
+                Fault.disarm ();
+                crash_all all (pick_policy (salt + 9));
+                reopen all
+            end
+            else reopen all
+          in
+          let what = Printf.sprintf "round %d %s" round site in
+          oracle what db ~epoch:1 ();
+          let st = SD.stats db in
+          if resumes && st.Pmem.Stats.migrations_resumed < 1 then
+            fail "%s: recovery never resumed the migration" what;
+          if st.Pmem.Stats.migrations_completed <> 1 then
+            fail "%s: %d completions counted, want exactly 1" what
+              st.Pmem.Stats.migrations_completed;
+          if st.Pmem.Stats.keys_migrated = 0 then
+            fail "%s: no keys counted as migrated" what
+        end
+        in
+        let skip = if batch_site then Workload.Keygen.int rng 3 else 0 in
+        attempt skip 0)
+      mig_sites;
+    (* (c) a racing single-key write fired between the two halves of a
+       move batch — durable before the (optional) kill, so it must
+       survive the stream, the crash, and the resumed migration.  As in
+       (b), a stream shorter than the skip (or a source with no moving
+       keys) leaves the window unfired: retry shallower, then on other
+       sources *)
+    let kill_after = Workload.Keygen.int rng 2 = 0 in
+    let delete_race = Workload.Keygen.int rng 3 = 0 in
+    let rec race_attempt skip tries =
+      let rs, db = fresh () in
+      let r2 = region () in
+      let all = Array.append rs [| r2 |] in
+      let src = Workload.Keygen.int rng nshards in
+      let raced = ref None in
+      Fault.arm ~skip "sharded.migrate.batch_moved" (fun () ->
+          (* prefer a key the open window routes to the new shard: its
+             write takes the forwarding path.  The seeded keys spread
+             over every slot, so one almost always exists; any key
+             keeps the race meaningful otherwise. *)
+          let target = nshards in
+          let rec pick i =
+            if i >= nkeys then key (Workload.Keygen.int rng nkeys)
+            else if SD.shard_of_key db (key i) = target then key i
+            else pick (i + 1)
+          in
+          let rk = pick 0 in
+          if delete_race then begin
+            ignore (SD.delete db rk : bool);
+            raced := Some (rk, None)
+          end
+          else begin
+            SD.put db rk "raced";
+            raced := Some (rk, Some "raced")
+          end;
+          if kill_after then Pmem.Region.kill all.(src));
+      (match SD.split_shard db ~source:src r2 with
+       | (_ : int) -> Fault.disarm ()
+       | exception Pmem.Region.Crash_point ->
+         incr crashes;
+         Fault.disarm ());
+      match !raced with
+      | None ->
+        if skip > 0 then race_attempt (skip - 1) tries
+        else if tries < nshards then race_attempt 0 (tries + 1)
+        else fail "round %d: racing window did not fire" round
+      | Some racing ->
+        crash_all all (pick_policy (salt + 11));
+        let db = reopen all in
+        oracle
+          (Printf.sprintf "round %d racing %s%s" round
+             (if delete_race then "delete" else "put")
+             (if kill_after then "+kill" else ""))
+          db ~epoch:1 ~racing ()
+    in
+    race_attempt (Workload.Keygen.int rng 2) 0;
+    (* (d) merge: grow, then kill inside a random window of the shrink;
+       recovery must land on epoch 2 with the merged shard empty *)
+    let rs, db = fresh () in
+    let r2 = region () in
+    let all = Array.append rs [| r2 |] in
+    let src = Workload.Keygen.int rng nshards in
+    let born = SD.split_shard db ~source:src r2 in
+    let site = List.nth mig_sites (Workload.Keygen.int rng 5) in
+    let back = Workload.Keygen.int rng nshards in
+    let fired =
+      kill_in_window ~site ~skip:0 ~victim:all.(born) (fun () ->
+          SD.merge_shards db ~source:born ~target:back)
+    in
+    let merge_checks what db =
+      oracle what db ~epoch:2 ();
+      for s = 0 to SD.route_slots db - 1 do
+        if SD.shard_of_slot db s = born then
+          fail "%s: merged shard still owns slot %d" what s
+      done;
+      if (SD.stats db).Pmem.Stats.migrations_completed <> 2 then
+        fail "%s: %d completions counted, want exactly 2" what
+          (SD.stats db).Pmem.Stats.migrations_completed
+    in
+    if not fired then begin
+      (* only the batch windows can go unvisited, and only when the
+         split moved no keys, so the merge streams none back — the
+         merge then completed clean and its post-state must hold live *)
+      if site = "sharded.migrate.batch_moved"
+         || site = "sharded.migrate.batch_applied"
+      then merge_checks (Printf.sprintf "round %d merge %s unfired" round site) db
+      else fail "round %d: merge %s did not fire" round site
+    end
+    else begin
+      crash_all all (pick_policy (salt + 13));
+      merge_checks (Printf.sprintf "round %d merge %s" round site) (reopen all)
+    end;
+    if verbose then
+      Printf.printf "  ... %d/%d rounds, %d crashes (%d during recovery)\n%!"
+        round rounds !crashes !rec_crashes
+  done;
+  { rounds;
+    crashes = !crashes;
+    recovery_crashes = !rec_crashes;
+    failures = !failures }
+
 (* ---- command line ---- *)
 
 let ptm_arg =
@@ -1238,6 +1540,22 @@ let chunked_arg =
   in
   Arg.(value & flag & info [ "chunked" ] ~doc)
 
+let migrate_arg =
+  let doc =
+    "With --shards (>= 2), drive the elastic-sharding migration campaign \
+     instead: every round crashes an online shard split/merge with \
+     instruction traps on every region (the split's freshly-formatted \
+     target included), failpoint kills inside each sharded.migrate.* \
+     window (intent open, after a move batch's source and target \
+     transactions, after the epoch flip, after reclamation), a second \
+     crash inside recovery's migration resume, and a racing single-key \
+     write fired between the two halves of a move batch.  The oracle \
+     requires every key present exactly once after recovery, the raced \
+     key at the racing value, and a durable intent to always complete \
+     (resume, never roll back)."
+  in
+  Arg.(value & flag & info [ "migrate" ] ~doc)
+
 let list_failpoints_arg =
   let doc =
     "Print every registered failpoint site (raise-capable ones marked) \
@@ -1250,7 +1568,7 @@ let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
 let main ptm workload rounds seed policy recovery_crashes failpoint
-    inject_exn scrub rot_rates_str nshards decentralized chunked
+    inject_exn scrub rot_rates_str nshards decentralized chunked migrate
     list_failpoints verbose =
   if list_failpoints then begin
     List.iter
@@ -1281,6 +1599,11 @@ let main ptm workload rounds seed policy recovery_crashes failpoint
     | "map" -> [ ("map", `Map) ]
     | w -> failwith ("unknown workload " ^ w)
   in
+  if migrate && nshards < 2 then begin
+    Printf.eprintf "--migrate needs --shards >= 2 (a 1-shard store has no \
+                    pre-pinned routing table to resume from)\n";
+    exit 2
+  end;
   let failed = ref false in
   if nshards > 0 then
     (* the sharded campaign has its own cross-shard workload; the
@@ -1288,7 +1611,11 @@ let main ptm workload rounds seed policy recovery_crashes failpoint
     List.iter
       (fun (pname, m) ->
         let o =
-          if chunked then begin
+          if migrate then begin
+            Printf.printf "%-6s x %d-shard elastic-migrate: %!" pname nshards;
+            run_migrate_campaign m ~nshards ~rounds ~seed ~verbose ~policy
+          end
+          else if chunked then begin
             Printf.printf "%-6s x %d-shard chunked-stream: %!" pname nshards;
             run_chunked_campaign m ~nshards ~rounds ~seed ~verbose ~policy
           end
@@ -1420,7 +1747,7 @@ let cmd =
     Term.(const main $ ptm_arg $ workload_arg $ rounds_arg $ seed_arg
           $ policy_arg $ recovery_crashes_arg $ failpoint_arg
           $ inject_exn_arg $ scrub_arg $ rot_rates_arg $ shards_arg
-          $ decentralized_arg $ chunked_arg $ list_failpoints_arg
-          $ verbose_arg)
+          $ decentralized_arg $ chunked_arg $ migrate_arg
+          $ list_failpoints_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -60,6 +60,73 @@ exception Invalid_shards of int
 
 exception Overloaded of { shard : int; in_flight : int; budget : int }
 
+(* [open_from_files ~shards] against a snapshot family saved with a
+   different shard count: the requested count disagrees with the files
+   actually on disk (elastic stores grow their family when a split adds
+   a shard). *)
+exception Shard_mismatch of { requested : int; found : int }
+
+(* ---- routing directory ----
+
+   Keys route through a slot table: [route_hash k mod n_slots] picks a
+   slot, the slot's assignment picks the shard.  [n_slots] is fixed at
+   [slots_per_shard * initial shard count] when the store is first
+   created; epoch 0 assigns slot [s] to shard [s mod n], which makes the
+   epoch-0 route bit-for-bit the original hash-modulo route (because n
+   divides n_slots, [(h mod n_slots) mod n = h mod n]).  Multi-shard
+   stores pin the table durably at first open (so a crashed resize can
+   never be confused about the pre-resize count); a 1-shard store writes
+   no routing metadata at all until its first split. *)
+let slots_per_shard = 8
+
+(* ---- typed-backoff retry around [Overloaded] ----
+
+   Deterministic: the sleep schedule is a pure function of
+   [retries]/[base_ns]/[seed] (exponential growth, xorshift jitter), so
+   tests can assert the exact schedule and crash campaigns stay
+   reproducible.  Shared by migration move batches and exposed for
+   clients whose cross-shard batches may be refused by admission control
+   or by an in-flight migration window. *)
+let default_overload_retries = 5
+let default_overload_base_ns = 20_000
+
+let overload_backoff_schedule ~retries ~base_ns ~seed =
+  if retries < 0 then invalid_arg "overload_backoff_schedule: retries < 0";
+  if base_ns <= 0 then invalid_arg "overload_backoff_schedule: base_ns <= 0";
+  let state = ref (if seed = 0 then 0x6b8b4567 else seed land max_int) in
+  let next () =
+    let x = !state in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 7) in
+    let x = x lxor (x lsl 17) in
+    state := x land max_int;
+    !state
+  in
+  List.init retries (fun i ->
+      let slot = base_ns * (1 lsl min i 20) in
+      slot + (next () mod max 1 (slot / 2)))
+
+(* Busy-wait roughly [ns] of backoff; virtual time, not measured — the
+   point is a bounded, monotonically growing pause between retries. *)
+let backoff_wait_ns ns =
+  for _ = 1 to max 1 (ns / 100) do
+    Domain.cpu_relax ()
+  done
+
+let with_overload_retry ?(retries = default_overload_retries)
+    ?(base_ns = default_overload_base_ns) ?(seed = 0) ?(on_wait = fun _ -> ())
+    f =
+  let rec go = function
+    | [] -> f ()
+    | wait :: rest -> (
+      try f ()
+      with Overloaded _ ->
+        on_wait wait;
+        backoff_wait_ns wait;
+        go rest)
+  in
+  go (overload_backoff_schedule ~retries ~base_ns ~seed)
+
 type commit_protocol =
   | Centralized
   | Decentralized of { lazy_clear : bool }
@@ -115,6 +182,19 @@ let fp_chunk_written = Fault.site "sharded.chunk.written"
 let fp_chunk_spilled = Fault.site "sharded.chunk.spilled"
 let fp_seal_window = Fault.site "sharded.chunk.seal_window"
 let fp_chunk_gc = Fault.site "sharded.chunk.gc"
+
+(* migration windows: after the intent record commits, after each move
+   batch's source transaction (keys deleted from the source, cursor
+   durable, target not yet updated), after each move batch's target
+   transaction, after recovery replays the durable cursor, after the
+   epoch-flip transaction (the migration's validity point), and after
+   the post-flip reclamation pass *)
+let fp_mig_intent = Fault.site "sharded.migrate.intent_open"
+let fp_mig_moved = Fault.site "sharded.migrate.batch_moved"
+let fp_mig_applied = Fault.site "sharded.migrate.batch_applied"
+let fp_mig_resumed = Fault.site "sharded.migrate.resumed"
+let fp_mig_flip = Fault.site "sharded.migrate.epoch_flip"
+let fp_mig_reclaim = Fault.site "sharded.migrate.reclaimed"
 
 (* ---- record serialization (PTM-independent) ----
 
@@ -368,6 +448,7 @@ module Make (P : SHARD_PTM) = struct
      record is reset. *)
   (* Resource-governance knobs, fixed at [open_db]. *)
   type config = {
+    initial_buckets : int;
     chunk_bytes : int;
     spill_threshold : int;
     admission_budget : int;
@@ -380,18 +461,50 @@ module Make (P : SHARD_PTM) = struct
     mutable next_batch_id : int;
     pending : (string, pending_undo) Hashtbl.t;
     (* per shard: committed-batch mirrors awaiting a piggybacked unhook *)
-    clearable_mirrors : (int * int) list array; (* (mirror_off, batch id) *)
+    mutable clearable_mirrors : (int * int) list array;
+    (* (mirror_off, batch id) *)
     (* per coordinator shard: flips whose batches have no mirror left *)
-    clearable_flips : int list array; (* flip_off *)
+    mutable clearable_flips : int list array; (* flip_off *)
     (* batch id -> (coordinator, flip_off, mirrors still hooked) *)
     live_flips : (int, int * int * int ref) Hashtbl.t;
     (* per shard: payload bytes of batches currently inside the commit
        protocol, charged by admission control (volatile by design — a
        crash empties the protocol) *)
-    in_flight : int array;
+    mutable in_flight : int array;
   }
 
-  type t = { shard_arr : shard array; batch : batch option; proto : proto }
+  (* An in-flight migration's volatile window state (the persistent truth
+     is the intent record): moving slots already route to the target,
+     reads double-read (target, then tombstones, then source), and
+     [mig_tomb] — a map in the target region — records keys a racing
+     delete made authoritatively absent, so neither the move stream nor
+     recovery can resurrect them from a stale source copy. *)
+  type mig = {
+    mig_source : int;
+    mig_target : int;
+    mig_epoch : int;
+    moving : bool array; (* per slot *)
+    mig_tomb : Map_.t;
+  }
+
+  (* The routing directory's volatile image, shared by every handle (the
+     persistent record — if any — lives in shard 0).  [epoch] counts
+     completed resizes; the migration window, when open, has already
+     re-pointed [assignment] for the moving slots (the "new epoch"
+     route). *)
+  type router = {
+    mutable epoch : int;
+    mutable n_slots : int;
+    mutable assignment : int array; (* slot -> shard *)
+    mutable migration : mig option;
+  }
+
+  type t = {
+    mutable shard_arr : shard array;
+    batch : batch option;
+    proto : proto;
+    router : router;
+  }
 
   let db_root = 0 (* same slot as Romulus_db: the map's anchor *)
 
@@ -404,6 +517,18 @@ module Make (P : SHARD_PTM) = struct
   let intent_slot = Romulus.Ptm_intf.root_slots - 1
   let mirror_slot = Romulus.Ptm_intf.root_slots - 2
   let flip_slot = Romulus.Ptm_intf.root_slots - 3
+
+  (* Elastic-sharding slots.  [route_slot] (shard 0) holds the persisted
+     routing table, pinned at first open for multi-shard stores and
+     rewritten by each resize's epoch flip (1-shard stores leave it at 0
+     until they split); [mig_slot] (shard 0) holds the single migration intent
+     record; [cursor_slot] (the migration source) holds the current
+     move batch's CRC-protected cursor; [tomb_slot] (the migration
+     target) anchors the tombstone map. *)
+  let route_slot = Romulus.Ptm_intf.root_slots - 4
+  let mig_slot = Romulus.Ptm_intf.root_slots - 5
+  let cursor_slot = Romulus.Ptm_intf.root_slots - 6
+  let tomb_slot = Romulus.Ptm_intf.root_slots - 7
 
   let status_prepared = 1
   let status_committed = 2
@@ -447,7 +572,11 @@ module Make (P : SHARD_PTM) = struct
     (h lxor (h lsr 29)) land max_int
 
   let shards t = Array.length t.shard_arr
-  let shard_of_key t k = route_hash k mod shards t
+  let epoch t = t.router.epoch
+  let route_slots t = t.router.n_slots
+  let slot_of_key t k = route_hash k mod t.router.n_slots
+  let shard_of_slot t s = t.router.assignment.(s)
+  let shard_of_key t k = t.router.assignment.(slot_of_key t k)
   let shard_for t k = t.shard_arr.(shard_of_key t k)
   let regions t = Array.map (fun s -> s.region) t.shard_arr
 
@@ -497,10 +626,53 @@ module Make (P : SHARD_PTM) = struct
     tick s (fun st ->
         st.Pmem.Stats.clear_flushes <- st.Pmem.Stats.clear_flushes + 1)
 
+  let tick_mig_started s =
+    tick s (fun st ->
+        st.Pmem.Stats.migrations_started <- st.Pmem.Stats.migrations_started + 1)
+
+  let tick_mig_resumed s =
+    tick s (fun st ->
+        st.Pmem.Stats.migrations_resumed <- st.Pmem.Stats.migrations_resumed + 1)
+
+  let tick_mig_completed s =
+    tick s (fun st ->
+        st.Pmem.Stats.migrations_completed <-
+          st.Pmem.Stats.migrations_completed + 1)
+
+  let tick_migrated s n =
+    tick s (fun st ->
+        st.Pmem.Stats.keys_migrated <- st.Pmem.Stats.keys_migrated + n)
+
+  let tick_double_read s =
+    tick s (fun st ->
+        st.Pmem.Stats.double_reads <- st.Pmem.Stats.double_reads + 1)
+
   (* ---- plain (non-batch) operations ---- *)
 
-  let underlying_get t k = Map_.get (shard_for t k).map k
-  let underlying_mem t k = Map_.mem (shard_for t k).map k
+  (* Double-read during a transfer window: a moving key may not have
+     reached the target yet, so a target miss consults the tombstones
+     (a racing delete is authoritative) and then the source. *)
+  let underlying_get t k =
+    match t.router.migration with
+    | Some m when m.moving.(slot_of_key t k) -> (
+      match Map_.get t.shard_arr.(m.mig_target).map k with
+      | Some _ as r -> r
+      | None ->
+        tick_double_read t.shard_arr.(m.mig_source);
+        if Map_.mem m.mig_tomb k then None
+        else Map_.get t.shard_arr.(m.mig_source).map k)
+    | _ -> Map_.get (shard_for t k).map k
+
+  let underlying_mem t k =
+    match t.router.migration with
+    | Some m when m.moving.(slot_of_key t k) ->
+      Map_.mem t.shard_arr.(m.mig_target).map k
+      || begin
+        tick_double_read t.shard_arr.(m.mig_source);
+        (not (Map_.mem m.mig_tomb k))
+        && Map_.mem t.shard_arr.(m.mig_source).map k
+      end
+    | _ -> Map_.mem (shard_for t k).map k
 
   let apply_op s (k, v) =
     match v with
@@ -512,7 +684,33 @@ module Make (P : SHARD_PTM) = struct
      the write's own transaction the batch's undo entry for the key is
      invalidated (one byte in the mirror), so neither the inline abort
      path nor crash recovery will replay the stale pre-image. *)
+  (* A single-key write to a moving slot during a transfer window routes
+     on the new epoch with per-key forwarding: the target transaction is
+     authoritative (a put clears the key's tombstone, a delete plants
+     one), then the stale source copy is removed in its own transaction.
+     A crash between the two is harmless — the target copy (or the
+     tombstone) shadows the source under double-read, and recovery's
+     resumed move stream re-deletes the source copy without overwriting
+     the target (insert-if-absent). *)
+  let forward_write t m k v =
+    let tgt = t.shard_arr.(m.mig_target) in
+    let src = t.shard_arr.(m.mig_source) in
+    (match v with
+    | Some value ->
+      P.update_tx tgt.p (fun () ->
+          ignore (Map_.put tgt.map k value : bool);
+          ignore (Map_.remove m.mig_tomb k : bool))
+    | None ->
+      P.update_tx tgt.p (fun () ->
+          ignore (Map_.remove tgt.map k : bool);
+          ignore (Map_.put m.mig_tomb k "" : bool)));
+    if Map_.mem src.map k then
+      P.update_tx src.p (fun () -> ignore (Map_.remove src.map k : bool))
+
   let write_direct t k v =
+    match t.router.migration with
+    | Some m when m.moving.(slot_of_key t k) -> forward_write t m k v
+    | _ -> (
     let s = shard_for t k in
     match Hashtbl.find_opt t.proto.pending k with
     | None -> apply_op s (k, v)
@@ -527,7 +725,7 @@ module Make (P : SHARD_PTM) = struct
           let bytes = P.load_bytes sp (pu.pu_chunk + chunk_hdr) len in
           P.store sp (pu.pu_chunk + c_crc) (Chunk.crc bytes);
           apply_op s (k, v));
-      Hashtbl.remove t.proto.pending k
+      Hashtbl.remove t.proto.pending k)
 
   (* newest-first scan of the buffered operations *)
   let rec lookup_ops k = function
@@ -1253,9 +1451,495 @@ module Make (P : SHARD_PTM) = struct
     let infl = t.proto.in_flight in
     List.iter (fun (i, c) -> infl.(i) <- infl.(i) - c) charges
 
+  (* ---- elastic sharding: routing directory + live migration ----
+
+     A resize is a state machine persisted in two records:
+
+       INTENT    one transaction on shard 0 hooks the migration intent
+                 (kind, source, target, new epoch, moving-slot bitmap).
+                 From here a crash always *completes* the migration:
+                 intent durable => the resize happens (roll-forward, so
+                 the oracle is deterministic).
+       MOVE*     per bounded batch: one transaction on the source writes
+                 the CRC-protected cursor (the batch's keys and values)
+                 and deletes those keys from the source map — atomically,
+                 so the cursor IS the keys' only home if the crash lands
+                 before the target transaction — then one transaction on
+                 the target inserts each key unless the target already
+                 has it (a racing put won) or a tombstone marks it dead
+                 (a racing delete won).  Replaying a cursor is therefore
+                 idempotent.
+       FLIP      one transaction on shard 0 persists the routing table
+                 under the new epoch — the migration's validity point.
+       RECLAIM   post-flip, idempotent: sweep stale source copies, free
+                 the cursor, clear the tombstones, and unhook the intent
+                 (last, because the intent is recovery's trigger).
+
+     The volatile window ([router.migration]) re-points the moving slots
+     at the target as soon as the intent commits, so writes route on the
+     new epoch (with per-key forwarding) and reads double-read. *)
+
+  let mig_hdr = 40 (* kind | source | target | new epoch | n_slots *)
+  let cursor_hdr = 32 (* epoch | len | crc | reserved | bytes *)
+
+  let route_error fmt =
+    Printf.ksprintf
+      (fun msg -> raise (Romulus.Engine.Recovery_error ("sharded routing: " ^ msg)))
+      fmt
+
+  let tomb_map t target =
+    let cfg = t.proto.config in
+    Map_.open_or_create ~initial_buckets:cfg.initial_buckets
+      t.shard_arr.(target).p ~root:tomb_slot
+
+  let read_root t i slot =
+    let p = t.shard_arr.(i).p in
+    P.read_tx p (fun () -> P.get_root p slot)
+
+  (* Replace the persisted routing table in one shard-0 transaction:
+     alloc the new record, swing the root, free the old.  Called at
+     first open (multi-shard stores) and by each resize's epoch flip —
+     a 1-shard store keeps this slot at 0 until it splits, staying
+     bit-for-bit Romulus_db. *)
+  let persist_route t ~epoch =
+    let r = t.router in
+    let s0 = t.shard_arr.(0) in
+    P.update_tx s0.p (fun () ->
+        let o = P.alloc s0.p (24 + (8 * r.n_slots)) in
+        P.store s0.p o epoch;
+        P.store s0.p (o + 8) r.n_slots;
+        P.store s0.p (o + 16) (Array.length t.shard_arr);
+        Array.iteri (fun s a -> P.store s0.p (o + 24 + (8 * s)) a) r.assignment;
+        let old = P.get_root s0.p route_slot in
+        P.set_root s0.p route_slot o;
+        if old <> 0 then P.free s0.p old)
+
+  (* Rebuild the volatile routing image from shard 0's persisted record,
+     or the identity epoch-0 table when none was ever written.  Validated:
+     a table naming a shard beyond the attached regions means the store
+     was reopened without a region a completed split added. *)
+  let load_router t =
+    let r = t.router in
+    let n = Array.length t.shard_arr in
+    let off = read_root t 0 route_slot in
+    if off = 0 then begin
+      (* No table was ever flipped.  Usually the identity layout over the
+         attached regions — but a crash inside the *first* migration
+         leaves an intent and no table, and the identity must then be
+         computed over the pre-resize shard count, which the intent's
+         slot count encodes (n_slots = slots_per_shard * original n). *)
+      let n_slots =
+        match read_root t 0 mig_slot with
+        | 0 -> slots_per_shard * n
+        | moff ->
+          let s0 = t.shard_arr.(0) in
+          P.read_tx s0.p (fun () -> P.load s0.p (moff + 32))
+      in
+      if n_slots <= 0 || n_slots mod slots_per_shard <> 0 then
+        route_error "bad slot count %d" n_slots;
+      let base = n_slots / slots_per_shard in
+      if base <= 0 || base > n then
+        route_error "identity table over %d shards, store has %d regions"
+          base n;
+      r.epoch <- 0;
+      r.n_slots <- n_slots;
+      r.assignment <- Array.init n_slots (fun s -> s mod base);
+      (* Pin the identity table durably for multi-shard stores (1-shard
+         stores stay metadata-free and bit-for-bit Romulus_db): a crash
+         between a split's target-region attach and its intent commit
+         must not let a later reopen-with-the-target-attached rebuild
+         the identity over the wrong shard count.  Skipped while an
+         intent is pending — the resumed migration's flip persists the
+         final table itself. *)
+      if base > 1 && read_root t 0 mig_slot = 0 then
+        persist_route t ~epoch:0
+    end
+    else begin
+      let s0 = t.shard_arr.(0) in
+      let epoch, n_slots, assignment =
+        P.read_tx s0.p (fun () ->
+            let epoch = P.load s0.p off in
+            let n_slots = P.load s0.p (off + 8) in
+            if epoch < 0 then route_error "bad epoch %d" epoch;
+            if n_slots <= 0 || n_slots > slots_per_shard * 4096 then
+              route_error "bad slot count %d" n_slots;
+            ( epoch, n_slots,
+              Array.init n_slots (fun s -> P.load s0.p (off + 24 + (8 * s))) ))
+      in
+      Array.iter
+        (fun a ->
+          if a < 0 || a >= n then
+            route_error
+              "table names shard %d, store has %d regions (reopen with \
+               every shard of the family attached)"
+              a n)
+        assignment;
+      r.epoch <- epoch;
+      r.n_slots <- n_slots;
+      r.assignment <- assignment
+    end;
+    r.migration <- None
+
+  let read_mig_intent t =
+    let off = read_root t 0 mig_slot in
+    if off = 0 then None
+    else begin
+      let s0 = t.shard_arr.(0) in
+      let kind, source, target, mepoch, n_slots, bitmap =
+        P.read_tx s0.p (fun () ->
+            let n_slots = P.load s0.p (off + 32) in
+            if n_slots <= 0 || n_slots > slots_per_shard * 4096 then
+              route_error "migration intent has bad slot count %d" n_slots;
+            ( P.load s0.p off, P.load s0.p (off + 8), P.load s0.p (off + 16),
+              P.load s0.p (off + 24), n_slots,
+              P.load_bytes s0.p (off + mig_hdr) n_slots ))
+      in
+      let n = Array.length t.shard_arr in
+      if kind <> 0 && kind <> 1 then
+        route_error "migration intent has bad kind %d" kind;
+      if source < 0 || source >= n || target < 0 || target >= n then
+        route_error
+          "migration intent names shards %d->%d, store has %d regions \
+           (reopen with the migration target's region attached)"
+          source target n;
+      if n_slots <> t.router.n_slots then
+        route_error "migration intent has %d slots, table has %d" n_slots
+          t.router.n_slots;
+      if mepoch <> t.router.epoch && mepoch <> t.router.epoch + 1 then
+        route_error "migration intent epoch %d does not follow table epoch %d"
+          mepoch t.router.epoch;
+      let moving = Array.init n_slots (fun s -> bitmap.[s] = '\001') in
+      Some (off, kind, source, target, mepoch, moving)
+    end
+
+  (* One bounded move batch: [moved] is (key, value) pairs still living
+     in the source.  Source transaction: replace the cursor (free the
+     previous batch's) and delete the keys; target transaction: insert
+     each unless a racing write already decided the key.  The target
+     charge rides admission control with the shared typed-backoff
+     retry. *)
+  let move_batch t m moved =
+    let src = t.shard_arr.(m.mig_source) in
+    let tgt = t.shard_arr.(m.mig_target) in
+    let b = Buffer.create 256 in
+    add_kv_list b (List.map (fun (k, v) -> (k, Some v)) moved);
+    let payload = Buffer.contents b in
+    let plen = String.length payload in
+    P.update_tx src.p (fun () ->
+        let o = P.alloc src.p (cursor_hdr + plen) in
+        P.store src.p o m.mig_epoch;
+        P.store src.p (o + 8) plen;
+        P.store src.p (o + 16) (Chunk.crc payload);
+        P.store src.p (o + 24) 0;
+        P.store_bytes src.p (o + cursor_hdr) payload;
+        let old = P.get_root src.p cursor_slot in
+        P.set_root src.p cursor_slot o;
+        if old <> 0 then P.free src.p old;
+        List.iter
+          (fun (k, _) -> ignore (Map_.remove src.map k : bool))
+          moved);
+    Fault.hit fp_mig_moved;
+    let charge = [ (m.mig_target, plen) ] in
+    with_overload_retry ~seed:(m.mig_epoch + plen) (fun () -> admit t charge);
+    Fun.protect
+      ~finally:(fun () -> release t charge)
+      (fun () ->
+        let inserted = ref 0 in
+        P.update_tx tgt.p (fun () ->
+            List.iter
+              (fun (k, v) ->
+                if
+                  (not (Map_.mem tgt.map k))
+                  && not (Map_.mem m.mig_tomb k)
+                then begin
+                  ignore (Map_.put tgt.map k v : bool);
+                  incr inserted
+                end)
+              moved);
+        tick_migrated tgt !inserted);
+    Fault.hit fp_mig_applied
+
+  (* Stream every source key of a moving slot to the target in bounded
+     batches (payload <= chunk_bytes, always at least one key).  Keys a
+     racing write touches mid-stream are skipped naturally: a forwarded
+     put or delete removes its key from the source before the stream
+     reaches it.  A final re-collection pass confirms the source is
+     drained. *)
+  let run_move_loop t m =
+    let src = t.shard_arr.(m.mig_source) in
+    let chunk_bytes = t.proto.config.chunk_bytes in
+    let rec pass () =
+      let pending = ref [] in
+      Map_.iter src.map (fun k v ->
+          if m.moving.(slot_of_key t k) then pending := (k, v) :: !pending);
+      match !pending with
+      | [] -> ()
+      | kvs ->
+        let rec batches = function
+          | [] -> ()
+          | kvs ->
+            let rec take acc size = function
+              | [] -> (List.rev acc, [])
+              | ((k, v) :: rest) as all ->
+                let size = size + 17 + String.length k + String.length v in
+                if acc <> [] && size > chunk_bytes then (List.rev acc, all)
+                else take ((k, v) :: acc) size rest
+            in
+            let batch, rest = take [] 8 kvs in
+            (* a racing write may have retired a key since collection *)
+            let moved =
+              List.filter (fun (k, _) -> Map_.mem src.map k) batch
+            in
+            if moved <> [] then move_batch t m moved;
+            batches rest
+        in
+        batches kvs;
+        pass ()
+    in
+    pass ()
+
+  (* The migration's validity point: persist the routing table under the
+     new epoch in one shard-0 transaction.  The volatile assignment was
+     re-pointed when the window opened, so this only makes it durable. *)
+  let flip_epoch t m =
+    persist_route t ~epoch:m.mig_epoch;
+    t.router.epoch <- m.mig_epoch;
+    t.router.migration <- None;
+    tick_mig_completed t.shard_arr.(0);
+    Fault.hit fp_mig_flip
+
+  (* Post-flip reclamation, idempotent (recovery re-runs it whole when a
+     crash lands inside): finish any straggler source copies, free the
+     cursor, clear the tombstones, and unhook the intent last — it is
+     the durable evidence that reclamation may still be owed. *)
+  let reclaim_migration t ~source ~target ~moving =
+    let src = t.shard_arr.(source) in
+    let tgt = t.shard_arr.(target) in
+    let tomb = tomb_map t target in
+    (* stale moving-slot copies left in the source: none in a crash-free
+       run (the move stream deletes as it goes); after a crash, a copy
+       whose key the target never decided is completed rather than
+       dropped — exactly-once either way *)
+    let stale = ref [] in
+    Map_.iter src.map (fun k v ->
+        if moving.(slot_of_key t k) then stale := (k, v) :: !stale);
+    if !stale <> [] then begin
+      let orphans =
+        List.filter
+          (fun (k, _) ->
+            (not (Map_.mem tgt.map k)) && not (Map_.mem tomb k))
+          !stale
+      in
+      if orphans <> [] then
+        P.update_tx tgt.p (fun () ->
+            List.iter
+              (fun (k, v) -> ignore (Map_.put tgt.map k v : bool))
+              orphans);
+      P.update_tx src.p (fun () ->
+          List.iter
+            (fun (k, _) -> ignore (Map_.remove src.map k : bool))
+            !stale)
+    end;
+    let coff = read_root t source cursor_slot in
+    if coff <> 0 then
+      P.update_tx src.p (fun () ->
+          P.set_root src.p cursor_slot 0;
+          P.free src.p coff);
+    let tkeys = ref [] in
+    Map_.iter tomb (fun k _ -> tkeys := k :: !tkeys);
+    if !tkeys <> [] then
+      P.update_tx tgt.p (fun () ->
+          List.iter
+            (fun k -> ignore (Map_.remove tomb k : bool))
+            !tkeys);
+    (match read_root t 0 mig_slot with
+    | 0 -> ()
+    | ioff ->
+      let s0 = t.shard_arr.(0) in
+      P.update_tx s0.p (fun () ->
+          P.set_root s0.p mig_slot 0;
+          P.free s0.p ioff));
+    Fault.hit fp_mig_reclaim
+
+  (* Open a fresh region as the next shard index (formatting it under
+     its own engine) and grow the per-shard protocol arrays. *)
+  let attach_shard t region =
+    let cfg = t.proto.config in
+    let p = P.open_region region in
+    let map =
+      Map_.open_or_create ~initial_buckets:cfg.initial_buckets p
+        ~root:db_root
+    in
+    t.shard_arr <- Array.append t.shard_arr [| { p; map; region } |];
+    let pr = t.proto in
+    pr.clearable_mirrors <- Array.append pr.clearable_mirrors [| [] |];
+    pr.clearable_flips <- Array.append pr.clearable_flips [| [] |];
+    pr.in_flight <- Array.append pr.in_flight [| 0 |];
+    Array.length t.shard_arr - 1
+
+  (* Run a migration from an already-durable intent: open the window
+     (moving slots route to the target from here), stream, flip,
+     reclaim. *)
+  let run_migration t ~source ~target ~mepoch ~moving =
+    let r = t.router in
+    let m =
+      { mig_source = source; mig_target = target; mig_epoch = mepoch;
+        moving; mig_tomb = tomb_map t target }
+    in
+    r.migration <- Some m;
+    Array.iteri (fun s mv -> if mv then r.assignment.(s) <- target) moving;
+    run_move_loop t m;
+    flip_epoch t m;
+    reclaim_migration t ~source ~target ~moving
+
+  let start_migration t ~kind ~source ~target ~moving =
+    let r = t.router in
+    let mepoch = r.epoch + 1 in
+    let s0 = t.shard_arr.(0) in
+    let bitmap =
+      String.init r.n_slots (fun s -> if moving.(s) then '\001' else '\000')
+    in
+    P.update_tx s0.p (fun () ->
+        let o = P.alloc s0.p (mig_hdr + r.n_slots) in
+        P.store s0.p o kind;
+        P.store s0.p (o + 8) source;
+        P.store s0.p (o + 16) target;
+        P.store s0.p (o + 24) mepoch;
+        P.store s0.p (o + 32) r.n_slots;
+        P.store_bytes s0.p (o + mig_hdr) bitmap;
+        P.set_root s0.p mig_slot o);
+    tick_mig_started s0;
+    Fault.hit fp_mig_intent;
+    run_migration t ~source ~target ~mepoch ~moving
+
+  let check_resizable t ~source =
+    if t.batch <> None then
+      invalid_arg "Sharded_db: cannot resize through a batch handle";
+    if t.router.migration <> None then
+      invalid_arg "Sharded_db: a migration is already in progress";
+    let n = Array.length t.shard_arr in
+    if source < 0 || source >= n then
+      invalid_arg (Printf.sprintf "Sharded_db: bad source shard %d" source)
+
+  let owned_slots t shard =
+    let r = t.router in
+    let owned = ref [] in
+    for s = r.n_slots - 1 downto 0 do
+      if r.assignment.(s) = shard then owned := s :: !owned
+    done;
+    !owned
+
+  (* Split half of [source]'s slots (every other owned slot) onto a new
+     shard opened over [region]; returns the new shard's index.  Online:
+     reads and single-key writes proceed during the stream. *)
+  let split_shard t ~source region =
+    check_resizable t ~source;
+    let owned = owned_slots t source in
+    if List.length owned < 2 then
+      invalid_arg
+        (Printf.sprintf
+           "Sharded_db.split_shard: shard %d owns %d slot(s), cannot split"
+           source (List.length owned));
+    let target = attach_shard t region in
+    let moving = Array.make t.router.n_slots false in
+    List.iteri (fun i s -> if i land 1 = 1 then moving.(s) <- true) owned;
+    start_migration t ~kind:0 ~source ~target ~moving;
+    target
+
+  (* Move every slot of [source] onto [target]; the source region stays
+     attached (it may anchor the routing directory or host protocol
+     records) but owns no slots and holds no keys afterwards. *)
+  let merge_shards t ~source ~target =
+    check_resizable t ~source;
+    let n = Array.length t.shard_arr in
+    if target < 0 || target >= n then
+      invalid_arg (Printf.sprintf "Sharded_db: bad target shard %d" target);
+    if target = source then
+      invalid_arg "Sharded_db.merge_shards: source = target";
+    let owned = owned_slots t source in
+    if owned = [] then
+      invalid_arg
+        (Printf.sprintf "Sharded_db.merge_shards: shard %d owns no slots"
+           source);
+    let moving = Array.make t.router.n_slots false in
+    List.iter (fun s -> moving.(s) <- true) owned;
+    start_migration t ~kind:1 ~source ~target ~moving
+
+  (* Recovery-side reconciliation of an in-flight migration: the intent
+     is always rolled *forward*.  Unflipped epoch: replay the durable
+     cursor into the target (idempotent — insert-if-absent honoring
+     tombstones), then resume the stream from the source's remaining
+     keys and finish normally.  Flipped epoch: only reclamation is
+     owed. *)
+  let reconcile_migration t =
+    match read_mig_intent t with
+    | None -> ()
+    | Some (_, _, source, target, mepoch, moving) ->
+      tick_mig_resumed t.shard_arr.(0);
+      if t.router.epoch >= mepoch then
+        reclaim_migration t ~source ~target ~moving
+      else begin
+        let src = t.shard_arr.(source) in
+        let tgt = t.shard_arr.(target) in
+        let tomb = tomb_map t target in
+        let coff = read_root t source cursor_slot in
+        if coff <> 0 then begin
+          let cepoch, payload =
+            P.read_tx src.p (fun () ->
+                let cepoch = P.load src.p coff in
+                let len = P.load src.p (coff + 8) in
+                if len < 0 then chain_error "negative migration cursor length";
+                let stored = P.load src.p (coff + 16) in
+                let bytes = P.load_bytes src.p (coff + cursor_hdr) len in
+                if Chunk.crc bytes <> stored then
+                  chain_error "migration cursor CRC mismatch";
+                (cepoch, bytes))
+          in
+          if cepoch = mepoch then begin
+            let pr = { payload; pos = 0 } in
+            let kvs = take_kv_list pr "migration-cursor" in
+            let inserted = ref 0 in
+            P.update_tx tgt.p (fun () ->
+                List.iter
+                  (fun (k, v) ->
+                    match v with
+                    | Some v ->
+                      if
+                        (not (Map_.mem tgt.map k))
+                        && not (Map_.mem tomb k)
+                      then begin
+                        ignore (Map_.put tgt.map k v : bool);
+                        incr inserted
+                      end
+                    | None -> ())
+                  kvs);
+            tick_migrated tgt !inserted
+          end
+        end;
+        Fault.hit fp_mig_resumed;
+        run_migration t ~source ~target ~mepoch ~moving
+      end
+
   let commit_batch t b =
     let ops = List.rev b.ops in
     if ops <> [] then begin
+      (* Epoch consistency: a batch whose keys touch slots inside an
+         open transfer window cannot be grouped consistently under one
+         epoch (its slices would interleave with the move stream), so it
+         is refused with the typed [Overloaded] — retryable via
+         {!with_overload_retry}; once the window closes the retry routes
+         cleanly on the new epoch.  Batches on untouched slots group
+         identically under both epochs and proceed. *)
+      (match t.router.migration with
+      | Some m when List.exists (fun (k, _) -> m.moving.(slot_of_key t k)) ops
+        ->
+        let i = m.mig_target in
+        tick_overload t.shard_arr.(i);
+        raise
+          (Overloaded
+             { shard = i; in_flight = t.proto.in_flight.(i);
+               budget = t.proto.config.admission_budget })
+      | _ -> ());
       match group_by_shard t ops with
       | [] -> ()
       | [ (i, sops) ] ->
@@ -1329,7 +2013,10 @@ module Make (P : SHARD_PTM) = struct
             (status, P.load_bytes s0.p (off + 16) len))
       in
       let nshards, ops, undo = decode payload in
-      if nshards <> Array.length t.shard_arr then
+      (* an elastic store may have grown since the intent was written, so
+         only an intent naming *more* shards than are attached is
+         corrupt *)
+      if nshards <= 0 || nshards > Array.length t.shard_arr then
         raise
           (Romulus.Engine.Recovery_error
              (Printf.sprintf
@@ -1413,7 +2100,9 @@ module Make (P : SHARD_PTM) = struct
               P.read_tx s.p (fun () -> read_payload_in_tx s head)
             in
             let nshards, _, _ = decode_mirror payload in
-            if nshards <> n then
+            (* mirrors may predate a split; only more-than-attached is
+               corrupt *)
+            if nshards <= 0 || nshards > n then
               raise
                 (Romulus.Engine.Recovery_error
                    (Printf.sprintf
@@ -1460,8 +2149,15 @@ module Make (P : SHARD_PTM) = struct
     Array.fill pr.clearable_mirrors 0 (Array.length pr.clearable_mirrors) [];
     Array.fill pr.clearable_flips 0 (Array.length pr.clearable_flips) [];
     Array.fill pr.in_flight 0 (Array.length pr.in_flight) 0;
+    (* the routing table first (batch reconciliation may route), then the
+       commit protocols (per-key truth must be settled before keys are
+       streamed between shards), then any in-flight migration — which is
+       always completed, so handles never see an open window after
+       recovery *)
+    load_router t;
     reconcile_centralized t;
-    reconcile_decentralized t
+    reconcile_decentralized t;
+    reconcile_migration t
 
   let recover_shard t i = P.recover t.shard_arr.(i).p
 
@@ -1505,6 +2201,10 @@ module Make (P : SHARD_PTM) = struct
       (if read_intent_root t <> 0 then 1 else 0)
       t.shard_arr
 
+  (* A durable migration intent is still hooked (never true after
+     recovery or a completed resize: reclamation unhooks it). *)
+  let migration_pending t = read_root t 0 mig_slot <> 0
+
   let media_spans t = Array.map (fun s -> P.media_spans s.p) t.shard_arr
 
   let scrub t =
@@ -1546,14 +2246,20 @@ module Make (P : SHARD_PTM) = struct
     in
     let n = Array.length shard_arr in
     let config =
-      { chunk_bytes; spill_threshold; admission_budget; clear_flush_threshold }
+      { initial_buckets; chunk_bytes; spill_threshold; admission_budget;
+        clear_flush_threshold }
     in
     let proto =
       { protocol; config; next_batch_id = 1; pending = Hashtbl.create 16;
         clearable_mirrors = Array.make n []; clearable_flips = Array.make n [];
         live_flips = Hashtbl.create 8; in_flight = Array.make n 0 }
     in
-    let t = { shard_arr; batch = None; proto } in
+    let router =
+      { epoch = 0; n_slots = slots_per_shard * n;
+        assignment = Array.init (slots_per_shard * n) (fun s -> s mod n);
+        migration = None }
+    in
+    let t = { shard_arr; batch = None; proto; router } in
     reconcile t;
     t
 
@@ -1567,6 +2273,19 @@ module Make (P : SHARD_PTM) = struct
   let open_from_files ?fence ?protocol ?initial_buckets ?chunk_bytes
       ?spill_threshold ?admission_budget ?clear_flush_threshold ~shards base =
     if shards <= 0 then raise (Invalid_shards shards);
+    (* validate the requested count against the file family before any
+       region is opened: a snapshot family saved by an elastic store has
+       one file per shard it had grown to, and opening a strict subset
+       (or asking for more) would silently mis-route *)
+    let found =
+      let rec scan i =
+        if Sys.file_exists (Pmem.Region.shard_snapshot_path base ~shard:i)
+        then scan (i + 1)
+        else i
+      in
+      scan 0
+    in
+    if found <> shards then raise (Shard_mismatch { requested = shards; found });
     let regions =
       Array.init shards (fun i ->
           Pmem.Region.load_from_file ?fence

@@ -75,6 +75,46 @@ exception Invalid_shards of int
     budget. *)
 exception Overloaded of { shard : int; in_flight : int; budget : int }
 
+(** Raised by [open_from_files] when [shards] disagrees with the snapshot
+    file family actually on disk ([found] is the number of consecutive
+    shard files present).  An elastic store's family grows when a split
+    adds a shard, so the mismatch is detected before any region is
+    opened instead of surfacing as an untyped failure inside region
+    load. *)
+exception Shard_mismatch of { requested : int; found : int }
+
+(** Routing-directory granularity: a store created over [n] regions
+    routes through [slots_per_shard * n] slots for its whole life, so it
+    can grow online to at most that many shards.  Epoch-0 routing (no
+    resize yet) is bit-for-bit the original hash-modulo route. *)
+val slots_per_shard : int
+
+(** Defaults of {!with_overload_retry}. *)
+val default_overload_retries : int
+
+val default_overload_base_ns : int
+
+(** The exact backoff schedule {!with_overload_retry} uses: [retries]
+    waits, exponentially growing from [base_ns] with deterministic
+    xorshift jitter seeded by [seed].  Pure — equal arguments give the
+    identical schedule, which the unit tests assert. *)
+val overload_backoff_schedule :
+  retries:int -> base_ns:int -> seed:int -> int list
+
+(** Run [f], retrying up to [retries] times when it raises {!Overloaded}
+    (any other exception propagates), waiting out the schedule above
+    between attempts; [on_wait] observes each wait (for tests).  The
+    final attempt's [Overloaded] propagates.  Used by migration move
+    batches against the target's admission budget, and by clients whose
+    batches race an admission limit or an open migration window. *)
+val with_overload_retry :
+  ?retries:int ->
+  ?base_ns:int ->
+  ?seed:int ->
+  ?on_wait:(int -> unit) ->
+  (unit -> 'a) ->
+  'a
+
 (** How a cross-shard [write_batch] reaches durability.  [Centralized] is
     the legacy single-record protocol in shard 0 (PREPARE / APPLY /
     COMMIT flip / eager CLEAR: three extra shard-0 transactions per
@@ -185,11 +225,59 @@ module Make (P : SHARD_PTM) : sig
   (** Structural invariant check of every shard's map and allocator. *)
   val check : t -> (unit, string) result
 
-  (** Number of shards. *)
+  (** Number of attached shards (grows with {!split_shard}; a merged
+      source stays attached but owns no slots). *)
   val shards : t -> int
 
-  (** The shard a key routes to (deterministic, stable across runs). *)
+  (** The shard a key routes to under the current routing epoch
+      (deterministic, stable across close/reopen). *)
   val shard_of_key : t -> string -> int
+
+  (** {2 Elastic sharding}
+
+      The store routes keys through a persistent, versioned directory:
+      [route_hash k mod route_slots] picks a slot, the slot's assignment
+      picks the shard.  A resize streams the moving slots' keys between
+      shards online — reads double-read (target first, then the source
+      for not-yet-moved keys), single-key writes route on the new epoch
+      with per-key forwarding, and cross-shard batches touching moving
+      slots are refused with {!Overloaded} (retry with
+      {!with_overload_retry}).  One epoch-flip transaction is the
+      validity point; a crash at any instruction either never started
+      the resize (no intent) or completes it during recovery (resume
+      from the durable cursor), so every key is present exactly once
+      afterwards. *)
+
+  (** Split half of shard [source]'s slots onto a new shard opened over
+      the given region (formatted in place); returns the new shard's
+      index ([shards t - 1]).  Raises [Invalid_argument] when called
+      through a batch handle, while another migration is in flight, or
+      when [source] owns fewer than two slots. *)
+  val split_shard : t -> source:int -> Pmem.Region.t -> int
+
+  (** Move every slot of [source] onto [target].  The source region
+      stays attached (shard indices are stable; shard 0 always anchors
+      the directory) but owns no slots and holds no keys afterwards.
+      Raises [Invalid_argument] on self-merge, a slotless source, or the
+      conditions of {!split_shard}. *)
+  val merge_shards : t -> source:int -> target:int -> unit
+
+  (** Completed-resize count (0 until the first split/merge). *)
+  val epoch : t -> int
+
+  (** Routing-directory slot count (fixed at first creation). *)
+  val route_slots : t -> int
+
+  (** The directory slot a key hashes to. *)
+  val slot_of_key : t -> string -> int
+
+  (** The shard a slot is assigned to. *)
+  val shard_of_slot : t -> int -> int
+
+  (** A durable migration intent is still hooked — never true after
+      [open_db]/{!recover} (recovery always completes an in-flight
+      migration) or after a resize returns. *)
+  val migration_pending : t -> bool
 
   (** The per-shard regions, in shard order (shared, not copies). *)
   val regions : t -> Pmem.Region.t array

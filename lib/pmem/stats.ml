@@ -42,6 +42,11 @@ type t = {
   mutable chunks_spilled : int;
   mutable overload_rejections : int;
   mutable clear_flushes : int;
+  mutable migrations_started : int;
+  mutable migrations_resumed : int;
+  mutable migrations_completed : int;
+  mutable keys_migrated : int;
+  mutable double_reads : int;
 }
 
 let create () =
@@ -52,7 +57,9 @@ let create () =
     unrepairable_lines = 0; media_errors = 0; intent_prepares = 0;
     coordinator_flips = 0; lazy_clears = 0; rolled_forward = 0;
     rolled_back = 0; chunks_written = 0; chunks_spilled = 0;
-    overload_rejections = 0; clear_flushes = 0 }
+    overload_rejections = 0; clear_flushes = 0; migrations_started = 0;
+    migrations_resumed = 0; migrations_completed = 0; keys_migrated = 0;
+    double_reads = 0 }
 
 let reset t =
   t.pwbs <- 0; t.pfences <- 0; t.psyncs <- 0; t.loads <- 0; t.stores <- 0;
@@ -62,7 +69,9 @@ let reset t =
   t.unrepairable_lines <- 0; t.media_errors <- 0; t.intent_prepares <- 0;
   t.coordinator_flips <- 0; t.lazy_clears <- 0; t.rolled_forward <- 0;
   t.rolled_back <- 0; t.chunks_written <- 0; t.chunks_spilled <- 0;
-  t.overload_rejections <- 0; t.clear_flushes <- 0
+  t.overload_rejections <- 0; t.clear_flushes <- 0;
+  t.migrations_started <- 0; t.migrations_resumed <- 0;
+  t.migrations_completed <- 0; t.keys_migrated <- 0; t.double_reads <- 0
 
 let snapshot t = { t with pwbs = t.pwbs }
 
@@ -94,7 +103,13 @@ let since ~now ~past =
     chunks_written = now.chunks_written - past.chunks_written;
     chunks_spilled = now.chunks_spilled - past.chunks_spilled;
     overload_rejections = now.overload_rejections - past.overload_rejections;
-    clear_flushes = now.clear_flushes - past.clear_flushes }
+    clear_flushes = now.clear_flushes - past.clear_flushes;
+    migrations_started = now.migrations_started - past.migrations_started;
+    migrations_resumed = now.migrations_resumed - past.migrations_resumed;
+    migrations_completed =
+      now.migrations_completed - past.migrations_completed;
+    keys_migrated = now.keys_migrated - past.keys_migrated;
+    double_reads = now.double_reads - past.double_reads }
 
 (* Field-wise sum, as a fresh independent record: the cross-shard view of
    a store whose shards each meter their own region. *)
@@ -128,7 +143,13 @@ let aggregate ts =
       a.chunks_written <- a.chunks_written + t.chunks_written;
       a.chunks_spilled <- a.chunks_spilled + t.chunks_spilled;
       a.overload_rejections <- a.overload_rejections + t.overload_rejections;
-      a.clear_flushes <- a.clear_flushes + t.clear_flushes)
+      a.clear_flushes <- a.clear_flushes + t.clear_flushes;
+      a.migrations_started <- a.migrations_started + t.migrations_started;
+      a.migrations_resumed <- a.migrations_resumed + t.migrations_resumed;
+      a.migrations_completed <-
+        a.migrations_completed + t.migrations_completed;
+      a.keys_migrated <- a.keys_migrated + t.keys_migrated;
+      a.double_reads <- a.double_reads + t.double_reads)
     ts;
   a
 
@@ -152,11 +173,13 @@ let pp ppf t =
      loaded=%dB copies=%d replicated=%dB commits=%d amp=%.2f delay=%dns \
      crashes=%d aborts=%d scrubbed=%d repaired=%d unrepairable=%d \
      media_errors=%d prepares=%d flips=%d lazy_clears=%d fwd=%d back=%d \
-     chunks=%d spilled=%d overloads=%d clear_flushes=%d"
+     chunks=%d spilled=%d overloads=%d clear_flushes=%d \
+     migrations=%d/%d/%d keys_migrated=%d double_reads=%d"
     t.pwbs t.pfences t.psyncs t.loads t.stores t.nvm_bytes t.user_bytes
     t.load_bytes t.copy_calls t.replicated_bytes t.commits
     (write_amplification t) t.delay_ns t.crashes t.tx_aborts
     t.scrubbed_lines t.repaired_lines t.unrepairable_lines t.media_errors
     t.intent_prepares t.coordinator_flips t.lazy_clears t.rolled_forward
     t.rolled_back t.chunks_written t.chunks_spilled t.overload_rejections
-    t.clear_flushes
+    t.clear_flushes t.migrations_started t.migrations_resumed
+    t.migrations_completed t.keys_migrated t.double_reads

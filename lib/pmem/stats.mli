@@ -28,6 +28,11 @@ type t = {
   mutable chunks_spilled : int;      (** oversized undo images spilled out of the inline payload *)
   mutable overload_rejections : int; (** batches refused by per-shard admission control *)
   mutable clear_flushes : int;       (** dedicated lazy-CLEAR flush transactions (threshold or explicit) *)
+  mutable migrations_started : int;   (** shard split/merge intents made durable *)
+  mutable migrations_resumed : int;   (** in-flight migrations picked up by recovery *)
+  mutable migrations_completed : int; (** migrations whose epoch flip committed *)
+  mutable keys_migrated : int;        (** keys inserted into a migration target *)
+  mutable double_reads : int;         (** reads that fell back to the migration source *)
 }
 
 val create : unit -> t

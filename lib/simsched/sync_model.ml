@@ -62,6 +62,17 @@ type large_batch = {
   streamed : bool;
 }
 
+(* Background shard migration: an intent tx through shard 0, then
+   [move_batches] dependent source-tx/target-tx pairs (the target is an
+   extra combiner carrying no foreground traffic), then the epoch-flip
+   tx through shard 0 — the move stream rides the ordinary combiner
+   queues, so foreground load on the source pays the occupancy. *)
+type resize = {
+  move_batches : int;
+  move_tx_ns : float;
+  start_frac : float;
+}
+
 type model =
   | Fc_crwwp
   | Fc_left_right
@@ -82,6 +93,8 @@ type model =
           separate dependent combiner slots (the chunked PREPARE
           chain); otherwise the whole payload holds one monolithic
           combiner slot and everything queued behind it waits *)
+      resize : resize option;
+      (** background online shard migration through the combiners *)
     }
   | Rw_reader_pref of { atomic_ns : float }
     (** [atomic_ns]: serialized cost of one RMW on the lock's shared
@@ -226,7 +239,8 @@ let run_fc ~left_right cfg =
    [intent_fixed_ns] of serialized protocol bookkeeping; the graph's
    shape depends on the commit protocol (see the header).  The whole
    graph counts as one update. *)
-let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol ~large cfg =
+let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol ~large ~resize
+    cfg =
   if shards < 1 then invalid_arg "Sync_model: shards < 1";
   let sim = Des.create ~seed:cfg.seed () in
   let c = cfg.costs in
@@ -238,12 +252,15 @@ let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol ~large cfg =
   let small_max = ref 0. in
   (* per-shard C-RW-WP + flat-combining state; a pending sub-request is
      (extra_ns, finish) — extra_ns is payload work beyond the uniform
-     per-update cost (chunk streaming, monolithic payloads) *)
-  let combiner_active = Array.make shards false in
-  let writer_pending = Array.make shards false in
-  let readers_active = Array.make shards 0 in
-  let pending = Array.init shards (fun _ -> Queue.create ()) in
-  let waiting_readers = Array.init shards (fun _ -> Queue.create ()) in
+     per-update cost (chunk streaming, monolithic payloads).  A resize
+     adds one more station: the migration target's combiner, which takes
+     no foreground traffic during the stream. *)
+  let stations = shards + (match resize with Some _ -> 1 | None -> 0) in
+  let combiner_active = Array.make stations false in
+  let writer_pending = Array.make stations false in
+  let readers_active = Array.make stations 0 in
+  let pending = Array.init stations (fun _ -> Queue.create ()) in
+  let waiting_readers = Array.init stations (fun _ -> Queue.create ()) in
   let rec try_start_batch s =
     if (not combiner_active.(s)) && not (Queue.is_empty pending.(s)) then begin
       writer_pending.(s) <- true;
@@ -398,6 +415,26 @@ let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol ~large cfg =
   for _ = 1 to cfg.writers do
     writer_loop ()
   done;
+  (* the background migration: intent on shard 0, a dependent chain of
+     source-tx/target-tx move pairs (source is shard 0, the protocol
+     anchor; the target is the extra station), and the epoch flip back
+     through shard 0 — every slot queued like any other request, which
+     is exactly why foreground throughput dips while the stream runs *)
+  (match resize with
+   | None -> ()
+   | Some r ->
+     if r.move_batches < 0 then invalid_arg "Sync_model: move_batches < 0";
+     let tgt = shards in
+     Des.schedule sim (r.start_frac *. cfg.duration_ns) (fun () ->
+         submit 0 (fun () ->
+             let rec move n =
+               if n = 0 then submit 0 (fun () -> ())
+               else
+                 submit ~extra:r.move_tx_ns 0 (fun () ->
+                     submit ~extra:r.move_tx_ns tgt (fun () ->
+                         move (n - 1)))
+             in
+             move r.move_batches)));
   Des.run sim ~until:cfg.duration_ns;
   { reads_done = !reads_done; updates_done = !updates_done;
     elapsed_ns = cfg.duration_ns;
@@ -545,8 +582,10 @@ let run cfg =
   match cfg.model with
   | Fc_crwwp -> run_fc ~left_right:false cfg
   | Fc_left_right -> run_fc ~left_right:true cfg
-  | Fc_sharded { shards; cross_p; intent_fixed_ns; protocol; large } ->
-    run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol ~large cfg
+  | Fc_sharded { shards; cross_p; intent_fixed_ns; protocol; large; resize }
+    ->
+    run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol ~large ~resize
+      cfg
   | Rw_reader_pref { atomic_ns } -> run_rw_reader_pref ~atomic_ns cfg
   | Stm { conflict_p; read_conflict_p; commit_serial_ns } ->
     run_stm ~conflict_p ~read_conflict_p ~commit_serial_ns cfg

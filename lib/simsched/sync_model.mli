@@ -42,6 +42,23 @@ type large_batch = {
   streamed : bool;
 }
 
+(** Background shard migration for {!Fc_sharded}: at
+    [start_frac * duration] an online resize opens (one intent
+    transaction through shard 0's combiner), then streams
+    [move_batches] move batches — each one transaction on the source
+    (shard 0) followed by one on the freshly-attached target (an extra
+    combiner that takes no foreground traffic), [move_tx_ns] of payload
+    work each — and closes with the epoch-flip transaction through
+    shard 0.  The batches ride the ordinary combiner queues, so
+    foreground operations on the source interleave with the stream and
+    pay the occupancy: the resize-under-load throughput dip the shards
+    bench measures. *)
+type resize = {
+  move_batches : int;
+  move_tx_ns : float;
+  start_frac : float;
+}
+
 type model =
   | Fc_crwwp
       (** flat combining + C-RW-WP writer-preference lock (Rom, RomL):
@@ -56,6 +73,7 @@ type model =
       intent_fixed_ns : float;
       protocol : sharded_protocol;
       large : large_batch option;
+      resize : resize option;
     }
       (** [shards] independent {!Fc_crwwp} instances (Sharded_db): each
           operation routes to a uniformly random shard, so updates on
@@ -64,7 +82,8 @@ type model =
           instead, following [protocol] with [intent_fixed_ns] of
           serialized protocol bookkeeping; [large] optionally gives a
           fraction of those batches a multi-chunk payload (see
-          {!large_batch}) *)
+          {!large_batch}); [resize] optionally runs a background shard
+          migration through the combiners (see {!resize}) *)
   | Rw_reader_pref of { atomic_ns : float }
       (** plain reader-preference RW lock (the paper's PMDK setup).
           [atomic_ns] is the serialized cost of one RMW on the shared

@@ -1257,6 +1257,429 @@ let prop_chunked_crash_batch =
       done;
       true)
 
+(* ---- elastic sharding: online split/merge with live migration ---- *)
+
+(* every seeded key present exactly once, value intact *)
+let assert_exactly_once what db n =
+  check_ok what db;
+  let seen = Hashtbl.create 64 in
+  Sd.iter db (fun k v ->
+      if Hashtbl.mem seen k then Alcotest.failf "%s: duplicate key %s" what k;
+      Hashtbl.add seen k v);
+  for i = 0 to n - 1 do
+    match Hashtbl.find_opt seen (key i) with
+    | Some v when v = value i -> ()
+    | Some v -> Alcotest.failf "%s: %s has value %s" what (key i) v
+    | None -> Alcotest.failf "%s: lost key %s" what (key i)
+  done;
+  if Sd.migration_pending db then
+    Alcotest.failf "%s: migration intent still hooked" what
+
+let test_split_basic () =
+  let _, db = open_sharded ~shards:2 () in
+  seed db 100;
+  Alcotest.(check int) "epoch 0" 0 (Sd.epoch db);
+  Alcotest.(check int) "slots" (2 * Kv.Sharded_db.slots_per_shard)
+    (Sd.route_slots db);
+  let target = Sd.split_shard db ~source:0 (region ()) in
+  Alcotest.(check int) "target index" 2 target;
+  Alcotest.(check int) "shards grew" 3 (Sd.shards db);
+  Alcotest.(check int) "epoch flipped" 1 (Sd.epoch db);
+  Alcotest.(check int) "count stable" 100 (Sd.count db);
+  assert_exactly_once "split" db 100;
+  (* the target actually owns slots and receives routes *)
+  let owns = ref 0 in
+  for s = 0 to Sd.route_slots db - 1 do
+    if Sd.shard_of_slot db s = target then incr owns
+  done;
+  Alcotest.(check int) "target owns half the source's slots"
+    (Kv.Sharded_db.slots_per_shard / 2) !owns;
+  let st = Sd.stats db in
+  Alcotest.(check int) "started" 1 st.Pmem.Stats.migrations_started;
+  Alcotest.(check int) "completed" 1 st.Pmem.Stats.migrations_completed;
+  Alcotest.(check int) "nothing resumed" 0 st.Pmem.Stats.migrations_resumed;
+  Alcotest.(check bool) "keys migrated" true
+    (st.Pmem.Stats.keys_migrated > 0);
+  (* the store keeps working across the new route *)
+  Sd.put db "post-split" "psv";
+  Alcotest.(check (option string)) "post-split put" (Some "psv")
+    (Sd.get db "post-split")
+
+let test_merge_basic () =
+  let _, db = open_sharded ~shards:2 () in
+  seed db 80;
+  let target = Sd.split_shard db ~source:0 (region ()) in
+  Sd.merge_shards db ~source:target ~target:1;
+  Alcotest.(check int) "epoch 2" 2 (Sd.epoch db);
+  Alcotest.(check int) "source stays attached" 3 (Sd.shards db);
+  for s = 0 to Sd.route_slots db - 1 do
+    if Sd.shard_of_slot db s = target then
+      Alcotest.failf "merged shard still owns slot %d" s
+  done;
+  assert_exactly_once "merge" db 80;
+  let st = Sd.stats db in
+  Alcotest.(check int) "two migrations" 2 st.Pmem.Stats.migrations_completed;
+  (* merging the last slots out of shard 0 is fine too; merging a
+     slotless shard is a typed error *)
+  (match Sd.merge_shards db ~source:target ~target:0 with
+   | () -> Alcotest.fail "merged a slotless shard"
+   | exception Invalid_argument _ -> ());
+  Sd.merge_shards db ~source:1 ~target:0;
+  assert_exactly_once "merge all" db 80
+
+let test_resize_persists () =
+  (* the flipped route must survive a crash-reopen cycle with no
+     migration left to replay *)
+  let rs, db = open_sharded ~shards:2 () in
+  seed db 60;
+  let r2 = region () in
+  ignore (Sd.split_shard db ~source:1 r2 : int);
+  let route_before =
+    List.init (Sd.route_slots db) (fun s -> Sd.shard_of_slot db s)
+  in
+  let rs = Array.append rs [| r2 |] in
+  crash_all rs R.Keep_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  Alcotest.(check int) "epoch survives" 1 (Sd.epoch db);
+  Alcotest.(check (list int)) "route survives" route_before
+    (List.init (Sd.route_slots db) (fun s -> Sd.shard_of_slot db s));
+  Alcotest.(check int) "nothing resumed" 0
+    (Sd.stats db).Pmem.Stats.migrations_resumed;
+  assert_exactly_once "reopened" db 60
+
+let test_resize_guards () =
+  let _, db = open_sharded ~shards:2 () in
+  seed db 10;
+  (match Sd.split_shard db ~source:5 (region ()) with
+   | _ -> Alcotest.fail "split accepted a bad source"
+   | exception Invalid_argument _ -> ());
+  (match Sd.merge_shards db ~source:0 ~target:0 with
+   | () -> Alcotest.fail "merged a shard into itself"
+   | exception Invalid_argument _ -> ());
+  Sd.write_batch db (fun b ->
+      Sd.put b "guard" "g";
+      match Sd.split_shard b ~source:0 (region ()) with
+      | _ -> Alcotest.fail "resize accepted through a batch handle"
+      | exception Invalid_argument _ -> ())
+
+(* kill at each migration failpoint, under each crash policy; recovery
+   must always complete the resize (the intent is durable at every one
+   of these sites) with every key exactly once *)
+let test_split_crash_at_failpoints () =
+  (* per site: does recovery find an intent to resume?  (After the
+     reclaim the intent is unhooked, so there is nothing left to do.)
+     The kill lands on the source region, which every pre-reclaim phase
+     touches promptly; the reclaimed site is the last region access of
+     the whole resize, so the crash is raised at the site itself. *)
+  let sites =
+    [ ("sharded.migrate.intent_open", true);
+      ("sharded.migrate.batch_moved", true);
+      ("sharded.migrate.batch_applied", true);
+      ("sharded.migrate.epoch_flip", true);
+      ("sharded.migrate.reclaimed", false) ]
+  in
+  let policies =
+    [ R.Drop_all; R.Keep_all; R.Random_subset 7; R.Torn_words 13 ]
+  in
+  List.iter
+    (fun (site, resumes) ->
+      List.iteri
+        (fun pi policy ->
+          with_disarm @@ fun () ->
+          let rs, db =
+            open_sharded ~shards:2 ~chunk_bytes:Kv.Sharded_db.min_chunk_bytes
+              ()
+          in
+          seed db 60;
+          let r2 = region () in
+          if resumes then Fault.arm site (fun () -> R.kill rs.(0))
+          else Fault.arm site (fun () -> raise R.Crash_point);
+          (match Sd.split_shard db ~source:0 r2 with
+           | (_ : int) -> Alcotest.failf "%s: kill did not fire" site
+           | exception R.Crash_point -> ());
+          let rs = Array.append rs [| r2 |] in
+          crash_all rs policy;
+          let db = Sd.open_db ~initial_buckets:8 rs in
+          let what = Printf.sprintf "%s/policy%d" site pi in
+          assert_exactly_once what db 60;
+          Alcotest.(check int) (what ^ " epoch") 1 (Sd.epoch db);
+          let st = Sd.stats db in
+          Alcotest.(check int) (what ^ " resumed")
+            (if resumes then 1 else 0)
+            st.Pmem.Stats.migrations_resumed;
+          (* exactly one completion ever: pre-flip crashes complete on
+             resume, post-flip crashes must not flip a second time
+             (region counters survive the simulated power cycle) *)
+          Alcotest.(check int) (what ^ " completed once") 1
+            st.Pmem.Stats.migrations_completed)
+        policies)
+    sites
+
+(* a single-key write racing the move stream: fired between the source
+   and target transactions of the first move batch, the raced key (in a
+   moving slot) must carry the racing value after the split — and also
+   after a kill + recovery *)
+let test_racing_write_during_split () =
+  let moving_key db target =
+    let rec find i =
+      let k = Printf.sprintf "race%03d" i in
+      if Sd.shard_of_key db k = target then k else find (i + 1)
+    in
+    find 0
+  in
+  (* live race, no crash *)
+  with_disarm (fun () ->
+      let _, db = open_sharded ~shards:2 () in
+      seed db 40;
+      let raced = ref "" in
+      let deleted = ref "" in
+      Fault.arm "sharded.migrate.batch_moved" (fun () ->
+          (* during the window moving slots already route to the new
+             shard (index 2): these are forwarded writes.  Pick the
+             delete victim by route, not by visibility — a key of the
+             in-flight batch is legitimately invisible right here (the
+             cursor owns it), yet its forwarded delete must still win
+             via the tombstone. *)
+          raced := moving_key db 2;
+          Sd.put db !raced "raced-live";
+          let rec victim i =
+            if i >= 40 then None
+            else if Sd.shard_of_key db (key i) = 2 then Some (key i)
+            else victim (i + 1)
+          in
+          match victim 0 with
+          | Some k ->
+            deleted := k;
+            ignore (Sd.delete db k : bool)
+          | None -> ());
+      ignore (Sd.split_shard db ~source:0 (region ()) : int);
+      check_ok "racing live" db;
+      Alcotest.(check (option string)) "raced put survives the stream"
+        (Some "raced-live") (Sd.get db !raced);
+      if !deleted <> "" then
+        Alcotest.(check (option string)) "raced delete survives the stream"
+          None (Sd.get db !deleted);
+      Alcotest.(check bool) "double-read served the window" true
+        ((Sd.stats db).Pmem.Stats.double_reads >= 0));
+  (* same race, then kill the source before the target tx of a later
+     batch; recovery must keep the racing values *)
+  List.iter
+    (fun policy ->
+      with_disarm @@ fun () ->
+      let rs, db =
+        open_sharded ~shards:2 ~chunk_bytes:Kv.Sharded_db.min_chunk_bytes ()
+      in
+      seed db 40;
+      let raced = ref "" in
+      Fault.arm "sharded.migrate.batch_moved" (fun () ->
+          raced := moving_key db 2;
+          Sd.put db !raced "raced-crash";
+          R.kill rs.(0));
+      let r2 = region () in
+      (match Sd.split_shard db ~source:0 r2 with
+       | (_ : int) -> Alcotest.fail "kill did not fire"
+       | exception R.Crash_point -> ());
+      let rs = Array.append rs [| r2 |] in
+      crash_all rs policy;
+      let db = Sd.open_db ~initial_buckets:8 rs in
+      assert_exactly_once "racing crash" db 40;
+      Alcotest.(check (option string)) "raced put survives recovery"
+        (Some "raced-crash") (Sd.get db !raced))
+    [ R.Drop_all; R.Keep_all; R.Torn_words 5 ]
+
+(* a cross-shard batch touching a moving slot is refused with the typed
+   Overloaded while the window is open, and succeeds on retry once the
+   window has closed *)
+let test_batch_refused_during_window () =
+  with_disarm @@ fun () ->
+  let _, db = open_sharded ~shards:2 () in
+  seed db 40;
+  let refused = ref 0 in
+  Fault.arm "sharded.migrate.batch_moved" (fun () ->
+      match
+        Sd.write_batch db (fun b ->
+            (* span both a moving slot (routes to shard 2 during the
+               window) and a stable key *)
+            let rec mk i =
+              if Sd.shard_of_key db (Printf.sprintf "win%03d" i) = 2 then
+                Printf.sprintf "win%03d" i
+              else mk (i + 1)
+            in
+            Sd.put b (mk 0) "wv";
+            Sd.put b "stable-key" "sv")
+      with
+      | () -> ()
+      | exception Kv.Sharded_db.Overloaded { shard; _ } ->
+        incr refused;
+        Alcotest.(check int) "refusal names the target" 2 shard);
+  ignore (Sd.split_shard db ~source:0 (region ()) : int);
+  Alcotest.(check bool) "window refused the batch" true (!refused >= 1);
+  (* after the flip the same batch goes through *)
+  Sd.write_batch db (fun b ->
+      Sd.put b "win-after" "wv";
+      Sd.put b "stable-key" "sv");
+  Alcotest.(check (option string)) "post-window batch lands" (Some "sv")
+    (Sd.get db "stable-key");
+  check_ok "window refusal" db
+
+(* satellite: open_from_files with the wrong ~shards is a typed error
+   before any region is opened *)
+let test_shard_mismatch_typed () =
+  let dir = Filename.temp_file "sharded" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let _, db = open_sharded ~shards:2 () in
+      seed db 30;
+      ignore (Sd.split_shard db ~source:0 (region ()) : int);
+      let base = Filename.concat dir "db" in
+      Sd.save_to_files db base;
+      let expect_mismatch requested =
+        match Sd.open_from_files ~shards:requested base with
+        | _ -> Alcotest.failf "shards:%d accepted a 3-file family" requested
+        | exception Kv.Sharded_db.Shard_mismatch { requested = r; found } ->
+          Alcotest.(check int) "requested echoed" requested r;
+          Alcotest.(check int) "found counts the family" 3 found
+      in
+      expect_mismatch 2;
+      expect_mismatch 4;
+      (* the right count reopens the grown store, route intact *)
+      let db2 = Sd.open_from_files ~shards:3 base in
+      Alcotest.(check int) "epoch survives the snapshot" 1 (Sd.epoch db2);
+      assert_exactly_once "snapshot of a grown store" db2 30;
+      Sd.iter db (fun k v ->
+          if Sd.get db2 k <> Some v then
+            Alcotest.failf "snapshot diverged at %s" k))
+
+(* satellite: the backoff schedule is exact per seed and the retry loop
+   follows it precisely *)
+let test_overload_retry_schedule () =
+  let module S = Kv.Sharded_db in
+  let schedule = S.overload_backoff_schedule ~retries:5 ~base_ns:100 ~seed:7 in
+  Alcotest.(check int) "five waits" 5 (List.length schedule);
+  (* deterministic: same seed, same schedule; different seed differs *)
+  Alcotest.(check (list int)) "same seed reproduces"
+    schedule
+    (S.overload_backoff_schedule ~retries:5 ~base_ns:100 ~seed:7);
+  if schedule = S.overload_backoff_schedule ~retries:5 ~base_ns:100 ~seed:8
+  then Alcotest.fail "seeds 7 and 8 produced identical jitter";
+  (* exponential slots with bounded jitter: wait i lives in
+     [base*2^i, base*2^i + max 1 (base*2^i/2)) *)
+  List.iteri
+    (fun i w ->
+      let slot = 100 * (1 lsl i) in
+      if w < slot || w >= slot + max 1 (slot / 2) then
+        Alcotest.failf "wait %d = %d outside [%d, %d)" i w slot
+          (slot + max 1 (slot / 2)))
+    schedule;
+  (* the retry loop performs retries+1 attempts, sleeping exactly the
+     schedule between them, then lets the last failure through *)
+  let attempts = ref 0 and waited = ref [] in
+  (match
+     S.with_overload_retry ~retries:5 ~base_ns:100 ~seed:7
+       ~on_wait:(fun w -> waited := w :: !waited)
+       (fun () ->
+         incr attempts;
+         raise (S.Overloaded { shard = 0; in_flight = 1; budget = 1 }))
+   with
+   | _ -> Alcotest.fail "exhausted retry must re-raise"
+   | exception S.Overloaded _ -> ());
+  Alcotest.(check int) "attempts" 6 !attempts;
+  Alcotest.(check (list int)) "sleeps follow the schedule" schedule
+    (List.rev !waited);
+  (* success on a later attempt stops the schedule early *)
+  let attempts = ref 0 and waited = ref [] in
+  let v =
+    S.with_overload_retry ~retries:5 ~base_ns:100 ~seed:7
+      ~on_wait:(fun w -> waited := w :: !waited)
+      (fun () ->
+        incr attempts;
+        if !attempts < 3 then
+          raise (S.Overloaded { shard = 0; in_flight = 1; budget = 1 });
+        !attempts * 10)
+  in
+  Alcotest.(check int) "returns the success value" 30 v;
+  Alcotest.(check int) "stopped after success" 3 !attempts;
+  Alcotest.(check (list int)) "slept only before success"
+    (List.filteri (fun i _ -> i < 2) schedule)
+    (List.rev !waited);
+  (* other exceptions pass straight through *)
+  (match
+     S.with_overload_retry ~retries:3 ~seed:1 (fun () -> failwith "boom")
+   with
+   | _ -> Alcotest.fail "unexpected success"
+   | exception Failure _ -> ())
+
+(* ---- qcheck: routing properties (satellite) ---- *)
+
+(* arbitrary printable keys, deterministic enough to re-derive *)
+let qkey =
+  QCheck.(string_of_size Gen.(1 -- 24))
+
+(* epoch-0 routing is bit-for-bit the pre-elastic FNV-1a route *)
+let prop_epoch0_matches_fnv =
+  let open QCheck in
+  (* the historical route: FNV-1a over the key, one avalanche step,
+     modulo the shard count *)
+  let legacy_route ~shards k =
+    let h = ref 0x4bf29ce484222325 in
+    String.iter (fun c -> h := (!h lxor Char.code c) * 0x100000001b3) k;
+    let h = !h in
+    let h = h lxor (h lsr 33) in
+    let h = h * 0x2545F4914F6CDD1D in
+    (h lxor (h lsr 29)) land max_int mod shards
+  in
+  Test.make ~count:100 ~name:"routing: epoch 0 is the legacy FNV-1a route"
+    (pair (list_of_size Gen.(1 -- 30) qkey) (int_range 1 6))
+    (fun (keys, shards) ->
+      let _, db = open_sharded ~shards ~size:(1 lsl 16) () in
+      List.for_all
+        (fun k -> Sd.shard_of_key db k = legacy_route ~shards k)
+        keys)
+
+(* the route survives close/reopen (and so does the epoch) *)
+let prop_route_stable_across_reopen =
+  let open QCheck in
+  Test.make ~count:40 ~name:"routing: stable across close/reopen"
+    (pair (list_of_size Gen.(1 -- 20) qkey) bool)
+    (fun (keys, resize) ->
+      let rs, db = open_sharded ~shards:2 ~size:(1 lsl 17) () in
+      seed db 10;
+      let rs =
+        if resize then begin
+          let r2 = region ~size:(1 lsl 17) () in
+          ignore (Sd.split_shard db ~source:0 r2 : int);
+          Array.append rs [| r2 |]
+        end
+        else rs
+      in
+      let before = List.map (fun k -> Sd.shard_of_key db k) keys in
+      crash_all rs R.Keep_all;
+      let db = Sd.open_db ~initial_buckets:8 rs in
+      List.map (fun k -> Sd.shard_of_key db k) keys = before
+      && Sd.epoch db = (if resize then 1 else 0))
+
+(* across 8 shards no shard is more than 2x the ideal load *)
+let prop_route_uniform =
+  let open QCheck in
+  Test.make ~count:20 ~name:"routing: uniform within 2x across 8 shards"
+    (int_range 0 1000)
+    (fun salt ->
+      let _, db = open_sharded ~shards:8 ~size:(1 lsl 16) () in
+      let n = 2048 in
+      let used = Array.make 8 0 in
+      for i = 0 to n - 1 do
+        let s = Sd.shard_of_key db (Printf.sprintf "uni-%d-%06d" salt i) in
+        used.(s) <- used.(s) + 1
+      done;
+      Array.for_all (fun c -> c <= 2 * (n / 8)) used)
+
 let suite =
   let tc = Alcotest.test_case in
   [ tc "sharded basics" `Quick test_basics;
@@ -1311,9 +1734,24 @@ let suite =
       test_overflow_retry_injected;
     tc "redo overflow retried with smaller chunks (tight log)" `Quick
       test_overflow_retry_real;
-    tc "flush_clears bounds the lazy queues" `Quick test_flush_clears ]
+    tc "flush_clears bounds the lazy queues" `Quick test_flush_clears;
+    tc "elastic: split basics" `Quick test_split_basic;
+    tc "elastic: merge basics" `Quick test_merge_basic;
+    tc "elastic: flipped route survives reopen" `Quick test_resize_persists;
+    tc "elastic: resize guards typed" `Quick test_resize_guards;
+    tc "elastic: kill at every migrate failpoint" `Slow
+      test_split_crash_at_failpoints;
+    tc "elastic: racing write vs move stream" `Quick
+      test_racing_write_during_split;
+    tc "elastic: batch refused during window" `Quick
+      test_batch_refused_during_window;
+    tc "open_from_files shard mismatch typed" `Quick
+      test_shard_mismatch_typed;
+    tc "overload retry schedule exact per seed" `Quick
+      test_overload_retry_schedule ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_sharded_crash_batch; prop_d_racing_mix; prop_chunk_roundtrip;
-        prop_chunked_crash_batch ]
+        prop_chunked_crash_batch; prop_epoch0_matches_fnv;
+        prop_route_stable_across_reopen; prop_route_uniform ]
 
 let () = Alcotest.run "sharded" [ ("sharded", suite) ]
