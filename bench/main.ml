@@ -32,7 +32,9 @@ let hidden : (string * string * (Common.scale -> unit)) list =
     ("shards_large", "chunked large-batch regression check (CI smoke)",
      fun _ -> Shards.large_smoke ());
     ("shards_elastic", "online split/merge regression check (CI smoke)",
-     fun _ -> Shards.elastic_smoke ()) ]
+     fun _ -> Shards.elastic_smoke ());
+    ("shards_health", "fault isolation & self-healing check (CI smoke)",
+     fun _ -> Shards.health_smoke ()) ]
 
 let usage () =
   print_endline "usage: main.exe [--full] [EXPERIMENT]...";

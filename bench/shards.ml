@@ -373,6 +373,123 @@ let elastic_des ~scale ~calib ~shards ~writers =
   { ed_move_batches = move_batches; ed_base_ups = base;
     ed_resize_ups = Simsched.Sync_model.updates_per_sec r }
 
+(* ---- availability under a shard fault and its repair ---- *)
+
+(* Real store: one shard of a settled 4-shard store rots (both twins of
+   its deepest used line), the store is reopened, and we measure what
+   the fault isolation actually buys — healthy-slot read cost while the
+   sick shard is refused, the fraction of the key space still served,
+   and the wall time of each self-healing arm: key evacuation onto a
+   healthy shard (no snapshot available) and snapshot restore.  The
+   comparison point is the same read cost before the damage and after
+   the repair. *)
+type availability_real = {
+  a_keys : int;
+  a_shards : int;
+  a_healthy_get_ns : float;   (* single-key get, all shards healthy *)
+  a_degraded_get_ns : float;  (* healthy-slot gets, one shard down *)
+  a_available_frac : float;   (* keys still served while it is down *)
+  a_evac_repair_ns : float;   (* repair wall time, evacuation arm *)
+  a_evac_moved : int;         (* keys the evacuation placed *)
+  a_restore_repair_ns : float;(* repair wall time, snapshot-restore arm *)
+  a_post_repair_get_ns : float;
+}
+
+(* a settled store: seeded, crashed clean and reopened, so every line is
+   durably fenced and at-rest rot is the only damage *)
+let settled_store ~region_size ~keys nshards =
+  let db, regions = make_store ~region_size nshards in
+  for i = 0 to keys - 1 do
+    S.put db (key i) (value i)
+  done;
+  Array.iter (fun r -> Pmem.Region.crash r Pmem.Region.Drop_all) regions;
+  (S.open_db ~initial_buckets:1024 regions, regions)
+
+(* rot both twins of the deepest used line of [sick]'s main span, the
+   same at-rest damage the fault-isolation tests inject: scrub cannot
+   repair it, so the shard comes back Degraded and repair escalates *)
+let rot_shard db regions sick =
+  match (S.media_spans db).(sick) with
+  | (mbase, mspan) :: rest ->
+    let ls = Pmem.Region.line_size regions.(sick) in
+    let delta = mspan - ls in
+    Pmem.Region.corrupt_line regions.(sick) ~line:((mbase + delta) / ls);
+    (match rest with
+     | (bbase, _) :: _ ->
+       Pmem.Region.corrupt_line regions.(sick) ~seed:99
+         ~line:((bbase + delta) / ls)
+     | [] -> ())
+  | [] -> failwith "availability: sick shard has no media spans"
+
+let availability_real ~ops ~keys =
+  let nshards = 4 in
+  let region_size = (keys * 256) + (1 lsl 21) in
+  let rng = Workload.Keygen.create ~seed:23 () in
+  let get_ns db pick =
+    Gc.full_major ();
+    Workload.Bench_clock.median_ns_per_op ~region:(S.regions db).(0) ~ops
+      (fun () -> ignore (S.get db (pick ())))
+  in
+  let any_key () = key (Workload.Keygen.int rng keys) in
+  (* evacuation arm: no snapshot exists, so repair moves the keys *)
+  let db, regions = settled_store ~region_size ~keys nshards in
+  let a_healthy_get_ns = get_ns db any_key in
+  let sick = 1 in
+  rot_shard db regions sick;
+  Array.iter (fun r -> Pmem.Region.crash r Pmem.Region.Drop_all) regions;
+  let db = S.open_db ~initial_buckets:1024 regions in
+  let healthy_keys =
+    List.filter
+      (fun k -> S.shard_of_key db k <> sick)
+      (List.init keys key)
+  in
+  let harr = Array.of_list healthy_keys in
+  let a_degraded_get_ns =
+    get_ns db (fun () ->
+        harr.(Workload.Keygen.int rng (Array.length harr)))
+  in
+  let served = ref 0 in
+  for i = 0 to keys - 1 do
+    match S.get db (key i) with
+    | Some _ -> incr served
+    | None -> ()
+    | exception Kv.Sharded_db.Shard_unavailable _ -> ()
+    | exception Pmem.Region.Media_error _ -> ()
+  done;
+  let a_available_frac = float_of_int !served /. float_of_int keys in
+  let verdicts = ref [] in
+  let a_evac_repair_ns =
+    Workload.Bench_clock.time_ns ~region:regions.(0) (fun () ->
+        verdicts := S.repair db)
+  in
+  let a_evac_moved =
+    match List.assoc_opt sick !verdicts with
+    | Some (S.Evacuated_keys { moved; _ }) -> moved
+    | _ -> failwith "availability: no-snapshot repair did not evacuate"
+  in
+  let a_post_repair_get_ns = get_ns db any_key in
+  (* restore arm: the same damage, but a snapshot family exists *)
+  let db, regions = settled_store ~region_size ~keys nshards in
+  let base = "BENCH_shards_avail_snapshot" in
+  S.save_to_files db base;
+  rot_shard db regions sick;
+  Array.iter (fun r -> Pmem.Region.crash r Pmem.Region.Drop_all) regions;
+  let db = S.open_db ~initial_buckets:1024 regions in
+  let a_restore_repair_ns =
+    Workload.Bench_clock.time_ns ~region:regions.(0) (fun () ->
+        verdicts := S.repair ~snapshot_base:base db)
+  in
+  (match List.assoc_opt sick !verdicts with
+   | Some S.Snapshot_restored -> ()
+   | _ -> failwith "availability: snapshot repair did not restore");
+  for s = 0 to nshards - 1 do
+    Sys.remove (Pmem.Region.shard_snapshot_path base ~shard:s)
+  done;
+  if S.count db <> keys then failwith "availability: restore lost keys";
+  { a_keys = keys; a_shards = nshards; a_healthy_get_ns; a_degraded_get_ns;
+    a_available_frac; a_evac_repair_ns; a_evac_moved; a_restore_repair_ns;
+    a_post_repair_get_ns }
+
 (* ---- recovery timing on the real store ---- *)
 
 let recovery_measure ~keys nshards =
@@ -429,7 +546,7 @@ type recovery_row = {
 }
 
 let emit_json ~scale ~calib ~scaling ~cross ~large_real ~large_des
-    ~elastic_r ~elastic_d ~recovery path =
+    ~elastic_r ~elastic_d ~avail ~recovery path =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"bench\": \"shards\",\n";
@@ -498,6 +615,18 @@ let emit_json ~scale ~calib ~scaling ~cross ~large_real ~large_des
      %.0f, \"updates_per_sec_resize\": %.0f, \"dip_ratio\": %.3f}\n"
     elastic_d.ed_move_batches elastic_d.ed_base_ups elastic_d.ed_resize_ups
     (elastic_d.ed_resize_ups /. elastic_d.ed_base_ups);
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"availability\": {\n";
+  Printf.bprintf b
+    "    \"keys\": %d, \"shards\": %d, \"get_ns_healthy\": %.1f, \
+     \"get_ns_degraded\": %.1f, \"get_ns_post_repair\": %.1f,\n"
+    avail.a_keys avail.a_shards avail.a_healthy_get_ns
+    avail.a_degraded_get_ns avail.a_post_repair_get_ns;
+  Printf.bprintf b
+    "    \"available_frac\": %.4f, \"repair_evacuate_ns\": %.0f, \
+     \"keys_evacuated\": %d, \"repair_restore_ns\": %.0f\n"
+    avail.a_available_frac avail.a_evac_repair_ns avail.a_evac_moved
+    avail.a_restore_repair_ns;
   Buffer.add_string b "  },\n";
   Buffer.add_string b "  \"recovery\": [\n";
   let n = List.length recovery in
@@ -678,6 +807,23 @@ let run_at ~scale_name ~scale ~ops ~recovery_keys ~shard_axis ~writer_axis =
     (Common.si elastic_d.ed_base_ups)
     (Common.si elastic_d.ed_resize_ups)
     (elastic_d.ed_resize_ups /. elastic_d.ed_base_ups);
+  (* availability: serving cost and repair wall time around a shard fault *)
+  Common.subsection "availability under a shard fault & self-healing repair";
+  let avail = availability_real ~ops ~keys:(recovery_keys / 4) in
+  Printf.printf
+    "one of %d shards rotten: %.1f%% of %d keys still served; healthy-slot \
+     get %s (was %s, post-repair %s)\n%!"
+    avail.a_shards
+    (100. *. avail.a_available_frac)
+    avail.a_keys
+    (Common.ns avail.a_degraded_get_ns)
+    (Common.ns avail.a_healthy_get_ns)
+    (Common.ns avail.a_post_repair_get_ns);
+  Printf.printf
+    "repair: evacuated %d surviving keys in %s; snapshot restore in %s\n%!"
+    avail.a_evac_moved
+    (Common.ns avail.a_evac_repair_ns)
+    (Common.ns avail.a_restore_repair_ns);
   (* recovery fan-out: per-shard work drops with 1/N *)
   Common.subsection
     (Printf.sprintf "per-shard recovery, %d keys, CLFLUSH pwbs, every \
@@ -694,7 +840,7 @@ let run_at ~scale_name ~scale ~ops ~recovery_keys ~shard_axis ~writer_axis =
       shard_axis
   in
   emit_json ~scale:scale_name ~calib ~scaling:(List.rev !scaling) ~cross
-    ~large_real ~large_des ~elastic_r ~elastic_d ~recovery
+    ~large_real ~large_des ~elastic_r ~elastic_d ~avail ~recovery
     "BENCH_shards.json"
 
 let run scale =
@@ -894,3 +1040,36 @@ let elastic_smoke () =
          d.ed_base_ups d.ed_resize_ups);
   Printf.printf "shards_elastic ok: dip %.2fx\n%!"
     (d.ed_resize_ups /. d.ed_base_ups)
+
+(* Quick regression check of the fault-isolation path for @bench-smoke:
+   with one shard of a real store rotten, the healthy slots must keep
+   serving (most of the key space stays available) while the sick slots
+   are refused with the typed verdict, and both self-healing arms must
+   converge — key evacuation when no snapshot exists, snapshot restore
+   (full byte identity) when one does.  This is the availability
+   property the health state machine exists to buy; fails loudly so the
+   alias catches a regression. *)
+let health_smoke () =
+  Common.section "shards_health: fault isolation & self-healing check";
+  let a = availability_real ~ops:48 ~keys:192 in
+  Printf.printf
+    "  %.1f%% of %d keys served with 1/%d shards down; degraded get %s \
+     (healthy %s)\n%!"
+    (100. *. a.a_available_frac) a.a_keys a.a_shards
+    (Common.ns a.a_degraded_get_ns)
+    (Common.ns a.a_healthy_get_ns);
+  Printf.printf "  evacuation moved %d keys in %s; restore in %s\n%!"
+    a.a_evac_moved
+    (Common.ns a.a_evac_repair_ns)
+    (Common.ns a.a_restore_repair_ns);
+  let fail what = failwith ("shards_health: " ^ what) in
+  (* with 1 of 4 shards down, at least the other shards' slots serve *)
+  if a.a_available_frac < 0.5 then
+    fail "less than half the key space served under a one-shard fault";
+  if a.a_available_frac > 1. then fail "availability fraction above 1";
+  if a.a_evac_moved = 0 then fail "evacuation moved no keys";
+  if not (a.a_evac_repair_ns > 0. && a.a_restore_repair_ns > 0.) then
+    fail "repair arms reported no wall time";
+  Printf.printf "shards_health ok: %.1f%% available, both repair arms \
+                 converged\n%!"
+    (100. *. a.a_available_frac)

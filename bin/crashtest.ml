@@ -29,8 +29,10 @@ module type PTM = sig
   include Romulus.Ptm_intf.S
 
   val recover : t -> unit
+  val recover_salvage : t -> (int * string) list
   val allocator_check : t -> (unit, string) result
   val scrub : t -> Romulus.Engine.scrub_report
+  val scrub_salvage : t -> Romulus.Engine.scrub_report
   val media_spans : t -> (int * int) list
 end
 
@@ -1422,6 +1424,334 @@ let run_migrate_campaign (module P : PTM) ~nshards ~rounds ~seed ~verbose
     recovery_crashes = !rec_crashes;
     failures = !failures }
 
+(* ---- quarantine / self-healing campaign ---- *)
+
+(* Differential fault-isolation campaign for the per-shard health
+   machinery.  Every scenario seeds and settles a victim store plus an
+   undamaged control with identical content, rots both twins of a line
+   deep inside one shard (never shard 0) at rest, and reopens: the
+   classification must file the sick shard as Degraded or Quarantined
+   while every healthy slot serves byte-identical to the control, and
+   every operation the verdict forbids fails with the typed
+   Shard_unavailable naming the sick shard — never a wrong value, never
+   a leaked Tx_aborted, never a silent miss.  Repair must then
+   converge: with a snapshot on disk the shard is restored and the
+   store returns to all-Healthy; without one the supervisor evacuates
+   the salvageable keys onto a healthy shard, after which every
+   survivor is served exactly once (scan and point reads agree) and the
+   retired verdict survives further crash-recoveries.  A third scenario
+   kills a region at the sharded.health.* failpoints — inside open's
+   classification, before the evacuation copies anything, and after its
+   epoch flip but before reclamation — resolves the power-off under the
+   selected --policy, and requires the rerun to reach the same end
+   state. *)
+let run_quarantine_campaign (module P : PTM) ~nshards ~rounds ~seed ~verbose
+    ~policy =
+  let module SD = Kv.Sharded_db.Make (P) in
+  let rng = Workload.Keygen.create ~seed () in
+  let failures = ref [] in
+  let crashes = ref 0 in
+  let rec_crashes = ref 0 in
+  let evacs = ref 0 in
+  let restores = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let pick_policy salt =
+    match policy with
+    | `Drop -> Pmem.Region.Drop_all
+    | `Keep -> Pmem.Region.Keep_all
+    | `Random -> Pmem.Region.Random_subset (seed + salt)
+    | `Torn -> Pmem.Region.Torn_words (seed + salt)
+    | `Mix -> (
+      match Workload.Keygen.int rng 4 with
+      | 0 -> Pmem.Region.Drop_all
+      | 1 -> Pmem.Region.Keep_all
+      | 2 -> Pmem.Region.Torn_words (seed + salt)
+      | _ -> Pmem.Region.Random_subset (seed + salt))
+  in
+  let nkeys = 48 in
+  let key i = Printf.sprintf "qkey%03d" i in
+  let value i = Printf.sprintf "qvalue-%04d" i in
+  let crash_all rs p = Array.iter (fun r -> Pmem.Region.crash r p) rs in
+  (* a settled store: seeded, crashed clean and reopened, so every line
+     is durably fenced and at-rest rot is the only damage *)
+  let fresh () =
+    let rs =
+      Array.init nshards (fun _ -> Pmem.Region.create ~size:(1 lsl 19) ())
+    in
+    let db = SD.open_db ~initial_buckets:8 rs in
+    for i = 0 to nkeys - 1 do
+      SD.put db (key i) (value i)
+    done;
+    crash_all rs Pmem.Region.Drop_all;
+    (rs, SD.open_db ~initial_buckets:8 rs)
+  in
+  (* the undamaged control; its routing doubles as the pre-damage
+     routing oracle (the victim is built identically) *)
+  let _, control = fresh () in
+  let sick_of round = 1 + ((seed + round) mod (nshards - 1)) in
+  (* rot the deepest used line of [sick] — both twins for a twin-copy
+     engine, the single image otherwise: unrepairable damage that still
+     leaves the engine mountable *)
+  let rot db rs sick =
+    match (SD.media_spans db).(sick) with
+    | (mbase, mspan) :: rest ->
+      let ls = Pmem.Region.line_size rs.(sick) in
+      let delta = mspan - ls in
+      Pmem.Region.corrupt_line rs.(sick) ~line:((mbase + delta) / ls);
+      (match rest with
+       | (bbase, _) :: _ ->
+         Pmem.Region.corrupt_line rs.(sick) ~seed:99
+           ~line:((bbase + delta) / ls)
+       | [] -> ())
+    | [] -> fail "shard %d reported no media spans" sick
+  in
+  (* (a)+(b): healthy slots byte-identical to the control; operations
+     the sick shard's verdict forbids refused with the typed error *)
+  let availability what db ~sick =
+    (match SD.health db sick with
+     | Kv.Sharded_db.Healthy ->
+       fail "%s: rot left shard %d Healthy" what sick
+     | _ -> ());
+    for i = 0 to nkeys - 1 do
+      let k = key i in
+      let want = SD.get control k in
+      if SD.shard_of_key db k <> sick then begin
+        match SD.get db k with
+        | got ->
+          if got <> want then fail "%s: healthy slot %s diverged" what k
+        | exception e ->
+          fail "%s: healthy slot %s raised %s" what k (Printexc.to_string e)
+      end
+      else begin
+        (match SD.get db k with
+         | got -> (
+           match SD.health db sick with
+           | Kv.Sharded_db.Quarantined _ ->
+             fail "%s: quarantined slot %s served %s" what k
+               (match got with None -> "a miss" | Some _ -> "a value")
+           | _ ->
+             if got <> want then fail "%s: degraded read %s diverged" what k)
+         | exception Kv.Sharded_db.Shard_unavailable { shard; _ } -> (
+           if shard <> sick then
+             fail "%s: %s blamed shard %d, not %d" what k shard sick;
+           match SD.health db sick with
+           | Kv.Sharded_db.Degraded _ ->
+             fail "%s: degraded read %s refused" what k
+           | _ -> ())
+         | exception Pmem.Region.Media_error _ -> (
+           (* a Degraded shard surfaces an actually lost line as the
+              typed media error; a Quarantined one must not be read *)
+           match SD.health db sick with
+           | Kv.Sharded_db.Quarantined _ ->
+             fail "%s: quarantined slot %s leaked Media_error" what k
+           | _ -> ())
+         | exception e ->
+           fail "%s: sick slot %s leaked %s" what k (Printexc.to_string e));
+        match SD.put db k "must-not-land" with
+        | () -> fail "%s: write to sick shard %d was accepted" what sick
+        | exception Kv.Sharded_db.Shard_unavailable { shard; _ } ->
+          if shard <> sick then
+            fail "%s: write to %s blamed shard %d" what k shard
+        | exception e ->
+          fail "%s: write to sick shard leaked %s" what (Printexc.to_string e)
+      end
+    done;
+    (* a healthy-slot write must still land (and is restored, so later
+       byte-identity checks stay meaningful) *)
+    (match
+       let wk = ref None in
+       for i = nkeys - 1 downto 0 do
+         if SD.shard_of_key db (key i) <> sick then wk := Some (key i)
+       done;
+       !wk
+     with
+     | Some k -> (
+       SD.put db k "touched";
+       if SD.get db k <> Some "touched" then
+         fail "%s: healthy-slot write did not land" what;
+       match SD.get control k with
+       | Some v -> SD.put db k v
+       | None -> ignore (SD.delete db k : bool))
+     | None -> fail "%s: every key routed to the sick shard" what);
+    if (SD.stats db).Pmem.Stats.unavailable_rejections = 0 then
+      fail "%s: probes ticked no unavailable_rejections" what
+  in
+  (* (c): the end state after repair — either all-Healthy with full
+     byte-identity, or a retired (evacuated) shard with every survivor
+     served exactly once *)
+  let converged what db ~sick =
+    (match SD.check db with
+     | Ok () -> ()
+     | Error e -> fail "%s: check: %s" what e);
+    match SD.health db sick with
+    | Kv.Sharded_db.Healthy ->
+      for i = 0 to nkeys - 1 do
+        let k = key i in
+        if SD.get db k <> SD.get control k then
+          fail "%s: repaired store diverged at %s" what k
+      done
+    | Kv.Sharded_db.Quarantined (Kv.Sharded_db.Evacuated { target }) -> (
+      for s = 0 to SD.route_slots db - 1 do
+        if SD.shard_of_slot db s = sick then
+          fail "%s: slot %d still routed to the evacuated shard" what s
+      done;
+      (match SD.health db target with
+       | Kv.Sharded_db.Healthy -> ()
+       | _ -> fail "%s: evacuation target %d is not healthy" what target);
+      let seen = Hashtbl.create 64 in
+      SD.iter db (fun k _ ->
+          if Hashtbl.mem seen k then fail "%s: scan served %s twice" what k;
+          Hashtbl.replace seen k ());
+      for i = 0 to nkeys - 1 do
+        let k = key i in
+        match SD.get db k with
+        | Some v ->
+          if Some v <> SD.get control k then
+            fail "%s: survivor %s diverged" what k;
+          if not (Hashtbl.mem seen k) then
+            fail "%s: get serves %s but the scan missed it" what k
+        | None ->
+          (* lost to the rotten line: acceptable only for a key that
+             lived on the evacuated shard *)
+          if SD.shard_of_key control k <> sick then
+            fail "%s: lost healthy-shard key %s" what k;
+          if Hashtbl.mem seen k then
+            fail "%s: scan serves the dropped key %s" what k
+        | exception e ->
+          fail "%s: %s raised %s after evacuation" what k
+            (Printexc.to_string e)
+      done;
+      (* a write to a formerly-sick key lands on the adopting shard *)
+      let k = key 0 in
+      SD.put db k "post-evac";
+      if SD.get db k <> Some "post-evac" then
+        fail "%s: post-evacuation write lost" what;
+      match SD.get control k with
+      | Some v -> SD.put db k v
+      | None -> ignore (SD.delete db k : bool))
+    | _ -> fail "%s: repair did not converge (shard %d still sick)" what sick
+  in
+  for round = 1 to rounds do
+    let salt = round * 31 in
+    let sick = sick_of round in
+    (* (A) degraded shard with a snapshot on disk: restore, all-Healthy *)
+    let rs, db = fresh () in
+    let base =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "crashtest-quarantine-%d-%d" seed round)
+    in
+    SD.save_to_files db base;
+    rot db rs sick;
+    crash_all rs (pick_policy salt);
+    let db = SD.open_db ~initial_buckets:8 rs in
+    let what = Printf.sprintf "round %d restore" round in
+    availability what db ~sick;
+    let outcomes = SD.repair ~seed:(seed + salt) ~snapshot_base:base db in
+    (match List.assoc_opt sick outcomes with
+     | Some SD.Snapshot_restored -> incr restores
+     | Some SD.Scrub_repaired -> ()
+     | o ->
+       fail "%s: repair returned %s" what
+         (match o with
+          | None -> "no verdict for the sick shard"
+          | Some (SD.Evacuated_keys _) -> "an evacuation, snapshot ignored"
+          | _ -> "Unrepaired"));
+    converged what db ~sick;
+    Array.iteri
+      (fun i _ ->
+        let path = Pmem.Region.shard_snapshot_path base ~shard:i in
+        if Sys.file_exists path then Sys.remove path)
+      rs;
+    (* (B) same damage, no snapshot: the supervisor evacuates *)
+    let rs, db = fresh () in
+    rot db rs sick;
+    crash_all rs (pick_policy (salt + 7));
+    let db = SD.open_db ~initial_buckets:8 rs in
+    let what = Printf.sprintf "round %d evacuate" round in
+    availability what db ~sick;
+    (match List.assoc_opt sick (SD.repair ~seed:(seed + salt + 1) db) with
+     | Some (SD.Evacuated_keys { target = _; moved }) ->
+       incr evacs;
+       let st = SD.stats db in
+       if st.Pmem.Stats.shards_evacuated = 0 then
+         fail "%s: shards_evacuated did not tick" what;
+       if st.Pmem.Stats.keys_evacuated <> moved then
+         fail "%s: keys_evacuated=%d but the verdict moved %d" what
+           st.Pmem.Stats.keys_evacuated moved
+     | Some SD.Scrub_repaired -> ()
+     | Some SD.Snapshot_restored ->
+       fail "%s: restored without a snapshot" what
+     | Some (SD.Unrepaired _) | None ->
+       fail "%s: supervisor gave up on an evacuable shard" what);
+    converged what db ~sick;
+    if SD.pending_intents db <> 0 then
+      fail "%s: records left hooked after evacuation" what;
+    (* the retired verdict and the surviving keys are durable *)
+    crash_all rs (pick_policy (salt + 9));
+    let db = SD.open_db ~initial_buckets:8 rs in
+    converged (what ^ " reopened") db ~sick;
+    (* (C) kill a region at the sharded.health.* failpoints, then rerun *)
+    let rs, db = fresh () in
+    rot db rs sick;
+    crash_all rs (pick_policy (salt + 11));
+    (* c1: crash while open_db files the shard's verdict (the kill takes
+       out shard 0, the anchor the verdict is being persisted to) *)
+    Fault.arm "sharded.health.degraded" (fun () -> Pmem.Region.kill rs.(0));
+    let db =
+      match SD.open_db ~initial_buckets:8 rs with
+      | db ->
+        Fault.disarm ();
+        db
+      | exception Pmem.Region.Crash_point ->
+        incr crashes;
+        Fault.disarm ();
+        crash_all rs (pick_policy (salt + 12));
+        SD.open_db ~initial_buckets:8 rs
+    in
+    availability (Printf.sprintf "round %d health crash" round) db ~sick;
+    (* c2/c3: crash before the evacuation copies anything durable, or
+       after its epoch flip but before reclamation *)
+    let site =
+      if round mod 2 = 0 then "sharded.health.evacuate_start"
+      else "sharded.health.evacuated"
+    in
+    let victim = Workload.Keygen.int rng nshards in
+    Fault.arm site (fun () -> Pmem.Region.kill rs.(victim));
+    (match SD.repair ~seed:(seed + salt + 2) db with
+     | (_ : (int * SD.repair_outcome) list) -> Fault.disarm ()
+     | exception Pmem.Region.Crash_point ->
+       incr crashes;
+       incr rec_crashes;
+       Fault.disarm ());
+    crash_all rs (pick_policy (salt + 13));
+    let db = SD.open_db ~initial_buckets:8 rs in
+    let what = Printf.sprintf "round %d %s" round site in
+    (match SD.health db sick with
+     | Kv.Sharded_db.Healthy -> fail "%s: reopen lost the verdict" what
+     | Kv.Sharded_db.Quarantined (Kv.Sharded_db.Evacuated _) ->
+       (* the flip landed before the kill; recovery finished the job *)
+       ()
+     | _ -> (
+       (* nothing durable yet: the rerun must converge *)
+       match
+         List.assoc_opt sick (SD.repair ~seed:(seed + salt + 3) db)
+       with
+       | Some (SD.Evacuated_keys _) | Some SD.Scrub_repaired -> ()
+       | _ -> fail "%s: rerun repair did not converge" what));
+    converged what db ~sick;
+    if SD.pending_intents db <> 0 then
+      fail "%s: records left hooked after a crashed repair" what;
+    if verbose then
+      Printf.printf "  ... %d/%d rounds, %d crashes (%d during repair)\n%!"
+        round rounds !crashes !rec_crashes
+  done;
+  if !restores = 0 then fail "snapshot-restore path never exercised";
+  if !evacs = 0 then fail "evacuation path never exercised";
+  { rounds;
+    crashes = !crashes;
+    recovery_crashes = !rec_crashes;
+    failures = !failures }
+
 (* ---- command line ---- *)
 
 let ptm_arg =
@@ -1540,6 +1870,22 @@ let chunked_arg =
   in
   Arg.(value & flag & info [ "chunked" ] ~doc)
 
+let quarantine_arg =
+  let doc =
+    "With --shards (>= 2), drive the fault-isolation campaign instead: \
+     rot both twins of a line inside one shard of a settled store at \
+     rest, reopen, and require every healthy slot to serve \
+     byte-identical to an undamaged control while the operations the \
+     sick shard's verdict forbids fail with the typed Shard_unavailable \
+     naming that shard — never a wrong value, never a leaked abort.  \
+     Repair must converge: snapshot restore back to all-Healthy when a \
+     snapshot exists, evacuation of every salvageable key exactly once \
+     otherwise, with kills at the sharded.health.* failpoints (inside \
+     open's classification and both evacuation windows) crash-resolved \
+     under --policy and rerun to the same end state."
+  in
+  Arg.(value & flag & info [ "quarantine" ] ~doc)
+
 let migrate_arg =
   let doc =
     "With --shards (>= 2), drive the elastic-sharding migration campaign \
@@ -1568,8 +1914,8 @@ let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
 let main ptm workload rounds seed policy recovery_crashes failpoint
-    inject_exn scrub rot_rates_str nshards decentralized chunked migrate
-    list_failpoints verbose =
+    inject_exn scrub rot_rates_str nshards decentralized chunked quarantine
+    migrate list_failpoints verbose =
   if list_failpoints then begin
     List.iter
       (fun s ->
@@ -1604,6 +1950,11 @@ let main ptm workload rounds seed policy recovery_crashes failpoint
                     pre-pinned routing table to resume from)\n";
     exit 2
   end;
+  if quarantine && nshards < 2 then begin
+    Printf.eprintf "--quarantine needs --shards >= 2 (quarantining the \
+                    only shard leaves nothing to keep serving)\n";
+    exit 2
+  end;
   let failed = ref false in
   if nshards > 0 then
     (* the sharded campaign has its own cross-shard workload; the
@@ -1614,6 +1965,10 @@ let main ptm workload rounds seed policy recovery_crashes failpoint
           if migrate then begin
             Printf.printf "%-6s x %d-shard elastic-migrate: %!" pname nshards;
             run_migrate_campaign m ~nshards ~rounds ~seed ~verbose ~policy
+          end
+          else if quarantine then begin
+            Printf.printf "%-6s x %d-shard fault-isolation: %!" pname nshards;
+            run_quarantine_campaign m ~nshards ~rounds ~seed ~verbose ~policy
           end
           else if chunked then begin
             Printf.printf "%-6s x %d-shard chunked-stream: %!" pname nshards;
@@ -1747,7 +2102,16 @@ let cmd =
     Term.(const main $ ptm_arg $ workload_arg $ rounds_arg $ seed_arg
           $ policy_arg $ recovery_crashes_arg $ failpoint_arg
           $ inject_exn_arg $ scrub_arg $ rot_rates_arg $ shards_arg
-          $ decentralized_arg $ chunked_arg $ migrate_arg
+          $ decentralized_arg $ chunked_arg $ quarantine_arg $ migrate_arg
           $ list_failpoints_arg $ verbose_arg)
 
-let () = exit (Cmd.eval cmd)
+let () =
+  Printexc.register_printer (function
+    | Kv.Sharded_db.Shard_open_failed { shard; cause } ->
+      Some
+        (Printf.sprintf "Sharded_db.Shard_open_failed { shard = %d; cause = %s }"
+           shard (Printexc.to_string cause))
+    | Kv.Sharded_db.Shard_unavailable { shard; _ } ->
+      Some (Printf.sprintf "Sharded_db.Shard_unavailable { shard = %d }" shard)
+    | _ -> None);
+  exit (Cmd.eval cmd)

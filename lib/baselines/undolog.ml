@@ -333,13 +333,14 @@ let media_frontier t =
   let arena_base, _, _ = layout t.ctx.Ctx.r in
   arena_base + Alloc.used_bytes t.arena
 
-let scrub t =
+let scrub_with ~salvage t =
   if t.ctx.Ctx.in_tx then invalid_arg "Undolog.scrub: transaction in progress";
   let r = t.ctx.Ctx.r in
   let stats = Pmem.Region.stats r in
   let line = Pmem.Region.line_size r in
   let last = (media_frontier t - 1) / line in
   let scrubbed = ref 0 in
+  let lost = ref [] in
   for l = 0 to last do
     incr scrubbed;
     stats.Pmem.Stats.scrubbed_lines <- stats.Pmem.Stats.scrubbed_lines + 1;
@@ -348,10 +349,31 @@ let scrub t =
     then begin
       stats.Pmem.Stats.unrepairable_lines <-
         stats.Pmem.Stats.unrepairable_lines + 1;
-      raise (Romulus.Engine.Unrepairable { offset = l * line; state = "none" })
+      (* single copy: never repairable.  Salvage mode records the loss
+         and keeps walking — a later read of the line still raises
+         [Media_error], so nothing is silently blessed. *)
+      if salvage then lost := (l * line, "none") :: !lost
+      else
+        raise
+          (Romulus.Engine.Unrepairable { offset = l * line; state = "none" })
     end
   done;
-  { Romulus.Engine.scrubbed = !scrubbed; repaired = 0 }
+  { Romulus.Engine.scrubbed = !scrubbed; repaired = 0;
+    unrepairable = List.rev !lost }
+
+let scrub t = scrub_with ~salvage:false t
+let scrub_salvage t = scrub_with ~salvage:true t
+
+let recover_salvage t =
+  (* Post-crash entry point: a crash inside [update_tx] leaves the shared
+     context's volatile [in_tx] flag set (the machine died mid-transaction,
+     so there was no abort to clear it).  The scrub guard below would
+     mistake that stale flag for a live writer, so reset it first — the
+     recovery rollback that follows is what actually settles the log. *)
+  t.ctx.Ctx.in_tx <- false;
+  let report = scrub_with ~salvage:true t in
+  recover t;
+  report.Romulus.Engine.unrepairable
 
 let media_spans t = [ (0, media_frontier t) ]
 

@@ -21,6 +21,16 @@ val recover : t -> unit
     [Romulus.Engine.Unrepairable] with state ["none"].  *)
 val scrub : t -> Romulus.Engine.scrub_report
 
+(** Salvage-mode scrub: collect every CRC miss (offset, ["none"]) into
+    [unrepairable] instead of raising on the first.  Reads of a lost
+    line still raise [Pmem.Region.Media_error]. *)
+val scrub_salvage : t -> Romulus.Engine.scrub_report
+
+(** Salvage scrub followed by {!recover}; returns the lost lines.  The
+    rollback itself may still raise [Pmem.Region.Media_error] if the log
+    area is damaged. *)
+val recover_salvage : t -> (int * string) list
+
 (** Fault-campaign target range: the single used span. *)
 val media_spans : t -> (int * int) list
 

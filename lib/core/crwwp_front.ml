@@ -127,7 +127,9 @@ module Make (Config : CONFIG) = struct
   (* test hooks *)
   let engine t = t.e
   let recover t = Engine.recover t.e
+  let recover_salvage t = Engine.recover_salvage t.e
   let scrub t = Engine.scrub t.e
+  let scrub_salvage t = Engine.scrub_salvage t.e
   let media_spans t = Engine.media_spans t.e
   let allocator_check t = Engine.allocator_check t.e
 end

@@ -16,8 +16,15 @@ module Make (_ : CONFIG) : sig
   (** Re-run crash recovery after a simulated power failure. *)
   val recover : t -> unit
 
+  (** Salvage-mode recovery (see {!Engine.recover_salvage}): returns the
+      tolerated data-loss lines instead of raising on IDL-state damage. *)
+  val recover_salvage : t -> (int * string) list
+
   (** On-demand twin-copy scrub-and-repair (see {!Engine.scrub}). *)
   val scrub : t -> Engine.scrub_report
+
+  (** Salvage-mode scrub (see {!Engine.scrub_salvage}). *)
+  val scrub_salvage : t -> Engine.scrub_report
 
   (** Fault-campaign target ranges (see {!Engine.media_spans}). *)
   val media_spans : t -> (int * int) list

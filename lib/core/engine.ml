@@ -49,7 +49,13 @@ exception Tx_aborted of { cause : exn; backtrace : string }
    the single-copy baselines). *)
 exception Unrepairable of { offset : int; state : string }
 
-type scrub_report = { scrubbed : int; repaired : int }
+type scrub_report = {
+  scrubbed : int;
+  repaired : int;
+  unrepairable : (int * string) list;
+      (* salvage mode only: lines no twin could vouch for, tolerated
+         instead of raised because recovery did not need to copy them *)
+}
 
 let recovery_error fmt =
   Printf.ksprintf (fun s -> raise (Recovery_error s)) fmt
@@ -209,23 +215,31 @@ let state_name s =
   else if s = st_cpy then "CPY"
   else string_of_int s
 
-let scrub_raw r ~main_size ~arena_base =
+let scrub_raw ?(salvage = false) r ~main_size ~arena_base =
   let stats = Pmem.Region.stats r in
   let line = Pmem.Region.line_size r in
   let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
   let shift = log2 line 0 in
   let twin_d = main_size lsr shift in
   let scrubbed = ref 0 and repaired = ref 0 in
+  let lost = ref [] in
   (* only clean lines are auditable: a dirty/pending line's next
      write-back supersedes whatever the medium holds *)
   let bad l =
     Pmem.Region.line_is_clean r ~line:l
     && not (Pmem.Region.media_ok r ~line:l)
   in
-  let unrepairable l state =
+  let unrepairable ~tolerable l state =
     stats.Pmem.Stats.unrepairable_lines <-
       stats.Pmem.Stats.unrepairable_lines + 1;
-    raise (Unrepairable { offset = l lsl shift; state })
+    (* salvage mode tolerates data-loss lines recovery will not read:
+       the shard can still serve every other line (reads of the lost
+       line surface a typed Media_error).  Lines recovery must trust —
+       the header, or any line under a state whose roll-forward/back
+       would replicate it — stay fatal even in salvage mode. *)
+    if salvage && tolerable then
+      lost := (l lsl shift, state) :: !lost
+    else raise (Unrepairable { offset = l lsl shift; state })
   in
   let visit () =
     incr scrubbed;
@@ -236,10 +250,13 @@ let scrub_raw r ~main_size ~arena_base =
   let hdr_last = (main_start - 1) lsr shift in
   for l = 0 to hdr_last do
     visit ();
-    if bad l then unrepairable l "header"
+    if bad l then unrepairable ~tolerable:false l "header"
   done;
   let state = Pmem.Region.load r o_state in
   let sname = state_name state in
+  (* under IDL recovery copies nothing, so an unrepairable line is pure
+     data loss, not a poisoned roll-forward source *)
+  let tolerable = state = st_idl in
   (* per-copy spans from the allocator frontiers; a frontier that fails
      validation (or sits in a bad line) degrades to a full-copy walk *)
   let span_of copy_base =
@@ -252,14 +269,17 @@ let scrub_raw r ~main_size ~arena_base =
   in
   let repair ~dst ~src ~state =
     Fault.hit fp_scrub_bad_line;
-    if bad src then unrepairable dst state;
-    let content = Pmem.Region.load_bytes r (src lsl shift) line in
-    Pmem.Region.store_bytes r (dst lsl shift) content;
-    Pmem.Region.pwb_range r (dst lsl shift) line;
-    Pmem.Region.pfence r;
-    incr repaired;
-    stats.Pmem.Stats.repaired_lines <- stats.Pmem.Stats.repaired_lines + 1;
-    Fault.hit fp_scrub_repaired
+    if bad src then unrepairable ~tolerable dst state
+    else begin
+      let content = Pmem.Region.load_bytes r (src lsl shift) line in
+      Pmem.Region.store_bytes r (dst lsl shift) content;
+      Pmem.Region.pwb_range r (dst lsl shift) line;
+      Pmem.Region.pfence r;
+      incr repaired;
+      stats.Pmem.Stats.repaired_lines <-
+        stats.Pmem.Stats.repaired_lines + 1;
+      Fault.hit fp_scrub_repaired
+    end
   in
   let scrub_copy ~base ~span ~twin ~repairable =
     if span > 0 then begin
@@ -271,8 +291,9 @@ let scrub_raw r ~main_size ~arena_base =
           let fully_inside =
             l lsl shift >= base && (l + 1) lsl shift <= base + main_size
           in
-          if not (fully_inside && repairable) then unrepairable l sname;
-          repair ~dst:l ~src:(l + twin) ~state:sname
+          if fully_inside && repairable then
+            repair ~dst:l ~src:(l + twin) ~state:sname
+          else unrepairable ~tolerable l sname
         end
       done
     end
@@ -282,7 +303,8 @@ let scrub_raw r ~main_size ~arena_base =
   scrub_copy ~base:(main_start + main_size) ~span:(span_of main_size)
     ~twin:(-twin_d)
     ~repairable:(state = st_idl || state = st_cpy);
-  { scrubbed = !scrubbed; repaired = !repaired }
+  { scrubbed = !scrubbed; repaired = !repaired;
+    unrepairable = List.rev !lost }
 
 (* ---- raw recovery (Algorithm 1, recover()) ----
    Runs before the allocator is attached, using only region primitives.
@@ -294,11 +316,14 @@ let scrub_raw r ~main_size ~arena_base =
    hold what the protocol could ever have written — recovery refuses with
    {!Recovery_error} instead of copying garbage over the good twin. *)
 
-let recover_raw r ~main_size ~arena_base =
+let recover_raw ?salvage r ~main_size ~arena_base =
   (* media pass first: roll-forward/back copies whole spans, so a rotten
      line in the truth copy must be repaired (or refused as
-     {!Unrepairable}) before it can be replicated over the good twin *)
-  ignore (scrub_raw r ~main_size ~arena_base : scrub_report);
+     {!Unrepairable}) before it can be replicated over the good twin.
+     In salvage mode the scrub tolerates IDL-state data-loss lines, and
+     an IDL state means the match below is a no-op — so every tolerated
+     line is by construction one recovery never copies. *)
+  let report = scrub_raw ?salvage r ~main_size ~arena_base in
   let top_addr copy_base = arena_base + copy_base + Palloc.top_offset in
   let validate_top ~which top =
     if top < arena_base + Palloc.meta_bytes || top > main_start + main_size
@@ -316,7 +341,7 @@ let recover_raw r ~main_size ~arena_base =
     Pmem.Region.pwb r o_state;
     Pmem.Region.pfence r
   in
-  match Pmem.Region.load r o_state with
+  (match Pmem.Region.load r o_state with
   | s when s = st_idl -> ()
   | s when s = st_cpy ->
     (* main is consistent: bring back up to date *)
@@ -339,7 +364,8 @@ let recover_raw r ~main_size ~arena_base =
     Fault.hit fp_recover_copied;
     finish ()
   | s ->
-    recovery_error "Engine.recover: state %d is none of IDL/MUT/CPY" s
+    recovery_error "Engine.recover: state %d is none of IDL/MUT/CPY" s);
+  report.unrepairable
 
 (* ---- creation ---- *)
 
@@ -352,7 +378,13 @@ let create ~mode r =
        a region some other system may still care about *)
     recovery_error "Engine.open: unrecognized magic %#x" magic;
   if magic = magic_value then begin
-    recover_raw r ~main_size ~arena_base;
+    (* Open in salvage mode: a region whose only damage is IDL-state data
+       loss (both twins of a line rotten, nothing to roll forward over)
+       still mounts — the loss stays detectable by {!scrub} and reads of
+       the lost lines raise [Media_error].  Damage recovery would have to
+       copy still refuses the open with {!Unrepairable}. *)
+    ignore (recover_raw ~salvage:true r ~main_size ~arena_base
+            : (int * string) list);
     let arena = A.attach mem ~base:arena_base in
     { r; mem; arena; mode; log = Redo_log.create ();
       main_start; main_size; arena_base; in_tx = false; coalesce = true }
@@ -386,18 +418,28 @@ let create ~mode r =
 
 (* Re-run recovery on an engine (used by tests after a simulated crash;
    equivalent to re-opening the region). *)
-let recover t =
-  recover_raw t.r ~main_size:t.main_size ~arena_base:t.arena_base;
+let recover_with ~salvage t =
+  let lost =
+    recover_raw ~salvage t.r ~main_size:t.main_size
+      ~arena_base:t.arena_base
+  in
   t.in_tx <- false;
   t.mem.log <- None;
   Mem.discard_dirty t.mem;
-  Redo_log.clear t.log
+  Redo_log.clear t.log;
+  lost
+
+let recover t = ignore (recover_with ~salvage:false t : (int * string) list)
+let recover_salvage t = recover_with ~salvage:true t
 
 (* On-demand scrub of a quiescent engine (the failpoint-instrumented
    entry the campaigns drive). *)
-let scrub t =
+let scrub_with ~salvage t =
   if t.in_tx then invalid_arg "Engine.scrub: transaction in progress";
-  scrub_raw t.r ~main_size:t.main_size ~arena_base:t.arena_base
+  scrub_raw ~salvage t.r ~main_size:t.main_size ~arena_base:t.arena_base
+
+let scrub t = scrub_with ~salvage:false t
+let scrub_salvage t = scrub_with ~salvage:true t
 
 (* Byte ranges a media-fault campaign may target such that every fault is
    at least detectable by {!scrub}: the used spans of both twins. *)

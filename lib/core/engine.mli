@@ -38,6 +38,11 @@ exception Unrepairable of { offset : int; state : string }
 type scrub_report = {
   scrubbed : int;  (** lines whose sidecar CRC the scrub verified *)
   repaired : int;  (** bad lines rewritten from their twin *)
+  unrepairable : (int * string) list;
+      (** salvage mode only ({!scrub_salvage}/{!recover_salvage}):
+          ([offset], protocol state) of every line no twin could vouch
+          for that was tolerated instead of raised.  Always [[]] from
+          the raising entry points. *)
 }
 
 type t
@@ -45,7 +50,11 @@ type t
 (** Format a fresh (zeroed) region, or validate-and-recover an existing
     one (recognized by its magic number).  A region that is neither —
     nonzero but with an unrecognized magic — raises {!Recovery_error}
-    rather than being silently reformatted. *)
+    rather than being silently reformatted.  Recovery runs in salvage
+    mode: IDL-state data-loss lines (both twins rotten, nothing to copy)
+    do not refuse the mount — they stay detectable by {!scrub} and raise
+    [Media_error] when read — while damage that poisons a
+    roll-forward/back still raises {!Unrepairable}. *)
 val create : mode:mode -> Pmem.Region.t -> t
 
 (** Re-run crash recovery (equivalent to re-opening the region after a
@@ -65,6 +74,22 @@ val recover : t -> unit
     inside a transaction.  Also runs automatically at the head of
     {!recover}. *)
 val scrub : t -> scrub_report
+
+(** Like {!scrub}, but in salvage mode: under protocol state IDL —
+    where recovery copies nothing, so an unrepairable line is pure data
+    loss rather than a poisoned roll-forward source — bad lines no twin
+    can vouch for are collected into [unrepairable] instead of raised.
+    Lines recovery must trust stay fatal: a bad header line, or any
+    unrepairable line under MUT/CPY, still raises {!Unrepairable}.
+    Reads of a tolerated line keep surfacing [Pmem.Region.Media_error];
+    nothing is silently blessed. *)
+val scrub_salvage : t -> scrub_report
+
+(** {!recover} with the salvage scrub at its head: returns the tolerated
+    ([offset], state) data-loss lines (empty when the medium is sound).
+    Raises {!Unrepairable} exactly when {!scrub_salvage} would — i.e.
+    when the damage poisons a line recovery would have to copy. *)
+val recover_salvage : t -> (int * string) list
 
 (** Byte ranges ([offset], [length]) a media-fault campaign may target
     such that every injected fault is at least detectable by {!scrub}:

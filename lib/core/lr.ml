@@ -160,7 +160,13 @@ let recover t =
   Engine.recover t.e;
   Left_right.set_lr t.lr inst_back
 
+let recover_salvage t =
+  let lost = Engine.recover_salvage t.e in
+  Left_right.set_lr t.lr inst_back;
+  lost
+
 let scrub t = Engine.scrub t.e
+let scrub_salvage t = Engine.scrub_salvage t.e
 let media_spans t = Engine.media_spans t.e
 let allocator_check t = Engine.allocator_check t.e
 

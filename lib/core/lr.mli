@@ -6,7 +6,9 @@ include Ptm_intf.S
 
 val engine : t -> Engine.t
 val recover : t -> unit
+val recover_salvage : t -> (int * string) list
 val scrub : t -> Engine.scrub_report
+val scrub_salvage : t -> Engine.scrub_report
 val media_spans : t -> (int * int) list
 val allocator_check : t -> (unit, string) result
 

@@ -66,6 +66,42 @@ exception Overloaded of { shard : int; in_flight : int; budget : int }
    a shard). *)
 exception Shard_mismatch of { requested : int; found : int }
 
+(* ---- per-shard health ----
+
+   Media damage on one shard must not take the store down: every shard
+   carries a health verdict, persisted in shard 0 next to the slot
+   table, and operations on a sick shard's slots fail with a typed
+   exception instead of crashing the caller or silently missing. *)
+
+type health_cause =
+  | Unrepairable_media of { offset : int; state : string }
+      (* a salvage scrub found lines no twin can vouch for (Degraded:
+         tolerable IDL data loss; Quarantined: damage recovery would
+         have to copy) *)
+  | Open_failed of string
+      (* the shard's engine refused to open or recover *)
+  | Evacuated of { target : int }
+      (* the shard's surviving keys were moved onto [target]; its slots
+         no longer route here *)
+
+type health =
+  | Healthy
+  | Degraded of health_cause (* read-only: media errors pending repair *)
+  | Quarantined of health_cause (* unreadable / unopenable / evacuated *)
+
+(* An operation routed to a shard that cannot serve it.  Raised by reads
+   of a quarantined shard's slots and writes to any non-healthy shard's
+   slots — never a raw [Media_error] leak, never a silent miss. *)
+exception Shard_unavailable of { shard : int; cause : health_cause }
+
+(* A shard-attributed open/recovery failure: [open_from_files] wraps a
+   per-shard snapshot-load failure (previously a raw [Sys_error] or
+   [Snapshot_corrupt] with no shard attribution), [recover_shard]
+   wraps its engine's failure, and shard 0 — whose failure is fatal,
+   because it anchors routing, health and the centralized intent —
+   surfaces its open failure this way from [open_db]. *)
+exception Shard_open_failed of { shard : int; cause : exn }
+
 (* ---- routing directory ----
 
    Keys route through a slot table: [route_hash k mod n_slots] picks a
@@ -153,7 +189,9 @@ module type SHARD_PTM = sig
   include Romulus.Ptm_intf.S
 
   val recover : t -> unit
+  val recover_salvage : t -> (int * string) list
   val scrub : t -> Romulus.Engine.scrub_report
+  val scrub_salvage : t -> Romulus.Engine.scrub_report
   val media_spans : t -> (int * int) list
   val allocator_check : t -> (unit, string) result
 end
@@ -195,6 +233,17 @@ let fp_mig_applied = Fault.site "sharded.migrate.batch_applied"
 let fp_mig_resumed = Fault.site "sharded.migrate.resumed"
 let fp_mig_flip = Fault.site "sharded.migrate.epoch_flip"
 let fp_mig_reclaim = Fault.site "sharded.migrate.reclaimed"
+
+(* health windows: after a shard's health transition is observed (its
+   durable record may lag by one shard-0 transaction — recomputed
+   deterministically at the next open either way), after an evacuation
+   intent commits, and after the evacuation's combined route+health
+   flip (the evacuation's validity point) *)
+let fp_health_degraded = Fault.site "sharded.health.degraded"
+let fp_health_quarantined = Fault.site "sharded.health.quarantined"
+let fp_health_repaired = Fault.site "sharded.health.repaired"
+let fp_health_evacuate_start = Fault.site "sharded.health.evacuate_start"
+let fp_health_evacuated = Fault.site "sharded.health.evacuated"
 
 (* ---- record serialization (PTM-independent) ----
 
@@ -364,6 +413,60 @@ let decode_mirror payload =
   in
   (nshards, ops, undo)
 
+(* ---- health record codec (PTM-independent) ----
+
+   The per-shard health array persists as one length-prefixed record in
+   shard 0 (wholesale replace, like the routing table): shard count,
+   then one tagged verdict per shard. *)
+
+let add_cause b = function
+  | Unrepairable_media { offset; state } ->
+    Buffer.add_char b '\000';
+    Buffer.add_int64_le b (Int64.of_int offset);
+    add_str b state
+  | Open_failed msg ->
+    Buffer.add_char b '\001';
+    add_str b msg
+  | Evacuated { target } ->
+    Buffer.add_char b '\002';
+    Buffer.add_int64_le b (Int64.of_int target)
+
+let encode_health healths =
+  let b = Buffer.create 64 in
+  Buffer.add_int64_le b (Int64.of_int (Array.length healths));
+  Array.iter
+    (fun h ->
+      match h with
+      | Healthy -> Buffer.add_char b '\000'
+      | Degraded c ->
+        Buffer.add_char b '\001';
+        add_cause b c
+      | Quarantined c ->
+        Buffer.add_char b '\002';
+        add_cause b c)
+    healths;
+  Buffer.contents b
+
+let take_cause pr =
+  match take_byte pr "health-cause" with
+  | '\000' ->
+    let offset = take_int pr "health-cause" in
+    let state = take_str pr "health-cause" in
+    Unrepairable_media { offset; state }
+  | '\001' -> Open_failed (take_str pr "health-cause")
+  | '\002' -> Evacuated { target = take_int pr "health-cause" }
+  | _ -> bad "health-cause"
+
+let decode_health payload =
+  let pr = { payload; pos = 0 } in
+  let n = take_int pr "health" in
+  Array.init n (fun _ ->
+      match take_byte pr "health" with
+      | '\000' -> Healthy
+      | '\001' -> Degraded (take_cause pr)
+      | '\002' -> Quarantined (take_cause pr)
+      | _ -> bad "health")
+
 (* ---- chunk chains (PTM-independent) ----
 
    A payload too large for one allocation is cut into bounded pieces;
@@ -500,7 +603,13 @@ module Make (P : SHARD_PTM) = struct
   }
 
   type t = {
-    mutable shard_arr : shard array;
+    (* [None] when the shard's engine could not be opened or recovered;
+       the slot keeps its region (and health verdict) so stats, repair
+       and snapshot restore still have somewhere to stand. *)
+    mutable shard_arr : shard option array;
+    (* one region per shard, always populated — even for down shards *)
+    mutable region_arr : Pmem.Region.t array;
+    mutable health_arr : health array;
     batch : batch option;
     proto : proto;
     router : router;
@@ -529,6 +638,9 @@ module Make (P : SHARD_PTM) = struct
   let mig_slot = Romulus.Ptm_intf.root_slots - 5
   let cursor_slot = Romulus.Ptm_intf.root_slots - 6
   let tomb_slot = Romulus.Ptm_intf.root_slots - 7
+
+  (* Per-shard health array (shard 0, next to the slot table). *)
+  let health_slot = Romulus.Ptm_intf.root_slots - 8
 
   let status_prepared = 1
   let status_committed = 2
@@ -571,23 +683,84 @@ module Make (P : SHARD_PTM) = struct
     let h = h * 0x2545F4914F6CDD1D in
     (h lxor (h lsr 29)) land max_int
 
-  let shards t = Array.length t.shard_arr
+  let shards t = Array.length t.region_arr
   let epoch t = t.router.epoch
   let route_slots t = t.router.n_slots
   let slot_of_key t k = route_hash k mod t.router.n_slots
   let shard_of_slot t s = t.router.assignment.(s)
   let shard_of_key t k = t.router.assignment.(slot_of_key t k)
-  let shard_for t k = t.shard_arr.(shard_of_key t k)
-  let regions t = Array.map (fun s -> s.region) t.shard_arr
+  let regions t = Array.copy t.region_arr
+
+  let health t i =
+    if i < 0 || i >= shards t then
+      invalid_arg (Printf.sprintf "Sharded_db.health: bad shard %d" i);
+    t.health_arr.(i)
 
   let stats t =
     Pmem.Stats.aggregate
-      (Array.to_list
-         (Array.map (fun s -> Pmem.Region.stats s.region) t.shard_arr))
+      (Array.to_list (Array.map Pmem.Region.stats t.region_arr))
 
   let tick s f =
     let st = Pmem.Region.stats s.region in
     f st
+
+  (* Tick by shard index through the region table, so counters attach to
+     the right shard even when its engine is down. *)
+  let tick_region t i f = f (Pmem.Region.stats t.region_arr.(i))
+
+  (* ---- availability gates ----
+
+     [raw]: the engine, for protocol/recovery machinery that has already
+     established the shard is reachable.  [live]: read availability
+     (Healthy and Degraded serve reads; Degraded reads of an actually
+     lost line still surface [Media_error] — damage is never silently
+     blessed).  [rw]: write availability (Healthy only).  Each rejection
+     is metered on the refusing shard and raises the typed
+     {!Shard_unavailable} carrying that shard's verdict. *)
+
+  let unavailable t i =
+    tick_region t i (fun st ->
+        st.Pmem.Stats.unavailable_rejections <-
+          st.Pmem.Stats.unavailable_rejections + 1);
+    let cause =
+      match t.health_arr.(i) with
+      | Degraded c | Quarantined c -> c
+      | Healthy -> Open_failed "shard engine is not open"
+    in
+    raise (Shard_unavailable { shard = i; cause })
+
+  let raw t i =
+    match t.shard_arr.(i) with Some s -> s | None -> unavailable t i
+
+  let live t i =
+    match t.health_arr.(i) with
+    | Healthy | Degraded _ -> raw t i
+    | Quarantined _ -> unavailable t i
+
+  let rw t i =
+    match t.health_arr.(i) with
+    | Healthy -> raw t i
+    | Degraded _ | Quarantined _ -> unavailable t i
+
+  let shard_for t k = live t (shard_of_key t k)
+
+  (* The shard can participate in recovery-side reconciliation: its
+     engine is open and it is not quarantined. *)
+  let engine_up t i =
+    Option.is_some t.shard_arr.(i)
+    && (match t.health_arr.(i) with Quarantined _ -> false | _ -> true)
+
+  let healthy t i =
+    Option.is_some t.shard_arr.(i) && t.health_arr.(i) = Healthy
+
+  (* Full scans drop an evacuated shard (its residual map is a stale
+     duplicate of its target's keys) but refuse — typed, loudly — on any
+     other quarantined shard: a scan must never silently miss keys. *)
+  let scan_shard t i =
+    match t.health_arr.(i) with
+    | Quarantined (Evacuated _) -> None
+    | Healthy | Degraded _ -> Some (raw t i)
+    | Quarantined _ -> unavailable t i
 
   let tick_prepare s =
     tick s (fun st ->
@@ -647,6 +820,17 @@ module Make (P : SHARD_PTM) = struct
     tick s (fun st ->
         st.Pmem.Stats.double_reads <- st.Pmem.Stats.double_reads + 1)
 
+  let tick_health t i h =
+    tick_region t i (fun st ->
+        match h with
+        | Healthy ->
+          st.Pmem.Stats.health_repaired <- st.Pmem.Stats.health_repaired + 1
+        | Degraded _ ->
+          st.Pmem.Stats.health_degraded <- st.Pmem.Stats.health_degraded + 1
+        | Quarantined _ ->
+          st.Pmem.Stats.health_quarantined <-
+            st.Pmem.Stats.health_quarantined + 1)
+
   (* ---- plain (non-batch) operations ---- *)
 
   (* Double-read during a transfer window: a moving key may not have
@@ -655,22 +839,22 @@ module Make (P : SHARD_PTM) = struct
   let underlying_get t k =
     match t.router.migration with
     | Some m when m.moving.(slot_of_key t k) -> (
-      match Map_.get t.shard_arr.(m.mig_target).map k with
+      match Map_.get (raw t m.mig_target).map k with
       | Some _ as r -> r
       | None ->
-        tick_double_read t.shard_arr.(m.mig_source);
+        tick_double_read (raw t m.mig_source);
         if Map_.mem m.mig_tomb k then None
-        else Map_.get t.shard_arr.(m.mig_source).map k)
+        else Map_.get (raw t m.mig_source).map k)
     | _ -> Map_.get (shard_for t k).map k
 
   let underlying_mem t k =
     match t.router.migration with
     | Some m when m.moving.(slot_of_key t k) ->
-      Map_.mem t.shard_arr.(m.mig_target).map k
+      Map_.mem (raw t m.mig_target).map k
       || begin
-        tick_double_read t.shard_arr.(m.mig_source);
+        tick_double_read (raw t m.mig_source);
         (not (Map_.mem m.mig_tomb k))
-        && Map_.mem t.shard_arr.(m.mig_source).map k
+        && Map_.mem (raw t m.mig_source).map k
       end
     | _ -> Map_.mem (shard_for t k).map k
 
@@ -693,8 +877,8 @@ module Make (P : SHARD_PTM) = struct
      resumed move stream re-deletes the source copy without overwriting
      the target (insert-if-absent). *)
   let forward_write t m k v =
-    let tgt = t.shard_arr.(m.mig_target) in
-    let src = t.shard_arr.(m.mig_source) in
+    let tgt = raw t m.mig_target in
+    let src = raw t m.mig_source in
     (match v with
     | Some value ->
       P.update_tx tgt.p (fun () ->
@@ -711,11 +895,11 @@ module Make (P : SHARD_PTM) = struct
     match t.router.migration with
     | Some m when m.moving.(slot_of_key t k) -> forward_write t m k v
     | _ -> (
-    let s = shard_for t k in
+    let s = rw t (shard_of_key t k) in
     match Hashtbl.find_opt t.proto.pending k with
     | None -> apply_op s (k, v)
     | Some pu ->
-      let sp = t.shard_arr.(pu.pu_shard).p in
+      let sp = (raw t pu.pu_shard).p in
       P.update_tx sp (fun () ->
           P.store_bytes sp pu.pu_valid "\000";
           (* the validity byte lives inside a CRC-protected chunk:
@@ -770,9 +954,13 @@ module Make (P : SHARD_PTM) = struct
       existed
 
   let count t =
-    let base =
-      Array.fold_left (fun n s -> n + Map_.length s.map) 0 t.shard_arr
-    in
+    let base = ref 0 in
+    for i = 0 to shards t - 1 do
+      match scan_shard t i with
+      | None -> ()
+      | Some s -> base := !base + Map_.length s.map
+    done;
+    let base = !base in
     match t.batch with
     | None -> base
     | Some b ->
@@ -790,14 +978,17 @@ module Make (P : SHARD_PTM) = struct
   let iter_dir ~reverse t f =
     let emit map = Map_.iter ~reverse map f in
     let shard_seq g =
-      let n = Array.length t.shard_arr in
+      let n = shards t in
+      let visit i =
+        match scan_shard t i with None -> () | Some s -> g s
+      in
       if reverse then
         for i = n - 1 downto 0 do
-          g t.shard_arr.(i)
+          visit i
         done
       else
         for i = 0 to n - 1 do
-          g t.shard_arr.(i)
+          visit i
         done
     in
     match t.batch with
@@ -819,17 +1010,23 @@ module Make (P : SHARD_PTM) = struct
   let iter t f = iter_dir ~reverse:false t f
   let iter_reverse t f = iter_dir ~reverse:true t f
 
+  (* Structural check of every healthy shard; a non-healthy shard's
+     structure is by definition damaged (or its engine gone), so it is
+     skipped rather than failing the check of the serving data. *)
   let check t =
-    let n = Array.length t.shard_arr in
+    let n = shards t in
     let rec go i =
       if i = n then Ok ()
       else
-        match Map_.check t.shard_arr.(i).map with
-        | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
-        | Ok () -> (
-          match P.allocator_check t.shard_arr.(i).p with
-          | Error e -> Error (Printf.sprintf "shard %d allocator: %s" i e)
-          | Ok () -> go (i + 1))
+        match (t.shard_arr.(i), t.health_arr.(i)) with
+        | Some s, Healthy -> (
+          match Map_.check s.map with
+          | Error e -> Error (Printf.sprintf "shard %d: %s" i e)
+          | Ok () -> (
+            match P.allocator_check s.p with
+            | Error e -> Error (Printf.sprintf "shard %d allocator: %s" i e)
+            | Ok () -> go (i + 1)))
+        | _ -> go (i + 1)
     in
     go 0
 
@@ -838,7 +1035,7 @@ module Make (P : SHARD_PTM) = struct
   (* stable split of [ops] (oldest first) into per-shard groups,
      ascending shard index, preserving operation order within a shard *)
   let group_by_shard t ops =
-    let n = Array.length t.shard_arr in
+    let n = shards t in
     let groups = Array.make n [] in
     List.iter
       (fun ((k, _) as op) ->
@@ -901,7 +1098,7 @@ module Make (P : SHARD_PTM) = struct
   let apply_groups t groups =
     List.iter
       (fun (i, sops) ->
-        let s = t.shard_arr.(i) in
+        let s = raw t i in
         P.update_tx s.p (fun () -> List.iter (apply_op s) sops))
       groups
 
@@ -913,19 +1110,19 @@ module Make (P : SHARD_PTM) = struct
   (* ---- the centralized (legacy) batch-intent protocol ---- *)
 
   let read_intent_root t =
-    let s0 = t.shard_arr.(0) in
+    let s0 = raw t 0 in
     P.read_tx s0.p (fun () -> P.get_root s0.p intent_slot)
 
   let clear_intent t off =
-    let s0 = t.shard_arr.(0) in
+    let s0 = raw t 0 in
     P.update_tx s0.p (fun () ->
         P.set_root s0.p intent_slot 0;
         P.free s0.p off)
 
   let cross_shard_batch_centralized t groups ops =
-    let s0 = t.shard_arr.(0) in
+    let s0 = raw t 0 in
     let undo = undo_of t ops in
-    let payload = encode ~nshards:(Array.length t.shard_arr) ~ops ~undo in
+    let payload = encode ~nshards:(shards t) ~ops ~undo in
     (* PREPARE: the intent record becomes durable before any shard's data
        changes — from here a crash is reconciled from the record *)
     let off =
@@ -943,7 +1140,7 @@ module Make (P : SHARD_PTM) = struct
     match
       List.iter
         (fun (i, sops) ->
-          let s = t.shard_arr.(i) in
+          let s = raw t i in
           P.update_tx s.p (fun () -> List.iter (apply_op s) sops);
           applied := i :: !applied;
           Fault.hit fp_shard_applied)
@@ -970,7 +1167,7 @@ module Make (P : SHARD_PTM) = struct
       let rolled = !applied in
       List.iter
         (fun i ->
-          let s = t.shard_arr.(i) in
+          let s = raw t i in
           let slice =
             List.filter (fun (k, _) -> shard_of_key t k = i) undo
           in
@@ -990,7 +1187,7 @@ module Make (P : SHARD_PTM) = struct
     (t.proto.clearable_mirrors.(i), t.proto.clearable_flips.(i))
 
   let drain_in_tx t i (mirrors, flips) =
-    let p = t.shard_arr.(i).p in
+    let p = (raw t i).p in
     List.iter (fun (off, _) -> unhook_mirror p off) mirrors;
     List.iter (fun off -> unhook p ~slot:flip_slot off) flips
 
@@ -999,7 +1196,7 @@ module Make (P : SHARD_PTM) = struct
     pr.clearable_mirrors.(i) <- [];
     pr.clearable_flips.(i) <- [];
     let n = List.length mirrors + List.length flips in
-    if n > 0 then tick_lazy_clear t.shard_arr.(i) n;
+    if n > 0 then tick_lazy_clear (raw t i) n;
     (* a batch whose last mirror is gone frees its flip for reclamation *)
     List.iter
       (fun (_, id) ->
@@ -1021,7 +1218,7 @@ module Make (P : SHARD_PTM) = struct
      so reclamation can never fail a batch that would fit by itself
      (shrinking the chunk size cannot shrink the drain). *)
   let tx_with_drain t i f =
-    let s = t.shard_arr.(i) in
+    let s = raw t i in
     let (mirrors, flips) as plan = drain_plan t i in
     match
       P.update_tx s.p (fun () ->
@@ -1044,14 +1241,14 @@ module Make (P : SHARD_PTM) = struct
   let flush_shard_clears t i =
     let (mirrors, flips) as plan = drain_plan t i in
     if mirrors <> [] || flips <> [] then begin
-      let s = t.shard_arr.(i) in
+      let s = raw t i in
       P.update_tx s.p (fun () -> drain_in_tx t i plan);
       tick_clear_flush s;
       finish_drain t i plan
     end
 
   let flush_clears t =
-    let n = Array.length t.shard_arr in
+    let n = shards t in
     for i = 0 to n - 1 do
       flush_shard_clears t i
     done;
@@ -1067,7 +1264,7 @@ module Make (P : SHARD_PTM) = struct
      write-quiet shard's stale mirrors are still reclaimed. *)
   let maybe_flush_clears t =
     let threshold = t.proto.config.clear_flush_threshold in
-    let n = Array.length t.shard_arr in
+    let n = shards t in
     for i = 0 to n - 1 do
       if
         List.length t.proto.clearable_mirrors.(i)
@@ -1122,7 +1319,7 @@ module Make (P : SHARD_PTM) = struct
      transaction on shard [i]; reads the validity bytes back from the
      chain so racing invalidations are honored *)
   let rollback_mirror_tx t i off =
-    let s = t.shard_arr.(i) in
+    let s = raw t i in
     P.update_tx s.p (fun () ->
         let payload = read_payload_in_tx s off in
         let _, _, undo = decode_mirror payload in
@@ -1141,7 +1338,7 @@ module Make (P : SHARD_PTM) = struct
      was applied, so this only frees records — payload bytes are never
      decoded, which is what makes it safe on arbitrary chain prefixes *)
   let gc_mirror_tx t i off =
-    let s = t.shard_arr.(i) in
+    let s = raw t i in
     P.update_tx s.p (fun () -> unhook_mirror s.p off)
 
   (* ---- PREPARE: one mirror per participant, fast or streamed ----
@@ -1159,9 +1356,9 @@ module Make (P : SHARD_PTM) = struct
      presumed abort; a runtime abort collects it inline.  Sealed <=>
      slice applied — the PR 6 invariant at chain granularity. *)
   let prepare_shard t ~chunk_bytes i ~id ~coord ~mask slice =
-    let s = t.shard_arr.(i) in
+    let s = raw t i in
     let cfg = t.proto.config in
-    let nshards = Array.length t.shard_arr in
+    let nshards = shards t in
     let undo = undo_of t slice in
     let inline_len = mirror_payload_len ~ops:slice ~undo in
     let needs_spill =
@@ -1336,7 +1533,7 @@ module Make (P : SHARD_PTM) = struct
             prepare_shard t ~chunk_bytes i ~id ~coord ~mask slice
           in
           applied := (i, moff) :: !applied;
-          tick_prepare t.shard_arr.(i);
+          tick_prepare (raw t i);
           (* expose the undo entries to racing single-key writes *)
           List.iter
             (fun (k, coff, aoff) ->
@@ -1352,7 +1549,7 @@ module Make (P : SHARD_PTM) = struct
       (* COMMIT: one flip transaction on the coordinator — the batch's
          durability point.  Also a piggyback opportunity for the
          coordinator's own stale records. *)
-      let sc = t.shard_arr.(coord) in
+      let sc = raw t coord in
       let flip_off =
         tx_with_drain t coord (fun () ->
             let o = P.alloc sc.p flip_size in
@@ -1384,7 +1581,7 @@ module Make (P : SHARD_PTM) = struct
         (* eager CLEAR: one transaction per participant, then the flip *)
         List.iter
           (fun (i, off) ->
-            let s = t.shard_arr.(i) in
+            let s = raw t i in
             P.update_tx s.p (fun () -> unhook s.p ~slot:mirror_slot off);
             Fault.hit fp_mirror_cleared)
           (List.rev participants);
@@ -1406,7 +1603,7 @@ module Make (P : SHARD_PTM) = struct
       List.iter
         (fun (i, off) ->
           rollback_mirror_tx t i off;
-          tick_back t.shard_arr.(i);
+          tick_back (raw t i);
           Fault.hit fp_rollback_undone)
         !applied;
       unregister ();
@@ -1441,7 +1638,7 @@ module Make (P : SHARD_PTM) = struct
           attempt (round + 1)
         end
         else begin
-          tick_overload t.shard_arr.(i);
+          tick_overload (raw t i);
           raise (Overloaded { shard = i; in_flight = infl.(i); budget })
         end
     in
@@ -1490,29 +1687,85 @@ module Make (P : SHARD_PTM) = struct
   let tomb_map t target =
     let cfg = t.proto.config in
     Map_.open_or_create ~initial_buckets:cfg.initial_buckets
-      t.shard_arr.(target).p ~root:tomb_slot
+      (raw t target).p ~root:tomb_slot
 
   let read_root t i slot =
-    let p = t.shard_arr.(i).p in
+    let p = (raw t i).p in
     P.read_tx p (fun () -> P.get_root p slot)
 
-  (* Replace the persisted routing table in one shard-0 transaction:
-     alloc the new record, swing the root, free the old.  Called at
-     first open (multi-shard stores) and by each resize's epoch flip —
-     a 1-shard store keeps this slot at 0 until it splits, staying
-     bit-for-bit Romulus_db. *)
-  let persist_route t ~epoch =
+  (* Replace the persisted routing table: alloc the new record, swing
+     the root, free the old.  Called at first open (multi-shard stores)
+     and by each resize's epoch flip — a 1-shard store keeps this slot
+     at 0 until it splits, staying bit-for-bit Romulus_db.  The in-tx
+     variant runs inside a caller-owned shard-0 transaction so an
+     evacuation can swing route and health atomically. *)
+  let persist_route_in_tx t ~epoch =
     let r = t.router in
-    let s0 = t.shard_arr.(0) in
-    P.update_tx s0.p (fun () ->
-        let o = P.alloc s0.p (24 + (8 * r.n_slots)) in
-        P.store s0.p o epoch;
-        P.store s0.p (o + 8) r.n_slots;
-        P.store s0.p (o + 16) (Array.length t.shard_arr);
-        Array.iteri (fun s a -> P.store s0.p (o + 24 + (8 * s)) a) r.assignment;
-        let old = P.get_root s0.p route_slot in
-        P.set_root s0.p route_slot o;
-        if old <> 0 then P.free s0.p old)
+    let s0 = raw t 0 in
+    let o = P.alloc s0.p (24 + (8 * r.n_slots)) in
+    P.store s0.p o epoch;
+    P.store s0.p (o + 8) r.n_slots;
+    P.store s0.p (o + 16) (shards t);
+    Array.iteri (fun s a -> P.store s0.p (o + 24 + (8 * s)) a) r.assignment;
+    let old = P.get_root s0.p route_slot in
+    P.set_root s0.p route_slot o;
+    if old <> 0 then P.free s0.p old
+
+  let persist_route t ~epoch =
+    let s0 = raw t 0 in
+    P.update_tx s0.p (fun () -> persist_route_in_tx t ~epoch)
+
+  (* ---- durable health record (shard 0, [health_slot]) ----
+
+     Wholesale replace, like the routing table.  The record is a cache
+     of deterministically recomputable verdicts (media rot is
+     persistent), with one exception: [Quarantined (Evacuated _)] is
+     authoritative — an evacuated shard's residual bytes may even scrub
+     clean, but its keys live on the target now, so the verdict must
+     survive reopen. *)
+  let persist_health_in_tx t =
+    let s0 = raw t 0 in
+    let payload = encode_health t.health_arr in
+    let len = String.length payload in
+    let o = P.alloc s0.p (8 + len) in
+    P.store s0.p o len;
+    P.store_bytes s0.p (o + 8) payload;
+    let old = P.get_root s0.p health_slot in
+    P.set_root s0.p health_slot o;
+    if old <> 0 then P.free s0.p old
+
+  let persist_health t =
+    let s0 = raw t 0 in
+    P.update_tx s0.p (fun () -> persist_health_in_tx t)
+
+  let load_health t =
+    match read_root t 0 health_slot with
+    | 0 -> None
+    | off ->
+      let s0 = raw t 0 in
+      let payload =
+        P.read_tx s0.p (fun () ->
+            let len = P.load s0.p off in
+            if len < 0 then route_error "negative health record length";
+            P.load_bytes s0.p (off + 8) len)
+      in
+      Some (decode_health payload)
+
+  (* Record a health transition: volatile verdict, counter, failpoint,
+     and (unless the caller batches several transitions under one
+     [persist_health]) the durable record.  A crash between the
+     failpoint and the durable write converges: verdicts are recomputed
+     at the next open. *)
+  let set_health ?(persist = true) t i h =
+    if t.health_arr.(i) <> h then begin
+      t.health_arr.(i) <- h;
+      tick_health t i h;
+      (match h with
+      | Healthy -> Fault.hit fp_health_repaired
+      | Degraded _ -> Fault.hit fp_health_degraded
+      | Quarantined _ -> Fault.hit fp_health_quarantined);
+      if persist then persist_health t
+    end
 
   (* Rebuild the volatile routing image from shard 0's persisted record,
      or the identity epoch-0 table when none was ever written.  Validated:
@@ -1520,7 +1773,7 @@ module Make (P : SHARD_PTM) = struct
      was reopened without a region a completed split added. *)
   let load_router t =
     let r = t.router in
-    let n = Array.length t.shard_arr in
+    let n = shards t in
     let off = read_root t 0 route_slot in
     if off = 0 then begin
       (* No table was ever flipped.  Usually the identity layout over the
@@ -1532,7 +1785,7 @@ module Make (P : SHARD_PTM) = struct
         match read_root t 0 mig_slot with
         | 0 -> slots_per_shard * n
         | moff ->
-          let s0 = t.shard_arr.(0) in
+          let s0 = raw t 0 in
           P.read_tx s0.p (fun () -> P.load s0.p (moff + 32))
       in
       if n_slots <= 0 || n_slots mod slots_per_shard <> 0 then
@@ -1555,7 +1808,7 @@ module Make (P : SHARD_PTM) = struct
         persist_route t ~epoch:0
     end
     else begin
-      let s0 = t.shard_arr.(0) in
+      let s0 = raw t 0 in
       let epoch, n_slots, assignment =
         P.read_tx s0.p (fun () ->
             let epoch = P.load s0.p off in
@@ -1584,7 +1837,7 @@ module Make (P : SHARD_PTM) = struct
     let off = read_root t 0 mig_slot in
     if off = 0 then None
     else begin
-      let s0 = t.shard_arr.(0) in
+      let s0 = raw t 0 in
       let kind, source, target, mepoch, n_slots, bitmap =
         P.read_tx s0.p (fun () ->
             let n_slots = P.load s0.p (off + 32) in
@@ -1594,8 +1847,9 @@ module Make (P : SHARD_PTM) = struct
               P.load s0.p (off + 24), n_slots,
               P.load_bytes s0.p (off + mig_hdr) n_slots ))
       in
-      let n = Array.length t.shard_arr in
-      if kind <> 0 && kind <> 1 then
+      let n = shards t in
+      (* kind 0 = split, 1 = merge, 2 = evacuation *)
+      if kind < 0 || kind > 2 then
         route_error "migration intent has bad kind %d" kind;
       if source < 0 || source >= n || target < 0 || target >= n then
         route_error
@@ -1619,8 +1873,8 @@ module Make (P : SHARD_PTM) = struct
      charge rides admission control with the shared typed-backoff
      retry. *)
   let move_batch t m moved =
-    let src = t.shard_arr.(m.mig_source) in
-    let tgt = t.shard_arr.(m.mig_target) in
+    let src = raw t m.mig_source in
+    let tgt = raw t m.mig_target in
     let b = Buffer.create 256 in
     add_kv_list b (List.map (fun (k, v) -> (k, Some v)) moved);
     let payload = Buffer.contents b in
@@ -1666,7 +1920,7 @@ module Make (P : SHARD_PTM) = struct
      reaches it.  A final re-collection pass confirms the source is
      drained. *)
   let run_move_loop t m =
-    let src = t.shard_arr.(m.mig_source) in
+    let src = raw t m.mig_source in
     let chunk_bytes = t.proto.config.chunk_bytes in
     let rec pass () =
       let pending = ref [] in
@@ -1705,7 +1959,7 @@ module Make (P : SHARD_PTM) = struct
     persist_route t ~epoch:m.mig_epoch;
     t.router.epoch <- m.mig_epoch;
     t.router.migration <- None;
-    tick_mig_completed t.shard_arr.(0);
+    tick_mig_completed (raw t 0);
     Fault.hit fp_mig_flip
 
   (* Post-flip reclamation, idempotent (recovery re-runs it whole when a
@@ -1713,8 +1967,8 @@ module Make (P : SHARD_PTM) = struct
      cursor, clear the tombstones, and unhook the intent last — it is
      the durable evidence that reclamation may still be owed. *)
   let reclaim_migration t ~source ~target ~moving =
-    let src = t.shard_arr.(source) in
-    let tgt = t.shard_arr.(target) in
+    let src = raw t source in
+    let tgt = raw t target in
     let tomb = tomb_map t target in
     (* stale moving-slot copies left in the source: none in a crash-free
        run (the move stream deletes as it goes); after a crash, a copy
@@ -1755,7 +2009,7 @@ module Make (P : SHARD_PTM) = struct
     (match read_root t 0 mig_slot with
     | 0 -> ()
     | ioff ->
-      let s0 = t.shard_arr.(0) in
+      let s0 = raw t 0 in
       P.update_tx s0.p (fun () ->
           P.set_root s0.p mig_slot 0;
           P.free s0.p ioff));
@@ -1770,12 +2024,14 @@ module Make (P : SHARD_PTM) = struct
       Map_.open_or_create ~initial_buckets:cfg.initial_buckets p
         ~root:db_root
     in
-    t.shard_arr <- Array.append t.shard_arr [| { p; map; region } |];
+    t.shard_arr <- Array.append t.shard_arr [| Some { p; map; region } |];
+    t.region_arr <- Array.append t.region_arr [| region |];
+    t.health_arr <- Array.append t.health_arr [| Healthy |];
     let pr = t.proto in
     pr.clearable_mirrors <- Array.append pr.clearable_mirrors [| [] |];
     pr.clearable_flips <- Array.append pr.clearable_flips [| [] |];
     pr.in_flight <- Array.append pr.in_flight [| 0 |];
-    Array.length t.shard_arr - 1
+    shards t - 1
 
   (* Run a migration from an already-durable intent: open the window
      (moving slots route to the target from here), stream, flip,
@@ -1792,10 +2048,12 @@ module Make (P : SHARD_PTM) = struct
     flip_epoch t m;
     reclaim_migration t ~source ~target ~moving
 
-  let start_migration t ~kind ~source ~target ~moving =
+  (* Make a migration intent durable (kind 0 = split, 1 = merge, 2 =
+     evacuation) and return the epoch it will flip to. *)
+  let write_mig_intent t ~kind ~source ~target ~moving =
     let r = t.router in
     let mepoch = r.epoch + 1 in
-    let s0 = t.shard_arr.(0) in
+    let s0 = raw t 0 in
     let bitmap =
       String.init r.n_slots (fun s -> if moving.(s) then '\001' else '\000')
     in
@@ -1810,6 +2068,10 @@ module Make (P : SHARD_PTM) = struct
         P.set_root s0.p mig_slot o);
     tick_mig_started s0;
     Fault.hit fp_mig_intent;
+    mepoch
+
+  let start_migration t ~kind ~source ~target ~moving =
+    let mepoch = write_mig_intent t ~kind ~source ~target ~moving in
     run_migration t ~source ~target ~mepoch ~moving
 
   let check_resizable t ~source =
@@ -1817,7 +2079,7 @@ module Make (P : SHARD_PTM) = struct
       invalid_arg "Sharded_db: cannot resize through a batch handle";
     if t.router.migration <> None then
       invalid_arg "Sharded_db: a migration is already in progress";
-    let n = Array.length t.shard_arr in
+    let n = shards t in
     if source < 0 || source >= n then
       invalid_arg (Printf.sprintf "Sharded_db: bad source shard %d" source)
 
@@ -1834,6 +2096,8 @@ module Make (P : SHARD_PTM) = struct
      reads and single-key writes proceed during the stream. *)
   let split_shard t ~source region =
     check_resizable t ~source;
+    (* the move stream reads and deletes from the source: Healthy only *)
+    ignore (rw t source : shard);
     let owned = owned_slots t source in
     if List.length owned < 2 then
       invalid_arg
@@ -1851,11 +2115,14 @@ module Make (P : SHARD_PTM) = struct
      records) but owns no slots and holds no keys afterwards. *)
   let merge_shards t ~source ~target =
     check_resizable t ~source;
-    let n = Array.length t.shard_arr in
+    let n = shards t in
     if target < 0 || target >= n then
       invalid_arg (Printf.sprintf "Sharded_db: bad target shard %d" target);
     if target = source then
       invalid_arg "Sharded_db.merge_shards: source = target";
+    (* both endpoints take writes during the stream: Healthy only *)
+    ignore (rw t source : shard);
+    ignore (rw t target : shard);
     let owned = owned_slots t source in
     if owned = [] then
       invalid_arg
@@ -1865,22 +2132,153 @@ module Make (P : SHARD_PTM) = struct
     List.iter (fun s -> moving.(s) <- true) owned;
     start_migration t ~kind:1 ~source ~target ~moving
 
-  (* Recovery-side reconciliation of an in-flight migration: the intent
-     is always rolled *forward*.  Unflipped epoch: replay the durable
-     cursor into the target (idempotent — insert-if-absent honoring
-     tombstones), then resume the stream from the source's remaining
-     keys and finish normally.  Flipped epoch: only reclamation is
-     owed. *)
+  (* ---- evacuation: moving surviving keys off a dying shard ----
+
+     Unlike split/merge, the source is Degraded: client writes to it are
+     already refused, so there is no transfer window, no cursor and no
+     tombstones — the source is treated as strictly read-only.  The
+     stream is best-effort salvage: iteration keeps every key reached
+     before the first rotten line on its path.  The flip is one shard-0
+     transaction swinging the routing table (moving slots -> target,
+     epoch+1) AND the source's durable [Evacuated] verdict atomically,
+     so a reopen either routes to the source (pre-flip, intent re-runs
+     the idempotent stream) or to the target with the source retired. *)
+  let collect_salvageable src =
+    let acc = ref [] in
+    (try Map_.iter src.map (fun k v -> acc := (k, v) :: !acc)
+     with Pmem.Region.Media_error _ -> ());
+    List.rev !acc
+
+  let run_evacuation t ~source ~target ~mepoch ~moving =
+    let src = raw t source in
+    let tgt = raw t target in
+    Fault.hit fp_health_evacuate_start;
+    let kvs = collect_salvageable src in
+    (* bounded insert-if-absent batches (idempotent on re-run): a moving
+       key can only be written through the source, which refuses, so a
+       key already present in the target was placed by this stream *)
+    let chunk_bytes = t.proto.config.chunk_bytes in
+    let flush batch =
+      if batch <> [] then begin
+        let inserted = ref 0 in
+        P.update_tx tgt.p (fun () ->
+            List.iter
+              (fun (k, v) ->
+                if not (Map_.mem tgt.map k) then begin
+                  ignore (Map_.put tgt.map k v : bool);
+                  incr inserted
+                end)
+              batch);
+        tick_region t target (fun st ->
+            st.Pmem.Stats.keys_evacuated <-
+              st.Pmem.Stats.keys_evacuated + !inserted)
+      end
+    in
+    let rec batches = function
+      | [] -> ()
+      | kvs ->
+        let rec take acc size = function
+          | [] -> (List.rev acc, [])
+          | ((k, v) :: rest) as all ->
+            let size = size + 17 + String.length k + String.length v in
+            if acc <> [] && size > chunk_bytes then (List.rev acc, all)
+            else take ((k, v) :: acc) size rest
+        in
+        let batch, rest = take [] 8 kvs in
+        flush batch;
+        batches rest
+    in
+    batches kvs;
+    (* volatile route + verdict first (precedent: run_migration opening
+       the window before its durable flip), then the atomic flip *)
+    let r = t.router in
+    Array.iteri (fun s mv -> if mv then r.assignment.(s) <- target) moving;
+    let verdict = Quarantined (Evacuated { target }) in
+    t.health_arr.(source) <- verdict;
+    tick_health t source verdict;
+    let s0 = raw t 0 in
+    P.update_tx s0.p (fun () ->
+        persist_route_in_tx t ~epoch:mepoch;
+        persist_health_in_tx t);
+    r.epoch <- mepoch;
+    tick_mig_completed s0;
+    tick_region t source (fun st ->
+        st.Pmem.Stats.shards_evacuated <- st.Pmem.Stats.shards_evacuated + 1);
+    Fault.hit fp_health_evacuated;
+    (* retire the dying engine; residual source bytes are never touched
+       again (its map still holds stale duplicates of the target's keys,
+       which is why scans drop Evacuated shards) *)
+    t.shard_arr.(source) <- None;
+    (match read_root t 0 mig_slot with
+    | 0 -> ()
+    | ioff ->
+      P.update_tx s0.p (fun () ->
+          P.set_root s0.p mig_slot 0;
+          P.free s0.p ioff));
+    Fault.hit fp_mig_reclaim;
+    List.length kvs
+
+  let start_evacuation t ~source ~target =
+    if t.batch <> None then
+      invalid_arg "Sharded_db: cannot evacuate through a batch handle";
+    if source = 0 then
+      invalid_arg "Sharded_db: shard 0 anchors the store and cannot be \
+                   evacuated";
+    if read_root t 0 mig_slot <> 0 then
+      invalid_arg "Sharded_db: a migration is already in progress";
+    if not (healthy t target) then
+      invalid_arg
+        (Printf.sprintf "Sharded_db: evacuation target %d is not healthy"
+           target);
+    let owned = owned_slots t source in
+    let moving = Array.make t.router.n_slots false in
+    List.iter (fun s -> moving.(s) <- true) owned;
+    let mepoch = write_mig_intent t ~kind:2 ~source ~target ~moving in
+    run_evacuation t ~source ~target ~mepoch ~moving
+
+  (* Recovery-side reconciliation of an in-flight migration.  Split and
+     merge intents are rolled *forward* — but only when both endpoints
+     are fully healthy: the move stream reads and deletes from the
+     source and writes the target, so against rotten media it is
+     *parked* instead (intent left hooked, window never opened, slots
+     routing on the old epoch) until a {!repair} pass heals the
+     endpoints and re-drives this.  An evacuation intent (kind 2)
+     re-runs the read-only salvage stream when the source engine is up
+     and the target healthy; flipped, it owes only the intent unhook —
+     the dying source is never written. *)
   let reconcile_migration t =
     match read_mig_intent t with
     | None -> ()
-    | Some (_, _, source, target, mepoch, moving) ->
-      tick_mig_resumed t.shard_arr.(0);
-      if t.router.epoch >= mepoch then
-        reclaim_migration t ~source ~target ~moving
+    | Some (ioff, kind, source, target, mepoch, moving) ->
+      if kind = 2 then begin
+        if t.router.epoch >= mepoch then begin
+          (* routing and the Evacuated verdict flipped durably together;
+             only the intent unhook is owed *)
+          let s0 = raw t 0 in
+          tick_mig_resumed s0;
+          P.update_tx s0.p (fun () ->
+              P.set_root s0.p mig_slot 0;
+              P.free s0.p ioff);
+          Fault.hit fp_mig_reclaim
+        end
+        else if Option.is_some t.shard_arr.(source) && healthy t target
+        then begin
+          tick_mig_resumed (raw t 0);
+          Fault.hit fp_mig_resumed;
+          ignore (run_evacuation t ~source ~target ~mepoch ~moving : int)
+        end
+        (* else parked: the salvage source is unopenable or the target is
+           sick; a later repair pass re-drives the evacuation *)
+      end
+      else if not (healthy t source && healthy t target) then
+        () (* parked split/merge; resumed by repair via reconcile *)
       else begin
-        let src = t.shard_arr.(source) in
-        let tgt = t.shard_arr.(target) in
+        tick_mig_resumed (raw t 0);
+        if t.router.epoch >= mepoch then
+          reclaim_migration t ~source ~target ~moving
+        else begin
+          let src = raw t source in
+          let tgt = raw t target in
         let tomb = tomb_map t target in
         let coff = read_root t source cursor_slot in
         if coff <> 0 then begin
@@ -1918,6 +2316,7 @@ module Make (P : SHARD_PTM) = struct
         end;
         Fault.hit fp_mig_resumed;
         run_migration t ~source ~target ~mepoch ~moving
+        end
       end
 
   let commit_batch t b =
@@ -1934,7 +2333,7 @@ module Make (P : SHARD_PTM) = struct
       | Some m when List.exists (fun (k, _) -> m.moving.(slot_of_key t k)) ops
         ->
         let i = m.mig_target in
-        tick_overload t.shard_arr.(i);
+        tick_overload (raw t i);
         raise
           (Overloaded
              { shard = i; in_flight = t.proto.in_flight.(i);
@@ -1945,9 +2344,13 @@ module Make (P : SHARD_PTM) = struct
       | [ (i, sops) ] ->
         (* one shard: a single ordinary transaction, no intent — exact
            Romulus_db semantics (and the only path with one shard) *)
-        let s = t.shard_arr.(i) in
+        let s = rw t i in
         P.update_tx s.p (fun () -> List.iter (apply_op s) sops)
       | groups -> (
+        (* every participant must accept writes before any intent or
+           mirror is made durable: a batch never partially lands on the
+           healthy subset of its shards *)
+        List.iter (fun (i, _) -> ignore (rw t i : shard)) groups;
         match t.proto.protocol with
         | Centralized -> cross_shard_batch_centralized t groups ops
         | Decentralized { lazy_clear } ->
@@ -2005,7 +2408,7 @@ module Make (P : SHARD_PTM) = struct
   let reconcile_centralized t =
     let off = read_intent_root t in
     if off <> 0 then begin
-      let s0 = t.shard_arr.(0) in
+      let s0 = raw t 0 in
       let status, payload =
         P.read_tx s0.p (fun () ->
             let status = P.load s0.p off in
@@ -2016,27 +2419,37 @@ module Make (P : SHARD_PTM) = struct
       (* an elastic store may have grown since the intent was written, so
          only an intent naming *more* shards than are attached is
          corrupt *)
-      if nshards <= 0 || nshards > Array.length t.shard_arr then
+      if nshards <= 0 || nshards > shards t then
         raise
           (Romulus.Engine.Recovery_error
              (Printf.sprintf
                 "sharded batch intent names %d shards, store has %d" nshards
-                (Array.length t.shard_arr)));
-      if status = status_prepared then begin
-        (* batch never reached its durability point: roll back *)
-        apply_groups t (group_by_shard t undo);
-        tick_back s0
+                (shards t)));
+      let groups =
+        if status = status_prepared then group_by_shard t undo
+        else if status = status_committed then group_by_shard t ops
+        else
+          raise
+            (Romulus.Engine.Recovery_error
+               (Printf.sprintf "sharded batch intent has bad status %d"
+                  status))
+      in
+      (* replay needs every participant's engine: with one down the
+         batch can be neither fully rolled back nor fully forward, so
+         the intent stays hooked for the recovery that follows repair.
+         A participant whose replay trips rotten media likewise parks
+         the intent rather than failing the whole open. *)
+      if List.for_all (fun (i, _) -> engine_up t i) groups then begin
+        match apply_groups t groups with
+        | () ->
+          if status = status_prepared then tick_back s0 else tick_forward s0;
+          clear_intent t off
+        | exception (Pmem.Region.Crash_point as e) -> raise e
+        | exception
+            Romulus.Engine.Tx_aborted
+              { cause = Pmem.Region.Media_error _; _ } ->
+          ()
       end
-      else if status = status_committed then begin
-        (* batch committed: roll forward *)
-        apply_groups t (group_by_shard t ops);
-        tick_forward s0
-      end
-      else
-        raise
-          (Romulus.Engine.Recovery_error
-             (Printf.sprintf "sharded batch intent has bad status %d" status));
-      clear_intent t off
     end
 
   (* Decentralized reconciliation: resolve every hooked mirror against
@@ -2051,93 +2464,145 @@ module Make (P : SHARD_PTM) = struct
      Flip absent   => presumed abort; replay the mirror's still-valid
                       undo images and unhook, one transaction per
                       mirror.  Idempotent: every step is an absolute
-                      put/delete plus a list splice. *)
+                      put/delete plus a list splice.
+
+     Health interplay: a mirror is never presumed aborted while its
+     coordinator's flip list is unreadable (engine down) — absence of
+     evidence is not evidence of abort — and a mirror whose resolution
+     trips rotten media is left hooked.  Any such skip also parks phase
+     2 wholesale: a flip may only be reclaimed once no mirror of its
+     batch can remain anywhere. *)
   let reconcile_decentralized t =
-    let n = Array.length t.shard_arr in
-    (* all durable flips, keyed by (coordinator shard, batch id) *)
+    let n = shards t in
+    let skipped = ref false in
+    (* all durable flips of reachable coordinators, keyed by
+       (coordinator shard, batch id) *)
     let flips = Hashtbl.create 8 in
     for c = 0 to n - 1 do
-      let p = t.shard_arr.(c).p in
-      P.read_tx p (fun () ->
-          let rec go off =
-            if off <> 0 then begin
-              Hashtbl.replace flips (c, P.load p (off + 8)) off;
-              go (P.load p off)
-            end
-          in
-          go (P.get_root p flip_slot))
-    done;
-    (* phase 1: resolve and unhook every mirror, head first *)
-    for i = 0 to n - 1 do
-      let s = t.shard_arr.(i) in
-      let rec resolve_head () =
-        let head = P.read_tx s.p (fun () -> P.get_root s.p mirror_slot) in
-        if head <> 0 then begin
-          let id, coord, sealed =
-            P.read_tx s.p (fun () ->
-                (P.load s.p (head + m_id), P.load s.p (head + m_coord),
-                 P.load s.p (head + m_sealed)))
-          in
-          if coord < 0 || coord >= n then
-            raise
-              (Romulus.Engine.Recovery_error
-                 (Printf.sprintf "sharded mirror names coordinator %d of %d"
-                    coord n));
-          if sealed <> 0 && sealed <> 1 then
-            raise
-              (Romulus.Engine.Recovery_error
-                 (Printf.sprintf "sharded mirror has bad seal word %d" sealed));
-          if sealed = 0 then begin
-            (* partially-streamed chain, never sealed: the slice was
-               never applied, so the whole chain is presumed-abort
-               garbage — collected without decoding a byte *)
-            gc_mirror_tx t i head;
-            tick_back s;
-            Fault.hit fp_chunk_gc
-          end
-          else begin
-            let payload =
-              P.read_tx s.p (fun () -> read_payload_in_tx s head)
+      if engine_up t c then begin
+        let p = (raw t c).p in
+        P.read_tx p (fun () ->
+            let rec go off =
+              if off <> 0 then begin
+                Hashtbl.replace flips (c, P.load p (off + 8)) off;
+                go (P.load p off)
+              end
             in
-            let nshards, _, _ = decode_mirror payload in
-            (* mirrors may predate a split; only more-than-attached is
-               corrupt *)
-            if nshards <= 0 || nshards > n then
-              raise
-                (Romulus.Engine.Recovery_error
-                   (Printf.sprintf
-                      "sharded mirror names %d shards, store has %d" nshards
-                      n));
-            if Hashtbl.mem flips (coord, id) then begin
-              (* committed: the slice is already applied; reclaim only *)
-              P.update_tx s.p (fun () -> unhook_mirror s.p head);
-              tick_forward s
-            end
-            else begin
-              rollback_mirror_tx t i head;
-              tick_back s
-            end
-          end;
-          Fault.hit fp_recover_resolved;
-          resolve_head ()
-        end
-      in
-      resolve_head ()
+            go (P.get_root p flip_slot))
+      end
     done;
-    (* phase 2: no mirror survives, so every flip is reclaimable *)
-    for c = 0 to n - 1 do
-      let s = t.shard_arr.(c) in
-      let rec clear_head () =
-        let head = P.read_tx s.p (fun () -> P.get_root s.p flip_slot) in
-        if head <> 0 then begin
-          P.update_tx s.p (fun () ->
-              P.set_root s.p flip_slot (P.load s.p head);
-              P.free s.p head);
+    (* phase 1: resolve every hooked mirror.  Offsets are collected in
+       one read pass per shard and stay valid as others are unhooked
+       (a splice never moves surviving records), so a mirror left
+       hooked on purpose cannot spin the walk. *)
+    for i = 0 to n - 1 do
+      if not (engine_up t i) then begin
+        (* an evacuated shard is retired for good — its residual mirrors
+           are abandoned with it and never block flip reclamation; any
+           other down shard may come back via repair, so its unresolved
+           mirrors park phase 2 *)
+        match t.health_arr.(i) with
+        | Quarantined (Evacuated _) -> ()
+        | _ -> skipped := true
+      end
+      else begin
+        let s = raw t i in
+        let offs =
+          P.read_tx s.p (fun () ->
+              let rec go acc off =
+                if off = 0 then List.rev acc
+                else go (off :: acc) (P.load s.p off)
+              in
+              go [] (P.get_root s.p mirror_slot))
+        in
+        List.iter
+          (fun head ->
+            match
+              let id, coord, sealed =
+                P.read_tx s.p (fun () ->
+                    (P.load s.p (head + m_id), P.load s.p (head + m_coord),
+                     P.load s.p (head + m_sealed)))
+              in
+              if coord < 0 || coord >= n then
+                raise
+                  (Romulus.Engine.Recovery_error
+                     (Printf.sprintf
+                        "sharded mirror names coordinator %d of %d" coord n));
+              if sealed <> 0 && sealed <> 1 then
+                raise
+                  (Romulus.Engine.Recovery_error
+                     (Printf.sprintf "sharded mirror has bad seal word %d"
+                        sealed));
+              if sealed = 0 then begin
+                (* partially-streamed chain, never sealed: the slice was
+                   never applied, so the whole chain is presumed-abort
+                   garbage — collected without decoding a byte *)
+                gc_mirror_tx t i head;
+                tick_back s;
+                Fault.hit fp_chunk_gc
+              end
+              else if not (engine_up t coord) then
+                (* coordinator down: commit vs abort is undecidable;
+                   leave the sealed mirror hooked until after repair *)
+                skipped := true
+              else begin
+                let payload =
+                  P.read_tx s.p (fun () -> read_payload_in_tx s head)
+                in
+                let nshards, _, _ = decode_mirror payload in
+                (* mirrors may predate a split; only more-than-attached
+                   is corrupt *)
+                if nshards <= 0 || nshards > n then
+                  raise
+                    (Romulus.Engine.Recovery_error
+                       (Printf.sprintf
+                          "sharded mirror names %d shards, store has %d"
+                          nshards n));
+                if Hashtbl.mem flips (coord, id) then begin
+                  (* committed: the slice is already applied *)
+                  P.update_tx s.p (fun () -> unhook_mirror s.p head);
+                  tick_forward s
+                end
+                else begin
+                  rollback_mirror_tx t i head;
+                  tick_back s
+                end
+              end
+            with
+            | () -> Fault.hit fp_recover_resolved
+            | exception (Pmem.Region.Crash_point as e) -> raise e
+            | exception
+                ( Pmem.Region.Media_error _
+                | Romulus.Engine.Tx_aborted
+                    { cause = Pmem.Region.Media_error _; _ } ) ->
+              skipped := true
+            | exception (Romulus.Engine.Recovery_error _ as e) -> (
+              (* a rotten shard can truncate a chain mid-record; on a
+                 sound shard the same shape is real corruption *)
+              match t.health_arr.(i) with
+              | Degraded _ -> skipped := true
+              | _ -> raise e))
+          offs
+      end
+    done;
+    (* phase 2: with nothing skipped no mirror survives anywhere, so
+       every flip is reclaimable *)
+    if not !skipped then
+      for c = 0 to n - 1 do
+        if engine_up t c then begin
+          let s = raw t c in
+          let rec clear_head () =
+            let head = P.read_tx s.p (fun () -> P.get_root s.p flip_slot) in
+            if head <> 0 then begin
+              P.update_tx s.p (fun () ->
+                  P.set_root s.p flip_slot (P.load s.p head);
+                  P.free s.p head);
+              clear_head ()
+            end
+          in
           clear_head ()
         end
-      in
-      clear_head ()
-    done
+      done
 
   (* Reconciliation rebuilds the persistent truth, so the volatile
      protocol bookkeeping (which may hold offsets of records the pass
@@ -2159,30 +2624,95 @@ module Make (P : SHARD_PTM) = struct
     reconcile_decentralized t;
     reconcile_migration t
 
-  let recover_shard t i = P.recover t.shard_arr.(i).p
+  let recover_shard t i =
+    if i < 0 || i >= shards t then
+      invalid_arg (Printf.sprintf "Sharded_db.recover_shard: bad shard %d" i);
+    match t.shard_arr.(i) with
+    | None ->
+      raise
+        (Shard_open_failed
+           { shard = i;
+             cause = Romulus.Engine.Recovery_error "engine is not open" })
+    | Some s -> (
+      try P.recover s.p with
+      | Pmem.Region.Crash_point as e -> raise e
+      | e -> raise (Shard_open_failed { shard = i; cause = e }))
 
+  (* Per-shard engine recovery (salvage mode), fanned out across
+     domains, classified into health verdicts instead of raised: shard
+     0 failing is fatal ({!Shard_open_failed} — it anchors the store),
+     any other failing shard is quarantined with its engine detached,
+     and data-loss survivors come back Degraded.  A previously recorded
+     [Evacuated] verdict is authoritative and never reclassified. *)
   let recover ?(parallel = true) t =
-    let n = Array.length t.shard_arr in
+    let n = shards t in
+    let verdicts = Array.make n None in
+    let run s = try Ok (P.recover_salvage s.p) with e -> Error e in
     if parallel && n > 1 then begin
       let doms =
-        Array.map (fun s -> Domain.spawn (fun () -> P.recover s.p)) t.shard_arr
+        Array.map
+          (Option.map (fun s -> Domain.spawn (fun () -> run s)))
+          t.shard_arr
       in
-      let first_err = ref None in
-      Array.iter
-        (fun d ->
-          match Domain.join d with
-          | () -> Fault.hit fp_recover_shard_done
-          | exception e ->
-            if Option.is_none !first_err then first_err := Some e)
-        doms;
-      match !first_err with Some e -> raise e | None -> ()
+      Array.iteri
+        (fun i d ->
+          match d with
+          | None -> ()
+          | Some d ->
+            verdicts.(i) <- Some (Domain.join d);
+            Fault.hit fp_recover_shard_done)
+        doms
     end
     else
-      Array.iter
-        (fun s ->
-          P.recover s.p;
-          Fault.hit fp_recover_shard_done)
+      Array.iteri
+        (fun i so ->
+          match so with
+          | None -> ()
+          | Some s ->
+            verdicts.(i) <- Some (run s);
+            Fault.hit fp_recover_shard_done)
         t.shard_arr;
+    (* a simulated machine crash is the whole store dying, not a shard
+       fault; and without shard 0 there is nothing to degrade to *)
+    Array.iter
+      (function
+        | Some (Error Pmem.Region.Crash_point) -> raise Pmem.Region.Crash_point
+        | _ -> ())
+      verdicts;
+    (match verdicts.(0) with
+    | Some (Error e) -> raise (Shard_open_failed { shard = 0; cause = e })
+    | _ -> ());
+    let changed = ref false in
+    Array.iteri
+      (fun i v ->
+        match (v, t.health_arr.(i)) with
+        | None, _ | _, Quarantined (Evacuated _) -> ()
+        | Some v, prev ->
+          let h =
+            match v with
+            | Ok [] -> Healthy
+            | Ok ((offset, state) :: _) ->
+              Degraded (Unrepairable_media { offset; state })
+            | Error (Romulus.Engine.Unrepairable { offset; state }) ->
+              Quarantined (Unrepairable_media { offset; state })
+            | Error (Romulus.Engine.Recovery_error msg) ->
+              Quarantined (Open_failed msg)
+            | Error (Pmem.Region.Media_error { offset; _ }) ->
+              Quarantined
+                (Open_failed
+                   (Printf.sprintf "media error at offset %d during recovery"
+                      offset))
+            | Error e -> raise (Shard_open_failed { shard = i; cause = e })
+          in
+          (match h with
+          | Quarantined _ -> t.shard_arr.(i) <- None
+          | Healthy | Degraded _ -> ());
+          if prev <> h then begin
+            set_health ~persist:false t i h;
+            changed := true
+          end)
+      verdicts;
+    if !changed then persist_health t;
     reconcile t;
     Fault.hit fp_recover_reconciled
 
@@ -2197,7 +2727,10 @@ module Make (P : SHARD_PTM) = struct
           go 0 (P.get_root p slot))
     in
     Array.fold_left
-      (fun acc s -> acc + count s.p mirror_slot + count s.p flip_slot)
+      (fun acc so ->
+        match so with
+        | None -> acc
+        | Some s -> acc + count s.p mirror_slot + count s.p flip_slot)
       (if read_intent_root t <> 0 then 1 else 0)
       t.shard_arr
 
@@ -2205,16 +2738,198 @@ module Make (P : SHARD_PTM) = struct
      recovery or a completed resize: reclamation unhooks it). *)
   let migration_pending t = read_root t 0 mig_slot <> 0
 
-  let media_spans t = Array.map (fun s -> P.media_spans s.p) t.shard_arr
+  let media_spans t =
+    Array.map
+      (function None -> [] | Some s -> P.media_spans s.p)
+      t.shard_arr
 
+  (* Store-wide salvage scrub over every shard whose engine is open,
+     with the tolerated data-loss lines of all shards concatenated
+     (offsets are shard-relative — {!scrub_shards} keeps the
+     attribution). *)
   let scrub t =
     Array.fold_left
-      (fun (acc : Romulus.Engine.scrub_report) s ->
-        let r = P.scrub s.p in
-        { Romulus.Engine.scrubbed = acc.scrubbed + r.scrubbed;
-          repaired = acc.repaired + r.repaired })
-      { Romulus.Engine.scrubbed = 0; repaired = 0 }
+      (fun (acc : Romulus.Engine.scrub_report) so ->
+        match so with
+        | None -> acc
+        | Some s ->
+          let r = P.scrub_salvage s.p in
+          { Romulus.Engine.scrubbed = acc.scrubbed + r.scrubbed;
+            repaired = acc.repaired + r.repaired;
+            unrepairable = acc.unrepairable @ r.unrepairable })
+      { Romulus.Engine.scrubbed = 0; repaired = 0; unrepairable = [] }
       t.shard_arr
+
+  (* Per-shard salvage scrub reports, one entry per open engine: each
+     repaired or tolerated line is attributed to exactly the shard whose
+     region holds it. *)
+  let scrub_shards t =
+    let acc = ref [] in
+    Array.iteri
+      (fun i so ->
+        match so with
+        | None -> ()
+        | Some s -> acc := (i, P.scrub_salvage s.p) :: !acc)
+      t.shard_arr;
+    List.rev !acc
+
+  (* ---- the repair supervisor ---- *)
+
+  type repair_outcome =
+    | Scrub_repaired
+    | Snapshot_restored
+    | Evacuated_keys of { target : int; moved : int }
+    | Unrepaired of health_cause
+
+  (* Re-mount a detached engine over the shard's region; false when the
+     region still refuses to open. *)
+  let try_reopen t i =
+    match t.shard_arr.(i) with
+    | Some _ -> true
+    | None -> (
+      try
+        let region = t.region_arr.(i) in
+        let p = P.open_region region in
+        let map =
+          Map_.open_or_create ~initial_buckets:t.proto.config.initial_buckets
+            p ~root:db_root
+        in
+        t.shard_arr.(i) <- Some { p; map; region };
+        true
+      with
+      | Pmem.Region.Crash_point as e -> raise e
+      | _ -> false)
+
+  (* R1: bounded scrub retries under the shared jittered-exponential
+     backoff schedule.  Succeeds when a reopen+salvage-scrub pass comes
+     back with nothing unrepairable (rot healed from a twin, or cleared
+     at the source). *)
+  let repair_scrub t i ~retries ~base_ns ~seed =
+    let attempt () =
+      tick_region t i (fun st ->
+          st.Pmem.Stats.repair_attempts <- st.Pmem.Stats.repair_attempts + 1);
+      try_reopen t i
+      &&
+      match t.shard_arr.(i) with
+      | None -> false
+      | Some s -> (
+        match P.scrub_salvage s.p with
+        | { Romulus.Engine.unrepairable = []; _ } -> true
+        | _ -> false
+        | exception Pmem.Region.Crash_point -> raise Pmem.Region.Crash_point
+        | exception _ -> false)
+    in
+    let rec go = function
+      | [] -> attempt ()
+      | wait :: rest ->
+        attempt ()
+        ||
+        (backoff_wait_ns wait;
+         go rest)
+    in
+    go (overload_backoff_schedule ~retries ~base_ns ~seed)
+
+  (* R2: replace the shard's region wholesale from its latest snapshot
+     file, validated by a clean salvage scrub before it is adopted.
+     Writes committed to the shard after the snapshot are lost — which
+     is why this is strictly a fallback — and any batch the store owed
+     the shard is re-settled by the reconciliation replay that follows
+     repair. *)
+  let repair_restore t i ~snapshot_base =
+    match snapshot_base with
+    | None -> false
+    | Some base -> (
+      let path = Pmem.Region.shard_snapshot_path base ~shard:i in
+      Sys.file_exists path
+      &&
+      try
+        let region = Pmem.Region.load_from_file path in
+        let p = P.open_region region in
+        let map =
+          Map_.open_or_create ~initial_buckets:t.proto.config.initial_buckets
+            p ~root:db_root
+        in
+        (match P.scrub_salvage p with
+        | { Romulus.Engine.unrepairable = []; _ } ->
+          t.region_arr.(i) <- region;
+          t.shard_arr.(i) <- Some { p; map; region };
+          tick_region t i (fun st ->
+              st.Pmem.Stats.repair_snapshot_restores <-
+                st.Pmem.Stats.repair_snapshot_restores + 1);
+          true
+        | _ -> false)
+      with
+      | Pmem.Region.Crash_point as e -> raise e
+      | _ -> false)
+
+  (* R3 target selection: an explicit healthy target, or the first
+     healthy shard that is not the patient. *)
+  let find_evac_target t i ~target =
+    match target with
+    | Some tgt ->
+      if tgt < 0 || tgt >= shards t then
+        invalid_arg
+          (Printf.sprintf "Sharded_db.repair: bad target shard %d" tgt);
+      if tgt <> i && healthy t tgt then Some tgt else None
+    | None ->
+      let rec scan j =
+        if j >= shards t then None
+        else if j <> i && healthy t j then Some j
+        else scan (j + 1)
+      in
+      scan 0
+
+  (* The self-healing driver, escalating per sick shard:
+       R1 scrub retries (backoff), R2 snapshot restore, R3 evacuation.
+     Evacuation needs a readable source engine, a healthy target, shard
+     0 to not be the patient, and no migration intent in flight; a
+     shard nothing applies to keeps its verdict as [Unrepaired].  All
+     verdict changes are persisted in one health record, then the
+     reconciliation pass re-runs so work parked on the sick shards
+     (batch intents, mirrors, migrations) settles on the healed
+     store. *)
+  let repair ?(retries = default_overload_retries)
+      ?(base_ns = default_overload_base_ns) ?(seed = 0) ?snapshot_base
+      ?target t =
+    if t.batch <> None then
+      invalid_arg "Sharded_db: cannot repair through a batch handle";
+    let outcomes = ref [] in
+    let changed = ref false in
+    for i = 0 to shards t - 1 do
+      match t.health_arr.(i) with
+      | Healthy | Quarantined (Evacuated _) -> ()
+      | Degraded cause | Quarantined cause ->
+        if repair_scrub t i ~retries ~base_ns ~seed:(seed + i) then begin
+          set_health ~persist:false t i Healthy;
+          changed := true;
+          outcomes := (i, Scrub_repaired) :: !outcomes
+        end
+        else if i <> 0 && repair_restore t i ~snapshot_base then begin
+          set_health ~persist:false t i Healthy;
+          changed := true;
+          outcomes := (i, Snapshot_restored) :: !outcomes
+        end
+        else begin
+          match
+            if
+              i = 0
+              || Option.is_none t.shard_arr.(i)
+              || read_root t 0 mig_slot <> 0
+            then None
+            else find_evac_target t i ~target
+          with
+          | Some tgt ->
+            let moved = start_evacuation t ~source:i ~target:tgt in
+            changed := true;
+            outcomes := (i, Evacuated_keys { target = tgt; moved }) :: !outcomes
+          | None -> outcomes := (i, Unrepaired cause) :: !outcomes
+        end
+    done;
+    if !changed then begin
+      persist_health t;
+      reconcile t
+    end;
+    List.rev !outcomes
 
   (* ---- construction, snapshots ---- *)
 
@@ -2236,15 +2951,52 @@ module Make (P : SHARD_PTM) = struct
       invalid_arg "Sharded_db.open_db: admission_budget must be positive";
     if clear_flush_threshold <= 0 then
       invalid_arg "Sharded_db.open_db: clear_flush_threshold must be positive";
-    let shard_arr =
-      Array.map
-        (fun region ->
-          let p = P.open_region region in
-          let map = Map_.open_or_create ~initial_buckets p ~root:db_root in
-          { p; map; region })
-        regions
+    let n = Array.length regions in
+    (* Per-shard open + classification.  Opening runs engine recovery in
+       salvage mode, so content damage surfaces here: a shard whose
+       engine mounts is re-scrubbed to decide Healthy vs Degraded; a
+       shard whose engine refuses to mount is quarantined with a typed
+       cause — except shard 0, which anchors the routing table, the
+       intents and the health record: without it there is no store to
+       degrade, so its failure is the typed fatal {!Shard_open_failed}. *)
+    let open_engine region =
+      let p = P.open_region region in
+      let map = Map_.open_or_create ~initial_buckets p ~root:db_root in
+      let s = { p; map; region } in
+      let h =
+        match (P.scrub_salvage p : Romulus.Engine.scrub_report).unrepairable
+        with
+        | [] -> Healthy
+        | (offset, state) :: _ -> Degraded (Unrepairable_media { offset; state })
+      in
+      (s, h)
     in
-    let n = Array.length shard_arr in
+    let shard_arr = Array.make n None in
+    let health_arr = Array.make n Healthy in
+    (match open_engine regions.(0) with
+    | s, h ->
+      shard_arr.(0) <- Some s;
+      health_arr.(0) <- h
+    | exception (Pmem.Region.Crash_point as e) -> raise e
+    | exception e -> raise (Shard_open_failed { shard = 0; cause = e }));
+    for i = 1 to n - 1 do
+      match open_engine regions.(i) with
+      | s, h ->
+        shard_arr.(i) <- Some s;
+        health_arr.(i) <- h
+      | exception (Pmem.Region.Crash_point as e) -> raise e
+      | exception Romulus.Engine.Unrepairable { offset; state } ->
+        health_arr.(i) <- Quarantined (Unrepairable_media { offset; state })
+      | exception Romulus.Engine.Recovery_error msg ->
+        health_arr.(i) <- Quarantined (Open_failed msg)
+      | exception Pmem.Region.Media_error { offset; _ } ->
+        health_arr.(i) <-
+          Quarantined
+            (Open_failed
+               (Printf.sprintf "media error at offset %d while opening" offset))
+      | exception e ->
+        health_arr.(i) <- Quarantined (Open_failed (Printexc.to_string e))
+    done;
     let config =
       { initial_buckets; chunk_bytes; spill_threshold; admission_budget;
         clear_flush_threshold }
@@ -2259,16 +3011,49 @@ module Make (P : SHARD_PTM) = struct
         assignment = Array.init (slots_per_shard * n) (fun s -> s mod n);
         migration = None }
     in
-    let t = { shard_arr; batch = None; proto; router } in
+    let t =
+      { shard_arr; region_arr = Array.copy regions; health_arr;
+        batch = None; proto; router }
+    in
+    (* Merge the durable record: every verdict above was freshly
+       recomputed from the media (rot is persistent), so only the
+       non-recomputable [Evacuated] verdict is taken from disk. *)
+    let saved = load_health t in
+    (match saved with
+    | None -> ()
+    | Some sv ->
+      Array.iteri
+        (fun i h ->
+          if i < n then
+            match h with
+            | Quarantined (Evacuated _) -> t.health_arr.(i) <- h
+            | _ -> ())
+        sv);
+    Array.iteri
+      (fun i h ->
+        if h <> Healthy then begin
+          tick_health t i h;
+          Fault.hit
+            (match h with
+            | Degraded _ -> fp_health_degraded
+            | _ -> fp_health_quarantined)
+        end)
+      t.health_arr;
+    (* refresh the durable record when the medium disagrees with it
+       (fresh stores with all shards healthy stay metadata-free) *)
+    (match saved with
+    | None -> if Array.exists (fun h -> h <> Healthy) t.health_arr then
+        persist_health t
+    | Some sv -> if sv <> t.health_arr then persist_health t);
     reconcile t;
     t
 
   let save_to_files t base =
     Array.iteri
-      (fun i s ->
-        Pmem.Region.save_to_file s.region
+      (fun i region ->
+        Pmem.Region.save_to_file region
           (Pmem.Region.shard_snapshot_path base ~shard:i))
-      t.shard_arr
+      t.region_arr
 
   let open_from_files ?fence ?protocol ?initial_buckets ?chunk_bytes
       ?spill_threshold ?admission_budget ?clear_flush_threshold ~shards base =
@@ -2288,8 +3073,16 @@ module Make (P : SHARD_PTM) = struct
     if found <> shards then raise (Shard_mismatch { requested = shards; found });
     let regions =
       Array.init shards (fun i ->
-          Pmem.Region.load_from_file ?fence
-            (Pmem.Region.shard_snapshot_path base ~shard:i))
+          (* a snapshot file that cannot even be loaded gives no region
+             bytes to quarantine over, so the failure is typed and
+             names the shard; content-level damage inside a loadable
+             file is classified by [open_db] instead *)
+          try
+            Pmem.Region.load_from_file ?fence
+              (Pmem.Region.shard_snapshot_path base ~shard:i)
+          with
+          | Pmem.Region.Crash_point as e -> raise e
+          | e -> raise (Shard_open_failed { shard = i; cause = e }))
     in
     open_db ?protocol ?initial_buckets ?chunk_bytes ?spill_threshold
       ?admission_budget ?clear_flush_threshold regions

@@ -83,6 +83,41 @@ exception Overloaded of { shard : int; in_flight : int; budget : int }
     load. *)
 exception Shard_mismatch of { requested : int; found : int }
 
+(** Why a shard is not (fully) available. *)
+type health_cause =
+  | Unrepairable_media of { offset : int; state : string }
+      (** a salvage scrub found a line no twin can vouch for; [offset]
+          is region-relative, [state] the protocol state it was found
+          under *)
+  | Open_failed of string
+      (** the shard's engine could not be mounted (recovery refused the
+          region, media errors while opening, ...) *)
+  | Evacuated of { target : int }
+      (** the shard's surviving keys were moved onto [target] and its
+          slots re-routed; the verdict is permanent *)
+
+(** Per-shard availability state.  [Healthy] serves everything.
+    [Degraded] (engine open, media errors pending repair) serves reads —
+    a read of an actually lost line still raises
+    [Pmem.Region.Media_error] — and refuses writes.  [Quarantined]
+    (unopenable, poisoned, or evacuated) serves nothing. *)
+type health =
+  | Healthy
+  | Degraded of health_cause
+  | Quarantined of health_cause
+
+(** An operation routed to a shard that cannot serve it.  Raised instead
+    of crashing and instead of silently missing — each refusal is also
+    counted in the refusing shard's [Stats.unavailable_rejections]. *)
+exception Shard_unavailable of { shard : int; cause : health_cause }
+
+(** A shard the store cannot even degrade around failed to come up:
+    shard 0 (which anchors the routing table, the commit-protocol
+    intents and the health record) refused to open, a snapshot file
+    could not be loaded, or {!Make.recover_shard} was pointed at a dead
+    engine.  [cause] is the underlying failure, preserved. *)
+exception Shard_open_failed of { shard : int; cause : exn }
+
 (** Routing-directory granularity: a store created over [n] regions
     routes through [slots_per_shard * n] slots for its whole life, so it
     can grow online to at most that many shards.  Epoch-0 routing (no
@@ -162,7 +197,17 @@ module type SHARD_PTM = sig
   include Romulus.Ptm_intf.S
 
   val recover : t -> unit
+
+  (** Salvage-mode recovery: returns the tolerated IDL data-loss lines
+      instead of refusing the mount over them (see
+      {!Romulus.Engine.recover_salvage}). *)
+  val recover_salvage : t -> (int * string) list
+
   val scrub : t -> Romulus.Engine.scrub_report
+
+  (** Salvage-mode scrub (see {!Romulus.Engine.scrub_salvage}). *)
+  val scrub_salvage : t -> Romulus.Engine.scrub_report
+
   val media_spans : t -> (int * int) list
   val allocator_check : t -> (unit, string) result
 end
@@ -217,12 +262,18 @@ module Make (P : SHARD_PTM) : sig
 
   (** Full scans; keys are hash-ordered within a shard and shards are
       visited in index order.  With one shard the order matches
-      {!Romulus_db}. *)
+      {!Romulus_db}.  Evacuated shards are skipped (their residual maps
+      are stale duplicates of their target's keys); any other
+      quarantined shard raises {!Shard_unavailable} — a scan never
+      silently misses keys.  [count] behaves the same way. *)
   val iter : t -> (string -> string -> unit) -> unit
 
   val iter_reverse : t -> (string -> string -> unit) -> unit
 
-  (** Structural invariant check of every shard's map and allocator. *)
+  (** Structural invariant check of every healthy shard's map and
+      allocator (shards whose engine is down or degraded are skipped —
+      their damage is reported through {!health}, not as a structural
+      failure). *)
   val check : t -> (unit, string) result
 
   (** Number of attached shards (grows with {!split_shard}; a merged
@@ -275,8 +326,10 @@ module Make (P : SHARD_PTM) : sig
   val shard_of_slot : t -> int -> int
 
   (** A durable migration intent is still hooked — never true after
-      [open_db]/{!recover} (recovery always completes an in-flight
-      migration) or after a resize returns. *)
+      [open_db]/{!recover} when every endpoint is healthy (recovery
+      then completes the in-flight migration) or after a resize
+      returns.  A migration whose endpoint is sick is {e parked} here
+      until {!repair} heals it. *)
   val migration_pending : t -> bool
 
   (** The per-shard regions, in shard order (shared, not copies). *)
@@ -285,15 +338,86 @@ module Make (P : SHARD_PTM) : sig
   (** Aggregated instrumentation counters across every shard's region. *)
   val stats : t -> Pmem.Stats.t
 
+  (** {2 Fault isolation and self-healing}
+
+      Each shard carries a {!health} verdict.  Verdicts are recomputed
+      from the media at every open/recovery (rot is persistent), and
+      additionally persisted in shard 0 next to the routing table so
+      the non-recomputable [Evacuated] verdict survives reopen.  The
+      store serves every slot whose shard can serve it and refuses the
+      rest with the typed {!Shard_unavailable}: a sick shard never
+      takes the store down, never crashes a caller, and never turns
+      into a silent miss. *)
+
+  (** Shard [i]'s current verdict.  Raises [Invalid_argument] on a bad
+      index. *)
+  val health : t -> int -> health
+
   (** Re-run crash recovery on every shard — in parallel (one domain per
       shard) by default — then run the reconciliation pass over both
       protocols' surviving records.  Idempotent, like the single-engine
-      recovery it fans out. *)
+      recovery it fans out.  Per-shard failures are classified instead
+      of raised: a shard whose salvage recovery refuses comes back
+      [Quarantined] with its engine detached, data-loss survivors come
+      back [Degraded], and work owed to a sick shard (batch intents,
+      mirrors, migrations) is parked until {!repair}.  Only shard 0
+      failing — or a simulated machine crash — still raises
+      ({!Shard_open_failed} / [Crash_point]). *)
   val recover : ?parallel:bool -> t -> unit
 
   (** Engine-level recovery of one shard only (no reconciliation);
-      exposed so recovery latency can be measured per shard. *)
+      exposed so recovery latency can be measured per shard.  A failure
+      is wrapped in {!Shard_open_failed} naming the shard. *)
   val recover_shard : t -> int -> unit
+
+  (** What {!repair} did to one sick shard. *)
+  type repair_outcome =
+    | Scrub_repaired  (** a reopen+scrub pass came back clean *)
+    | Snapshot_restored
+        (** the region was replaced from its snapshot file (writes
+            after the snapshot are lost; owed protocol records
+            re-settle via reconciliation) *)
+    | Evacuated_keys of { target : int; moved : int }
+        (** [moved] surviving keys were placed on [target] exactly
+            once and the source retired as [Evacuated] *)
+    | Unrepaired of health_cause
+        (** nothing applied; the verdict stands *)
+
+  (** The self-healing driver.  For every [Degraded]/[Quarantined]
+      (non-evacuated) shard, escalate:
+
+      + scrub retries under the jittered-exponential backoff schedule
+        of {!overload_backoff_schedule} ([retries]/[base_ns]/[seed],
+        attempts counted in [Stats.repair_attempts]);
+      + restore from the shard's snapshot file under [snapshot_base]
+        (as written by {!save_to_files}), adopted only after a clean
+        validating scrub;
+      + evacuate the surviving keys onto [target] (or the first healthy
+        shard) — needs a readable source engine and never applies to
+        shard 0.
+
+      Verdict changes are persisted, then the reconciliation pass
+      re-runs so parked work settles on the healed store.  Returns one
+      outcome per shard repair considered, in shard order.  Raises
+      [Invalid_argument] through a batch handle. *)
+  val repair :
+    ?retries:int ->
+    ?base_ns:int ->
+    ?seed:int ->
+    ?snapshot_base:string ->
+    ?target:int ->
+    t ->
+    (int * repair_outcome) list
+
+  (** Evacuate shard [source]'s surviving keys onto the healthy shard
+      [target] directly (the R3 step of {!repair}): durable evacuation
+      intent, best-effort read-only salvage stream in bounded
+      insert-if-absent batches, then one shard-0 transaction flipping
+      the routing table and the source's [Evacuated] verdict together.
+      Returns the number of salvaged keys.  Raises [Invalid_argument]
+      through a batch handle, for shard 0, an unhealthy target, or
+      while a migration intent is in flight. *)
+  val start_evacuation : t -> source:int -> target:int -> int
 
   (** Protocol records currently hooked across the store: the centralized
       intent (if any) plus every decentralized mirror and flip.  Zero on
@@ -311,9 +435,18 @@ module Make (P : SHARD_PTM) : sig
       reports zero {!pending_intents} even under lazy CLEAR. *)
   val flush_clears : t -> unit
 
-  (** Scrub every shard's twins; the report sums the per-shard reports.
-      Raises [Romulus.Engine.Unrepairable] as the per-shard scrub does. *)
+  (** Salvage-scrub every open shard's twins; the report sums the
+      per-shard reports, with tolerated data-loss lines concatenated
+      (their offsets are shard-relative — use {!scrub_shards} for
+      attribution).  Shards whose engine is down are skipped.  Raises
+      [Romulus.Engine.Unrepairable] only when damage poisons a line
+      recovery would have to trust (a bad header, MUT/CPY state). *)
   val scrub : t -> Romulus.Engine.scrub_report
+
+  (** Per-shard salvage scrub reports, one entry per open engine in
+      shard order: every repaired or tolerated line is attributed to
+      exactly the shard whose region holds it. *)
+  val scrub_shards : t -> (int * Romulus.Engine.scrub_report) list
 
   (** Per-shard media-fault target spans, in shard order (offsets are
       relative to that shard's own region). *)

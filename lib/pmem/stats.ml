@@ -47,6 +47,14 @@ type t = {
   mutable migrations_completed : int;
   mutable keys_migrated : int;
   mutable double_reads : int;
+  mutable health_degraded : int;
+  mutable health_quarantined : int;
+  mutable health_repaired : int;
+  mutable repair_attempts : int;
+  mutable repair_snapshot_restores : int;
+  mutable shards_evacuated : int;
+  mutable keys_evacuated : int;
+  mutable unavailable_rejections : int;
 }
 
 let create () =
@@ -59,7 +67,9 @@ let create () =
     rolled_back = 0; chunks_written = 0; chunks_spilled = 0;
     overload_rejections = 0; clear_flushes = 0; migrations_started = 0;
     migrations_resumed = 0; migrations_completed = 0; keys_migrated = 0;
-    double_reads = 0 }
+    double_reads = 0; health_degraded = 0; health_quarantined = 0;
+    health_repaired = 0; repair_attempts = 0; repair_snapshot_restores = 0;
+    shards_evacuated = 0; keys_evacuated = 0; unavailable_rejections = 0 }
 
 let reset t =
   t.pwbs <- 0; t.pfences <- 0; t.psyncs <- 0; t.loads <- 0; t.stores <- 0;
@@ -71,7 +81,11 @@ let reset t =
   t.rolled_back <- 0; t.chunks_written <- 0; t.chunks_spilled <- 0;
   t.overload_rejections <- 0; t.clear_flushes <- 0;
   t.migrations_started <- 0; t.migrations_resumed <- 0;
-  t.migrations_completed <- 0; t.keys_migrated <- 0; t.double_reads <- 0
+  t.migrations_completed <- 0; t.keys_migrated <- 0; t.double_reads <- 0;
+  t.health_degraded <- 0; t.health_quarantined <- 0; t.health_repaired <- 0;
+  t.repair_attempts <- 0; t.repair_snapshot_restores <- 0;
+  t.shards_evacuated <- 0; t.keys_evacuated <- 0;
+  t.unavailable_rejections <- 0
 
 let snapshot t = { t with pwbs = t.pwbs }
 
@@ -109,7 +123,17 @@ let since ~now ~past =
     migrations_completed =
       now.migrations_completed - past.migrations_completed;
     keys_migrated = now.keys_migrated - past.keys_migrated;
-    double_reads = now.double_reads - past.double_reads }
+    double_reads = now.double_reads - past.double_reads;
+    health_degraded = now.health_degraded - past.health_degraded;
+    health_quarantined = now.health_quarantined - past.health_quarantined;
+    health_repaired = now.health_repaired - past.health_repaired;
+    repair_attempts = now.repair_attempts - past.repair_attempts;
+    repair_snapshot_restores =
+      now.repair_snapshot_restores - past.repair_snapshot_restores;
+    shards_evacuated = now.shards_evacuated - past.shards_evacuated;
+    keys_evacuated = now.keys_evacuated - past.keys_evacuated;
+    unavailable_rejections =
+      now.unavailable_rejections - past.unavailable_rejections }
 
 (* Field-wise sum, as a fresh independent record: the cross-shard view of
    a store whose shards each meter their own region. *)
@@ -149,7 +173,17 @@ let aggregate ts =
       a.migrations_completed <-
         a.migrations_completed + t.migrations_completed;
       a.keys_migrated <- a.keys_migrated + t.keys_migrated;
-      a.double_reads <- a.double_reads + t.double_reads)
+      a.double_reads <- a.double_reads + t.double_reads;
+      a.health_degraded <- a.health_degraded + t.health_degraded;
+      a.health_quarantined <- a.health_quarantined + t.health_quarantined;
+      a.health_repaired <- a.health_repaired + t.health_repaired;
+      a.repair_attempts <- a.repair_attempts + t.repair_attempts;
+      a.repair_snapshot_restores <-
+        a.repair_snapshot_restores + t.repair_snapshot_restores;
+      a.shards_evacuated <- a.shards_evacuated + t.shards_evacuated;
+      a.keys_evacuated <- a.keys_evacuated + t.keys_evacuated;
+      a.unavailable_rejections <-
+        a.unavailable_rejections + t.unavailable_rejections)
     ts;
   a
 
@@ -174,7 +208,9 @@ let pp ppf t =
      crashes=%d aborts=%d scrubbed=%d repaired=%d unrepairable=%d \
      media_errors=%d prepares=%d flips=%d lazy_clears=%d fwd=%d back=%d \
      chunks=%d spilled=%d overloads=%d clear_flushes=%d \
-     migrations=%d/%d/%d keys_migrated=%d double_reads=%d"
+     migrations=%d/%d/%d keys_migrated=%d double_reads=%d \
+     health=%d/%d/%d repair_attempts=%d restores=%d evacuated=%d/%dkeys \
+     unavailable=%d"
     t.pwbs t.pfences t.psyncs t.loads t.stores t.nvm_bytes t.user_bytes
     t.load_bytes t.copy_calls t.replicated_bytes t.commits
     (write_amplification t) t.delay_ns t.crashes t.tx_aborts
@@ -183,3 +219,6 @@ let pp ppf t =
     t.rolled_back t.chunks_written t.chunks_spilled t.overload_rejections
     t.clear_flushes t.migrations_started t.migrations_resumed
     t.migrations_completed t.keys_migrated t.double_reads
+    t.health_degraded t.health_quarantined t.health_repaired
+    t.repair_attempts t.repair_snapshot_restores t.shards_evacuated
+    t.keys_evacuated t.unavailable_rejections

@@ -33,6 +33,14 @@ type t = {
   mutable migrations_completed : int; (** migrations whose epoch flip committed *)
   mutable keys_migrated : int;        (** keys inserted into a migration target *)
   mutable double_reads : int;         (** reads that fell back to the migration source *)
+  mutable health_degraded : int;     (** shard transitions into Degraded (read-only) *)
+  mutable health_quarantined : int;  (** shard transitions into Quarantined *)
+  mutable health_repaired : int;     (** shard transitions back to Healthy *)
+  mutable repair_attempts : int;     (** scrub/reopen attempts by the repair driver *)
+  mutable repair_snapshot_restores : int; (** shards restored from a snapshot file *)
+  mutable shards_evacuated : int;    (** dying shards whose keys were evacuated *)
+  mutable keys_evacuated : int;      (** keys copied off a dying shard *)
+  mutable unavailable_rejections : int; (** operations refused with Shard_unavailable *)
 }
 
 val create : unit -> t

@@ -118,6 +118,47 @@ let test_stats_counts () =
   Alcotest.(check int) "loads" 1 s.Pmem.Stats.loads;
   Alcotest.(check int) "nvm bytes" 16 s.Pmem.Stats.nvm_bytes
 
+(* Catch-all audit of the counter record: a literal with every field at
+   a distinct non-zero value (the compiler rejects it the moment a field
+   is added without updating this test), summed by [aggregate] and
+   printed by [pp].  [since (aggregate [a; a]) a = a] holds only if
+   aggregate sums — and since subtracts — every single field; the pp
+   output must quote every raw counter value. *)
+let test_stats_cover_every_field () =
+  let a =
+    { Pmem.Stats.pwbs = 101; pfences = 102; psyncs = 103; loads = 104;
+      stores = 105; nvm_bytes = 106; user_bytes = 107; load_bytes = 108;
+      copy_calls = 109; replicated_bytes = 110; commits = 111;
+      delay_ns = 112; crashes = 113; tx_aborts = 114; scrubbed_lines = 115;
+      repaired_lines = 116; unrepairable_lines = 117; media_errors = 118;
+      intent_prepares = 119; coordinator_flips = 120; lazy_clears = 121;
+      rolled_forward = 122; rolled_back = 123; chunks_written = 124;
+      chunks_spilled = 125; overload_rejections = 126; clear_flushes = 127;
+      migrations_started = 128; migrations_resumed = 129;
+      migrations_completed = 130; keys_migrated = 131; double_reads = 132;
+      health_degraded = 133; health_quarantined = 134; health_repaired = 135;
+      repair_attempts = 136; repair_snapshot_restores = 137;
+      shards_evacuated = 138; keys_evacuated = 139;
+      unavailable_rejections = 140 }
+  in
+  let doubled = Pmem.Stats.aggregate [ a; a ] in
+  let d = Pmem.Stats.since ~now:doubled ~past:a in
+  if d <> a then
+    Alcotest.fail
+      "aggregate/since do not round-trip: some field is not summed or \
+       not subtracted";
+  let printed = Format.asprintf "%a" Pmem.Stats.pp a in
+  for v = 101 to 140 do
+    let needle = string_of_int v in
+    let found = ref false in
+    let nl = String.length needle in
+    for i = 0 to String.length printed - nl do
+      if String.sub printed i nl = needle then found := true
+    done;
+    if not !found then
+      Alcotest.failf "pp output does not mention counter value %d" v
+  done
+
 let test_stats_since () =
   let r = region () in
   let s = R.stats r in
@@ -595,6 +636,8 @@ let suite =
     tc "copy + pwb_range durable" `Quick test_copy_then_pwb_range;
     tc "stats counters" `Quick test_stats_counts;
     tc "stats since" `Quick test_stats_since;
+    tc "stats aggregate/pp cover every field" `Quick
+      test_stats_cover_every_field;
     tc "delay accounting" `Quick test_delay_accounting;
     tc "crash trap fires" `Quick test_trap_fires;
     tc "crash trap at zero" `Quick test_trap_zero_fires_immediately;

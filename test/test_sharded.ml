@@ -638,8 +638,11 @@ let test_scrub_repairs_shard () =
     (Sd.scrub db).Romulus.Engine.repaired;
   check_ok "scrub repair" db
 
-(* rot the same line in both twins of one shard: no copy can vouch *)
-let test_scrub_refuses_double_fault () =
+(* rot the same line in both twins of one shard: no copy can vouch.
+   The salvage scrub tolerates the loss under IDL — it reports the
+   unrepairable line instead of refusing, and the per-shard view
+   attributes the loss to the sick shard alone. *)
+let test_scrub_salvages_double_fault () =
   let rs, db = open_sharded () in
   seed db 24;
   crash_all rs R.Drop_all;
@@ -651,10 +654,17 @@ let test_scrub_refuses_double_fault () =
      R.corrupt_line rs.(1) ~line:((mbase + delta) / R.line_size rs.(1));
      R.corrupt_line rs.(1) ~seed:99 ~line:((bbase + delta) / R.line_size rs.(1))
    | _ -> Alcotest.fail "expected twin spans");
-  match Sd.scrub db with
-  | exception Romulus.Engine.Unrepairable _ -> ()
-  | (_ : Romulus.Engine.scrub_report) ->
-    Alcotest.fail "both twins rotten: scrub must refuse"
+  let rep = Sd.scrub db in
+  Alcotest.(check bool) "double fault reported as data loss" true
+    (List.length rep.Romulus.Engine.unrepairable >= 1);
+  List.iter
+    (fun (i, r) ->
+      let n = List.length r.Romulus.Engine.unrepairable in
+      if i = 1 then
+        Alcotest.(check bool) "sick shard owns the loss" true (n >= 1)
+      else
+        Alcotest.(check int) (Printf.sprintf "shard %d stays clean" i) 0 n)
+    (Sd.scrub_shards db)
 
 (* ---- qcheck: random crash points over cross-shard batches ---- *)
 
@@ -1680,6 +1690,344 @@ let prop_route_uniform =
       done;
       Array.for_all (fun c -> c <= 2 * (n / 8)) used)
 
+(* ---- shard fault isolation & self-healing (CORRECTNESS.md 14) ---- *)
+
+(* rot the deepest used line of [sick] — both twins for a twin-copy
+   engine, the single image otherwise: unrepairable damage that still
+   leaves the engine mountable *)
+let rot_shard rs db sick =
+  match (Sd.media_spans db).(sick) with
+  | (mbase, mspan) :: rest ->
+    let ls = R.line_size rs.(sick) in
+    let delta = mspan - ls in
+    R.corrupt_line rs.(sick) ~line:((mbase + delta) / ls);
+    (match rest with
+     | (bbase, _) :: _ ->
+       R.corrupt_line rs.(sick) ~seed:99 ~line:((bbase + delta) / ls)
+     | [] -> ())
+  | [] -> Alcotest.failf "shard %d has no media spans" sick
+
+(* a settled store: seeded, crashed clean and reopened, so every line is
+   durably fenced and at-rest rot is the only damage *)
+let settled ?(shards = 4) n =
+  let rs, db = open_sharded ~shards () in
+  seed db n;
+  crash_all rs R.Drop_all;
+  (rs, Sd.open_db ~initial_buckets:8 rs)
+
+let keys_on db ~shard n =
+  List.filter
+    (fun i -> Sd.shard_of_key db (key i) = shard)
+    (List.init n (fun i -> i))
+
+let test_health_degraded_read_only () =
+  let rs, db = settled 32 in
+  rot_shard rs db 1;
+  crash_all rs R.Drop_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  (match Sd.health db 1 with
+   | Kv.Sharded_db.Degraded _ -> ()
+   | _ -> Alcotest.fail "rot did not degrade shard 1");
+  List.iter
+    (fun i ->
+      match Sd.health db i with
+      | Kv.Sharded_db.Healthy -> ()
+      | _ -> Alcotest.failf "healthy shard %d reclassified" i)
+    [ 0; 2; 3 ];
+  (* healthy slots serve both ways; the sick shard serves only reads *)
+  let on_sick = ref 0 in
+  for i = 0 to 31 do
+    let k = key i in
+    if Sd.shard_of_key db k = 1 then begin
+      incr on_sick;
+      (match Sd.get db k with
+       | got ->
+         if got <> Some (value i) then
+           Alcotest.failf "degraded read %s diverged" k
+       | exception R.Media_error _ ->
+         (* the rotten line itself: typed, never silently blessed *)
+         ());
+      match Sd.put db k "must-not-land" with
+      | () -> Alcotest.fail "write to a Degraded shard accepted"
+      | exception Kv.Sharded_db.Shard_unavailable { shard; _ } ->
+        Alcotest.(check int) "refusal names the shard" 1 shard
+    end
+    else begin
+      Alcotest.(check (option string)) k (Some (value i)) (Sd.get db k);
+      Sd.put db k (value i)
+    end
+  done;
+  if !on_sick = 0 then Alcotest.fail "no key routed to the sick shard";
+  (* a cross-shard batch touching the sick shard is refused atomically *)
+  let ksick = key (List.hd (keys_on db ~shard:1 32)) in
+  let ih = List.hd (keys_on db ~shard:0 32) in
+  (match
+     Sd.write_batch db (fun b ->
+         Sd.put b (key ih) "batched";
+         Sd.put b ksick "batched")
+   with
+   | () -> Alcotest.fail "cross-shard batch into a Degraded shard accepted"
+   | exception Kv.Sharded_db.Shard_unavailable { shard; _ } ->
+     Alcotest.(check int) "batch refusal names the shard" 1 shard);
+  Alcotest.(check (option string)) "refused batch left no trace"
+    (Some (value ih)) (Sd.get db (key ih));
+  let st = Sd.stats db in
+  Alcotest.(check bool) "rejections metered" true
+    (st.Pmem.Stats.unavailable_rejections > 0);
+  Alcotest.(check bool) "degradation metered" true
+    (st.Pmem.Stats.health_degraded > 0)
+
+let test_health_quarantine_unopenable () =
+  let rs, db = settled 32 in
+  ignore db;
+  (* smash the head of shard 2's region: the engine cannot mount *)
+  for l = 0 to 3 do
+    R.corrupt_line rs.(2) ~line:l
+  done;
+  crash_all rs R.Drop_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  (match Sd.health db 2 with
+   | Kv.Sharded_db.Quarantined _ -> ()
+   | _ -> Alcotest.fail "unopenable shard 2 was not quarantined");
+  let hit = ref 0 in
+  for i = 0 to 31 do
+    let k = key i in
+    if Sd.shard_of_key db k = 2 then begin
+      incr hit;
+      (match Sd.get db k with
+       | _ -> Alcotest.fail "quarantined slot served a read"
+       | exception Kv.Sharded_db.Shard_unavailable { shard; _ } ->
+         Alcotest.(check int) "read refusal blames shard 2" 2 shard);
+      match Sd.put db k "must-not-land" with
+      | () -> Alcotest.fail "quarantined slot accepted a write"
+      | exception Kv.Sharded_db.Shard_unavailable _ -> ()
+    end
+    else Alcotest.(check (option string)) k (Some (value i)) (Sd.get db k)
+  done;
+  if !hit = 0 then Alcotest.fail "no key routed to the quarantined shard";
+  (* a full scan must refuse — typed — rather than silently miss keys *)
+  (match Sd.iter db (fun _ _ -> ()) with
+   | () -> Alcotest.fail "scan silently skipped a quarantined shard"
+   | exception Kv.Sharded_db.Shard_unavailable { shard; _ } ->
+     Alcotest.(check int) "scan refusal blames shard 2" 2 shard);
+  Alcotest.(check bool) "quarantine metered" true
+    ((Sd.stats db).Pmem.Stats.health_quarantined > 0)
+
+(* shard 0 anchors the route table, the intents and the health record:
+   its loss is the typed fatal, naming the shard *)
+let test_shard0_failure_typed () =
+  let rs, db = settled 8 in
+  ignore db;
+  for l = 0 to 3 do
+    R.corrupt_line rs.(0) ~line:l
+  done;
+  crash_all rs R.Drop_all;
+  match Sd.open_db ~initial_buckets:8 rs with
+  | _ -> Alcotest.fail "store opened without its anchor shard"
+  | exception Kv.Sharded_db.Shard_open_failed { shard; _ } ->
+    Alcotest.(check int) "anchor failure names shard 0" 0 shard
+
+let test_recover_shard_failure_typed () =
+  let rs, db = settled 16 in
+  ignore db;
+  for l = 0 to 3 do
+    R.corrupt_line rs.(3) ~line:l
+  done;
+  crash_all rs R.Drop_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  match Sd.recover_shard db 3 with
+  | () -> Alcotest.fail "recover_shard succeeded on a dead shard"
+  | exception Kv.Sharded_db.Shard_open_failed { shard; _ } ->
+    Alcotest.(check int) "recover_shard names the failing shard" 3 shard
+
+let test_open_from_files_failure_typed () =
+  let dir = Filename.temp_file "sharded-health" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let _, db = settled 16 in
+      let base = Filename.concat dir "db" in
+      Sd.save_to_files db base;
+      let bad = R.shard_snapshot_path base ~shard:2 in
+      let oc = open_out bad in
+      output_string oc "not a region snapshot";
+      close_out oc;
+      match Sd.open_from_files ~shards:4 base with
+      | _ -> Alcotest.fail "opened a store from a garbage snapshot"
+      | exception Kv.Sharded_db.Shard_open_failed { shard; _ } ->
+        Alcotest.(check int) "load failure names the shard" 2 shard)
+
+let test_repair_snapshot_restore () =
+  let dir = Filename.temp_file "sharded-restore" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let rs, db = settled 32 in
+      let base = Filename.concat dir "snap" in
+      Sd.save_to_files db base;
+      rot_shard rs db 1;
+      crash_all rs R.Drop_all;
+      let db = Sd.open_db ~initial_buckets:8 rs in
+      (match Sd.health db 1 with
+       | Kv.Sharded_db.Healthy -> Alcotest.fail "rot left shard 1 Healthy"
+       | _ -> ());
+      (match Sd.repair ~snapshot_base:base db with
+       | [ (1, Sd.Snapshot_restored) ] -> ()
+       | _ -> Alcotest.fail "expected a snapshot restore of shard 1");
+      (match Sd.health db 1 with
+       | Kv.Sharded_db.Healthy -> ()
+       | _ -> Alcotest.fail "restore did not heal the shard");
+      for i = 0 to 31 do
+        Alcotest.(check (option string))
+          (key i) (Some (value i))
+          (Sd.get db (key i))
+      done;
+      Sd.put db (key 0) "writable-again";
+      Alcotest.(check (option string)) "writes re-enabled"
+        (Some "writable-again") (Sd.get db (key 0));
+      let st = Sd.stats db in
+      Alcotest.(check bool) "restore metered" true
+        (st.Pmem.Stats.repair_snapshot_restores > 0);
+      Alcotest.(check bool) "healing metered" true
+        (st.Pmem.Stats.health_repaired > 0);
+      check_ok "restored store" db;
+      (* the healed verdict is durable — the restore swapped a fresh
+         region in for shard 1, so reopen through the store's current
+         region table, not the original (still rotten) one *)
+      let rs = Sd.regions db in
+      crash_all rs R.Drop_all;
+      let db = Sd.open_db ~initial_buckets:8 rs in
+      match Sd.health db 1 with
+      | Kv.Sharded_db.Healthy -> ()
+      | _ -> Alcotest.fail "healed verdict lost across reopen")
+
+let test_repair_evacuates () =
+  let rs, db = settled 32 in
+  let sick = 1 in
+  let expected_sick = keys_on db ~shard:sick 32 in
+  if expected_sick = [] then Alcotest.fail "no key routed to shard 1";
+  rot_shard rs db sick;
+  crash_all rs R.Drop_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  let target, moved =
+    match Sd.repair db with
+    | [ (s, Sd.Evacuated_keys { target; moved }) ] when s = sick ->
+      (target, moved)
+    | _ -> Alcotest.fail "expected an evacuation of shard 1"
+  in
+  (match Sd.health db sick with
+   | Kv.Sharded_db.Quarantined (Kv.Sharded_db.Evacuated { target = t }) ->
+     Alcotest.(check int) "verdict names the target" target t
+   | _ -> Alcotest.fail "evacuated shard carries the wrong verdict");
+  (match Sd.health db target with
+   | Kv.Sharded_db.Healthy -> ()
+   | _ -> Alcotest.fail "evacuation target is not healthy");
+  for s = 0 to Sd.route_slots db - 1 do
+    if Sd.shard_of_slot db s = sick then
+      Alcotest.failf "slot %d still routed to the evacuated shard" s
+  done;
+  (* survivors byte-identical and exactly once; losses only ever keys
+     that lived on the evacuated shard *)
+  let survivors = ref 0 in
+  List.iter
+    (fun i ->
+      match Sd.get db (key i) with
+      | Some v ->
+        incr survivors;
+        Alcotest.(check string) (key i) (value i) v
+      | None -> ())
+    expected_sick;
+  Alcotest.(check int) "moved = surviving sick keys" !survivors moved;
+  let seen = Hashtbl.create 64 in
+  Sd.iter db (fun k _ ->
+      if Hashtbl.mem seen k then Alcotest.failf "scan served %s twice" k;
+      Hashtbl.replace seen k ());
+  Alcotest.(check int) "scan and count agree" (Hashtbl.length seen)
+    (Sd.count db);
+  List.iter
+    (fun i ->
+      if not (List.mem i expected_sick) then
+        Alcotest.(check (option string))
+          (key i) (Some (value i))
+          (Sd.get db (key i)))
+    (List.init 32 (fun i -> i));
+  (* a write to a re-routed key lands on the adopting shard *)
+  let i0 = List.hd expected_sick in
+  Sd.put db (key i0) "rerouted";
+  Alcotest.(check (option string)) "rerouted write lands" (Some "rerouted")
+    (Sd.get db (key i0));
+  Alcotest.(check bool) "evacuation metered" true
+    ((Sd.stats db).Pmem.Stats.shards_evacuated > 0);
+  Alcotest.(check int) "nothing left hooked" 0 (Sd.pending_intents db);
+  (* the retired verdict survives further crash-recoveries *)
+  crash_all rs R.Drop_all;
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  (match Sd.health db sick with
+   | Kv.Sharded_db.Quarantined (Kv.Sharded_db.Evacuated _) -> ()
+   | _ -> Alcotest.fail "evacuated verdict lost across reopen");
+  Alcotest.(check (option string)) "rerouted key survives reopen"
+    (Some "rerouted")
+    (Sd.get db (key i0));
+  check_ok "evacuated store" db
+
+(* qcheck: rot in one shard is attributed to that shard alone — the
+   per-shard scrub reports and the per-region counters both stay silent
+   for every healthy shard *)
+let prop_scrub_attribution =
+  let open QCheck in
+  Test.make ~count:30
+    ~name:"health: scrub attributes rot to the sick shard alone"
+    (triple (int_range 1 3) small_nat bool)
+    (fun (sick, pick, both) ->
+      let rs, db = open_sharded () in
+      seed db 24;
+      crash_all rs R.Drop_all;
+      let db = Sd.open_db ~initial_buckets:8 rs in
+      match (Sd.media_spans db).(sick) with
+      | (mbase, mspan) :: rest ->
+        let ls = R.line_size rs.(sick) in
+        let nlines = max 1 (mspan / ls) in
+        let delta = pick mod nlines * ls in
+        R.corrupt_line rs.(sick) ~line:((mbase + delta) / ls);
+        (match rest with
+         | (bbase, _) :: _ when both ->
+           R.corrupt_line rs.(sick) ~seed:7 ~line:((bbase + delta) / ls)
+         | _ -> ());
+        let before =
+          Array.map (fun r -> Pmem.Stats.snapshot (R.stats r)) rs
+        in
+        let reports = Sd.scrub_shards db in
+        List.length reports = 4
+        && List.for_all
+             (fun (i, rep) ->
+               let d =
+                 Pmem.Stats.since ~now:(R.stats rs.(i)) ~past:before.(i)
+               in
+               let unrep = List.length rep.Romulus.Engine.unrepairable in
+               if i = sick then
+                 rep.Romulus.Engine.repaired + unrep >= 1
+                 && d.Pmem.Stats.repaired_lines = rep.Romulus.Engine.repaired
+                 && d.Pmem.Stats.unrepairable_lines >= unrep
+               else
+                 rep.Romulus.Engine.repaired = 0
+                 && unrep = 0
+                 && d.Pmem.Stats.repaired_lines = 0
+                 && d.Pmem.Stats.unrepairable_lines = 0)
+             reports
+      | [] -> false)
+
 let suite =
   let tc = Alcotest.test_case in
   [ tc "sharded basics" `Quick test_basics;
@@ -1712,7 +2060,7 @@ let suite =
     tc "parallel recovery" `Quick test_parallel_recovery;
     tc "crash during recovery" `Quick test_crash_during_recovery;
     tc "scrub repairs a shard" `Quick test_scrub_repairs_shard;
-    tc "scrub refuses double fault" `Quick test_scrub_refuses_double_fault;
+    tc "scrub salvages double fault" `Quick test_scrub_salvages_double_fault;
     tc "snapshot round trip" `Quick test_snapshot_roundtrip;
     tc "chunk chain rejections" `Quick test_chunk_chain_rejections;
     tc "chunked batch commits with spilled undo" `Quick
@@ -1748,10 +2096,22 @@ let suite =
     tc "open_from_files shard mismatch typed" `Quick
       test_shard_mismatch_typed;
     tc "overload retry schedule exact per seed" `Quick
-      test_overload_retry_schedule ]
+      test_overload_retry_schedule;
+    tc "health: degraded shard serves reads only" `Quick
+      test_health_degraded_read_only;
+    tc "health: unopenable shard quarantined" `Quick
+      test_health_quarantine_unopenable;
+    tc "health: shard-0 failure typed" `Quick test_shard0_failure_typed;
+    tc "health: recover_shard failure typed" `Quick
+      test_recover_shard_failure_typed;
+    tc "health: open_from_files failure typed" `Quick
+      test_open_from_files_failure_typed;
+    tc "repair: snapshot restore heals" `Quick test_repair_snapshot_restore;
+    tc "repair: evacuation retires the shard" `Quick test_repair_evacuates ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_sharded_crash_batch; prop_d_racing_mix; prop_chunk_roundtrip;
         prop_chunked_crash_batch; prop_epoch0_matches_fnv;
-        prop_route_stable_across_reopen; prop_route_uniform ]
+        prop_route_stable_across_reopen; prop_route_uniform;
+        prop_scrub_attribution ]
 
 let () = Alcotest.run "sharded" [ ("sharded", suite) ]
