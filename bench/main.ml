@@ -34,7 +34,9 @@ let hidden : (string * string * (Common.scale -> unit)) list =
     ("shards_elastic", "online split/merge regression check (CI smoke)",
      fun _ -> Shards.elastic_smoke ());
     ("shards_health", "fault isolation & self-healing check (CI smoke)",
-     fun _ -> Shards.health_smoke ()) ]
+     fun _ -> Shards.health_smoke ());
+    ("shards_group", "async group-commit regression check (CI smoke)",
+     fun _ -> Shards.group_smoke ()) ]
 
 let usage () =
   print_endline "usage: main.exe [--full] [EXPERIMENT]...";

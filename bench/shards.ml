@@ -523,6 +523,117 @@ let recovery_measure ~keys nshards =
   if S.count db <> keys then failwith "recovery lost keys";
   per_shard
 
+(* ---- group-commit front-end ablation ---- *)
+
+(* DES: the async group-commit front-end (Group_commit) over the sharded
+   store — per-shard submission queues drained in windows, one fence
+   sequence per window instead of per logical transaction.  Two sweeps:
+   the ack-mode ablation (per-tx Sync vs Batch_sync vs Async at the
+   headline shard/writer point) and the window-size sweep that shows the
+   fence amortization saturating. *)
+type group_des_row = {
+  g_arm : string;  (* "sync" | "batch_sync" | "async" *)
+  g_window : int;
+  g_ups : float;
+  g_small_mean_ns : float;
+  g_small_max_ns : float;
+}
+
+(* Real store: the same front-end run for real, with the fence economy
+   read back from the Stats counters — engine transactions (= fence
+   sequences) per logical transaction is the figure the window buys
+   down. *)
+type group_real_row = {
+  gr_mode : string;
+  gr_txs : int;               (* logical transactions submitted *)
+  gr_group_commits : int;     (* engine transactions (fence sequences) *)
+  gr_mean_group : float;      (* logical txs per engine tx *)
+  gr_engine_per_tx : float;   (* fence sequences per logical tx *)
+  gr_fences_saved : int;
+}
+
+(* the batch arm drains at half the window (the txs threshold), the
+   async arm only when the window fills — the latency/coalescing knob
+   the ack-mode ablation turns *)
+let group_ack_of_arm ~window = function
+  | "sync" -> Simsched.Sync_model.Ack_sync
+  | "batch_sync" -> Simsched.Sync_model.Ack_batch_txs (max 1 (window / 2))
+  | "async" -> Simsched.Sync_model.Ack_async
+  | arm -> invalid_arg ("unknown group arm " ^ arm)
+
+let group_run ~scale ~calib ~shards ~window ~arm ~cross_p writers =
+  let costs =
+    { Simsched.Sync_model.read_ns = calib.read_ns;
+      update_work_ns = calib.update_work_ns;
+      batch_fixed_ns = calib.batch_fixed_ns;
+      think_ns = Float.max Common.think_ns (0.25 *. calib.read_ns) }
+  in
+  Simsched.Sync_model.run
+    { Simsched.Sync_model.model =
+        Fc_group
+          { shards; window; ack = group_ack_of_arm ~window arm; cross_p;
+            intent_fixed_ns = intent_of calib "decentralized_lazy" };
+      costs; readers = 0; writers;
+      duration_ns = Common.sim_duration_ns scale; seed = 13 }
+
+(* Ablations run at the ROADMAP operating point (cross_p = 0.2): the
+   window amortizes the per-round fence sequence on the shard queues AND
+   the shared-intent bookkeeping (one mirror pair + one coordinator flip
+   per merged group) on the cross queue — the second term is the larger
+   saving, since the intent chain costs an order of magnitude more than
+   a single-shard fence sequence. *)
+let group_cross_p = 0.2
+
+let group_des_ablation ~scale ~calib ~shards ~writers ~window =
+  List.map
+    (fun arm ->
+      let r = group_run ~scale ~calib ~shards ~window ~arm
+                ~cross_p:group_cross_p writers in
+      { g_arm = arm; g_window = window;
+        g_ups = Simsched.Sync_model.updates_per_sec r;
+        g_small_mean_ns = r.Simsched.Sync_model.small_mean_ns;
+        g_small_max_ns = r.Simsched.Sync_model.small_max_ns })
+    [ "sync"; "batch_sync"; "async" ]
+
+let group_window_sweep ~scale ~calib ~shards ~writers ~window_axis =
+  List.map
+    (fun window ->
+      let r = group_run ~scale ~calib ~shards ~window ~arm:"batch_sync"
+                ~cross_p:group_cross_p writers in
+      { g_arm = "batch_sync"; g_window = window;
+        g_ups = Simsched.Sync_model.updates_per_sec r;
+        g_small_mean_ns = r.Simsched.Sync_model.small_mean_ns;
+        g_small_max_ns = r.Simsched.Sync_model.small_max_ns })
+    window_axis
+
+module Front = Kv.Group_commit.Default
+
+let group_real_stats ~ops =
+  let txs = max 64 ops in
+  List.map
+    (fun (gr_mode, ack) ->
+      let db, _ = make_store ~region_size:(1 lsl 21) 4 in
+      let fe = Front.attach ~window:32 ~ack db in
+      let base = Pmem.Stats.snapshot (S.stats db) in
+      for i = 0 to txs - 1 do
+        Front.put fe (key (i land 255)) (value i)
+      done;
+      Front.flush fe;
+      let d = Pmem.Stats.since ~now:(S.stats db) ~past:base in
+      let gc = d.Pmem.Stats.group_commits in
+      let logical = d.Pmem.Stats.group_size_sum in
+      { gr_mode; gr_txs = logical; gr_group_commits = gc;
+        gr_mean_group =
+          (if gc = 0 then 0. else float_of_int logical /. float_of_int gc);
+        gr_engine_per_tx =
+          (if logical = 0 then 0.
+           else float_of_int gc /. float_of_int logical);
+        gr_fences_saved = d.Pmem.Stats.fences_saved })
+    [ ("sync", Kv.Group_commit.Sync);
+      ("batch_sync",
+       Kv.Group_commit.Batch_sync { txs = 8; bytes = 1 lsl 16 });
+      ("async", Kv.Group_commit.Async) ]
+
 (* ---- output ---- *)
 
 type scaling_row = {
@@ -546,7 +657,8 @@ type recovery_row = {
 }
 
 let emit_json ~scale ~calib ~scaling ~cross ~large_real ~large_des
-    ~elastic_r ~elastic_d ~avail ~recovery path =
+    ~elastic_r ~elastic_d ~avail ~group_des ~group_window ~group_real
+    ~recovery path =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"bench\": \"shards\",\n";
@@ -628,6 +740,32 @@ let emit_json ~scale ~calib ~scaling ~cross ~large_real ~large_des
     avail.a_available_frac avail.a_evac_repair_ns avail.a_evac_moved
     avail.a_restore_repair_ns;
   Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"group_commit\": {\n    \"des_ack\": [\n";
+  let des_row i n r =
+    Printf.bprintf b
+      "      {\"arm\": \"%s\", \"window\": %d, \"updates_per_sec\": %.0f, \
+       \"small_mean_ns\": %.0f, \"small_max_ns\": %.0f}%s\n"
+      r.g_arm r.g_window r.g_ups r.g_small_mean_ns r.g_small_max_ns
+      (if i = n - 1 then "" else ",")
+  in
+  let n = List.length group_des in
+  List.iteri (fun i r -> des_row i n r) group_des;
+  Buffer.add_string b "    ],\n    \"des_window\": [\n";
+  let n = List.length group_window in
+  List.iteri (fun i r -> des_row i n r) group_window;
+  Buffer.add_string b "    ],\n    \"real\": [\n";
+  let n = List.length group_real in
+  List.iteri
+    (fun i r ->
+      Printf.bprintf b
+        "      {\"mode\": \"%s\", \"logical_txs\": %d, \"group_commits\": \
+         %d, \"mean_group_size\": %.2f, \"engine_tx_per_logical\": %.3f, \
+         \"fences_saved\": %d}%s\n"
+        r.gr_mode r.gr_txs r.gr_group_commits r.gr_mean_group
+        r.gr_engine_per_tx r.gr_fences_saved
+        (if i = n - 1 then "" else ","))
+    group_real;
+  Buffer.add_string b "    ]\n  },\n";
   Buffer.add_string b "  \"recovery\": [\n";
   let n = List.length recovery in
   List.iteri
@@ -824,6 +962,48 @@ let run_at ~scale_name ~scale ~ops ~recovery_keys ~shard_axis ~writer_axis =
     avail.a_evac_moved
     (Common.ns avail.a_evac_repair_ns)
     (Common.ns avail.a_restore_repair_ns);
+  (* group commit: fence amortization through the async front-end *)
+  Common.subsection
+    (Printf.sprintf
+       "async group-commit front-end (%d shards, %d writers, window 32, \
+        cross_p %.2f)"
+       smax wmax group_cross_p);
+  let group_des =
+    group_des_ablation ~scale ~calib ~shards:smax ~writers:wmax ~window:32
+  in
+  Printf.printf "%-12s %12s %14s %14s\n" "ack mode" "TX/s" "ack mean"
+    "ack max";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %12s %14s %14s\n%!" r.g_arm (Common.si r.g_ups)
+        (Common.ns r.g_small_mean_ns)
+        (Common.ns r.g_small_max_ns))
+    group_des;
+  (let find a = List.find (fun r -> r.g_arm = a) group_des in
+   let sy = find "sync" and ba = find "batch_sync" in
+   Printf.printf
+     "batch_sync lifts per-tx sync %.1fx at %d shards / %d writers\n%!"
+     (ba.g_ups /. sy.g_ups) smax wmax);
+  let group_window =
+    group_window_sweep ~scale ~calib ~shards:smax ~writers:wmax
+      ~window_axis:[ 1; 2; 4; 8; 16; 32; 64 ]
+  in
+  Common.table ~header:"window"
+    ~cols:[ "TX/s" ]
+    ~rows:
+      (List.map
+         (fun r -> (string_of_int r.g_window, [ r.g_ups ]))
+         group_window)
+    Common.si;
+  let group_real = group_real_stats ~ops in
+  Printf.printf "%-12s %10s %14s %14s %14s\n" "ack mode" "groups"
+    "mean group" "fences/tx" "fences saved";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %10d %14.1f %14.3f %14d\n%!" r.gr_mode
+        r.gr_group_commits r.gr_mean_group r.gr_engine_per_tx
+        r.gr_fences_saved)
+    group_real;
   (* recovery fan-out: per-shard work drops with 1/N *)
   Common.subsection
     (Printf.sprintf "per-shard recovery, %d keys, CLFLUSH pwbs, every \
@@ -840,8 +1020,8 @@ let run_at ~scale_name ~scale ~ops ~recovery_keys ~shard_axis ~writer_axis =
       shard_axis
   in
   emit_json ~scale:scale_name ~calib ~scaling:(List.rev !scaling) ~cross
-    ~large_real ~large_des ~elastic_r ~elastic_d ~avail ~recovery
-    "BENCH_shards.json"
+    ~large_real ~large_des ~elastic_r ~elastic_d ~avail ~group_des
+    ~group_window ~group_real ~recovery "BENCH_shards.json"
 
 let run scale =
   let ops, recovery_keys =
@@ -1073,3 +1253,64 @@ let health_smoke () =
   Printf.printf "shards_health ok: %.1f%% available, both repair arms \
                  converged\n%!"
     (100. *. a.a_available_frac)
+
+(* Quick regression check of the group-commit front-end for
+   @bench-smoke: on the real store the fence economy must follow the
+   ack mode (per-tx Sync pays one engine transaction per logical tx;
+   Batch_sync and Async pay proportionally fewer, i.e. fences-per-tx
+   drops with the achieved group size), and in the calibrated DES the
+   Batch_sync arm must clear the ISSUE's >= 2x update-throughput bar
+   over per-tx Sync at 8 shards / 32 writers.  Fails loudly so the
+   alias catches a regression. *)
+let group_smoke () =
+  Common.section "shards_group: async group-commit regression check";
+  let fail what = failwith ("shards_group: " ^ what) in
+  (* real path: fence amortization proportional to group size *)
+  let rows = group_real_stats ~ops:256 in
+  Printf.printf "%-12s %8s %10s %12s %12s %14s\n" "ack mode" "txs"
+    "groups" "mean group" "fences/tx" "fences saved";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %8d %10d %12.1f %12.3f %14d\n%!" r.gr_mode
+        r.gr_txs r.gr_group_commits r.gr_mean_group r.gr_engine_per_tx
+        r.gr_fences_saved)
+    rows;
+  let find m = List.find (fun r -> r.gr_mode = m) rows in
+  let sy = find "sync" and ba = find "batch_sync" and asy = find "async" in
+  if sy.gr_engine_per_tx <> 1. then
+    fail "Sync did not pay one engine tx per logical tx";
+  if sy.gr_fences_saved <> 0 then fail "Sync claimed saved fences";
+  if not (ba.gr_mean_group > 1.) then
+    fail "Batch_sync did not coalesce at all";
+  if not (asy.gr_mean_group > ba.gr_mean_group) then
+    fail "Async (window-bound) did not out-coalesce Batch_sync (txs=8)";
+  (* fences-per-tx must drop as 1/group-size: the two are exact
+     reciprocals by construction, so check the saved-fence count *)
+  List.iter
+    (fun r ->
+      if r.gr_fences_saved <> r.gr_txs - r.gr_group_commits then
+        fail (r.gr_mode ^ ": fences_saved <> logical - engine"))
+    rows;
+  (* DES: the acceptance bar at the headline operating point *)
+  let calib = calibrate ~ops:60 in
+  let des =
+    group_des_ablation ~scale:Common.Quick ~calib ~shards:8 ~writers:32
+      ~window:32
+  in
+  List.iter
+    (fun r ->
+      Printf.printf "  %-12s %s TX/s  ack mean %s  max %s\n%!" r.g_arm
+        (Common.si r.g_ups)
+        (Common.ns r.g_small_mean_ns)
+        (Common.ns r.g_small_max_ns))
+    des;
+  let dfind a = List.find (fun r -> r.g_arm = a) des in
+  let dsy = dfind "sync" and dba = dfind "batch_sync" in
+  if not (dba.g_ups >= 2. *. dsy.g_ups) then
+    failwith
+      (Printf.sprintf
+         "shards_group: Batch_sync (%.0f TX/s) below 2x per-tx Sync \
+          (%.0f TX/s) at 8 shards / 32 writers"
+         dba.g_ups dsy.g_ups);
+  Printf.printf "shards_group ok: batch_sync %.1fx per-tx sync\n%!"
+    (dba.g_ups /. dsy.g_ups)

@@ -1752,6 +1752,314 @@ let run_quarantine_campaign (module P : PTM) ~nshards ~rounds ~seed ~verbose
     recovery_crashes = !rec_crashes;
     failures = !failures }
 
+(* ---- group-commit front-end campaign ---- *)
+
+(* Crash campaign for the async group-commit front-end (Group_commit):
+   per round and per ack mode (Sync / Batch_sync / Async, window 4 so a
+   short stream spans several drain windows), a stream of single-key
+   puts runs with an instruction trap armed on a random shard's region,
+   then the machine powers off under the selected --policy and the raw
+   sharded store is reopened.  The oracle: every entry below the
+   front-end's durability watermark (read after the crash — the
+   watermark only advances once a window's engine transaction has
+   committed) must survive with its exact value, the survivors on every
+   shard queue must form a clean prefix of the submission order (a
+   window settles as one engine transaction, so a lost entry can never
+   be followed by a durable one), and no key may ever come back torn.
+   In Sync mode every put that returned is below the watermark, which
+   is the "acked-Sync writes survive any crash" guarantee.  Cross-shard
+   batches get the same treatment on the cross queue, plus a clean-path
+   determinism check per round: three batches submitted back-to-back
+   must settle as ONE shared intent (one coordinator flip, two merged
+   intents) in the deferred-ack modes and as three separate flips under
+   per-tx Sync. *)
+let run_group_campaign (module P : PTM) ~nshards ~rounds ~seed ~verbose
+    ~policy =
+  let module SD = Kv.Sharded_db.Make (P) in
+  let module F = Kv.Group_commit.Make (P) in
+  let rng = Workload.Keygen.create ~seed () in
+  let failures = ref [] in
+  let crashes = ref 0 in
+  let rec_crashes = ref 0 in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let pick_policy salt =
+    match policy with
+    | `Drop -> Pmem.Region.Drop_all
+    | `Keep -> Pmem.Region.Keep_all
+    | `Random -> Pmem.Region.Random_subset (seed + salt)
+    | `Torn -> Pmem.Region.Torn_words (seed + salt)
+    | `Mix -> (
+      match Workload.Keygen.int rng 4 with
+      | 0 -> Pmem.Region.Drop_all
+      | 1 -> Pmem.Region.Keep_all
+      | 2 -> Pmem.Region.Torn_words (seed + salt)
+      | _ -> Pmem.Region.Random_subset (seed + salt))
+  in
+  let base_key i = Printf.sprintf "base%02d" i in
+  let skey i = Printf.sprintf "g%03d" i in
+  let crash_all rs p = Array.iter (fun r -> Pmem.Region.crash r p) rs in
+  let window = 4 in
+  let modes =
+    [ ("sync", Kv.Group_commit.Sync);
+      ("batch", Kv.Group_commit.Batch_sync { txs = 3; bytes = 1 lsl 16 });
+      ("async", Kv.Group_commit.Async) ]
+  in
+  let fresh protocol =
+    let rs =
+      Array.init nshards (fun _ -> Pmem.Region.create ~size:(1 lsl 19) ())
+    in
+    let db = SD.open_db ~protocol ~initial_buckets:8 rs in
+    for i = 0 to 7 do
+      SD.put db (base_key i) "settled"
+    done;
+    (rs, db)
+  in
+  (* Survivors of [subs] (submission order) must be a prefix no shorter
+     than the durable floor, with exact values — never a torn or
+     re-ordered suffix.  The floor is the queue's watermark minus its
+     settled-with-failure entries: the watermark counts every settled
+     entry, and on the dead region a whole window settles as failures,
+     but everything that settled with a value committed its engine
+     transaction before the power-off and must come back. *)
+  let check_prefix what ~floor db subs =
+    let n = Array.length subs in
+    let rec cut i =
+      if i >= n then n
+      else if SD.get db (fst subs.(i)) = Some (snd subs.(i)) then cut (i + 1)
+      else i
+    in
+    let c = cut 0 in
+    if c < floor then
+      fail "%s: %d entries durable before the crash but only %d survived"
+        what floor c;
+    for i = c to n - 1 do
+      let k, _ = subs.(i) in
+      match SD.get db k with
+      | None -> ()
+      | Some got ->
+        fail "%s: suffix entry %s survived (%S) beyond the cut %d" what k
+          got c
+    done;
+    for i = 0 to 7 do
+      if SD.get db (base_key i) <> Some "settled" then
+        fail "%s: lost settled key %s" what (base_key i)
+    done
+  in
+  let reopen what protocol rs =
+    let db = SD.open_db ~protocol ~initial_buckets:8 rs in
+    (match SD.check db with
+     | Ok () -> ()
+     | Error e -> fail "%s: check: %s" what e);
+    if SD.pending_intents db <> 0 then
+      fail "%s: records left hooked after recovery" what;
+    db
+  in
+  (* three keys on one shard and three on another, so every cross batch
+     really spans two participants *)
+  let cross_keys db =
+    let probe i = Printf.sprintf "x%03d" i in
+    let sa = SD.shard_of_key db (probe 0) in
+    let rec collect i ~on n acc =
+      if n = 0 then List.rev acc
+      else if i > 999 then failwith "group campaign: key space too small"
+      else if (SD.shard_of_key db (probe i) = sa) = on then
+        collect (i + 1) ~on (n - 1) (probe i :: acc)
+      else collect (i + 1) ~on n acc
+    in
+    (collect 0 ~on:true 3 [], collect 0 ~on:false 3 [])
+  in
+  for round = 1 to rounds do
+    let salt = round * 37 in
+    let protocol =
+      Kv.Sharded_db.Decentralized { lazy_clear = round mod 2 = 0 }
+    in
+    List.iteri
+      (fun mi (mname, ack) ->
+        let what = Printf.sprintf "round %d %s" round mname in
+        (* (a) single-key stream crashed mid-drain.  [failed] counts the
+           settled-with-failure entries per queue: deferred failures
+           from {!F.failures} (retained when the drain raised) plus, in
+           Sync mode, the raising put itself (its failure is answered
+           to the submitter, never deferred). *)
+        let rs, db = fresh protocol in
+        let fe = F.attach ~window ~ack db in
+        let t = Workload.Keygen.int rng nshards in
+        let subs = Array.make nshards [] in
+        let failed = Array.make (nshards + 1) 0 in
+        let last_shard = ref 0 in
+        Pmem.Region.set_trap rs.(t)
+          (1 + Workload.Keygen.int rng 600);
+        let stream () =
+          for i = 0 to 23 do
+            let k = skey i in
+            let v = Printf.sprintf "sv%d-%d" round i in
+            let s = SD.shard_of_key db k in
+            subs.(s) <- (k, v) :: subs.(s);
+            last_shard := s;
+            F.put fe k v
+          done;
+          F.flush fe
+        in
+        (match stream () with
+         | () -> Pmem.Region.clear_trap rs.(t)
+         | exception Pmem.Region.Crash_point ->
+           incr crashes;
+           if ack = Kv.Group_commit.Sync then
+             failed.(!last_shard) <- failed.(!last_shard) + 1);
+        List.iter
+          (fun (qi, _, _) -> failed.(qi) <- failed.(qi) + 1)
+          (F.failures fe);
+        let floors =
+          Array.init nshards (fun s ->
+              max 0 (F.watermark fe s - failed.(s)))
+        in
+        crash_all rs (pick_policy (salt + mi));
+        let db = reopen (what ^ " stream") protocol rs in
+        for s = 0 to nshards - 1 do
+          check_prefix
+            (Printf.sprintf "%s stream shard %d" what s)
+            ~floor:floors.(s) db
+            (Array.of_list (List.rev subs.(s)))
+        done;
+        (* (b) clean cross-batch merge: the shared-intent determinism *)
+        let _rs, db = fresh protocol in
+        let fe = F.attach ~window ~ack db in
+        let ka, kb = cross_keys db in
+        let st0 = Pmem.Stats.snapshot (SD.stats db) in
+        List.iteri
+          (fun j (a, b') ->
+            F.write_batch fe (fun db ->
+                SD.put db a (Printf.sprintf "ca%d" j);
+                SD.put db b' (Printf.sprintf "cb%d" j)))
+          (List.combine ka kb);
+        F.flush fe;
+        let d = Pmem.Stats.since ~now:(SD.stats db) ~past:st0 in
+        let flips = d.Pmem.Stats.coordinator_flips in
+        let merged = d.Pmem.Stats.merged_intents in
+        (match ack with
+         | Kv.Group_commit.Sync ->
+           if flips <> 3 || merged <> 0 then
+             fail "%s: per-tx sync batches flips=%d merged=%d (want 3/0)"
+               what flips merged
+         | _ ->
+           if flips <> 1 || merged <> 2 then
+             fail "%s: merged batches flips=%d merged=%d (want 1/2)" what
+               flips merged);
+        List.iteri
+          (fun j (a, b') ->
+            if SD.get db a <> Some (Printf.sprintf "ca%d" j)
+               || SD.get db b' <> Some (Printf.sprintf "cb%d" j)
+            then fail "%s: clean cross batch %d not applied" what j)
+          (List.combine ka kb);
+        (* (c) cross batches crashed mid-protocol: all-or-nothing per
+           batch, prefix over the cross queue *)
+        let rs, db = fresh protocol in
+        let fe = F.attach ~window ~ack db in
+        let ka, kb = cross_keys db in
+        let t = Workload.Keygen.int rng nshards in
+        Pmem.Region.set_trap rs.(t)
+          (1 + Workload.Keygen.int rng 400);
+        let run () =
+          List.iteri
+            (fun j (a, b') ->
+              F.write_batch fe (fun db ->
+                  SD.put db a (Printf.sprintf "ka%d-%d" round j);
+                  SD.put db b' (Printf.sprintf "kb%d-%d" round j)))
+            (List.combine ka kb);
+          F.flush fe
+        in
+        let cross_failed = ref 0 in
+        (match run () with
+         | () -> Pmem.Region.clear_trap rs.(t)
+         | exception Pmem.Region.Crash_point ->
+           incr crashes;
+           if ack = Kv.Group_commit.Sync then incr cross_failed);
+        List.iter
+          (fun (qi, _, _) -> if qi = nshards then incr cross_failed)
+          (F.failures fe);
+        let cfloor = max 0 (F.watermark fe nshards - !cross_failed) in
+        crash_all rs (pick_policy (salt + mi + 5));
+        let db = reopen (what ^ " cross") protocol rs in
+        let applied =
+          List.mapi
+            (fun j (a, b') ->
+              let ga = SD.get db a = Some (Printf.sprintf "ka%d-%d" round j)
+              and gb =
+                SD.get db b' = Some (Printf.sprintf "kb%d-%d" round j)
+              in
+              if ga <> gb then
+                fail "%s: cross batch %d half-applied" what j;
+              ga && gb)
+            (List.combine ka kb)
+        in
+        let rec cut i = function
+          | true :: rest -> cut (i + 1) rest
+          | rest ->
+            if List.mem true rest then
+              fail "%s: cross suffix batch survived beyond the cut" what;
+            i
+        in
+        let c = cut 0 applied in
+        if c < cfloor then
+          fail "%s: %d cross batches durable before the crash but only %d \
+                survived"
+            what cfloor c)
+      modes;
+    (* (d) crash the recovery of a crashed stream itself: reopening after
+       a second power-off must converge to the same prefix contract *)
+    let protocol = Kv.Sharded_db.Centralized in
+    let rs, db = fresh protocol in
+    let fe = F.attach ~window ~ack:Kv.Group_commit.Async db in
+    let t = Workload.Keygen.int rng nshards in
+    Pmem.Region.set_trap rs.(t) (1 + Workload.Keygen.int rng 300);
+    let subs = Array.make nshards [] in
+    (match
+       for i = 0 to 15 do
+         let k = skey i in
+         let v = Printf.sprintf "rv%d-%d" round i in
+         let s = SD.shard_of_key db k in
+         subs.(s) <- (k, v) :: subs.(s);
+         F.put fe k v
+       done;
+       F.flush fe
+     with
+     | () -> Pmem.Region.clear_trap rs.(t)
+     | exception Pmem.Region.Crash_point -> incr crashes);
+    let failed = Array.make (nshards + 1) 0 in
+    List.iter
+      (fun (qi, _, _) -> failed.(qi) <- failed.(qi) + 1)
+      (F.failures fe);
+    let floors =
+      Array.init nshards (fun s -> max 0 (F.watermark fe s - failed.(s)))
+    in
+    crash_all rs (pick_policy (salt + 23));
+    let u = Workload.Keygen.int rng nshards in
+    Pmem.Region.set_trap rs.(u) (1 + Workload.Keygen.int rng 60);
+    let db =
+      match SD.open_db ~protocol ~initial_buckets:8 rs with
+      | db ->
+        Pmem.Region.clear_trap rs.(u);
+        db
+      | exception Pmem.Region.Crash_point ->
+        incr rec_crashes;
+        crash_all rs (pick_policy (salt + 29));
+        reopen (Printf.sprintf "round %d rec-crash" round) protocol rs
+    in
+    for s = 0 to nshards - 1 do
+      check_prefix
+        (Printf.sprintf "round %d rec-crash shard %d" round s)
+        ~floor:floors.(s) db
+        (Array.of_list (List.rev subs.(s)))
+    done;
+    if verbose then
+      Printf.printf "  ... %d/%d rounds, %d crashes (%d during recovery)\n%!"
+        round rounds !crashes !rec_crashes
+  done;
+  { rounds;
+    crashes = !crashes;
+    recovery_crashes = !rec_crashes;
+    failures = !failures }
+
 (* ---- command line ---- *)
 
 let ptm_arg =
@@ -1902,6 +2210,24 @@ let migrate_arg =
   in
   Arg.(value & flag & info [ "migrate" ] ~doc)
 
+let group_arg =
+  let doc =
+    "With --shards (>= 2), drive the async group-commit front-end \
+     campaign instead: streams of single-key puts and cross-shard \
+     batches run through the Group_commit submission queues in every \
+     ack mode (per-tx Sync, Batch_sync, Async; window 4), crashed with \
+     instruction traps mid-drain and during recovery, each power-off \
+     resolved under --policy.  The oracle: every entry below the \
+     durability watermark survives with its exact value (in Sync mode \
+     that is every acknowledged write), survivors on every queue form \
+     a clean prefix of submission order — a loss is always a watermark \
+     suffix, never a torn or re-ordered one — and three back-to-back \
+     cross batches settle as ONE shared intent (one coordinator flip, \
+     two merged intents) in the deferred-ack modes versus three flips \
+     under per-tx Sync."
+  in
+  Arg.(value & flag & info [ "group" ] ~doc)
+
 let list_failpoints_arg =
   let doc =
     "Print every registered failpoint site (raise-capable ones marked) \
@@ -1915,7 +2241,7 @@ let verbose_arg =
 
 let main ptm workload rounds seed policy recovery_crashes failpoint
     inject_exn scrub rot_rates_str nshards decentralized chunked quarantine
-    migrate list_failpoints verbose =
+    migrate group list_failpoints verbose =
   if list_failpoints then begin
     List.iter
       (fun s ->
@@ -1955,6 +2281,11 @@ let main ptm workload rounds seed policy recovery_crashes failpoint
                     only shard leaves nothing to keep serving)\n";
     exit 2
   end;
+  if group && nshards < 2 then begin
+    Printf.eprintf "--group needs --shards >= 2 (the cross-queue merge \
+                    needs at least two participants)\n";
+    exit 2
+  end;
   let failed = ref false in
   if nshards > 0 then
     (* the sharded campaign has its own cross-shard workload; the
@@ -1962,7 +2293,11 @@ let main ptm workload rounds seed policy recovery_crashes failpoint
     List.iter
       (fun (pname, m) ->
         let o =
-          if migrate then begin
+          if group then begin
+            Printf.printf "%-6s x %d-shard group-commit: %!" pname nshards;
+            run_group_campaign m ~nshards ~rounds ~seed ~verbose ~policy
+          end
+          else if migrate then begin
             Printf.printf "%-6s x %d-shard elastic-migrate: %!" pname nshards;
             run_migrate_campaign m ~nshards ~rounds ~seed ~verbose ~policy
           end
@@ -2103,7 +2438,7 @@ let cmd =
           $ policy_arg $ recovery_crashes_arg $ failpoint_arg
           $ inject_exn_arg $ scrub_arg $ rot_rates_arg $ shards_arg
           $ decentralized_arg $ chunked_arg $ quarantine_arg $ migrate_arg
-          $ list_failpoints_arg $ verbose_arg)
+          $ group_arg $ list_failpoints_arg $ verbose_arg)
 
 let () =
   Printexc.register_printer (function

@@ -831,6 +831,37 @@ module Make (P : SHARD_PTM) = struct
           st.Pmem.Stats.health_quarantined <-
             st.Pmem.Stats.health_quarantined + 1)
 
+  (* ---- group-commit accounting (ticked by the front-end layer) ----
+
+     The group-commit front-end ({!Group_commit}) coalesces many
+     logical transactions into one engine transaction (single-shard
+     windows) or one shared intent record (cross-shard windows).  It
+     meters each drained window on the shard whose queue it drained so
+     the counters aggregate naturally with the rest of the per-shard
+     stats: [logical] transactions were settled using [engine] engine
+     rounds (> 1 only when a raiser split the window), and [merged]
+     cross-shard batches rode another batch's intent record. *)
+
+  let note_group_commit t ~shard ~logical ~engine ~merged =
+    tick_region t shard (fun st ->
+        st.Pmem.Stats.group_commits <- st.Pmem.Stats.group_commits + engine;
+        st.Pmem.Stats.group_size_sum <-
+          st.Pmem.Stats.group_size_sum + logical;
+        if logical > st.Pmem.Stats.group_size_max then
+          st.Pmem.Stats.group_size_max <- logical;
+        st.Pmem.Stats.fences_saved <-
+          st.Pmem.Stats.fences_saved + (logical - engine);
+        st.Pmem.Stats.merged_intents <-
+          st.Pmem.Stats.merged_intents + merged)
+
+  let note_async_acks t ~shard n =
+    tick_region t shard (fun st ->
+        st.Pmem.Stats.async_acks <- st.Pmem.Stats.async_acks + n)
+
+  let note_flush t =
+    tick_region t 0 (fun st ->
+        st.Pmem.Stats.flushes <- st.Pmem.Stats.flushes + 1)
+
   (* ---- plain (non-batch) operations ---- *)
 
   (* Double-read during a transfer window: a moving key may not have

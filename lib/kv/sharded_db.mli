@@ -338,6 +338,26 @@ module Make (P : SHARD_PTM) : sig
   (** Aggregated instrumentation counters across every shard's region. *)
   val stats : t -> Pmem.Stats.t
 
+  (** {2 Group-commit accounting}
+
+      Ticked by the {!Group_commit} front-end; exposed here so the
+      coalescing layer's activity is metered on the shard regions it
+      drained and aggregates with the rest of {!stats}.  A drained
+      window of [logical] transactions that needed [engine] engine
+      rounds (> 1 only when a raiser split the window) saved
+      [logical - engine] fence sequences; [merged] cross-shard batches
+      rode another batch's intent record instead of writing their own. *)
+  val note_group_commit :
+    t -> shard:int -> logical:int -> engine:int -> merged:int -> unit
+
+  (** [n] operations acknowledged at enqueue ([Async] mode), metered on
+      the shard whose queue accepted them. *)
+  val note_async_acks : t -> shard:int -> int -> unit
+
+  (** One explicit drain-everything barrier (metered on shard 0, like
+      the other whole-store events). *)
+  val note_flush : t -> unit
+
   (** {2 Fault isolation and self-healing}
 
       Each shard carries a {!health} verdict.  Verdicts are recomputed

@@ -55,6 +55,13 @@ type t = {
   mutable shards_evacuated : int;
   mutable keys_evacuated : int;
   mutable unavailable_rejections : int;
+  mutable group_commits : int;
+  mutable group_size_sum : int;
+  mutable group_size_max : int;
+  mutable fences_saved : int;
+  mutable merged_intents : int;
+  mutable async_acks : int;
+  mutable flushes : int;
 }
 
 let create () =
@@ -69,7 +76,9 @@ let create () =
     migrations_resumed = 0; migrations_completed = 0; keys_migrated = 0;
     double_reads = 0; health_degraded = 0; health_quarantined = 0;
     health_repaired = 0; repair_attempts = 0; repair_snapshot_restores = 0;
-    shards_evacuated = 0; keys_evacuated = 0; unavailable_rejections = 0 }
+    shards_evacuated = 0; keys_evacuated = 0; unavailable_rejections = 0;
+    group_commits = 0; group_size_sum = 0; group_size_max = 0;
+    fences_saved = 0; merged_intents = 0; async_acks = 0; flushes = 0 }
 
 let reset t =
   t.pwbs <- 0; t.pfences <- 0; t.psyncs <- 0; t.loads <- 0; t.stores <- 0;
@@ -85,7 +94,10 @@ let reset t =
   t.health_degraded <- 0; t.health_quarantined <- 0; t.health_repaired <- 0;
   t.repair_attempts <- 0; t.repair_snapshot_restores <- 0;
   t.shards_evacuated <- 0; t.keys_evacuated <- 0;
-  t.unavailable_rejections <- 0
+  t.unavailable_rejections <- 0;
+  t.group_commits <- 0; t.group_size_sum <- 0; t.group_size_max <- 0;
+  t.fences_saved <- 0; t.merged_intents <- 0; t.async_acks <- 0;
+  t.flushes <- 0
 
 let snapshot t = { t with pwbs = t.pwbs }
 
@@ -133,7 +145,14 @@ let since ~now ~past =
     shards_evacuated = now.shards_evacuated - past.shards_evacuated;
     keys_evacuated = now.keys_evacuated - past.keys_evacuated;
     unavailable_rejections =
-      now.unavailable_rejections - past.unavailable_rejections }
+      now.unavailable_rejections - past.unavailable_rejections;
+    group_commits = now.group_commits - past.group_commits;
+    group_size_sum = now.group_size_sum - past.group_size_sum;
+    group_size_max = now.group_size_max - past.group_size_max;
+    fences_saved = now.fences_saved - past.fences_saved;
+    merged_intents = now.merged_intents - past.merged_intents;
+    async_acks = now.async_acks - past.async_acks;
+    flushes = now.flushes - past.flushes }
 
 (* Field-wise sum, as a fresh independent record: the cross-shard view of
    a store whose shards each meter their own region. *)
@@ -183,7 +202,17 @@ let aggregate ts =
       a.shards_evacuated <- a.shards_evacuated + t.shards_evacuated;
       a.keys_evacuated <- a.keys_evacuated + t.keys_evacuated;
       a.unavailable_rejections <-
-        a.unavailable_rejections + t.unavailable_rejections)
+        a.unavailable_rejections + t.unavailable_rejections;
+      a.group_commits <- a.group_commits + t.group_commits;
+      a.group_size_sum <- a.group_size_sum + t.group_size_sum;
+      (* summed, not maxed: keeps [since (aggregate [a; a]) a = a] and so
+         the catch-all audit; a per-shard max stays meaningful because
+         each shard meters its own region *)
+      a.group_size_max <- a.group_size_max + t.group_size_max;
+      a.fences_saved <- a.fences_saved + t.fences_saved;
+      a.merged_intents <- a.merged_intents + t.merged_intents;
+      a.async_acks <- a.async_acks + t.async_acks;
+      a.flushes <- a.flushes + t.flushes)
     ts;
   a
 
@@ -210,7 +239,8 @@ let pp ppf t =
      chunks=%d spilled=%d overloads=%d clear_flushes=%d \
      migrations=%d/%d/%d keys_migrated=%d double_reads=%d \
      health=%d/%d/%d repair_attempts=%d restores=%d evacuated=%d/%dkeys \
-     unavailable=%d"
+     unavailable=%d groups=%d group_size=%d/max%d fences_saved=%d \
+     merged_intents=%d async_acks=%d group_flushes=%d"
     t.pwbs t.pfences t.psyncs t.loads t.stores t.nvm_bytes t.user_bytes
     t.load_bytes t.copy_calls t.replicated_bytes t.commits
     (write_amplification t) t.delay_ns t.crashes t.tx_aborts
@@ -221,4 +251,6 @@ let pp ppf t =
     t.migrations_completed t.keys_migrated t.double_reads
     t.health_degraded t.health_quarantined t.health_repaired
     t.repair_attempts t.repair_snapshot_restores t.shards_evacuated
-    t.keys_evacuated t.unavailable_rejections
+    t.keys_evacuated t.unavailable_rejections t.group_commits
+    t.group_size_sum t.group_size_max t.fences_saved t.merged_intents
+    t.async_acks t.flushes

@@ -41,6 +41,13 @@ type t = {
   mutable shards_evacuated : int;    (** dying shards whose keys were evacuated *)
   mutable keys_evacuated : int;      (** keys copied off a dying shard *)
   mutable unavailable_rejections : int; (** operations refused with Shard_unavailable *)
+  mutable group_commits : int;   (** coalesced engine rounds run by the group-commit front-end *)
+  mutable group_size_sum : int;  (** logical transactions settled across those rounds *)
+  mutable group_size_max : int;  (** largest single coalesced group (summed by [aggregate]) *)
+  mutable fences_saved : int;    (** fence sequences avoided: logical txs settled minus engine rounds paid *)
+  mutable merged_intents : int;  (** cross-shard batches that shared another batch's intent record *)
+  mutable async_acks : int;      (** operations acknowledged at enqueue (Async mode) *)
+  mutable flushes : int;         (** explicit group-commit flushes (drain-everything barriers) *)
 }
 
 val create : unit -> t

@@ -73,6 +73,19 @@ type resize = {
   start_frac : float;
 }
 
+(* How the group-commit front-end acknowledges a submission (Fc_group).
+   Ack_sync is the per-transaction baseline: the submitter blocks and
+   every logical transaction is settled in its own engine round, so
+   every committer pays the full fence budget alone — "today's"
+   serving path.  Ack_batch_txs/Ack_async let the submitter continue
+   after enqueue; the queue drains in windows, amortizing one fence
+   sequence (and, on the cross queue, one shared intent record) over
+   the whole group. *)
+type group_ack =
+  | Ack_sync
+  | Ack_batch_txs of int
+  | Ack_async
+
 type model =
   | Fc_crwwp
   | Fc_left_right
@@ -96,6 +109,25 @@ type model =
       resize : resize option;
       (** background online shard migration through the combiners *)
     }
+  | Fc_group of {
+      shards : int;
+      window : int;
+      (** max logical transactions coalesced into one engine round *)
+      ack : group_ack;
+      cross_p : float;
+      (** probability a submission is a cross-shard batch, routed to the
+          shared cross queue instead of a per-shard queue *)
+      intent_fixed_ns : float;
+      (** serialized bookkeeping of one shared intent record (paid once
+          per cross-queue drain, not once per merged batch) *)
+    }
+    (** the group-commit front-end over the sharded store: per-shard
+        submission queues plus one cross-shard queue, each drained in
+        windows of up to [window] logical transactions settled as one
+        engine round — batch_fixed (the fence sequence) is paid per
+        round, update_work per logical transaction.  A cross-queue
+        round pays one mirror transaction per participant (modeled as
+        two) and one coordinator flip for the whole merged group. *)
   | Rw_reader_pref of { atomic_ns : float }
     (** [atomic_ns]: serialized cost of one RMW on the lock's shared
         reader counter — the cache line bounces between cores, so total
@@ -442,6 +474,122 @@ let run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol ~large ~resize
       (if !small_n = 0 then 0. else !small_sum /. float_of_int !small_n);
     small_max_ns = !small_max }
 
+(* ---- group-commit front-end (Group_commit over Sharded_db) ---- *)
+
+(* Per-shard submission queues plus one cross-shard queue, each drained
+   in windows settled as one engine round.  Ack_sync pins the take size
+   to 1 — the per-transaction baseline where every committer pays the
+   fence budget alone and the submitter blocks until its own flip.
+   Ack_batch_txs/Ack_async submitters continue after enqueue (the ack
+   rides the watermark / is given at enqueue), so the queue reaches the
+   drain threshold and one batch_fixed (fence sequence) amortizes over
+   up to [window] logical transactions; a cross-queue round pays
+   [intent_fixed_ns] plus two mirror transactions plus one coordinator
+   flip for the whole merged group.  Non-blocking submitters park when
+   a queue is at twice the window (the real layer's drain-on-full does
+   the same work from the submitter's thread), which bounds the queue
+   and keeps the loop closed. *)
+let run_fc_group ~shards ~window ~ack ~cross_p ~intent_fixed_ns cfg =
+  if shards < 1 then invalid_arg "Sync_model: shards < 1";
+  if window < 1 then invalid_arg "Sync_model: window < 1";
+  let sim = Des.create ~seed:cfg.seed () in
+  let c = cfg.costs in
+  let reads_done = ref 0 and updates_done = ref 0 in
+  let small_n = ref 0 and small_sum = ref 0. and small_max = ref 0. in
+  let stations = shards + 1 in
+  let cross = shards in
+  let take_sz, threshold =
+    match ack with
+    | Ack_sync -> (1, 1)
+    | Ack_batch_txs n -> (window, max 1 (min n window))
+    | Ack_async -> (window, window)
+  in
+  let cap = 2 * window in
+  (* queue entry: (enqueue instant, completion continuation for a
+     blocking submitter) *)
+  let queued = Array.init stations (fun _ -> Queue.create ()) in
+  let draining = Array.make stations false in
+  let parked = Array.init stations (fun _ -> Queue.create ()) in
+  let rec maybe_drain s =
+    if (not draining.(s)) && Queue.length queued.(s) >= threshold then begin
+      draining.(s) <- true;
+      let k = min take_sz (Queue.length queued.(s)) in
+      let batch = Array.init k (fun _ -> Queue.pop queued.(s)) in
+      let kf = float_of_int k in
+      let cost =
+        if s = cross then
+          (* one shared intent: two participant mirrors + one flip for
+             the whole merged group, each slice's work per batch *)
+          intent_fixed_ns +. (3. *. c.batch_fixed_ns)
+          +. (kf *. 2. *. c.update_work_ns)
+        else c.batch_fixed_ns +. (kf *. c.update_work_ns)
+      in
+      Des.schedule sim cost (fun () ->
+          Array.iter
+            (fun (t0, finish) ->
+              incr updates_done;
+              if s <> cross then begin
+                let lat = Des.now sim -. t0 in
+                incr small_n;
+                small_sum := !small_sum +. lat;
+                if lat > !small_max then small_max := lat
+              end;
+              match finish with Some resume -> resume () | None -> ())
+            batch;
+          draining.(s) <- false;
+          let admitted = Queue.create () in
+          Queue.transfer parked.(s) admitted;
+          Queue.iter (fun resume -> resume ()) admitted;
+          maybe_drain s)
+    end
+  in
+  (* [blocking]: Ack_sync rides the entry's completion; the others
+     resume right after enqueue, parking at the cap *)
+  let rec submit s ~blocking resume =
+    if (not blocking) && Queue.length queued.(s) >= cap then
+      Queue.add (fun () -> submit s ~blocking resume) parked.(s)
+    else begin
+      Queue.add
+        (Des.now sim, if blocking then Some resume else None)
+        queued.(s);
+      maybe_drain s;
+      if not blocking then resume ()
+    end
+  in
+  let pick_shard () =
+    min (shards - 1) (int_of_float (Des.random sim *. float_of_int shards))
+  in
+  let blocking = ack = Ack_sync in
+  let rec writer_loop () =
+    Des.schedule sim (jitter sim c.think_ns) (fun () ->
+        let s =
+          if shards > 1 && cross_p > 0. && Des.random sim < cross_p then
+            cross
+          else pick_shard ()
+        in
+        submit s ~blocking writer_loop)
+  in
+  (* reads bypass the queues (the front-end is read-your-writes without
+     forcing a drain), so a reader just pays the store's read cost *)
+  let rec reader_loop () =
+    Des.schedule sim (jitter sim c.think_ns) (fun () ->
+        Des.schedule sim c.read_ns (fun () ->
+            incr reads_done;
+            reader_loop ()))
+  in
+  for _ = 1 to cfg.readers do
+    reader_loop ()
+  done;
+  for _ = 1 to cfg.writers do
+    writer_loop ()
+  done;
+  Des.run sim ~until:cfg.duration_ns;
+  { reads_done = !reads_done; updates_done = !updates_done;
+    elapsed_ns = cfg.duration_ns;
+    small_mean_ns =
+      (if !small_n = 0 then 0. else !small_sum /. float_of_int !small_n);
+    small_max_ns = !small_max }
+
 (* ---- reader-preference RW lock (PMDK setup) ---- *)
 
 let run_rw_reader_pref ~atomic_ns cfg =
@@ -585,6 +733,9 @@ let run cfg =
   | Fc_sharded { shards; cross_p; intent_fixed_ns; protocol; large; resize }
     ->
     run_fc_sharded ~shards ~cross_p ~intent_fixed_ns ~protocol ~large ~resize
+      cfg
+  | Fc_group { shards; window; ack; cross_p; intent_fixed_ns } ->
+    run_fc_group ~shards ~window ~ack ~cross_p ~intent_fixed_ns
       cfg
   | Rw_reader_pref { atomic_ns } -> run_rw_reader_pref ~atomic_ns cfg
   | Stm { conflict_p; read_conflict_p; commit_serial_ns } ->

@@ -59,6 +59,18 @@ type resize = {
   start_frac : float;
 }
 
+(** How {!Fc_group}'s front-end acknowledges a submission.  [Ack_sync]
+    is the per-transaction baseline: the submitter blocks and every
+    logical transaction settles in its own engine round (every
+    committer pays the full fence budget alone).  [Ack_batch_txs n]
+    lets the submitter continue after enqueue and drains a queue once
+    it holds [n] entries; [Ack_async] acknowledges at enqueue and
+    drains only when the window fills. *)
+type group_ack =
+  | Ack_sync
+  | Ack_batch_txs of int
+  | Ack_async
+
 type model =
   | Fc_crwwp
       (** flat combining + C-RW-WP writer-preference lock (Rom, RomL):
@@ -84,6 +96,25 @@ type model =
           fraction of those batches a multi-chunk payload (see
           {!large_batch}); [resize] optionally runs a background shard
           migration through the combiners (see {!resize}) *)
+  | Fc_group of {
+      shards : int;
+      window : int;
+      ack : group_ack;
+      cross_p : float;
+      intent_fixed_ns : float;
+    }
+      (** the async group-commit front-end over the sharded store
+          (Group_commit): per-shard submission queues plus one
+          cross-shard queue, each drained in windows of up to [window]
+          logical transactions settled as one engine round —
+          [batch_fixed_ns] (the fence sequence) is paid once per round,
+          [update_work_ns] once per logical transaction.  A cross-queue
+          round pays [intent_fixed_ns] plus two participant mirrors
+          plus one coordinator flip for the whole merged group.
+          Non-blocking submitters park when a queue reaches twice the
+          window, bounding the queues.  [small_mean_ns]/[small_max_ns]
+          track enqueue-to-durable completion latency of single-key
+          updates — the latency cost of the deferred-ack modes. *)
   | Rw_reader_pref of { atomic_ns : float }
       (** plain reader-preference RW lock (the paper's PMDK setup).
           [atomic_ns] is the serialized cost of one RMW on the shared

@@ -39,6 +39,44 @@ let create () =
     combined = 0;
     scanned = 0 }
 
+(* Rounds: run the pending requests inside one [exec] call.  A request
+   that raises must not have its partial effects committed with the rest
+   of the batch, so the exception propagates out of [run_all] and [exec]
+   is expected to discard the whole attempt (the PTM aborts the
+   transaction).  The raiser is then answered with the exception that
+   escaped [exec] and the survivors retry in a fresh [exec].  Every
+   round removes at least one request, so the loop terminates even when
+   every request raises; an [exec] failure with no identifiable raiser
+   (begin/commit machinery, e.g. a simulated crash) answers the whole
+   batch — no requester is ever left waiting.
+
+   Exported on its own because the group-commit front-end reuses the
+   exact same per-round raiser rule one level up: there the "requests"
+   are whole logical transactions buffered into one coalesced engine
+   transaction, and a poisonous logical tx must likewise fail alone
+   while the survivors retry as a new group.  Requests are identified by
+   physical identity of the list cells, so keys need not be distinct. *)
+let run_rounds pending ~exec ~answer =
+  let rec rounds pending =
+    match pending with
+    | [] -> ()
+    | _ ->
+      let raiser = ref None in
+      let run_all () =
+        List.iter (fun ((_, f) as p) -> raiser := Some p; f ()) pending;
+        raiser := None
+      in
+      (match exec run_all with
+       | () -> List.iter (fun (k, _) -> answer k None) pending
+       | exception e ->
+         (match !raiser with
+          | None -> List.iter (fun (k, _) -> answer k (Some e)) pending
+          | Some ((k, _) as p) ->
+            answer k (Some e);
+            rounds (List.filter (fun q -> q != p) pending)))
+  in
+  rounds pending
+
 (* Raise the watermark to cover [tid]; must complete before the request is
    published so that no combiner can read a stale watermark that hides a
    visible request. *)
@@ -72,39 +110,8 @@ let combine t ~exec =
   t.scanned <- t.scanned + !examined;
   t.combines <- t.combines + 1;
   t.combined <- t.combined + List.length !batch;
-  (* Rounds: run the pending requests inside one [exec] call.  A request
-     that raises must not have its partial effects committed with the
-     rest of the batch, so the exception propagates out of [run_all] and
-     [exec] is expected to discard the whole attempt (the PTM aborts the
-     transaction).  The raiser is then answered with the exception that
-     escaped [exec] and the survivors retry in a fresh [exec].  Every
-     round removes at least one request, so the loop terminates even
-     when every request raises; an [exec] failure with no identifiable
-     raiser (begin/commit machinery, e.g. a simulated crash) answers the
-     whole batch — no requester is ever left waiting. *)
-  let rec rounds pending =
-    match pending with
-    | [] -> ()
-    | _ ->
-      let raiser = ref (-1) in
-      let run_all () =
-        List.iter (fun (i, f) -> raiser := i; f ()) pending;
-        raiser := -1
-      in
-      (match exec run_all with
-       | () ->
-         List.iter (fun (i, _) -> Atomic.set t.slots.(i) (Done None)) pending
-       | exception e ->
-         let failed = !raiser in
-         if failed < 0 then
-           List.iter (fun (i, _) -> Atomic.set t.slots.(i) (Done (Some e)))
-             pending
-         else begin
-           Atomic.set t.slots.(failed) (Done (Some e));
-           rounds (List.filter (fun (i, _) -> i <> failed) pending)
-         end)
-  in
-  rounds !batch
+  run_rounds !batch ~exec
+    ~answer:(fun i r -> Atomic.set t.slots.(i) (Done r))
 
 let apply t f ~exec =
   let tid = Tid.current () in

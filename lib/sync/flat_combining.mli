@@ -19,6 +19,25 @@ val create : unit -> t
     every requester of the round; no requester is ever left waiting. *)
 val apply : t -> (unit -> unit) -> exec:((unit -> unit) -> unit) -> unit
 
+(** [run_rounds pending ~exec ~answer] is the per-round raiser rule of
+    {!apply}'s combiner, exposed for layers that coalesce their own
+    batches (the group-commit front-end nests whole logical transactions
+    inside one engine transaction and needs the identical protocol).
+    Each round runs every still-pending [(key, request)] inside one
+    [exec] call; on success every key is answered with [None].  If a
+    request raises, [exec] must discard the attempt's effects and let
+    the exception escape: the raiser alone is answered with [Some exn]
+    and the survivors retry in a fresh [exec] round.  An [exec] failure
+    outside any request answers the whole round with [Some exn].
+    [answer] is called exactly once per element.  Requests are told
+    apart by physical identity of the list cells, so duplicate keys are
+    permitted. *)
+val run_rounds :
+  ('a * (unit -> unit)) list ->
+  exec:((unit -> unit) -> unit) ->
+  answer:('a -> exn option -> unit) ->
+  unit
+
 (** Number of batches executed so far. *)
 val batches : t -> int
 

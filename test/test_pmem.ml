@@ -139,7 +139,9 @@ let test_stats_cover_every_field () =
       health_degraded = 133; health_quarantined = 134; health_repaired = 135;
       repair_attempts = 136; repair_snapshot_restores = 137;
       shards_evacuated = 138; keys_evacuated = 139;
-      unavailable_rejections = 140 }
+      unavailable_rejections = 140; group_commits = 141;
+      group_size_sum = 142; group_size_max = 143; fences_saved = 144;
+      merged_intents = 145; async_acks = 146; flushes = 147 }
   in
   let doubled = Pmem.Stats.aggregate [ a; a ] in
   let d = Pmem.Stats.since ~now:doubled ~past:a in
@@ -148,7 +150,7 @@ let test_stats_cover_every_field () =
       "aggregate/since do not round-trip: some field is not summed or \
        not subtracted";
   let printed = Format.asprintf "%a" Pmem.Stats.pp a in
-  for v = 101 to 140 do
+  for v = 101 to 147 do
     let needle = string_of_int v in
     let found = ref false in
     let nl = String.length needle in

@@ -2028,6 +2028,322 @@ let prop_scrub_attribution =
              reports
       | [] -> false)
 
+(* ---- group-commit front-end (Group_commit, CORRECTNESS.md 15) ---- *)
+
+module Gc = Kv.Group_commit.Default
+
+(* first [n] indices whose key routes to [shard] under [db] *)
+let group_keys_on db ~shard n =
+  let rec go i acc left =
+    if left = 0 then List.rev acc
+    else if Sd.shard_of_key db (key i) = shard then
+      go (i + 1) (i :: acc) (left - 1)
+    else go (i + 1) acc left
+  in
+  go 0 [] n
+
+let test_group_async_coalesces () =
+  let _, db = open_sharded () in
+  let fe = Gc.attach ~window:32 ~ack:Kv.Group_commit.Async db in
+  Alcotest.(check int) "queues = shards + cross" 5 (Gc.queues fe);
+  for i = 0 to 19 do
+    Gc.put fe (key i) (value i)
+  done;
+  (* nothing drained yet: acks were given at enqueue, the store is empty *)
+  Alcotest.(check int) "all queued" 20 (Gc.pending fe);
+  Alcotest.(check (option string)) "store not yet durable" None
+    (Sd.get db (key 3));
+  Alcotest.(check (option string)) "read-your-writes from the queue"
+    (Some (value 3)) (Gc.get fe (key 3));
+  let st = Sd.stats db in
+  Alcotest.(check int) "async acks counted" 20 st.Pmem.Stats.async_acks;
+  Alcotest.(check int) "no engine round yet" 0 st.Pmem.Stats.group_commits;
+  Gc.flush fe;
+  Alcotest.(check int) "drained" 0 (Gc.pending fe);
+  for i = 0 to 19 do
+    if Sd.get db (key i) <> Some (value i) then
+      Alcotest.failf "flush lost %s" (key i)
+  done;
+  let st = Sd.stats db in
+  Alcotest.(check int) "every logical tx settled" 20
+    st.Pmem.Stats.group_size_sum;
+  Alcotest.(check int) "one flush" 1 st.Pmem.Stats.flushes;
+  (* 20 logical txs over 4 shard queues: at most 4 engine rounds, so at
+     least 16 fence sequences were never paid *)
+  Alcotest.(check bool) "coalesced (rounds <= shards)" true
+    (st.Pmem.Stats.group_commits <= 4);
+  Alcotest.(check int) "fences saved = logical - rounds"
+    (20 - st.Pmem.Stats.group_commits) st.Pmem.Stats.fences_saved;
+  (* watermark = submitted on every queue after a flush *)
+  for qi = 0 to Gc.queues fe - 1 do
+    Alcotest.(check int) "watermark caught up" (Gc.submitted fe qi)
+      (Gc.watermark fe qi)
+  done;
+  check_ok "group async" db
+
+let test_group_sync_is_per_tx () =
+  let _, db = open_sharded () in
+  let fe = Gc.attach ~ack:Kv.Group_commit.Sync db in
+  for i = 0 to 9 do
+    Gc.put fe (key i) (value i);
+    (* Sync acks at the flip: the write is durable when put returns *)
+    Alcotest.(check (option string)) "durable at ack" (Some (value i))
+      (Sd.get db (key i))
+  done;
+  Gc.delete fe (key 0);
+  Alcotest.(check (option string)) "delete durable at ack" None
+    (Sd.get db (key 0));
+  let st = Sd.stats db in
+  Alcotest.(check int) "one engine round per logical tx" 11
+    st.Pmem.Stats.group_commits;
+  Alcotest.(check int) "nothing saved at group size 1" 0
+    st.Pmem.Stats.fences_saved;
+  Alcotest.(check int) "no async acks in Sync mode" 0
+    st.Pmem.Stats.async_acks
+
+let test_group_batch_sync_threshold () =
+  let _, db = open_sharded () in
+  let fe =
+    Gc.attach ~window:32
+      ~ack:(Kv.Group_commit.Batch_sync { txs = 4; bytes = max_int }) db
+  in
+  (* four keys on one shard queue so the txs threshold governs *)
+  let shard = Sd.shard_of_key db (key 0) in
+  let ks = group_keys_on db ~shard 4 in
+  List.iteri
+    (fun n i ->
+      Gc.put fe (key i) (value i);
+      if n < 3 then begin
+        Alcotest.(check int) "below threshold: watermark parked" 0
+          (Gc.watermark fe shard);
+        Alcotest.(check int) "acked rides the watermark" 0
+          (Gc.acked fe shard)
+      end)
+    ks;
+  (* the fourth put crossed the threshold: the group drained as one
+     engine round and the watermark passed all four *)
+  Alcotest.(check int) "group drained at txs threshold" 4
+    (Gc.watermark fe shard);
+  Alcotest.(check int) "acked with the group" 4 (Gc.acked fe shard);
+  List.iter
+    (fun i ->
+      if Sd.get db (key i) <> Some (value i) then
+        Alcotest.failf "batch-sync lost %s" (key i))
+    ks;
+  let st = Sd.stats db in
+  Alcotest.(check int) "one engine round for the group" 1
+    st.Pmem.Stats.group_commits;
+  Alcotest.(check int) "three fences amortized away" 3
+    st.Pmem.Stats.fences_saved;
+  Alcotest.(check int) "largest group recorded" 4
+    st.Pmem.Stats.group_size_max
+
+let test_group_cross_batches_share_intent () =
+  let _, db = open_sharded () in
+  let fe = Gc.attach ~window:32 ~ack:Kv.Group_commit.Async db in
+  let st0 = Pmem.Stats.snapshot (Sd.stats db) in
+  (* three cross-shard batches queued back to back: one shared intent *)
+  for b = 0 to 2 do
+    Gc.write_batch fe (fun h ->
+        Sd.put h (Printf.sprintf "cross-%d-a" b) "A";
+        Sd.put h (Printf.sprintf "cross-%d-b" b) "B";
+        Sd.put h (Printf.sprintf "cross-%d-c" b) "C")
+  done;
+  Gc.flush fe;
+  for b = 0 to 2 do
+    if Sd.get db (Printf.sprintf "cross-%d-a" b) <> Some "A" then
+      Alcotest.failf "merged batch %d lost" b
+  done;
+  let d = Pmem.Stats.since ~now:(Sd.stats db) ~past:st0 in
+  Alcotest.(check int) "one coordinator flip for the whole group" 1
+    d.Pmem.Stats.coordinator_flips;
+  Alcotest.(check int) "two batches rode the shared intent" 2
+    d.Pmem.Stats.merged_intents;
+  check_ok "shared intent" db
+
+let test_group_raiser_fails_alone_in_window () =
+  let _, db = open_sharded () in
+  let fe = Gc.attach ~window:32 ~ack:Kv.Group_commit.Async db in
+  Gc.write_batch fe (fun h -> Sd.put h "grp-ok-1" "1");
+  Gc.write_batch fe (fun _ -> raise Exit);
+  Gc.write_batch fe (fun h -> Sd.put h "grp-ok-2" "2");
+  (* the raiser is answered alone (its failure deferred, Tx_aborted
+     around the client exception) and the survivors commit as a new
+     group; flush surfaces the deferred failure *)
+  (match Gc.flush fe with
+   | () -> Alcotest.fail "flush swallowed the raiser's failure"
+   | exception Romulus.Engine.Tx_aborted { cause = Exit; _ } -> ()
+   | exception e -> Alcotest.failf "unexpected %s" (Printexc.to_string e));
+  Alcotest.(check (option string)) "survivor before raiser" (Some "1")
+    (Sd.get db "grp-ok-1");
+  Alcotest.(check (option string)) "survivor after raiser" (Some "2")
+    (Sd.get db "grp-ok-2");
+  Alcotest.(check int) "deferred list cleared" 0
+    (List.length (Gc.failures fe));
+  check_ok "raiser window" db
+
+let test_group_barrier_ordering () =
+  let _, db = open_sharded () in
+  let fe = Gc.attach ~window:32 ~ack:Kv.Group_commit.Async db in
+  (* put / cross-batch / put on the same key: the cross queue is a
+     sequencing barrier, so the last write must win *)
+  Gc.put fe "ord" "first";
+  Gc.write_batch fe (fun h ->
+      Sd.put h "ord" "second";
+      Sd.put h "ord-peer" "x");
+  Gc.put fe "ord" "third";
+  Alcotest.(check (option string)) "read-your-writes sees the newest"
+    (Some "third") (Gc.get fe "ord");
+  Gc.flush fe;
+  Alcotest.(check (option string)) "submission order preserved"
+    (Some "third") (Sd.get db "ord");
+  Alcotest.(check (option string)) "batch effect present" (Some "x")
+    (Sd.get db "ord-peer");
+  (* delete ordering across the barrier too *)
+  Gc.write_batch fe (fun h -> Sd.put h "ord" "fourth");
+  Gc.delete fe "ord";
+  Alcotest.(check (option string)) "delete after batch wins" None
+    (Gc.get fe "ord");
+  Gc.flush fe;
+  Alcotest.(check (option string)) "delete durable" None (Sd.get db "ord")
+
+(* Async losses are a clean watermark prefix, never a torn suffix: crash
+   mid-drain, reopen the bare store, and check every shard's survivors
+   form a prefix of that shard's submission order. *)
+let test_group_crash_prefix () =
+  let rs, db = open_sharded () in
+  let fe = Gc.attach ~window:4 ~ack:Kv.Group_commit.Async db in
+  (* per-shard submission order of the keys we enqueue *)
+  let order = Array.make 4 [] in
+  for i = 0 to 11 do
+    Gc.put fe (key i) (value i);
+    let s = Sd.shard_of_key db (key i) in
+    order.(s) <- key i :: order.(s)
+  done;
+  Gc.flush fe;
+  for i = 12 to 23 do
+    Gc.put fe (key i) (value i);
+    let s = Sd.shard_of_key db (key i) in
+    order.(s) <- key i :: order.(s)
+  done;
+  (* kill one region mid-flush: the engine transaction in flight is
+     torn, everything after it never starts *)
+  R.set_trap rs.(1) 40;
+  (match Gc.flush fe with
+   | () -> ()  (* trap may land after the last drain *)
+   | exception R.Crash_point -> ());
+  crash_all rs (R.Torn_words 7);
+  let db = Sd.open_db ~initial_buckets:8 rs in
+  check_ok "after group crash" db;
+  Array.iteri
+    (fun s ks ->
+      let ks = List.rev ks in
+      let rec check_prefix seen_missing = function
+        | [] -> ()
+        | k :: rest ->
+          (match Sd.get db k with
+           | Some _ when seen_missing ->
+             Alcotest.failf
+               "shard %d: %s survived after an earlier loss (torn suffix)"
+               s k
+           | Some _ -> check_prefix false rest
+           | None -> check_prefix true rest)
+      in
+      check_prefix false ks)
+    order;
+  (* the first flush fully drained before the trap was armed: its keys
+     are below the watermark and must all survive *)
+  for i = 0 to 11 do
+    if Sd.get db (key i) <> Some (value i) then
+      Alcotest.failf "settled-before-crash key %s lost" (key i)
+  done
+
+(* QCheck: the durability watermark is monotone and the acked set is
+   prefix-closed across all three modes, and a final flush converges the
+   front-end onto the bare store's contents (model-checked replay). *)
+let prop_group_watermark =
+  let open QCheck in
+  let mode_of = function
+    | 0 -> Kv.Group_commit.Sync
+    | 1 -> Kv.Group_commit.Batch_sync { txs = 3; bytes = 256 }
+    | _ -> Kv.Group_commit.Async
+  in
+  let mode_name = function
+    | 0 -> "Sync" | 1 -> "Batch_sync" | _ -> "Async"
+  in
+  Test.make ~count:60
+    ~name:"group: watermark monotone, acks prefix-closed, flush converges"
+    (triple (int_bound 2) (int_range 1 6)
+       (list_of_size Gen.(1 -- 40) (pair (int_bound 15) (int_bound 3))))
+    (fun (m, window, ops) ->
+      let _, db = open_sharded ~size:(1 lsl 17) () in
+      let fe = Gc.attach ~window ~ack:(mode_of m) db in
+      let model = Hashtbl.create 16 in
+      let nq = Gc.queues fe in
+      let last_mark = Array.make nq 0 and last_ack = Array.make nq 0 in
+      let observe () =
+        for qi = 0 to nq - 1 do
+          let w = Gc.watermark fe qi and a = Gc.acked fe qi in
+          let s = Gc.submitted fe qi in
+          if w < last_mark.(qi) then
+            Test.fail_reportf "%s: watermark regressed on queue %d"
+              (mode_name m) qi;
+          if a < last_ack.(qi) then
+            Test.fail_reportf "%s: acked regressed on queue %d"
+              (mode_name m) qi;
+          if w > s || a > s then
+            Test.fail_reportf "%s: mark beyond submissions on queue %d"
+              (mode_name m) qi;
+          (* prefix closure per mode: Sync/Batch_sync ack exactly at the
+             watermark; Async acks the whole submitted prefix *)
+          (match mode_of m with
+           | Kv.Group_commit.Async ->
+             if a <> s then
+               Test.fail_reportf "Async: ack not given at enqueue"
+           | _ ->
+             if a <> w then
+               Test.fail_reportf "%s: ack strayed from the watermark"
+                 (mode_name m));
+          last_mark.(qi) <- w;
+          last_ack.(qi) <- a
+        done
+      in
+      List.iter
+        (fun (ki, kind) ->
+          let k = key ki in
+          (match kind with
+           | 0 | 1 ->
+             let v = Printf.sprintf "v%d-%d" ki kind in
+             Gc.put fe k v;
+             Hashtbl.replace model k v
+           | 2 ->
+             Gc.delete fe k;
+             Hashtbl.remove model k
+           | _ ->
+             let v = Printf.sprintf "b%d" ki in
+             Gc.write_batch fe (fun h ->
+                 Sd.put h k v;
+                 Sd.put h (k ^ "'") v);
+             Hashtbl.replace model k v;
+             Hashtbl.replace model (k ^ "'") v);
+          observe ())
+        ops;
+      Gc.flush fe;
+      observe ();
+      for qi = 0 to nq - 1 do
+        if Gc.watermark fe qi <> Gc.submitted fe qi then
+          Test.fail_reportf "%s: flush left queue %d short" (mode_name m) qi
+      done;
+      (* converged onto the model *)
+      Hashtbl.iter
+        (fun k v ->
+          if Sd.get db k <> Some v then
+            Test.fail_reportf "%s: model key %s diverged" (mode_name m) k)
+        model;
+      let extra = ref 0 in
+      Sd.iter db (fun k _ -> if not (Hashtbl.mem model k) then incr extra);
+      !extra = 0)
+
 let suite =
   let tc = Alcotest.test_case in
   [ tc "sharded basics" `Quick test_basics;
@@ -2107,11 +2423,23 @@ let suite =
     tc "health: open_from_files failure typed" `Quick
       test_open_from_files_failure_typed;
     tc "repair: snapshot restore heals" `Quick test_repair_snapshot_restore;
-    tc "repair: evacuation retires the shard" `Quick test_repair_evacuates ]
+    tc "repair: evacuation retires the shard" `Quick test_repair_evacuates;
+    tc "group: async coalesces windows" `Quick test_group_async_coalesces;
+    tc "group: Sync is the per-tx baseline" `Quick test_group_sync_is_per_tx;
+    tc "group: Batch_sync txs threshold" `Quick
+      test_group_batch_sync_threshold;
+    tc "group: cross batches share one intent" `Quick
+      test_group_cross_batches_share_intent;
+    tc "group: raiser fails alone in its window" `Quick
+      test_group_raiser_fails_alone_in_window;
+    tc "group: cross queue is a sequencing barrier" `Quick
+      test_group_barrier_ordering;
+    tc "group: crash loses only a watermark prefix" `Quick
+      test_group_crash_prefix ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_sharded_crash_batch; prop_d_racing_mix; prop_chunk_roundtrip;
         prop_chunked_crash_batch; prop_epoch0_matches_fnv;
         prop_route_stable_across_reopen; prop_route_uniform;
-        prop_scrub_attribution ]
+        prop_scrub_attribution; prop_group_watermark ]
 
 let () = Alcotest.run "sharded" [ ("sharded", suite) ]

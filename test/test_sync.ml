@@ -201,6 +201,105 @@ let test_flat_combining_scan_watermark () =
       Atomic.set release true;
       List.iter Domain.join holders)
 
+(* ---- run_rounds: the per-round raiser rule, standalone ----
+
+   The group-commit front-end reuses the combiner's raiser protocol one
+   level up: whole logical transactions are nested inside one coalesced
+   engine transaction ([exec] models begin/abort/commit), and a raising
+   logical tx must be answered alone with its exception while the
+   survivors retry as a new group. *)
+
+let test_run_rounds_all_commit_one_exec () =
+  let execs = ref 0 in
+  let log = ref [] in
+  let answers = ref [] in
+  Flat_combining.run_rounds
+    [ (1, fun () -> log := 1 :: !log);
+      (2, fun () -> log := 2 :: !log);
+      (3, fun () -> log := 3 :: !log) ]
+    ~exec:(fun run -> incr execs; run ())
+    ~answer:(fun k r -> answers := (k, r) :: !answers);
+  Alcotest.(check int) "one engine round for the whole group" 1 !execs;
+  Alcotest.(check (list int)) "ran in submission order" [ 1; 2; 3 ]
+    (List.rev !log);
+  Alcotest.(check int) "every tx answered" 3 (List.length !answers);
+  List.iter
+    (fun (_, r) -> Alcotest.(check bool) "answered ok" true (r = None))
+    !answers
+
+(* A raising logical tx: the attempt's effects are discarded (exec
+   aborts), the raiser is answered alone, and the survivors — including
+   those that already ran in the poisoned attempt — commit in a fresh
+   round. *)
+let test_run_rounds_raiser_fails_alone () =
+  let execs = ref 0 in
+  let committed = ref [] in
+  let answers = Hashtbl.create 8 in
+  let staged = ref [] in
+  let exec run =
+    incr execs;
+    staged := [];
+    run ();
+    (* commit point: only a round that completes publishes its effects *)
+    committed := !committed @ List.rev !staged
+  in
+  let tx k = (k, fun () -> if k = 2 then raise Exit else staged := k :: !staged) in
+  Flat_combining.run_rounds
+    [ tx 1; tx 2; tx 3 ]
+    ~exec
+    ~answer:(fun k r -> Hashtbl.replace answers k r);
+  Alcotest.(check int) "poisoned round + survivor retry" 2 !execs;
+  Alcotest.(check (list int)) "survivors committed once, in order" [ 1; 3 ]
+    !committed;
+  Alcotest.(check bool) "raiser answered with its exception" true
+    (Hashtbl.find answers 2 = Some Exit);
+  Alcotest.(check bool) "survivors answered ok" true
+    (Hashtbl.find answers 1 = None && Hashtbl.find answers 3 = None)
+
+(* Every tx raising: one round per raiser, each answered with its own
+   exception, and the loop terminates. *)
+let test_run_rounds_all_raise () =
+  let execs = ref 0 in
+  let answers = Hashtbl.create 8 in
+  Flat_combining.run_rounds
+    [ (1, fun () -> raise (Failure "a"));
+      (2, fun () -> raise (Failure "b")) ]
+    ~exec:(fun run -> incr execs; run ())
+    ~answer:(fun k r -> Hashtbl.replace answers k r);
+  Alcotest.(check int) "one round per raiser" 2 !execs;
+  Alcotest.(check bool) "each answered with its own failure" true
+    (Hashtbl.find answers 1 = Some (Failure "a")
+     && Hashtbl.find answers 2 = Some (Failure "b"))
+
+(* A failure of the engine machinery itself (after every logical tx ran:
+   no identifiable raiser) answers the whole round. *)
+let test_run_rounds_exec_failure_hits_round () =
+  let answers = Hashtbl.create 8 in
+  Flat_combining.run_rounds
+    [ (1, fun () -> ()); (2, fun () -> ()) ]
+    ~exec:(fun run -> run (); raise Not_found)
+    ~answer:(fun k r -> Hashtbl.replace answers k r);
+  Alcotest.(check bool) "whole round answered with the commit failure" true
+    (Hashtbl.find answers 1 = Some Not_found
+     && Hashtbl.find answers 2 = Some Not_found)
+
+(* Duplicate keys are told apart by physical identity: the raiser's own
+   cell is answered with the exception, its twin commits. *)
+let test_run_rounds_duplicate_keys () =
+  let execs = ref 0 in
+  let oks = ref 0 and errs = ref 0 in
+  let first = ref true in
+  Flat_combining.run_rounds
+    [ (9, fun () -> if !first then (first := false; raise Exit));
+      (9, fun () -> ()) ]
+    ~exec:(fun run -> incr execs; run ())
+    ~answer:(fun k r ->
+      Alcotest.(check int) "key preserved" 9 k;
+      match r with None -> incr oks | Some _ -> incr errs);
+  Alcotest.(check int) "two rounds" 2 !execs;
+  Alcotest.(check int) "twin committed" 1 !oks;
+  Alcotest.(check int) "raiser answered alone" 1 !errs
+
 (* ---- Left-Right ---- *)
 
 (* Each instance keeps the invariant fst = snd; the writer mutates only the
@@ -269,6 +368,16 @@ let suite =
       test_flat_combining_exec_failure_hits_all;
     tc "flat combining: scan watermark" `Quick
       test_flat_combining_scan_watermark;
+    tc "run_rounds: whole group in one round" `Quick
+      test_run_rounds_all_commit_one_exec;
+    tc "run_rounds: raiser fails alone, survivors retry" `Quick
+      test_run_rounds_raiser_fails_alone;
+    tc "run_rounds: every tx raising terminates" `Quick
+      test_run_rounds_all_raise;
+    tc "run_rounds: commit failure hits the round" `Quick
+      test_run_rounds_exec_failure_hits_round;
+    tc "run_rounds: duplicate keys by identity" `Quick
+      test_run_rounds_duplicate_keys;
     tc "left-right: no torn reads" `Quick test_left_right_no_torn_reads;
     tc "left-right: read after write" `Quick
       test_left_right_reader_sees_latest_committed;
